@@ -1,0 +1,83 @@
+// Ablation A8: the aggregation design choice.
+//
+// NewMadeleine's pack list lets queued packets leave in one segment; the
+// segment cap (the hardware's max eager size) bounds how much can coalesce.
+// This ablation sweeps an artificial cap and measures (a) the completion of
+// a 32-message burst and (b) the latency of the burst's FIRST message. The
+// classic aggregation trade-off appears directly: bigger segments amortise
+// per-segment costs (burst completes faster, fewer segments), but the first
+// message now travels inside a bigger segment and completes later —
+// head-of-line cost. The engine never waits for future packets, yet packets
+// already queued together do share fate.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/table.hpp"
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+
+using namespace rails;
+
+namespace {
+
+struct Result {
+  double burst_us;
+  double first_us;
+  double segments;
+};
+
+Result run(std::size_t cap) {
+  core::WorldConfig cfg = core::paper_testbed("aggregate-fastest");
+  for (auto& rail : cfg.fabric.rails) rail.max_eager = cap;
+  core::World world(cfg);
+
+  constexpr unsigned kFlows = 32;
+  const std::size_t size = 1_KiB;
+  static std::vector<std::uint8_t> tx(size, 0x2B);
+  static std::vector<std::uint8_t> rx(kFlows * size);
+
+  std::vector<core::RecvHandle> recvs;
+  for (unsigned i = 0; i < kFlows; ++i) {
+    recvs.push_back(world.engine(1).irecv(0, i, rx.data() + i * size, size));
+  }
+  const SimTime start = world.now();
+  for (unsigned i = 0; i < kFlows; ++i) world.engine(0).isend(1, i, tx.data(), size);
+  SimTime done = start;
+  for (auto& r : recvs) done = std::max(done, world.wait(r));
+  return {to_usec(done - start), to_usec(recvs[0]->complete_time - start),
+          static_cast<double>(world.engine(0).stats().eager_segments)};
+}
+
+}  // namespace
+
+int main() {
+  bench::SeriesTable table(
+      "A8 — aggregation segment cap: 32 x 1 KiB burst", "cap",
+      {"burst (us)", "first msg (us)", "segments"});
+
+  double burst_small_cap = 0.0;
+  double burst_large_cap = 0.0;
+  double first_small_cap = 0.0;
+  double first_large_cap = 0.0;
+  for (std::size_t cap : {2_KiB, 4_KiB, 8_KiB, 16_KiB, 32_KiB, 64_KiB}) {
+    const Result r = run(cap);
+    table.add_row(bench::format_size(cap), {r.burst_us, r.first_us, r.segments});
+    if (cap == 2_KiB) {
+      burst_small_cap = r.burst_us;
+      first_small_cap = r.first_us;
+    }
+    if (cap == 64_KiB) {
+      burst_large_cap = r.burst_us;
+      first_large_cap = r.first_us;
+    }
+  }
+  table.print(std::cout, 1);
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout, "a 64K cap completes the burst >25% faster than 2K",
+                     burst_large_cap < burst_small_cap * 0.75);
+  bench::shape_check(std::cout,
+                     "head-of-line: the first message is slower under the big cap",
+                     first_large_cap > first_small_cap);
+  return bench::shape_failures();
+}

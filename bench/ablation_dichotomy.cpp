@@ -1,0 +1,74 @@
+// Ablation A1: dichotomy iteration budget vs split quality (§II-B).
+//
+// The paper's solver bisects the split ratio "until a split ratio where both
+// transfer durations are equivalent is found". This ablation sweeps the
+// iteration cap and reports the residual chunk-finish imbalance and the
+// resulting makespan penalty vs the converged split, for several message
+// sizes — quantifying how many iterations the strategy actually needs.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/table.hpp"
+#include "fabric/presets.hpp"
+#include "sampling/sampler.hpp"
+#include "strategy/rail_cost.hpp"
+#include "strategy/split_solver.hpp"
+
+using namespace rails;
+
+int main() {
+  const auto profiles = sampling::sample_rails(
+      {fabric::myri10g(), fabric::qsnet2()}, {});
+  const strategy::ProfileCost myri(&profiles[0].rdv_chunk);
+  const strategy::ProfileCost qs(&profiles[1].rdv_chunk);
+  const strategy::SolverRail ra{0, &myri, 0};
+  const strategy::SolverRail rb{1, &qs, 0};
+
+  bench::SeriesTable imbalance("A1 — dichotomy iterations vs chunk imbalance (us)",
+                               "iterations",
+                               {"256K", "1M", "4M", "8M"});
+  bench::SeriesTable penalty("A1 — makespan penalty vs converged split (%)",
+                             "iterations", {"256K", "1M", "4M", "8M"});
+
+  const std::vector<std::size_t> sizes = {256_KiB, 1_MiB, 4_MiB, 8_MiB};
+  strategy::DichotomyConfig converged_cfg;
+  converged_cfg.max_iterations = 40;
+  converged_cfg.tolerance = 0;
+
+  std::vector<SimDuration> converged;
+  for (std::size_t size : sizes) {
+    converged.push_back(strategy::dichotomy_split(ra, rb, size, converged_cfg).makespan);
+  }
+
+  double penalty_one_iter_8m = 0.0;
+  double penalty_ten_iter_8m = 0.0;
+  for (unsigned iters : {1u, 2u, 4u, 6u, 8u, 10u, 14u, 20u}) {
+    strategy::DichotomyConfig cfg;
+    cfg.max_iterations = iters;
+    cfg.tolerance = 0;  // run to the cap: isolates the iteration budget
+    std::vector<double> imb_row;
+    std::vector<double> pen_row;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto result = strategy::dichotomy_split(ra, rb, sizes[i], cfg);
+      imb_row.push_back(to_usec(result.imbalance));
+      const double pen = (static_cast<double>(result.makespan) /
+                              static_cast<double>(converged[i]) -
+                          1.0) * 100.0;
+      pen_row.push_back(pen);
+      if (sizes[i] == 8_MiB && iters == 1) penalty_one_iter_8m = pen;
+      if (sizes[i] == 8_MiB && iters == 10) penalty_ten_iter_8m = pen;
+    }
+    imbalance.add_row(std::to_string(iters), imb_row);
+    penalty.add_row(std::to_string(iters), pen_row);
+  }
+  imbalance.print(std::cout, 2);
+  penalty.print(std::cout, 3);
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout,
+                     "one iteration (= iso-split) pays a clear makespan penalty at 8M",
+                     penalty_one_iter_8m > 5.0);
+  bench::shape_check(std::cout, "ten iterations are within 0.1% of converged at 8M",
+                     penalty_ten_iter_8m < 0.1);
+  return bench::shape_failures();
+}

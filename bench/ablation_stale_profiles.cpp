@@ -1,0 +1,91 @@
+// Ablation A5: stale sampling vs live network state (§II-A).
+//
+// "the misknowledge of networks' workload may lead to a potential
+// underutilization of the links." Here the Myri-10G rail degrades at
+// runtime (contention — every transfer takes `x` times the modeled time)
+// while the engine's profiles still describe the pristine network:
+//
+//   * stale hetero-split  — profiles sampled before the degradation;
+//   * fresh hetero-split  — profiles re-sampled on the degraded network
+//     (what a periodic re-sampling pass would restore);
+//   * iso-split           — knowledge-free baseline.
+//
+// Expected shape: the stale split keeps over-feeding the degraded rail and
+// decays toward (even below) iso-split; re-sampling recovers the optimum.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/table.hpp"
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+
+using namespace rails;
+
+namespace {
+
+/// 4 MiB one-way bandwidth with the Myri-10G rail degraded by `scale` on
+/// both nodes, under the given strategy/profiles.
+double run(const char* strategy, double scale,
+           const std::vector<sampling::RailProfile>& profiles) {
+  core::WorldConfig cfg = core::paper_testbed(strategy);
+  cfg.profile_override = profiles;
+  core::World world(cfg);
+  world.fabric().nic(0, 0).set_perf_scale(scale);
+  world.fabric().nic(1, 0).set_perf_scale(scale);
+  const SimDuration t = world.measure_one_way(4_MiB);
+  return mbps(4_MiB, t);
+}
+
+/// Profiles matching a Myri-10G rail that is `scale` times slower.
+std::vector<sampling::RailProfile> degraded_profiles(double scale) {
+  fabric::NetworkModelParams myri = fabric::myri10g();
+  myri.pio_bw_mbps /= scale;
+  myri.pio_bw_large_mbps /= scale;
+  myri.dma_bw_mbps /= scale;
+  myri.post_us *= scale;
+  myri.wire_latency_us *= scale;
+  myri.rdv_handshake_us *= scale;
+  myri.dma_setup_us *= scale;
+  myri.per_packet_us *= scale;
+  return sampling::sample_rails({myri, fabric::qsnet2()}, {});
+}
+
+}  // namespace
+
+int main() {
+  const auto pristine = sampling::sample_rails(
+      {fabric::myri10g(), fabric::qsnet2()}, {});
+
+  bench::SeriesTable table(
+      "A5 — Myri-10G degraded at runtime: 4 MiB bandwidth (MB/s)",
+      "degradation",
+      {"hetero (stale)", "hetero (re-sampled)", "iso-split"});
+
+  double stale_at_4 = 0.0;
+  double fresh_at_4 = 0.0;
+  double iso_at_4 = 0.0;
+  bool fresh_never_worse = true;
+  for (double scale : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    const double stale = run("hetero-split", scale, pristine);
+    const double fresh = run("hetero-split", scale, degraded_profiles(scale));
+    const double iso = run("iso-split", scale, pristine);
+    table.add_row("x" + std::to_string(scale).substr(0, 3), {stale, fresh, iso});
+    if (fresh < stale * 0.999) fresh_never_worse = false;
+    if (scale == 4.0) {
+      stale_at_4 = stale;
+      fresh_at_4 = fresh;
+      iso_at_4 = iso;
+    }
+  }
+  table.print(std::cout, 0);
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout, "re-sampled profiles never lose to stale ones",
+                     fresh_never_worse);
+  bench::shape_check(std::cout, "at 4x degradation the stale split loses >15%% to fresh",
+                     stale_at_4 < fresh_at_4 * 0.85);
+  bench::shape_check(std::cout,
+                     "stale knowledge decays to the knowledge-free iso baseline",
+                     stale_at_4 < iso_at_4 * 1.1);
+  return bench::shape_failures();
+}

@@ -1,0 +1,139 @@
+// Extension A6: MPI-style collectives over the multirail engine — the
+// workload the paper's future work targets ("integrate NewMadeleine in the
+// MPICH2-Nemesis software stack ... onto a wide range of applications").
+//
+// Times each collective on a 4-node Myri-10G + QsNetII cluster under the
+// single-rail baseline and the sampling-based hetero-split, at a small
+// (latency-bound) and a large (bandwidth-bound) payload. Expected shape:
+// multirail wins big for bandwidth-bound collectives and is neutral for
+// latency-bound ones (control messages cannot be split).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/table.hpp"
+#include "fabric/presets.hpp"
+#include "mpi/communicator.hpp"
+
+using namespace rails;
+using namespace rails::mpi;
+
+namespace {
+
+struct Timing {
+  double single_us;
+  double multi_us;
+};
+
+core::WorldConfig cluster(const char* strategy) {
+  core::WorldConfig cfg;
+  cfg.fabric.node_count = 4;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::qsnet2()};
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+template <typename Factory>
+Timing time_collective(Factory&& factory) {
+  Timing t{};
+  {
+    core::World world(cluster("single-rail:0"));
+    t.single_us = to_usec(factory(world));
+  }
+  {
+    core::World world(cluster("hetero-split"));
+    t.multi_us = to_usec(factory(world));
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t n = 4;
+  bench::SeriesTable table(
+      "A6 — collectives on 4 nodes: single Myri-10G rail vs hetero-split (us)",
+      "collective", {"single-rail", "multirail", "speedup"});
+
+  double bcast_large_speedup = 0.0;
+  double barrier_ratio = 0.0;
+
+  auto add = [&](const char* label, Timing t) {
+    table.add_row(label, {t.single_us, t.multi_us, t.single_us / t.multi_us});
+  };
+
+  // Barrier (latency-bound; zero-byte tokens).
+  {
+    const Timing t = time_collective([&](core::World& world) {
+      return collective(world, 1, [](Communicator comm, std::uint32_t s) {
+        return make_barrier(comm, s);
+      });
+    });
+    barrier_ratio = t.single_us / t.multi_us;
+    add("barrier", t);
+  }
+
+  // Bcast small and large.
+  for (std::size_t len : {4_KiB, 4_MiB}) {
+    std::vector<std::vector<std::uint8_t>> bufs(n, std::vector<std::uint8_t>(len, 0x21));
+    const Timing t = time_collective([&](core::World& world) {
+      return collective(world, 2, [&](Communicator comm, std::uint32_t s) {
+        return make_bcast(comm, s, bufs[static_cast<std::size_t>(comm.rank())].data(),
+                          len, 0);
+      });
+    });
+    if (len == 4_MiB) bcast_large_speedup = t.single_us / t.multi_us;
+    add(len == 4_KiB ? "bcast 4K" : "bcast 4M", t);
+  }
+
+  // Allreduce small and large (doubles, sum).
+  for (std::size_t count : {512ul, 524288ul}) {
+    std::vector<std::vector<double>> in(n, std::vector<double>(count, 1.5));
+    std::vector<std::vector<double>> out(n, std::vector<double>(count));
+    const Timing t = time_collective([&](core::World& world) {
+      return collective(world, 3, [&](Communicator comm, std::uint32_t s) {
+        const auto me = static_cast<std::size_t>(comm.rank());
+        return make_allreduce(comm, s, in[me].data(), out[me].data(), count,
+                              DType::kDouble, ReduceOp::kSum);
+      });
+    });
+    add(count == 512 ? "allreduce 4K" : "allreduce 4M", t);
+  }
+
+  // Alltoall large (the most bandwidth-hungry pattern).
+  {
+    const std::size_t len = 1_MiB;
+    std::vector<std::vector<std::uint8_t>> in(n, std::vector<std::uint8_t>(len * n, 0x44));
+    std::vector<std::vector<std::uint8_t>> out(n, std::vector<std::uint8_t>(len * n));
+    const Timing t = time_collective([&](core::World& world) {
+      return collective(world, 4, [&](Communicator comm, std::uint32_t s) {
+        const auto me = static_cast<std::size_t>(comm.rank());
+        return make_alltoall(comm, s, in[me].data(), len, out[me].data());
+      });
+    });
+    add("alltoall 4x1M", t);
+  }
+
+  // Allgather large.
+  {
+    const std::size_t len = 1_MiB;
+    std::vector<std::vector<std::uint8_t>> in(n, std::vector<std::uint8_t>(len, 0x55));
+    std::vector<std::vector<std::uint8_t>> out(n, std::vector<std::uint8_t>(len * n));
+    const Timing t = time_collective([&](core::World& world) {
+      return collective(world, 5, [&](Communicator comm, std::uint32_t s) {
+        const auto me = static_cast<std::size_t>(comm.rank());
+        return make_allgather(comm, s, in[me].data(), len, out[me].data());
+      });
+    });
+    add("allgather 4x1M", t);
+  }
+
+  table.print(std::cout, 1);
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout, "large bcast speeds up by >1.4x on two rails",
+                     bcast_large_speedup > 1.4);
+  bench::shape_check(std::cout,
+                     "barrier is within 2x either way (control traffic cannot split)",
+                     barrier_ratio > 0.5 && barrier_ratio < 2.0);
+  return bench::shape_failures();
+}

@@ -1,0 +1,120 @@
+// Reproduces Fig. 4 (PIO transfer combinations): one communication, split
+// into two chunks, handled three ways:
+//
+//   (a) greedy     — both chunks submitted from ONE core onto two NICs: the
+//                    PIO copies serialise on the core (Fig. 4a);
+//   (b) aggregated — the whole message as one segment on the fastest NIC
+//                    from one core (Fig. 4b);
+//   (c) offloaded  — each chunk submitted from its own core after the TO
+//                    signalling delay, copies truly parallel (Fig. 4c).
+//
+// Built straight on the fabric layer (no strategy plug-in) so the three
+// schedules are exactly the paper's diagrams; the table prints each case's
+// completion and the per-core busy spans, across the eager size range.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/paper_reference.hpp"
+#include "bench_support/table.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/presets.hpp"
+
+using namespace rails;
+
+namespace {
+
+struct Case {
+  double completion_us;   ///< last chunk delivered
+  double core0_busy_us;   ///< PIO time spent on the submitting core
+};
+
+fabric::Segment chunk_seg(std::size_t len) {
+  fabric::Segment seg;
+  seg.kind = fabric::SegKind::kEager;
+  seg.src = 0;
+  seg.dst = 1;
+  seg.payload.assign(len, 0x7A);
+  return seg;
+}
+
+/// (a) two chunks, one core: the second post waits for the first host copy.
+Case greedy_one_core(std::size_t size) {
+  fabric::Fabric fab({2, {fabric::myri10g(), fabric::qsnet2()}});
+  fab.set_rx_handler(1, [](fabric::Segment&&) {});
+  auto a = chunk_seg(size / 2);
+  a.rail = 0;
+  auto b = chunk_seg(size - size / 2);
+  b.rail = 1;
+  const auto ta = fab.nic(0, 0).post(std::move(a), 0);
+  const auto tb = fab.nic(0, 1).post(std::move(b), ta.host_end);  // same core
+  fab.events().run_all();
+  return {to_usec(std::max(ta.deliver_at, tb.deliver_at)), to_usec(tb.host_end)};
+}
+
+/// (b) one aggregated segment on the faster-for-this-size NIC, one core.
+Case aggregated(std::size_t size) {
+  fabric::Fabric fab({2, {fabric::myri10g(), fabric::qsnet2()}});
+  fab.set_rx_handler(1, [](fabric::Segment&&) {});
+  const RailId rail = fab.nic(0, 0).model().eager(size).total <
+                              fab.nic(0, 1).model().eager(size).total
+                          ? 0
+                          : 1;
+  auto seg = chunk_seg(size);
+  seg.rail = rail;
+  const auto t = fab.nic(0, rail).post(std::move(seg), 0);
+  fab.events().run_all();
+  return {to_usec(t.deliver_at), to_usec(t.host_end)};
+}
+
+/// (c) two chunks, two remote cores, both starting after TO.
+Case offloaded(std::size_t size, double to_us) {
+  fabric::Fabric fab({2, {fabric::myri10g(), fabric::qsnet2()}});
+  fab.set_rx_handler(1, [](fabric::Segment&&) {});
+  // Equal-finish-ish static ratio for the two eager curves at this size.
+  const double r = 0.55;
+  const auto bytes_a = static_cast<std::size_t>(static_cast<double>(size) * r);
+  auto a = chunk_seg(bytes_a);
+  a.rail = 0;
+  auto b = chunk_seg(size - bytes_a);
+  b.rail = 1;
+  const SimTime start = usec(to_us);
+  const auto ta = fab.nic(0, 0).post(std::move(a), start);  // core 1
+  const auto tb = fab.nic(0, 1).post(std::move(b), start);  // core 2
+  fab.events().run_all();
+  return {to_usec(std::max(ta.deliver_at, tb.deliver_at)), 0.0};
+}
+
+}  // namespace
+
+int main() {
+  bench::SeriesTable table(
+      "Fig. 4 — PIO combinations: completion (us) for one split message",
+      "size", {"(a) greedy 1 core", "(b) aggregated", "(c) offload 2 cores"});
+
+  bool agg_beats_greedy_everywhere = true;
+  bool offload_wins_medium = false;
+  bool offload_loses_tiny = false;
+  for (std::size_t size = 256; size <= 64_KiB; size <<= 1) {
+    const Case a = greedy_one_core(size);
+    const Case b = aggregated(size);
+    const Case c = offloaded(size, bench::paper::kSignalCostUs);
+    table.add_row(bench::format_size(size),
+                  {a.completion_us, b.completion_us, c.completion_us});
+    if (b.completion_us > a.completion_us * 1.001) agg_beats_greedy_everywhere = false;
+    if (size >= 16_KiB && c.completion_us < b.completion_us) offload_wins_medium = true;
+    if (size <= 1024 && c.completion_us > b.completion_us) offload_loses_tiny = true;
+  }
+  table.print(std::cout, 2);
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout,
+                     "(b) aggregation beats (a) serialised greedy at every size",
+                     agg_beats_greedy_everywhere);
+  bench::shape_check(std::cout,
+                     "(c) offload beats (b) for medium messages (Fig. 4c's point)",
+                     offload_wins_medium);
+  bench::shape_check(std::cout,
+                     "(c) offload loses for tiny messages (TO dominates, SIII-D)",
+                     offload_loses_tiny);
+  return bench::shape_failures();
+}

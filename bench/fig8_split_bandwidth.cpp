@@ -1,0 +1,81 @@
+// Reproduces Fig. 8 (message splitting — bandwidth) and the §IV-A quoted
+// numbers: ping-pong bandwidth from 32 KiB to 8 MiB for
+//   * Myri-10G alone            (paper plateau: 1170 MB/s)
+//   * Quadrics alone            (paper plateau:  837 MB/s)
+//   * Iso-split over both       (paper plateau: 1670 MB/s)
+//   * Hetero-split over both    (paper plateau: 1987 MB/s)
+// plus the 4 MB chunk-split example (2437 KB / 1757 KB in ~2000 µs each).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/paper_reference.hpp"
+#include "bench_support/table.hpp"
+#include "core/world.hpp"
+
+using namespace rails;
+
+int main() {
+  core::World world(core::paper_testbed());
+
+  const std::vector<std::string> series = {"Myri-10G", "Quadrics", "Iso-split",
+                                           "Hetero-split"};
+  const std::vector<std::string> strategies = {"single-rail:0", "single-rail:1",
+                                               "iso-split", "hetero-split"};
+  bench::SeriesTable table("Fig. 8 — message splitting: bandwidth (MB/s) vs size",
+                           "size", series);
+
+  std::vector<double> plateau(series.size(), 0.0);
+  for (std::size_t size : bench::pow2_sizes(32_KiB, 8_MiB)) {
+    std::vector<double> row;
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      world.set_strategy(strategies[i]);
+      const double bw = world.measure_bandwidth(size, 2);
+      row.push_back(bw);
+      plateau[i] = std::max(plateau[i], bw);
+    }
+    table.add_row(bench::format_size(size), row);
+  }
+  table.print(std::cout, 0);
+
+  std::printf("\npaper-vs-measured plateaus (MB/s):\n");
+  const double paper_plateaus[] = {bench::paper::kMyriBandwidth,
+                                   bench::paper::kQsnetBandwidth,
+                                   bench::paper::kIsoSplitBandwidth,
+                                   bench::paper::kHeteroSplitBandwidth};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    std::printf("  %-14s paper %7.0f   measured %7.0f   (%+5.1f%%)\n",
+                series[i].c_str(), paper_plateaus[i], plateau[i],
+                (plateau[i] / paper_plateaus[i] - 1.0) * 100.0);
+  }
+
+  // §IV-A quoted example: the 4 MB hetero-split chunk layout.
+  world.set_strategy("hetero-split");
+  world.engine(0).reset_stats();
+  const SimDuration t4 = world.measure_one_way(bench::paper::kExampleMessage);
+  const auto& per_rail = world.engine(0).stats().payload_bytes_per_rail;
+  std::printf("\n§IV-A example — 4 MB hetero-split chunk layout:\n");
+  std::printf("  %-10s %14s %14s\n", "rail", "paper", "measured");
+  std::printf("  %-10s %11.0f KB %11.1f KB\n", "Myri-10G",
+              bench::paper::kHeteroMyriChunk / 1024.0,
+              static_cast<double>(per_rail[0]) / 1024.0);
+  std::printf("  %-10s %11.0f KB %11.1f KB\n", "Quadrics",
+              bench::paper::kHeteroQsnetChunk / 1024.0,
+              static_cast<double>(per_rail[1]) / 1024.0);
+  std::printf("  transfer    %11.0f us %11.1f us\n",
+              bench::paper::kHeteroMyriChunkUs, to_usec(t4));
+
+  std::printf("\nshape checks:\n");
+  const std::size_t last = table.rows() - 1;
+  bench::shape_check(std::cout, "Myri-10G beats Quadrics at 8 MiB",
+                     table.value(last, 0) > table.value(last, 1));
+  bench::shape_check(std::cout, "iso-split beats the best single rail at 8 MiB",
+                     table.value(last, 2) > table.value(last, 0));
+  bench::shape_check(std::cout, "hetero-split beats iso-split at 8 MiB",
+                     table.value(last, 3) > table.value(last, 2));
+  bench::shape_check(
+      std::cout, "hetero-split within 3% of the theoretical aggregate",
+      table.value(last, 3) > (table.value(last, 0) + table.value(last, 1)) * 0.97);
+  bench::shape_check(std::cout, "hetero-split plateau within 5% of the paper's 1987 MB/s",
+                     std::abs(plateau[3] / bench::paper::kHeteroSplitBandwidth - 1.0) < 0.05);
+  return bench::shape_failures();
+}

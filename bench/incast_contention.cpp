@@ -1,0 +1,75 @@
+// Extension A10: incast — converging flows at one receiver.
+//
+// The paper's opening argument: "To avoid the potential bottleneck caused
+// by many cores accessing a single network interface card, some clusters
+// feature multiple physical networks." Incast is that bottleneck distilled:
+// N senders stream to one node at once and serialise at its receive ports.
+// With one rail the aggregate is pinned at a single port's rate; the
+// multirail engine spreads every message over both receive ports.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/table.hpp"
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+
+using namespace rails;
+
+namespace {
+
+/// `senders` nodes each stream 2 MiB to node 0; returns aggregate MB/s.
+double incast(const char* strategy, unsigned senders) {
+  core::WorldConfig cfg = core::paper_testbed(strategy);
+  cfg.fabric.node_count = senders + 1;
+  core::World world(cfg);
+
+  const std::size_t size = 2_MiB;
+  static std::vector<std::uint8_t> tx(size, 0x5D);
+  std::vector<std::vector<std::uint8_t>> rx(senders, std::vector<std::uint8_t>(size));
+  std::vector<core::RecvHandle> recvs;
+  for (unsigned s = 0; s < senders; ++s) {
+    recvs.push_back(world.engine(0).irecv(s + 1, 1, rx[s].data(), size));
+  }
+  const SimTime start = world.now();
+  for (unsigned s = 0; s < senders; ++s) {
+    world.engine(s + 1).isend(0, 1, tx.data(), size);
+  }
+  SimTime done = start;
+  for (auto& r : recvs) done = std::max(done, world.wait(r));
+  return mbps(size * senders, done - start);
+}
+
+}  // namespace
+
+int main() {
+  bench::SeriesTable table(
+      "A10 — incast: N senders x 2 MiB into one node (aggregate MB/s)",
+      "senders", {"single Myri", "iso-split", "hetero-split"});
+
+  double single_at_4 = 0.0;
+  double hetero_at_4 = 0.0;
+  double hetero_at_1 = 0.0;
+  for (unsigned senders : {1u, 2u, 4u, 6u}) {
+    const double s = incast("single-rail:0", senders);
+    const double i = incast("iso-split", senders);
+    const double h = incast("hetero-split", senders);
+    table.add_row(std::to_string(senders), {s, i, h});
+    if (senders == 4) {
+      single_at_4 = s;
+      hetero_at_4 = h;
+    }
+    if (senders == 1) hetero_at_1 = h;
+  }
+  table.print(std::cout, 0);
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout,
+                     "single-rail incast is pinned near one port's 1170 MB/s",
+                     single_at_4 < 1170.0 * 1.05);
+  bench::shape_check(std::cout,
+                     "multirail incast approaches both ports' aggregate (2 GB/s)",
+                     hetero_at_4 > 1800.0);
+  bench::shape_check(std::cout, "contention only helps: 4 senders >= 1 sender",
+                     hetero_at_4 >= hetero_at_1 * 0.98);
+  return bench::shape_failures();
+}

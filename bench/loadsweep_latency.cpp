@@ -1,0 +1,62 @@
+// Extension A9: sustained-load behaviour (open loop).
+//
+// The paper measures closed-loop ping-pong; a communication engine's other
+// face is how it behaves under offered load it does not control. This
+// sweep pushes a log-uniform 8 KiB–512 KiB message stream at increasing
+// rates and reports the mean latency per strategy. Expected shape: every
+// strategy tracks the low-load latency until its saturation bandwidth
+// (Fig. 8's plateaus), then queues explode — single-rail first (~1.17
+// GB/s), iso-split next (~1.67), hetero-split last (~2.0). Busy-aware
+// splitting also wins *below* saturation because arrivals overlap.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/table.hpp"
+#include "bench_support/traffic.hpp"
+#include "core/world.hpp"
+
+using namespace rails;
+
+int main() {
+  bench::SeriesTable table(
+      "A9 — open-loop load sweep: mean latency (us) of 8K-512K messages",
+      "offered MB/s", {"single Myri", "iso-split", "fixed-ratio", "hetero-split"});
+
+  const char* strategies[] = {"single-rail:0", "iso-split", "fixed-ratio-split",
+                              "hetero-split"};
+  double hetero_at_1500 = 0.0;
+  double single_at_1500 = 0.0;
+  double hetero_low = 0.0;
+  double hetero_high = 0.0;
+  for (double load : {200.0, 600.0, 1000.0, 1400.0, 1500.0, 1800.0}) {
+    std::vector<double> row;
+    for (const char* strategy : strategies) {
+      core::World world(core::paper_testbed(strategy));
+      bench::TrafficConfig cfg;
+      cfg.offered_mbps = load;
+      cfg.message_count = 150;
+      const auto result = bench::run_open_loop(world, cfg);
+      row.push_back(result.mean_latency_us);
+    }
+    table.add_row(std::to_string(static_cast<int>(load)), row);
+    if (load == 1500.0) {
+      single_at_1500 = row[0];
+      hetero_at_1500 = row[3];
+    }
+    if (load == 200.0) hetero_low = row[3];
+    if (load == 1800.0) hetero_high = row[3];
+  }
+  table.print(std::cout, 1);
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout,
+                     "beyond single-rail saturation (1.5 GB/s) hetero-split is >3x faster",
+                     hetero_at_1500 * 3 < single_at_1500);
+  // Note: near its own saturation every multirail strategy queues; bursty
+  // log-uniform arrivals inflate the tail well before the mean rate hits
+  // the 2.0 GB/s plateau.
+  bench::shape_check(std::cout,
+                     "hetero-split degrades gracefully up to 1.8 GB/s (<15x low-load)",
+                     hetero_high < hetero_low * 15.0);
+  return bench::shape_failures();
+}

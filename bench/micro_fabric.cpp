@@ -1,0 +1,80 @@
+// M2 — DES substrate micro-benchmarks (google-benchmark, host time): the
+// raw costs of the simulation machinery itself. These bound how much
+// virtual experimentation a second of host CPU buys.
+#include <benchmark/benchmark.h>
+
+#include "fabric/fabric.hpp"
+#include "fabric/presets.hpp"
+#include "sampling/sampler.hpp"
+
+using namespace rails;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  fabric::EventQueue eq;
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      eq.after(i + 1, [&sink] { ++sink; });
+    }
+    eq.run_all();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_NicPostDeliver(benchmark::State& state) {
+  fabric::Fabric fab({2, {fabric::myri10g()}});
+  std::size_t delivered = 0;
+  fab.set_rx_handler(1, [&](fabric::Segment&&) { ++delivered; });
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    fabric::Segment seg;
+    seg.kind = fabric::SegKind::kEager;
+    seg.src = 0;
+    seg.dst = 1;
+    seg.rail = 0;
+    seg.payload.assign(size, 0x11);
+    fab.nic(0, 0).post(std::move(seg), fab.now());
+    fab.events().run_all();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NicPostDeliver)->Arg(64)->Arg(16 << 10);
+
+void BM_ModelEagerTiming(benchmark::State& state) {
+  const fabric::NetworkModel model{fabric::qsnet2()};
+  std::size_t size = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.eager(size));
+    size = (size * 7 + 3) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_ModelEagerTiming);
+
+void BM_SimCoresOccupy(benchmark::State& state) {
+  fabric::SimCores cores(MachineTopology::t2k_4x4());
+  SimTime t = 0;
+  for (auto _ : state) {
+    for (CoreId c = 0; c < cores.count(); ++c) cores.occupy(c, t, 100);
+    benchmark::DoNotOptimize(cores.idle_count(t));
+    t += 100;
+  }
+}
+BENCHMARK(BM_SimCoresOccupy);
+
+void BM_FullRailSampling(benchmark::State& state) {
+  // Host cost of the whole startup sampling pass for one rail.
+  for (auto _ : state) {
+    const auto profile = sampling::sample_rail(fabric::myri10g(), {});
+    benchmark::DoNotOptimize(profile);
+  }
+}
+BENCHMARK(BM_FullRailSampling)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

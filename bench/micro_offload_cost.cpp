@@ -1,0 +1,91 @@
+// T2 — §III-D offload cost on *this* host, measured with real threads.
+//
+// The paper measures 3 µs to signal an idle core (6 µs when a computing
+// thread must be preempted). Here google-benchmark times the same
+// primitives on the real worker pool: a tasklet round trip to a parked
+// worker, a tasklet behind a busy worker, and the SPSC handoff the offload
+// path uses for request registration (Fig. 7).
+#include <atomic>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "common/spsc_queue.hpp"
+#include "rt/worker_pool.hpp"
+
+using namespace rails;
+
+namespace {
+
+/// Half round trip of submit-to-idle-worker — the empirical TO.
+void BM_SignalIdleCore(benchmark::State& state) {
+  rt::WorkerPool pool(1);
+  pool.drain();
+  for (auto _ : state) {
+    std::atomic<bool> done{false};
+    pool.submit_to(0, rt::Tasklet([&] { done.store(true, std::memory_order_release); },
+                                  rt::TaskPriority::kTasklet));
+    while (!done.load(std::memory_order_acquire)) {
+    }
+  }
+  state.SetLabel("paper TO ~3us (signal) — full round trip shown");
+}
+BENCHMARK(BM_SignalIdleCore)->UseRealTime();
+
+/// Same signal when the worker is already executing a (short) task — the
+/// preemption-flavoured cost of §III-D.
+void BM_SignalBusyCore(benchmark::State& state) {
+  rt::WorkerPool pool(1);
+  for (auto _ : state) {
+    std::atomic<bool> done{false};
+    // Occupy the worker briefly, then measure the queued tasklet's latency.
+    pool.submit_to(0, rt::Tasklet([] {
+                     int sink = 0;
+                     for (int i = 0; i < 2000; ++i) sink += i;
+                     benchmark::DoNotOptimize(sink);
+                   },
+                   rt::TaskPriority::kNormal));
+    pool.submit_to(0, rt::Tasklet([&] { done.store(true, std::memory_order_release); },
+                                  rt::TaskPriority::kTasklet));
+    while (!done.load(std::memory_order_acquire)) {
+    }
+  }
+  state.SetLabel("paper TO ~6us (preempt)");
+}
+BENCHMARK(BM_SignalBusyCore)->UseRealTime();
+
+/// The request-registration handoff: push one descriptor through the SPSC
+/// ring (what the strategy core does per offloaded chunk, Fig. 7).
+void BM_RequestRegistration(benchmark::State& state) {
+  struct Request {
+    const void* data;
+    std::size_t len;
+    std::uint32_t rail;
+  };
+  SpscQueue<Request> ring(1024);
+  Request out{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(Request{&out, 4096, 1}));
+    auto r = ring.try_pop();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RequestRegistration);
+
+/// Calibrated median, printed once so the bench output records the host's
+/// empirical TO next to the paper's 3 us.
+void BM_CalibratedSignalCost(benchmark::State& state) {
+  double us = 0.0;
+  for (auto _ : state) {
+    rt::WorkerPool pool(1);
+    us = pool.calibrate_signal_cost_us(32);
+    benchmark::DoNotOptimize(us);
+  }
+  state.counters["TO_us"] = us;
+  state.SetLabel("paper: 3us signal / 6us preempt");
+}
+BENCHMARK(BM_CalibratedSignalCost)->Iterations(1)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

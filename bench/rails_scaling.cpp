@@ -1,0 +1,46 @@
+// Extension A4: rail-count scaling — the paper's motivating hardware is the
+// T2K Open Supercomputer with a 4-link InfiniBand network per 16-core node.
+// This bench grows a homogeneous IB-DDR fabric from 1 to 4 rails and
+// reports the 8 MiB aggregate bandwidth and efficiency vs the ideal N-fold
+// speedup, for hetero-split and iso-split (identical rails: both should
+// track the ideal), plus the single-rail baseline.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/table.hpp"
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+
+using namespace rails;
+
+int main() {
+  bench::SeriesTable table(
+      "A4 — rail-count scaling (T2K-style 4x IB-DDR): 8 MiB bandwidth",
+      "rails", {"hetero-split MB/s", "iso-split MB/s", "efficiency %"});
+
+  double one_rail = 0.0;
+  double efficiency_at_4 = 0.0;
+  for (unsigned rails = 1; rails <= 4; ++rails) {
+    core::WorldConfig cfg;
+    cfg.fabric.rails.assign(rails, fabric::ib_ddr());
+    cfg.fabric.topology = MachineTopology::t2k_4x4();
+    cfg.strategy = "hetero-split";
+    core::World hetero(cfg);
+    const double hetero_bw = hetero.measure_bandwidth(8_MiB, 2);
+
+    cfg.strategy = "iso-split";
+    core::World iso(cfg);
+    const double iso_bw = iso.measure_bandwidth(8_MiB, 2);
+
+    if (rails == 1) one_rail = hetero_bw;
+    const double efficiency = hetero_bw / (one_rail * rails) * 100.0;
+    if (rails == 4) efficiency_at_4 = efficiency;
+    table.add_row(std::to_string(rails), {hetero_bw, iso_bw, efficiency});
+  }
+  table.print(std::cout, 1);
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout, "4 rails reach >95%% of the ideal 4x aggregate",
+                     efficiency_at_4 > 95.0);
+  return bench::shape_failures();
+}

@@ -1,0 +1,80 @@
+// Scenario: data-parallel gradient aggregation — the classic HPC/ML
+// workload the paper's conclusion points multirail MPI at. Eight ranks
+// iterate: compute a local "gradient", allreduce it across the cluster,
+// apply the averaged update. The allreduce payload (here 8 M of doubles per
+// step) dominates; multirail splitting directly shortens every step.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "fabric/presets.hpp"
+#include "mpi/communicator.hpp"
+
+using namespace rails;
+using namespace rails::mpi;
+
+int main() {
+  constexpr std::uint32_t kRanks = 8;
+  constexpr std::size_t kParams = 1u << 20;  // 1M doubles = 8 MB per step
+  constexpr int kSteps = 3;
+
+  core::WorldConfig cfg;
+  cfg.fabric.node_count = kRanks;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::qsnet2()};
+
+  std::printf("data-parallel training step: %u ranks, %zu MB gradients\n\n",
+              kRanks, kParams * sizeof(double) >> 20);
+  std::printf("  %-14s %14s %16s\n", "strategy", "per-step time", "aggregate bw");
+
+  double best_us = 0.0;
+  for (const char* strategy : {"single-rail:0", "iso-split", "hetero-split"}) {
+    cfg.strategy = strategy;
+    core::World world(cfg);
+
+    // Local state per rank: parameters and this step's gradient.
+    std::vector<std::vector<double>> grad(kRanks, std::vector<double>(kParams));
+    std::vector<std::vector<double>> sum(kRanks, std::vector<double>(kParams));
+    std::vector<std::vector<double>> params(kRanks, std::vector<double>(kParams, 0.0));
+
+    SimDuration total = 0;
+    for (int step = 0; step < kSteps; ++step) {
+      // "Compute": a deterministic per-rank pseudo-gradient.
+      for (std::uint32_t r = 0; r < kRanks; ++r) {
+        for (std::size_t i = 0; i < kParams; ++i) {
+          grad[r][i] = std::sin(static_cast<double>(i % 97) + r + step);
+        }
+      }
+      total += collective(
+          world, static_cast<std::uint32_t>(step) + 1,
+          [&](Communicator comm, std::uint32_t s) {
+            const auto me = static_cast<std::size_t>(comm.rank());
+            return make_allreduce(comm, s, grad[me].data(), sum[me].data(), kParams,
+                                  DType::kDouble, ReduceOp::kSum);
+          });
+      for (std::uint32_t r = 0; r < kRanks; ++r) {
+        for (std::size_t i = 0; i < kParams; ++i) {
+          params[r][i] -= 0.01 * sum[r][i] / kRanks;
+        }
+      }
+    }
+
+    // Sanity: every rank holds identical parameters after each step.
+    for (std::uint32_t r = 1; r < kRanks; ++r) {
+      if (params[r] != params[0]) {
+        std::printf("  !! ranks diverged under %s\n", strategy);
+        return 1;
+      }
+    }
+
+    const double us = to_usec(total) / kSteps;
+    if (us > best_us) best_us = us;
+    // Recursive doubling moves log2(p) * payload per rank per step.
+    const double bytes_moved = std::log2(kRanks) * kParams * sizeof(double);
+    std::printf("  %-14s %11.0f us %13.0f MB/s\n", strategy, us,
+                bytes_moved / us);
+  }
+
+  std::printf("\nall ranks stay bit-identical; the hetero-split engine turns both\n"
+              "rails into allreduce bandwidth without touching application code.\n");
+  return 0;
+}

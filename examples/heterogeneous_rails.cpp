@@ -1,0 +1,80 @@
+// Scenario: a cluster with wildly heterogeneous rails — a fast Myri-10G
+// NIC, a mid-range InfiniBand DDR HCA, and a legacy gigabit-Ethernet port.
+//
+// Demonstrates what the sampling layer learns about each technology and how
+// the equal-finish solver adapts the split ratio per message size — the
+// fixed bandwidth ratio of §II-A cannot do this, and the slow rail is
+// automatically benched for messages where its latency cannot amortise.
+#include <cstdio>
+#include <vector>
+
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+#include "strategy/rail_cost.hpp"
+#include "strategy/split_solver.hpp"
+
+using namespace rails;
+
+int main() {
+  core::WorldConfig cfg;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::ib_ddr(), fabric::gige_tcp()};
+  cfg.strategy = "hetero-split";
+  core::World world(cfg);
+
+  std::printf("rail inventory after sampling:\n");
+  std::printf("  %-10s %12s %14s %14s\n", "rail", "latency", "DMA bandwidth",
+              "rdv threshold");
+  for (RailId r = 0; r < world.estimator().rail_count(); ++r) {
+    const auto& p = world.estimator().profile(r);
+    std::printf("  %-10s %9.1f us %9.0f MB/s %11zu B\n", p.name.c_str(),
+                to_usec(p.eager.latency()), p.rdv_chunk.asymptotic_bandwidth(),
+                p.rdv_threshold);
+  }
+
+  // How the split ratio evolves with message size: the same solver the
+  // engine calls on every CTS, run here standalone.
+  std::vector<strategy::ProfileCost> costs;
+  for (RailId r = 0; r < 3; ++r) {
+    costs.emplace_back(&world.estimator().profile(r).rdv_chunk);
+  }
+  std::vector<strategy::SolverRail> rails;
+  for (RailId r = 0; r < 3; ++r) rails.push_back({r, &costs[r], 0});
+
+  std::printf("\nequal-finish split by message size (share per rail):\n");
+  std::printf("  %-8s %10s %10s %10s\n", "size", "myri10g", "ib-ddr", "gige-tcp");
+  for (std::size_t size = 64_KiB; size <= 16_MiB; size <<= 1) {
+    const auto split = strategy::solve_equal_finish(rails, size);
+    double share[3] = {0, 0, 0};
+    for (const auto& chunk : split.chunks) {
+      share[chunk.rail] = 100.0 * static_cast<double>(chunk.bytes) /
+                          static_cast<double>(size);
+    }
+    std::printf("  %-8zu %9.1f%% %9.1f%% %9.1f%%\n", size, share[0], share[1],
+                share[2]);
+  }
+  std::printf("(the GigE share grows with size as its 55 us handshake amortises;\n"
+              " a fixed bandwidth ratio would give it the same share everywhere)\n");
+
+  // End-to-end: does the third rail actually help?
+  std::printf("\n16 MiB bandwidth: ");
+  const double three_rails = world.measure_bandwidth(16_MiB, 2);
+  std::printf("3 rails %.0f MB/s", three_rails);
+
+  core::WorldConfig two = cfg;
+  two.fabric.rails.pop_back();  // drop GigE
+  core::World world2(two);
+  const double two_rails = world2.measure_bandwidth(16_MiB, 2);
+  std::printf(", without GigE %.0f MB/s (+%.0f MB/s from the legacy port)\n",
+              two_rails, three_rails - two_rails);
+
+  // Message integrity across all three rails.
+  std::vector<std::uint8_t> tx(16_MiB);
+  for (std::size_t i = 0; i < tx.size(); ++i) tx[i] = static_cast<std::uint8_t>(i ^ 99);
+  std::vector<std::uint8_t> rx(tx.size());
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), rx.size());
+  world.engine(0).isend(1, 1, tx.data(), tx.size());
+  world.wait(recv);
+  std::printf("16 MiB three-rail transfer: %s\n",
+              rx == tx ? "delivered intact" : "CORRUPTED");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a two-node multirail cluster, send messages, and watch
+// the sampling-based strategy split them across rails.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API in ~80 lines: WorldConfig, sampling,
+// isend/irecv/wait, strategy selection, and the engine statistics.
+#include <cstdio>
+#include <vector>
+
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+
+using namespace rails;
+
+int main() {
+  // 1. Describe the cluster: two nodes, each with a Myri-10G NIC (rail 0)
+  //    and a Quadrics QsNetII NIC (rail 1) — the paper's testbed. The
+  //    constructor samples every rail (§III-C) before any traffic flows.
+  core::WorldConfig cfg = core::paper_testbed("hetero-split");
+  core::World world(cfg);
+
+  std::printf("sampled %u rails:\n", static_cast<unsigned>(world.estimator().rail_count()));
+  for (RailId r = 0; r < world.estimator().rail_count(); ++r) {
+    const auto& profile = world.estimator().profile(r);
+    std::printf("  rail %u (%s): eager latency %.1f us, DMA %.0f MB/s, "
+                "rendezvous threshold %zu B\n",
+                r, profile.name.c_str(), to_usec(profile.eager.latency()),
+                profile.rdv_chunk.asymptotic_bandwidth(), profile.rdv_threshold);
+  }
+
+  // 2. Exchange a message. isend/irecv return immediately; wait() drives the
+  //    virtual cluster until the request completes.
+  const std::size_t size = 4_MiB;
+  std::vector<std::uint8_t> tx(size);
+  for (std::size_t i = 0; i < size; ++i) tx[i] = static_cast<std::uint8_t>(i * 31);
+  std::vector<std::uint8_t> rx(size);
+
+  auto recv = world.engine(1).irecv(/*src=*/0, /*tag=*/42, rx.data(), rx.size());
+  auto send = world.engine(0).isend(/*dst=*/1, /*tag=*/42, tx.data(), tx.size());
+  world.wait(recv);
+  world.wait(send);
+
+  std::printf("\n4 MiB message delivered%s, split into %u chunks:\n",
+              rx == tx ? " intact" : " CORRUPTED", send->chunk_count);
+  const auto& stats = world.engine(0).stats();
+  for (RailId r = 0; r < world.estimator().rail_count(); ++r) {
+    std::printf("  rail %u carried %.1f KB\n", r,
+                static_cast<double>(stats.payload_bytes_per_rail[r]) / 1024.0);
+  }
+
+  // 3. Compare strategies with the built-in ping-pong benchmark.
+  std::printf("\n8 MiB ping-pong bandwidth by strategy:\n");
+  for (const char* strategy : {"single-rail:0", "single-rail:1", "iso-split",
+                               "hetero-split"}) {
+    world.set_strategy(strategy);
+    std::printf("  %-18s %7.0f MB/s\n", strategy,
+                world.measure_bandwidth(8_MiB, 2));
+  }
+
+  std::printf("\nThe sampling-based hetero-split reaches the aggregate of both"
+              " rails;\nequal splitting is pinned at twice the slower rail.\n");
+  return 0;
+}

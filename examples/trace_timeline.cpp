@@ -1,0 +1,76 @@
+// Scenario: observability — attach a Tracer to the engine, run a mixed
+// workload, and render what the scheduler actually did: per-rail Gantt
+// lanes, per-message timelines (queueing delay vs transfer time), and the
+// raw CSV a notebook could ingest.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/world.hpp"
+#include "trace/tracer.hpp"
+
+using namespace rails;
+
+int main() {
+  core::World world(core::paper_testbed("multicore-hetero-split"));
+  trace::Tracer tracer;
+  world.engine(0).set_tracer(&tracer);
+
+  // Mixed workload: a burst of small control packets, one medium eager
+  // message (offloaded split) and one large rendezvous (DMA split).
+  std::vector<std::uint8_t> small(512, 0x01);
+  std::vector<std::uint8_t> medium(24_KiB, 0x02);
+  std::vector<std::uint8_t> large(4_MiB, 0x03);
+  std::vector<std::uint8_t> rx_small(3 * 512);
+  std::vector<std::uint8_t> rx_medium(medium.size());
+  std::vector<std::uint8_t> rx_large(large.size());
+
+  std::vector<core::RecvHandle> recvs;
+  for (int i = 0; i < 3; ++i) {
+    recvs.push_back(world.engine(1).irecv(0, 10 + i, rx_small.data() + i * 512, 512));
+  }
+  recvs.push_back(world.engine(1).irecv(0, 20, rx_medium.data(), rx_medium.size()));
+  recvs.push_back(world.engine(1).irecv(0, 30, rx_large.data(), rx_large.size()));
+
+  std::vector<core::SendHandle> sends;
+  for (int i = 0; i < 3; ++i) {
+    sends.push_back(world.engine(0).isend(1, 10 + i, small.data(), small.size()));
+  }
+  sends.push_back(world.engine(0).isend(1, 20, medium.data(), medium.size()));
+  sends.push_back(world.engine(0).isend(1, 30, large.data(), large.size()));
+  for (auto& r : recvs) world.wait(r);
+  for (auto& s : sends) world.wait(s);
+
+  std::printf("per-message timelines (sender side):\n");
+  std::printf("  %-8s %10s %12s %12s %8s %9s\n", "msg", "bytes", "queue delay",
+              "latency", "chunks", "offloaded");
+  for (const auto& send : sends) {
+    const auto tl = tracer.message(0, send->id);
+    if (!tl) continue;
+    std::printf("  tag %-4llu %10zu %9.1f us %9.1f us %8u %9u\n",
+                static_cast<unsigned long long>(send->tag), tl->bytes,
+                to_usec(tl->queueing_delay()), to_usec(tl->total_latency()), tl->chunks,
+                tl->offloaded);
+  }
+
+  std::printf("\nper-rail NIC activity ('=' eager, '#' DMA chunk):\n");
+  tracer.render_gantt(std::cout, 72);
+
+  const auto bytes = tracer.bytes_per_rail();
+  std::printf("\nbytes per rail:");
+  for (std::size_t r = 0; r < bytes.size(); ++r) {
+    std::printf("  rail %zu: %.1f KB", r, static_cast<double>(bytes[r]) / 1024.0);
+  }
+
+  std::ostringstream csv;
+  tracer.dump_csv(csv);
+  std::printf("\n\nCSV export: %zu events, %zu bytes (first lines below)\n",
+              tracer.size(), csv.str().size());
+  std::istringstream is(csv.str());
+  std::string line;
+  for (int i = 0; i < 5 && std::getline(is, line); ++i) {
+    std::printf("  %s\n", line.c_str());
+  }
+  world.engine(0).set_tracer(nullptr);
+  return 0;
+}

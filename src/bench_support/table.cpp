@@ -1,0 +1,85 @@
+#include "bench_support/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace rails::bench {
+
+namespace {
+int g_shape_failures = 0;
+}
+
+SeriesTable::SeriesTable(std::string title, std::string x_label,
+                         std::vector<std::string> series)
+    : title_(std::move(title)), x_label_(std::move(x_label)), series_(std::move(series)) {}
+
+void SeriesTable::add_row(std::string x, const std::vector<double>& values) {
+  RAILS_CHECK(values.size() == series_.size());
+  rows_.push_back({std::move(x), values});
+}
+
+double SeriesTable::value(std::size_t row, std::size_t series) const {
+  RAILS_CHECK(row < rows_.size() && series < series_.size());
+  return rows_[row].values[series];
+}
+
+void SeriesTable::print(std::ostream& os, int digits) const {
+  os << "\n== " << title_ << " ==\n";
+  // Column widths: max of header and the widest formatted value.
+  std::size_t xw = x_label_.size();
+  for (const auto& r : rows_) xw = std::max(xw, r.x.size());
+  std::vector<std::size_t> widths(series_.size());
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    widths[i] = std::max<std::size_t>(series_[i].size(), 8);
+  }
+
+  os << std::left << std::setw(static_cast<int>(xw + 2)) << x_label_;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    os << std::right << std::setw(static_cast<int>(widths[i] + 2)) << series_[i];
+  }
+  os << '\n';
+
+  os << std::fixed << std::setprecision(digits);
+  for (const auto& r : rows_) {
+    os << std::left << std::setw(static_cast<int>(xw + 2)) << r.x;
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      os << std::right << std::setw(static_cast<int>(widths[i] + 2));
+      if (std::isnan(r.values[i])) {
+        os << "-";
+      } else {
+        os << r.values[i];
+      }
+    }
+    os << '\n';
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+std::string format_size(std::size_t bytes) {
+  if (bytes >= 1024u * 1024u && bytes % (1024u * 1024u) == 0) {
+    return std::to_string(bytes / (1024u * 1024u)) + "M";
+  }
+  if (bytes >= 1024u && bytes % 1024u == 0) {
+    return std::to_string(bytes / 1024u) + "K";
+  }
+  return std::to_string(bytes);
+}
+
+std::vector<std::size_t> pow2_sizes(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = lo; s <= hi; s <<= 1) sizes.push_back(s);
+  return sizes;
+}
+
+bool shape_check(std::ostream& os, const std::string& what, bool ok) {
+  os << (ok ? "  [shape PASS] " : "  [shape FAIL] ") << what << '\n';
+  if (!ok) ++g_shape_failures;
+  return ok;
+}
+
+int shape_failures() { return g_shape_failures; }
+
+}  // namespace rails::bench

@@ -1,0 +1,50 @@
+// Aligned series tables for the experiment harness.
+//
+// Every figure-reproduction binary prints one of these: an x column (message
+// size) and one column per curve, matching the series the paper plots.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rails::bench {
+
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label, std::vector<std::string> series);
+
+  /// Adds one row; `values` must match the series count. NaN renders as "-".
+  void add_row(std::string x, const std::vector<double>& values);
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+  double value(std::size_t row, std::size_t series) const;
+
+  /// Pretty-prints with aligned columns and `digits` decimal places.
+  void print(std::ostream& os, int digits = 1) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  struct Row {
+    std::string x;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Human-readable byte size ("4", "16K", "2M").
+std::string format_size(std::size_t bytes);
+
+/// Power-of-two ladder [lo, hi].
+std::vector<std::size_t> pow2_sizes(std::size_t lo, std::size_t hi);
+
+/// Prints a PASS/FAIL shape-check line and returns whether it passed.
+/// Collects a process-wide failure flag readable via shape_failures().
+bool shape_check(std::ostream& os, const std::string& what, bool ok);
+int shape_failures();
+
+}  // namespace rails::bench

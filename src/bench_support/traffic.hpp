@@ -1,0 +1,41 @@
+// Open-loop traffic generation for sustained-load experiments.
+//
+// The paper's evaluation is ping-pong (closed loop); production traffic is
+// open loop — messages arrive on their own schedule whether or not the
+// engine has caught up. This generator schedules isends at pseudo-random
+// (deterministic, seeded) exponential-ish inter-arrival times on the
+// virtual clock and reports the latency distribution and achieved
+// throughput, which is how the load sweep locates each strategy's
+// saturation point.
+#pragma once
+
+#include <cstdint>
+
+#include "core/world.hpp"
+
+namespace rails::bench {
+
+struct TrafficConfig {
+  /// Offered payload rate in MB/s (drives the mean inter-arrival gap).
+  double offered_mbps = 1000.0;
+  /// Message sizes: log-uniform in [min_size, max_size].
+  std::size_t min_size = 8u * 1024u;
+  std::size_t max_size = 512u * 1024u;
+  unsigned message_count = 200;
+  std::uint64_t seed = 42;
+};
+
+struct TrafficResult {
+  double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double achieved_mbps = 0.0;  ///< payload delivered / time of last delivery
+  double duration_us = 0.0;
+  std::size_t total_bytes = 0;
+};
+
+/// Runs one open-loop experiment on nodes 0 -> 1 of the world. The world is
+/// quiesced first; the call is deterministic for a given (world, config).
+TrafficResult run_open_loop(core::World& world, const TrafficConfig& config);
+
+}  // namespace rails::bench

@@ -1,0 +1,31 @@
+// Lightweight always-on invariant checks.
+//
+// The engine is a scheduler: silent state corruption (a NIC marked idle while
+// a transfer is pending, a chunk plan that does not cover the message) is far
+// more expensive to debug than an immediate abort, so checks stay enabled in
+// release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rails::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "RAILS_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace rails::detail
+
+#define RAILS_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) ::rails::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RAILS_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) ::rails::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace rails::log {
+
+namespace {
+std::mutex g_io_mutex;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void init_from_env() {
+  const char* env = std::getenv("RAILS_LOG");
+  if (env == nullptr) return;
+  struct Entry { const char* name; Level lvl; };
+  static constexpr Entry kEntries[] = {
+      {"trace", Level::kTrace}, {"debug", Level::kDebug}, {"info", Level::kInfo},
+      {"warn", Level::kWarn},   {"error", Level::kError}, {"off", Level::kOff},
+  };
+  for (const auto& e : kEntries) {
+    if (std::strcmp(env, e.name) == 0) {
+      set_level(e.lvl);
+      return;
+    }
+  }
+}
+
+void vlog(Level lvl, const char* module, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[%s] %-8s ", level_name(lvl), module);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace rails::log

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Logging in the hot path of a communication engine must cost nothing when
+// disabled: the level test is a single relaxed atomic load and the argument
+// formatting is lazily evaluated behind it.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace rails::log {
+
+enum class Level : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+namespace detail {
+inline std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+}
+
+/// Sets the global level. Also honours the RAILS_LOG environment variable
+/// ("trace".."off") through init_from_env().
+inline void set_level(Level lvl) {
+  detail::g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+inline Level level() {
+  return static_cast<Level>(detail::g_level.load(std::memory_order_relaxed));
+}
+
+inline bool enabled(Level lvl) { return static_cast<int>(lvl) >= static_cast<int>(level()); }
+
+void init_from_env();
+
+void vlog(Level lvl, const char* module, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace rails::log
+
+#define RAILS_LOG(lvl, module, ...)                        \
+  do {                                                     \
+    if (::rails::log::enabled(lvl)) {                      \
+      ::rails::log::vlog(lvl, module, __VA_ARGS__);        \
+    }                                                      \
+  } while (0)
+
+#define RAILS_TRACE(module, ...) RAILS_LOG(::rails::log::Level::kTrace, module, __VA_ARGS__)
+#define RAILS_DEBUG(module, ...) RAILS_LOG(::rails::log::Level::kDebug, module, __VA_ARGS__)
+#define RAILS_INFO(module, ...) RAILS_LOG(::rails::log::Level::kInfo, module, __VA_ARGS__)
+#define RAILS_WARN(module, ...) RAILS_LOG(::rails::log::Level::kWarn, module, __VA_ARGS__)
+#define RAILS_ERROR(module, ...) RAILS_LOG(::rails::log::Level::kError, module, __VA_ARGS__)

@@ -1,0 +1,76 @@
+// Unbounded multi-producer/multi-consumer queue with blocking pop.
+//
+// This is the general-purpose mailbox of the threaded runtime (tasklet
+// submission, progress-engine wakeups). A mutex+condvar queue is the right
+// tool here: contention is low (a handful of workers), and CP.42 ("don't wait
+// without a condition") rules out spin-waiting consumers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rails {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Blocks until an item arrives or the queue is closed. Returns nullopt only
+  /// on close with an empty queue.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Wakes all blocked consumers; subsequent pops drain then return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rails

@@ -1,0 +1,80 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// Used on the fast path between the strategy core and a remote submission
+// core (one producer, one consumer by construction). The implementation is a
+// classic Lamport ring with acquire/release indices and a power-of-two
+// capacity so the modulo is a mask.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace rails {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two; the ring holds capacity-1
+  /// elements (one slot is sacrificed to distinguish full from empty).
+  explicit SpscQueue(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the ring is full — in which case the
+  /// argument is NOT consumed, so `while (!q.try_push(std::move(x)))` retry
+  /// loops are safe.
+  bool try_push(T&& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;  // full
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& value) {
+    T copy = value;
+    return try_push(std::move(copy));
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;  // empty
+    T value = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_; }
+
+  /// Approximate size; exact when called from the consumer thread.
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace rails

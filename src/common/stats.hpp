@@ -1,0 +1,55 @@
+// Streaming statistics and percentile summaries used by the sampler and the
+// benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rails {
+
+/// Welford-style running mean/variance plus min/max. O(1) memory, suitable for
+/// accumulating per-transfer timings inside the engine.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel reduction of per-worker stats).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; provides exact quantiles. Used where the sample count
+/// is small (NIC sampling runs, bench repetitions).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double median() { return percentile(50.0); }
+  /// Exact percentile by linear interpolation between closest ranks.
+  double percentile(double p);
+  double min() { return percentile(0.0); }
+  double max() { return percentile(100.0); }
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace rails

@@ -1,0 +1,73 @@
+// Core scalar types and unit helpers shared by every rails module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rails {
+
+/// Virtual time in nanoseconds. All fabric simulation, sampling profiles and
+/// strategy predictions are expressed on this clock so that experiment
+/// results are deterministic and independent of the host machine.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of time points.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+/// Identifies one logical core of a (simulated or real) machine.
+using CoreId = std::uint32_t;
+
+/// Identifies one rail (NIC index) of a node. Rail i of node A is wired to
+/// rail i of every peer, mirroring a multirail cluster where each node has
+/// one NIC per physical network.
+using RailId = std::uint32_t;
+
+/// Identifies a node (process/host) of the virtual cluster.
+using NodeId = std::uint32_t;
+
+/// Message tag, as exposed by the application-level API.
+using Tag = std::uint64_t;
+
+// -- byte-size literals ------------------------------------------------------
+
+inline constexpr std::size_t operator""_KiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024u;
+}
+inline constexpr std::size_t operator""_MiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024u * 1024u;
+}
+
+// -- time literals (virtual nanoseconds) -------------------------------------
+
+inline constexpr SimDuration operator""_ns(unsigned long long v) {
+  return static_cast<SimDuration>(v);
+}
+inline constexpr SimDuration operator""_us(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 1000;
+}
+inline constexpr SimDuration operator""_ms(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 1000 * 1000;
+}
+
+/// Converts a floating-point microsecond count to the virtual clock.
+constexpr SimDuration usec(double us) {
+  return static_cast<SimDuration>(us * 1e3);
+}
+
+/// Converts virtual nanoseconds to floating-point microseconds.
+constexpr double to_usec(SimDuration ns) { return static_cast<double>(ns) / 1e3; }
+
+/// Bandwidth helper: duration of `bytes` at `mbps` (1 MB/s == 1e6 byte/s, the
+/// convention used by the paper's MB/s figures).
+constexpr SimDuration wire_time(std::size_t bytes, double mbps) {
+  return static_cast<SimDuration>(static_cast<double>(bytes) / mbps * 1e3);
+}
+
+/// Achieved bandwidth in MB/s for `bytes` transferred in `ns` virtual time.
+constexpr double mbps(std::size_t bytes, SimDuration ns) {
+  return ns <= 0 ? 0.0 : static_cast<double>(bytes) * 1e3 / static_cast<double>(ns);
+}
+
+}  // namespace rails

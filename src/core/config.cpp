@@ -1,0 +1,158 @@
+#include "core/config.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "fabric/presets.hpp"
+
+namespace rails::core {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  std::fprintf(stderr, "cluster config error at line %d: %s\n", line, what.c_str());
+  RAILS_CHECK_MSG(false, "malformed cluster config");
+  std::abort();
+}
+
+fabric::NetworkModelParams preset_by_name(const std::string& name, int line) {
+  if (name == "myri10g") return fabric::myri10g();
+  if (name == "qsnet2") return fabric::qsnet2();
+  if (name == "ib-ddr") return fabric::ib_ddr();
+  if (name == "gige-tcp") return fabric::gige_tcp();
+  if (name == "myri2000") return fabric::myri2000();
+  fail(line, "unknown rail preset '" + name + "'");
+}
+
+/// Parses "key=value" tokens into a map.
+std::map<std::string, std::string> parse_kv(std::istringstream& ls, int line) {
+  std::map<std::string, std::string> kv;
+  std::string token;
+  while (ls >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) fail(line, "expected key=value, got '" + token + "'");
+    kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return kv;
+}
+
+fabric::NetworkModelParams custom_rail(std::istringstream& ls, int line) {
+  fabric::NetworkModelParams p;
+  for (const auto& [key, value] : parse_kv(ls, line)) {
+    if (key == "name") p.name = value;
+    else if (key == "post_us") p.post_us = std::stod(value);
+    else if (key == "wire_latency_us") p.wire_latency_us = std::stod(value);
+    else if (key == "pio_bw") p.pio_bw_mbps = std::stod(value);
+    else if (key == "pio_bw_large") p.pio_bw_large_mbps = std::stod(value);
+    else if (key == "pio_cache_limit") p.pio_cache_limit = std::stoul(value);
+    else if (key == "mtu") p.mtu = std::stoul(value);
+    else if (key == "per_packet_us") p.per_packet_us = std::stod(value);
+    else if (key == "max_eager") p.max_eager = std::stoul(value);
+    else if (key == "rdv_handshake_us") p.rdv_handshake_us = std::stod(value);
+    else if (key == "dma_setup_us") p.dma_setup_us = std::stod(value);
+    else if (key == "dma_bw") p.dma_bw_mbps = std::stod(value);
+    else if (key == "gather_scatter") p.gather_scatter = value != "0";
+    else if (key == "rdma") p.rdma = value != "0";
+    else fail(line, "unknown rail parameter '" + key + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+WorldConfig parse_world_config(std::istream& is) {
+  WorldConfig cfg;
+  cfg.fabric.rails.clear();
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank/comment line
+
+    if (directive == "nodes") {
+      if (!(ls >> cfg.fabric.node_count) || cfg.fabric.node_count < 1) {
+        fail(lineno, "nodes needs a positive integer");
+      }
+    } else if (directive == "topology") {
+      std::string spec;
+      ls >> spec;
+      const auto x = spec.find('x');
+      if (x == std::string::npos) fail(lineno, "topology needs SOCKETSxCORES");
+      cfg.fabric.topology.sockets = std::stoul(spec.substr(0, x));
+      cfg.fabric.topology.cores_per_socket = std::stoul(spec.substr(x + 1));
+      if (cfg.fabric.topology.core_count() == 0) fail(lineno, "empty topology");
+    } else if (directive == "strategy") {
+      if (!(ls >> cfg.strategy)) fail(lineno, "strategy needs a name");
+    } else if (directive == "rdv_threshold") {
+      ls >> cfg.engine.rdv_threshold_override;
+    } else if (directive == "offload_signal_us") {
+      double us = 0;
+      ls >> us;
+      cfg.engine.offload.signal_cost = usec(us);
+    } else if (directive == "offload_preempt_us") {
+      double us = 0;
+      ls >> us;
+      cfg.engine.offload.preempt_cost = usec(us);
+    } else if (directive == "offload_min_split") {
+      ls >> cfg.engine.offload.min_split_size;
+    } else if (directive == "sampler_max_size") {
+      ls >> cfg.sampler.max_size;
+    } else if (directive == "rail") {
+      std::string kind;
+      ls >> kind;
+      if (kind == "preset") {
+        std::string name;
+        if (!(ls >> name)) fail(lineno, "rail preset needs a name");
+        cfg.fabric.rails.push_back(preset_by_name(name, lineno));
+      } else if (kind == "custom") {
+        cfg.fabric.rails.push_back(custom_rail(ls, lineno));
+      } else {
+        fail(lineno, "rail needs 'preset <name>' or 'custom k=v ...'");
+      }
+    } else {
+      fail(lineno, "unknown directive '" + directive + "'");
+    }
+  }
+  if (cfg.fabric.rails.empty()) fail(lineno, "config declares no rails");
+  return cfg;
+}
+
+WorldConfig load_world_config(const std::string& path) {
+  std::ifstream is(path);
+  RAILS_CHECK_MSG(is.good(), "cannot open cluster config file");
+  return parse_world_config(is);
+}
+
+void save_world_config(const WorldConfig& cfg, std::ostream& os) {
+  os << "# rails cluster config\n";
+  os << "nodes " << cfg.fabric.node_count << "\n";
+  os << "topology " << cfg.fabric.topology.sockets << "x"
+     << cfg.fabric.topology.cores_per_socket << "\n";
+  os << "strategy " << cfg.strategy << "\n";
+  if (cfg.engine.rdv_threshold_override != 0) {
+    os << "rdv_threshold " << cfg.engine.rdv_threshold_override << "\n";
+  }
+  os << "offload_signal_us " << to_usec(cfg.engine.offload.signal_cost) << "\n";
+  os << "offload_preempt_us " << to_usec(cfg.engine.offload.preempt_cost) << "\n";
+  os << "offload_min_split " << cfg.engine.offload.min_split_size << "\n";
+  os << "sampler_max_size " << cfg.sampler.max_size << "\n";
+  for (const auto& r : cfg.fabric.rails) {
+    os << "rail custom name=" << r.name << " post_us=" << r.post_us
+       << " wire_latency_us=" << r.wire_latency_us << " pio_bw=" << r.pio_bw_mbps
+       << " pio_bw_large=" << r.pio_bw_large_mbps
+       << " pio_cache_limit=" << r.pio_cache_limit << " mtu=" << r.mtu
+       << " per_packet_us=" << r.per_packet_us << " max_eager=" << r.max_eager
+       << " rdv_handshake_us=" << r.rdv_handshake_us << " dma_setup_us=" << r.dma_setup_us
+       << " dma_bw=" << r.dma_bw_mbps << " gather_scatter=" << (r.gather_scatter ? 1 : 0)
+       << " rdma=" << (r.rdma ? 1 : 0) << "\n";
+  }
+}
+
+}  // namespace rails::core

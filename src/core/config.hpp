@@ -1,0 +1,35 @@
+// Textual cluster description files.
+//
+// A deployment describes its machine room once — node count, topology,
+// rails (by preset name or by explicit parameters), strategy, engine
+// tunables — and every tool in this repository can load it. Format: one
+// directive per line, '#' comments.
+//
+//   nodes 4
+//   topology 2x2
+//   strategy hetero-split
+//   offload_signal_us 3.0
+//   rail preset myri10g
+//   rail custom name=slow dma_bw=200 wire_latency_us=20 ...
+//
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/world.hpp"
+
+namespace rails::core {
+
+/// Parses a cluster description. Aborts (RAILS_CHECK) on malformed input
+/// with the offending line number in the message.
+WorldConfig parse_world_config(std::istream& is);
+
+/// Loads a description from a file.
+WorldConfig load_world_config(const std::string& path);
+
+/// Serialises a config back to the textual format (round-trips through
+/// parse_world_config).
+void save_world_config(const WorldConfig& config, std::ostream& os);
+
+}  // namespace rails::core

@@ -1,0 +1,542 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace rails::core {
+
+RailId Strategy::control_rail(const StrategyContext& ctx) const {
+  // Default policy: the rail whose zero-byte eager message completes first,
+  // busy offsets included — typically the lowest-latency idle rail.
+  RailId best = 0;
+  SimTime best_done = kSimTimeNever;
+  for (RailId r = 0; r < ctx.rail_count(); ++r) {
+    const sampling::RailState state{r, ctx.rail_busy_until(r)};
+    const SimTime done =
+        ctx.estimator->completion(state, ctx.now, 0, fabric::Protocol::kEager);
+    if (done < best_done) {
+      best_done = done;
+      best = r;
+    }
+  }
+  return best;
+}
+
+Engine::Engine(fabric::Fabric* fabric, NodeId self, const sampling::Estimator* estimator,
+               EngineConfig config)
+    : fabric_(fabric), self_(self), estimator_(estimator), config_(config) {
+  RAILS_CHECK(fabric_ != nullptr && estimator_ != nullptr);
+  RAILS_CHECK_MSG(estimator_->rail_count() == fabric_->rail_count(),
+                  "estimator and fabric disagree on the rail count");
+  nics_.reserve(fabric_->rail_count());
+  for (RailId r = 0; r < fabric_->rail_count(); ++r) nics_.push_back(&fabric_->nic(self_, r));
+  rdv_threshold_ = config_.rdv_threshold_override != 0 ? config_.rdv_threshold_override
+                                                       : estimator_->engine_rdv_threshold();
+  stats_.payload_bytes_per_rail.assign(fabric_->rail_count(), 0);
+  fabric_->set_rx_handler(self_, [this](fabric::Segment&& seg) { on_segment(std::move(seg)); });
+}
+
+void Engine::set_strategy(std::unique_ptr<Strategy> strategy) {
+  RAILS_CHECK(strategy != nullptr);
+  strategy_ = std::move(strategy);
+}
+
+Strategy& Engine::strategy() {
+  RAILS_CHECK_MSG(strategy_ != nullptr, "no strategy installed");
+  return *strategy_;
+}
+
+void Engine::trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag,
+                         RailId rail, CoreId core, std::size_t bytes, SimTime time,
+                         SimTime nic_end) {
+  if (tracer_ == nullptr) return;
+  trace::TraceEvent event;
+  event.time = time;
+  event.node = self_;
+  event.kind = kind;
+  event.msg_id = msg_id;
+  event.tag = tag;
+  event.rail = rail;
+  event.core = core;
+  event.bytes = bytes;
+  event.nic_end = nic_end;
+  tracer_->record(event);
+}
+
+void Engine::reset_stats() {
+  stats_ = EngineStats{};
+  stats_.payload_bytes_per_rail.assign(fabric_->rail_count(), 0);
+}
+
+StrategyContext Engine::make_context() {
+  StrategyContext ctx;
+  ctx.now = fabric_->now();
+  ctx.estimator = estimator_;
+  ctx.nics = std::span<fabric::SimNic* const>(nics_.data(), nics_.size());
+  ctx.cores = &fabric_->cores(self_);
+  ctx.config = &config_;
+  return ctx;
+}
+
+SendHandle Engine::isend(NodeId dst, Tag tag, const void* data, std::size_t len) {
+  RAILS_CHECK_MSG(dst != self_, "self-sends are not routed through the fabric");
+  auto send = std::make_shared<SendRequest>();
+  send->id = next_msg_id_++;
+  send->dst = dst;
+  send->tag = tag;
+  send->data = static_cast<const std::uint8_t*>(data);
+  send->len = len;
+  send->submit_time = fabric_->now();
+  ++stats_.sends;
+  trace_event(trace::EventKind::kSubmit, send->id, tag, 0, 0, len, send->submit_time);
+
+  if (len > rdv_threshold_) {
+    send->rendezvous = true;
+    ++stats_.rdv_msgs;
+    start_rendezvous(send);
+  } else {
+    ++stats_.eager_msgs;
+    pending_eager_.push_back(send);
+    // The application returns immediately; the scheduler runs as a separate
+    // activation at the same virtual instant. Deferring to an event lets a
+    // burst of submissions issued back-to-back land in the pack list before
+    // the strategy is interrogated — this is what makes aggregation see the
+    // whole burst, exactly like NewMadeleine's pack list.
+    arm_progress(fabric_->now());
+  }
+  return send;
+}
+
+SendHandle Engine::isendv(NodeId dst, Tag tag, std::span<const IoSlice> slices) {
+  std::size_t total = 0;
+  for (const IoSlice& s : slices) total += s.len;
+
+  // With gather/scatter on every rail the NICs can walk the iovec during
+  // injection; without it the message must be contiguous first, and that
+  // memcpy costs real core time (charged before the send is even queued).
+  bool all_gather = true;
+  for (const auto* nic : nics_) {
+    all_gather = all_gather && nic->model().params().gather_scatter;
+  }
+
+  std::vector<std::uint8_t> staging;
+  staging.reserve(total);
+  for (const IoSlice& s : slices) {
+    const auto* bytes = static_cast<const std::uint8_t*>(s.data);
+    staging.insert(staging.end(), bytes, bytes + s.len);
+  }
+  if (!all_gather && total > 0) {
+    fabric::SimCores& cores = fabric_->cores(self_);
+    cores.occupy(config_.scheduler_core, fabric_->now(),
+                 wire_time(total, config_.host_copy_mbps));
+  }
+
+  SendHandle send = isend(dst, tag, staging.data(), total);
+  send->staging = std::move(staging);
+  send->data = send->staging.data();
+  return send;
+}
+
+RecvHandle Engine::irecv(NodeId src, Tag tag, void* data, std::size_t capacity) {
+  auto recv = std::make_shared<RecvRequest>();
+  recv->id = next_msg_id_++;
+  recv->src = src;
+  recv->tag = tag;
+  recv->data = static_cast<std::uint8_t*>(data);
+  recv->capacity = capacity;
+  recv->post_time = fabric_->now();
+  ++stats_.recvs;
+  trace_event(trace::EventKind::kRecvPosted, recv->id, tag, 0, 0, capacity,
+              recv->post_time);
+
+  // Unexpected eager data first (FIFO by message id within the source).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (src != kAnySource && it->first.first != src) continue;
+    if (tag != kAnyTag && it->second.tag != tag) continue;
+    UnexpectedEager& u = it->second;
+    RAILS_CHECK_MSG(u.total <= capacity, "posted receive buffer too small");
+    recv->state = RecvState::kMatched;
+    recv->src = it->first.first;
+    recv->tag = u.tag;
+    recv->matched_msg = it->first.second;
+    recv->expected = u.total;
+    recv->bytes_received = u.received;
+    if (u.received > 0) std::memcpy(recv->data, u.buffer.data(), u.buffer.size());
+    const bool complete = u.received == u.total;
+    if (complete) {
+      unexpected_.erase(it);
+      complete_recv(recv);
+    } else {
+      // Key by the *actual* source (recv->src is bound above) — `src` may
+      // be the kAnySource wildcard.
+      bound_recvs_[{recv->src, recv->matched_msg}] = recv;
+      unexpected_.erase(it);
+    }
+    return recv;
+  }
+
+  // Then unexpected rendezvous requests (FIFO by arrival).
+  for (auto it = unexpected_rts_.begin(); it != unexpected_rts_.end(); ++it) {
+    if (src != kAnySource && it->src != src) continue;
+    if (tag != kAnyTag && it->tag != tag) continue;
+    RAILS_CHECK_MSG(it->total <= capacity, "posted receive buffer too small");
+    recv->state = RecvState::kMatched;
+    recv->src = it->src;
+    recv->tag = it->tag;
+    recv->matched_msg = it->msg_id;
+    recv->expected = it->total;
+    const NodeId actual_src = it->src;  // `src` may be the wildcard
+    inbound_rdv_[{actual_src, it->msg_id}] = InboundRdv{recv, actual_src};
+    const std::uint64_t msg_id = it->msg_id;
+    unexpected_rts_.erase(it);
+    accept_rendezvous(actual_src, msg_id);
+    return recv;
+  }
+
+  posted_recvs_.push_back(recv);
+  return recv;
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+void Engine::progress() {
+  if (pending_eager_.empty()) return;
+  RAILS_CHECK_MSG(strategy_ != nullptr, "traffic submitted before a strategy was installed");
+
+  // Interrogate the strategy once per destination group, preserving the
+  // submission order within each group.
+  std::vector<NodeId> dsts;
+  for (const auto& s : pending_eager_) {
+    if (std::find(dsts.begin(), dsts.end(), s->dst) == dsts.end()) dsts.push_back(s->dst);
+  }
+
+  for (NodeId dst : dsts) {
+    std::vector<const SendRequest*> group;
+    for (const auto& s : pending_eager_) {
+      if (s->dst == dst) group.push_back(s.get());
+    }
+    const StrategyContext ctx = make_context();
+    EagerSchedule schedule =
+        strategy_->plan_eager(ctx, std::span<const SendRequest* const>(group));
+    for (const EagerEmission& emission : schedule.emissions) post_emission(emission);
+  }
+
+  // Drop fully posted sends from the pack list.
+  std::erase_if(pending_eager_, [](const SendHandle& s) {
+    RAILS_CHECK_MSG(s->bytes_posted == 0 || s->bytes_posted == s->len,
+                    "strategy left a send partially posted");
+    return s->bytes_posted == s->len;
+  });
+
+  if (!pending_eager_.empty()) schedule_retry();
+}
+
+void Engine::schedule_retry() {
+  // Re-interrogate when the earliest NIC frees up ("the packet scheduler is
+  // only activated when a NIC becomes idle in order to feed it").
+  SimTime when = kSimTimeNever;
+  for (const auto* nic : nics_) when = std::min(when, nic->busy_until());
+  arm_progress(std::max(when, fabric_->now() + 1));
+}
+
+void Engine::arm_progress(SimTime when) {
+  if (retry_armed_) return;
+  retry_armed_ = true;
+  fabric_->events().at(when, [this] {
+    retry_armed_ = false;
+    progress();
+  });
+}
+
+fabric::SimNic::PostTimes Engine::post_segment(RailId rail, fabric::Segment seg, CoreId core,
+                                               SimDuration extra_delay) {
+  fabric::SimCores& cores = fabric_->cores(self_);
+  const SimTime earliest =
+      std::max(fabric_->now() + extra_delay, cores.busy_until(core));
+  seg.src = self_;
+  seg.rail = rail;
+  const std::size_t payload = seg.payload.size();
+  const auto times = nics_[rail]->post(std::move(seg), earliest);
+  cores.occupy(core, times.host_start, times.host_end - times.host_start);
+  stats_.payload_bytes_per_rail[rail] += payload;
+  return times;
+}
+
+void Engine::post_emission(const EagerEmission& emission) {
+  RAILS_CHECK(!emission.pieces.empty());
+  RAILS_CHECK(emission.rail < nics_.size());
+
+  fabric::Segment seg;
+  seg.kind = fabric::SegKind::kEager;
+  seg.dst = emission.pieces.front().send->dst;
+  seg.msg_id = emission.pieces.front().send->id;
+  seg.tag = emission.pieces.front().send->tag;
+  const Tag seg_tag = seg.tag;
+
+  for (const EagerPiece& piece : emission.pieces) {
+    RAILS_CHECK(piece.send != nullptr && piece.send->dst == seg.dst);
+    RAILS_CHECK(piece.offset + piece.len <= piece.send->len);
+    SubPacket sp;
+    sp.msg_id = piece.send->id;
+    sp.tag = piece.send->tag;
+    sp.msg_total = piece.send->len;
+    sp.offset = piece.offset;
+    sp.bytes = piece.send->data != nullptr ? piece.send->data + piece.offset : nullptr;
+    sp.len = static_cast<std::uint32_t>(piece.len);
+    append_subpacket(seg.payload, sp);
+  }
+  RAILS_CHECK_MSG(seg.payload.size() <= nics_[emission.rail]->model().params().max_eager,
+                  "eager emission exceeds the rail's segment cap");
+
+  // Offloaded emissions start after the TO signalling delay on the remote
+  // core; local emissions submit from the scheduler core immediately.
+  CoreId core = config_.scheduler_core;
+  SimDuration delay = 0;
+  if (emission.offload_core) {
+    core = *emission.offload_core;
+    const bool idle = fabric_->cores(self_).idle(core, fabric_->now());
+    delay = idle ? config_.offload.signal_cost : config_.offload.preempt_cost;
+    ++stats_.offloaded_chunks;
+  }
+  const auto times = post_segment(emission.rail, std::move(seg), core, delay);
+  if (emission.offload_core) {
+    trace_event(trace::EventKind::kOffloadSignal, emission.pieces.front().send->id,
+                seg_tag, emission.rail, core, 0, fabric_->now());
+  }
+  for (const EagerPiece& piece : emission.pieces) {
+    trace_event(trace::EventKind::kEagerEmit, piece.send->id, piece.send->tag,
+                emission.rail, core, piece.len, times.host_start, times.nic_end);
+  }
+
+  ++stats_.eager_segments;
+  if (emission.pieces.size() > 1) stats_.aggregated_packets += emission.pieces.size();
+
+  // Account posted bytes and complete sends whose last piece this was.
+  for (const EagerPiece& piece : emission.pieces) {
+    auto* send = const_cast<SendRequest*>(piece.send);
+    send->bytes_posted += piece.len;
+    ++send->chunk_count;
+    if (emission.offload_core) ++send->offloaded_chunks;
+    if (send->bytes_posted == send->len) {
+      send->state = SendState::kDone;
+      send->complete_time = times.host_end;
+      if (send->chunk_count > 1) ++stats_.split_eager_msgs;
+      trace_event(trace::EventKind::kSendComplete, send->id, send->tag, emission.rail,
+                  0, send->len, send->complete_time);
+    }
+  }
+}
+
+void Engine::start_rendezvous(const SendHandle& send) {
+  const StrategyContext ctx = make_context();
+  const RailId rail = strategy_ != nullptr ? strategy_->control_rail(ctx) : 0;
+  fabric::Segment rts;
+  rts.kind = fabric::SegKind::kRts;
+  rts.dst = send->dst;
+  rts.msg_id = send->id;
+  rts.tag = send->tag;
+  rts.total_len = send->len;
+  post_segment(rail, std::move(rts), config_.scheduler_core);
+  trace_event(trace::EventKind::kRtsSent, send->id, send->tag, rail, 0, send->len,
+              fabric_->now());
+  send->state = SendState::kRtsSent;
+  rdv_sends_[send->id] = send;
+}
+
+void Engine::handle_cts(const fabric::Segment& seg) {
+  auto it = rdv_sends_.find(seg.msg_id);
+  RAILS_CHECK_MSG(it != rdv_sends_.end(), "CTS for an unknown rendezvous send");
+  SendRequest& send = *it->second;
+  RAILS_CHECK(send.state == SendState::kRtsSent);
+  send.state = SendState::kStreaming;
+  stream_chunks(send);
+}
+
+void Engine::stream_chunks(SendRequest& send) {
+  // "when a rendezvous request has just been received" — the strategy is
+  // interrogated with the live NIC states to lay out the DMA chunks.
+  const StrategyContext ctx = make_context();
+  const strategy::SplitResult split = strategy_->plan_rendezvous(ctx, send.len);
+  RAILS_CHECK(!split.chunks.empty());
+
+  std::size_t covered = 0;
+  for (const strategy::Chunk& chunk : split.chunks) covered += chunk.bytes;
+  RAILS_CHECK_MSG(covered == send.len, "rendezvous plan does not tile the message");
+
+  send.chunk_count = static_cast<unsigned>(split.chunks.size());
+  for (const strategy::Chunk& chunk : split.chunks) {
+    fabric::Segment data;
+    data.kind = fabric::SegKind::kData;
+    data.dst = send.dst;
+    data.msg_id = send.id;
+    data.tag = send.tag;
+    data.offset = chunk.offset;
+    data.total_len = send.len;
+    data.payload.assign(send.data + chunk.offset, send.data + chunk.offset + chunk.bytes);
+    const auto times = post_segment(chunk.rail, std::move(data), config_.scheduler_core);
+    trace_event(trace::EventKind::kChunkPosted, send.id, send.tag, chunk.rail,
+                config_.scheduler_core, chunk.bytes, times.host_start, times.nic_end);
+    ++stats_.rdv_chunks;
+    send.bytes_posted += chunk.bytes;
+  }
+}
+
+void Engine::handle_fin(const fabric::Segment& seg) {
+  auto it = rdv_sends_.find(seg.msg_id);
+  RAILS_CHECK_MSG(it != rdv_sends_.end(), "FIN for an unknown rendezvous send");
+  SendRequest& send = *it->second;
+  RAILS_CHECK(send.state == SendState::kStreaming);
+  send.state = SendState::kDone;
+  send.complete_time = fabric_->now();
+  trace_event(trace::EventKind::kSendComplete, send.id, send.tag, 0, 0, send.len,
+              send.complete_time);
+  rdv_sends_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Engine::on_segment(fabric::Segment&& seg) {
+  switch (seg.kind) {
+    case fabric::SegKind::kEager: handle_eager(seg); break;
+    case fabric::SegKind::kRts: handle_rts(seg); break;
+    case fabric::SegKind::kCts: handle_cts(seg); break;
+    case fabric::SegKind::kData: handle_data(seg); break;
+    case fabric::SegKind::kFin: handle_fin(seg); break;
+  }
+}
+
+namespace {
+
+bool recv_matches(const RecvRequest& recv, NodeId src, Tag tag) {
+  const bool src_ok = recv.src == kAnySource || recv.src == src;
+  const bool tag_ok = recv.tag == kAnyTag || recv.tag == tag;
+  return src_ok && tag_ok;
+}
+
+}  // namespace
+
+RecvHandle Engine::match_posted(NodeId src, Tag tag) {
+  // FIFO across all posted receives; wildcards match like MPI's.
+  for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
+    if (recv_matches(**it, src, tag)) {
+      RecvHandle recv = *it;
+      posted_recvs_.erase(it);
+      // Bind the wildcard fields to the actual message.
+      recv->src = src;
+      recv->tag = tag;
+      return recv;
+    }
+  }
+  return nullptr;
+}
+
+void Engine::handle_eager(const fabric::Segment& seg) {
+  for (const SubPacket& sp : parse_subpackets(seg.payload)) deliver_fragment(sp, seg.src);
+}
+
+void Engine::deliver_fragment(const SubPacket& sp, NodeId src) {
+  const MsgKey key{src, sp.msg_id};
+
+  // Fragment of an already-bound receive?
+  if (auto it = bound_recvs_.find(key); it != bound_recvs_.end()) {
+    RecvHandle recv = it->second;
+    RAILS_CHECK(sp.offset + sp.len <= recv->expected);
+    if (sp.len > 0) std::memcpy(recv->data + sp.offset, sp.bytes, sp.len);
+    recv->bytes_received += sp.len;
+    if (recv->bytes_received == recv->expected) {
+      bound_recvs_.erase(it);
+      complete_recv(recv);
+    }
+    return;
+  }
+
+  // First fragment of a new message: try to bind a posted receive.
+  if (RecvHandle recv = match_posted(src, sp.tag)) {
+    RAILS_CHECK_MSG(sp.msg_total <= recv->capacity, "posted receive buffer too small");
+    recv->state = RecvState::kMatched;
+    recv->matched_msg = sp.msg_id;
+    recv->expected = sp.msg_total;
+    if (sp.len > 0) std::memcpy(recv->data + sp.offset, sp.bytes, sp.len);
+    recv->bytes_received = sp.len;
+    if (recv->bytes_received == recv->expected) {
+      complete_recv(recv);
+    } else {
+      bound_recvs_[key] = recv;
+    }
+    return;
+  }
+
+  // Unexpected: buffer until a matching receive is posted.
+  UnexpectedEager& u = unexpected_[key];
+  if (u.buffer.empty() && u.total == 0) {
+    u.tag = sp.tag;
+    u.total = sp.msg_total;
+    u.buffer.assign(sp.msg_total, 0);
+  }
+  RAILS_CHECK(sp.offset + sp.len <= u.total);
+  if (sp.len > 0) std::memcpy(u.buffer.data() + sp.offset, sp.bytes, sp.len);
+  u.received += sp.len;
+}
+
+void Engine::handle_rts(const fabric::Segment& seg) {
+  if (RecvHandle recv = match_posted(seg.src, seg.tag)) {
+    RAILS_CHECK_MSG(seg.total_len <= recv->capacity, "posted receive buffer too small");
+    recv->state = RecvState::kMatched;
+    recv->matched_msg = seg.msg_id;
+    recv->expected = seg.total_len;
+    inbound_rdv_[{seg.src, seg.msg_id}] = InboundRdv{recv, seg.src};
+    accept_rendezvous(seg.src, seg.msg_id);
+    return;
+  }
+  unexpected_rts_.push_back(UnexpectedRts{seg.src, seg.msg_id, seg.tag, seg.total_len});
+}
+
+void Engine::accept_rendezvous(NodeId src, std::uint64_t msg_id) {
+  const StrategyContext ctx = make_context();
+  const RailId rail = strategy_ != nullptr ? strategy_->control_rail(ctx) : 0;
+  fabric::Segment cts;
+  cts.kind = fabric::SegKind::kCts;
+  cts.dst = src;
+  cts.msg_id = msg_id;
+  post_segment(rail, std::move(cts), config_.scheduler_core);
+  trace_event(trace::EventKind::kCtsSent, msg_id, 0, rail, 0, 0, fabric_->now());
+}
+
+void Engine::handle_data(const fabric::Segment& seg) {
+  auto it = inbound_rdv_.find({seg.src, seg.msg_id});
+  RAILS_CHECK_MSG(it != inbound_rdv_.end(), "DATA chunk for an unknown rendezvous");
+  RecvHandle recv = it->second.recv;
+  RAILS_CHECK(seg.offset + seg.payload.size() <= recv->expected);
+  std::memcpy(recv->data + seg.offset, seg.payload.data(), seg.payload.size());
+  recv->bytes_received += seg.payload.size();
+  if (recv->bytes_received == recv->expected) {
+    const NodeId src = it->second.src;
+    const std::uint64_t msg_id = seg.msg_id;
+    inbound_rdv_.erase(it);
+    // Completion notification back to the sender.
+    const StrategyContext ctx = make_context();
+    const RailId rail = strategy_ != nullptr ? strategy_->control_rail(ctx) : 0;
+    fabric::Segment fin;
+    fin.kind = fabric::SegKind::kFin;
+    fin.dst = src;
+    fin.msg_id = msg_id;
+    post_segment(rail, std::move(fin), config_.scheduler_core);
+    complete_recv(recv);
+  }
+}
+
+void Engine::complete_recv(const RecvHandle& recv) {
+  recv->state = RecvState::kDone;
+  recv->complete_time = fabric_->now();
+  trace_event(trace::EventKind::kRecvComplete, recv->id, recv->tag, 0, 0,
+              recv->bytes_received, recv->complete_time);
+}
+
+}  // namespace rails::core

@@ -1,0 +1,167 @@
+// The communication engine (NewMadeleine analogue).
+//
+// Three-layer architecture per Fig. 5:
+//  * application layer — isend()/irecv() enqueue requests into the pack list
+//    and return immediately ("the application enqueues packets into a list
+//    and immediately returns to computing");
+//  * optimizer layer — a pluggable Strategy interrogated when eager packets
+//    await emission, when a NIC becomes idle, and when a rendezvous
+//    acknowledgement arrives;
+//  * transfer layer — posts segments on the node's SimNics, charging the
+//    submitting core for the PIO/setup host time.
+//
+// One Engine instance runs per node of the virtual cluster; all instances
+// share the fabric's event queue, so "waiting" for a request means running
+// fabric events until the request completes (see World).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/strategy_iface.hpp"
+#include "core/wire_format.hpp"
+#include "fabric/fabric.hpp"
+#include "trace/tracer.hpp"
+
+namespace rails::core {
+
+struct EngineStats {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t eager_msgs = 0;
+  std::uint64_t rdv_msgs = 0;
+  std::uint64_t eager_segments = 0;      ///< eager segments posted
+  std::uint64_t aggregated_packets = 0;  ///< sub-packets that shared a segment
+  std::uint64_t split_eager_msgs = 0;    ///< eager messages split across rails
+  std::uint64_t offloaded_chunks = 0;    ///< eager chunks submitted remotely
+  std::uint64_t rdv_chunks = 0;          ///< DMA chunks posted
+  std::vector<std::uint64_t> payload_bytes_per_rail;
+};
+
+class Engine {
+ public:
+  Engine(fabric::Fabric* fabric, NodeId self, const sampling::Estimator* estimator,
+         EngineConfig config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Installs the optimization strategy plug-in. Must be called before any
+  /// traffic; may be swapped while the engine is quiescent.
+  void set_strategy(std::unique_ptr<Strategy> strategy);
+  Strategy& strategy();
+
+  NodeId self() const { return self_; }
+  const EngineConfig& config() const { return config_; }
+  const sampling::Estimator& estimator() const { return *estimator_; }
+
+  /// Message size at which sends switch to the rendezvous protocol.
+  std::size_t rdv_threshold() const { return rdv_threshold_; }
+
+  /// Non-blocking send. The data buffer must stay alive until completion.
+  SendHandle isend(NodeId dst, Tag tag, const void* data, std::size_t len);
+
+  /// One piece of a gathered (iovec) send.
+  struct IoSlice {
+    const void* data = nullptr;
+    std::size_t len = 0;
+  };
+
+  /// Non-blocking gathered send: the message is the concatenation of the
+  /// slices. When every rail advertises gather/scatter (§II-B: "the
+  /// availability of gather/scatter operations"), the NICs assemble the
+  /// iovec for free; otherwise the engine coalesces into a staging buffer
+  /// first, charging the scheduler core the memcpy time.
+  SendHandle isendv(NodeId dst, Tag tag, std::span<const IoSlice> slices);
+
+  /// Non-blocking receive from `src` with matching `tag`.
+  RecvHandle irecv(NodeId src, Tag tag, void* data, std::size_t capacity);
+
+  const EngineStats& stats() const { return stats_; }
+  void reset_stats();
+
+  /// Attaches an execution tracer (nullptr detaches). The tracer must
+  /// outlive the engine or be detached first.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Number of sends still sitting in the pack list (tests/diagnostics).
+  std::size_t pending_sends() const { return pending_eager_.size(); }
+
+ private:
+  using MsgKey = std::pair<NodeId, std::uint64_t>;  // (source node, msg id)
+
+  struct UnexpectedEager {
+    Tag tag = 0;
+    std::size_t total = 0;
+    std::size_t received = 0;
+    std::vector<std::uint8_t> buffer;
+  };
+
+  struct UnexpectedRts {
+    NodeId src = 0;
+    std::uint64_t msg_id = 0;
+    Tag tag = 0;
+    std::size_t total = 0;
+  };
+
+  struct InboundRdv {
+    RecvHandle recv;
+    NodeId src = 0;
+  };
+
+  StrategyContext make_context();
+  void on_segment(fabric::Segment&& seg);
+  void handle_eager(const fabric::Segment& seg);
+  void handle_rts(const fabric::Segment& seg);
+  void handle_cts(const fabric::Segment& seg);
+  void handle_data(const fabric::Segment& seg);
+  void handle_fin(const fabric::Segment& seg);
+
+  /// Interrogates the strategy for the queued eager sends and posts the
+  /// returned emissions. Re-armed at the next NIC-idle time when the
+  /// strategy defers.
+  void progress();
+  void schedule_retry();
+  void arm_progress(SimTime when);
+  void post_emission(const EagerEmission& emission);
+  void start_rendezvous(const SendHandle& send);
+  void accept_rendezvous(NodeId src, std::uint64_t msg_id);
+  void stream_chunks(SendRequest& send);
+
+  /// Posts one segment on `rail`; the submitting core is busy for the host
+  /// share of the post. `extra_delay` models offload signalling (TO).
+  fabric::SimNic::PostTimes post_segment(RailId rail, fabric::Segment seg,
+                                         CoreId core, SimDuration extra_delay = 0);
+
+  void deliver_fragment(const SubPacket& sp, NodeId src);
+  void complete_recv(const RecvHandle& recv);
+  RecvHandle match_posted(NodeId src, Tag tag);
+
+  void trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag, RailId rail,
+                   CoreId core, std::size_t bytes, SimTime time, SimTime nic_end = 0);
+
+  fabric::Fabric* fabric_;
+  NodeId self_;
+  const sampling::Estimator* estimator_;
+  EngineConfig config_;
+  std::unique_ptr<Strategy> strategy_;
+  std::vector<fabric::SimNic*> nics_;
+  std::size_t rdv_threshold_ = 0;
+  std::uint64_t next_msg_id_ = 1;
+  bool retry_armed_ = false;
+
+  std::vector<SendHandle> pending_eager_;          ///< the pack list
+  std::map<std::uint64_t, SendHandle> rdv_sends_;  ///< RTS sent, keyed by msg id
+  std::vector<RecvHandle> posted_recvs_;           ///< unmatched, FIFO
+  std::map<MsgKey, RecvHandle> bound_recvs_;       ///< matched eager receives
+  std::map<MsgKey, InboundRdv> inbound_rdv_;       ///< CTS sent, data flowing
+  std::map<MsgKey, UnexpectedEager> unexpected_;   ///< early eager fragments
+  std::vector<UnexpectedRts> unexpected_rts_;      ///< early RTS, FIFO
+
+  EngineStats stats_;
+  trace::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace rails::core

@@ -1,0 +1,79 @@
+// Send/receive request state, shared between the engine and the application.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rails::core {
+
+/// Wildcards for irecv matching (MPI_ANY_SOURCE / MPI_ANY_TAG analogues).
+inline constexpr NodeId kAnySource = ~NodeId{0};
+inline constexpr Tag kAnyTag = ~Tag{0};
+
+enum class SendState : std::uint8_t {
+  kQueued,    ///< in the pack list, waiting for the strategy
+  kRtsSent,   ///< rendezvous: waiting for the receiver's CTS
+  kStreaming, ///< rendezvous: DMA chunks in flight
+  kDone,
+};
+
+enum class RecvState : std::uint8_t {
+  kPosted,   ///< waiting for the first matching fragment / RTS
+  kMatched,  ///< bound to a message id; data flowing in
+  kDone,
+};
+
+struct SendRequest {
+  std::uint64_t id = 0;  ///< engine-unique message id (scoped to the source node)
+  NodeId dst = 0;
+  Tag tag = 0;
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+
+  /// For gathered (iovec) sends on rails without gather/scatter support:
+  /// the engine coalesces into this request-owned staging buffer and `data`
+  /// points at it.
+  std::vector<std::uint8_t> staging;
+
+  SendState state = SendState::kQueued;
+  bool rendezvous = false;
+  std::size_t bytes_posted = 0;
+
+  SimTime submit_time = 0;
+  SimTime complete_time = 0;
+
+  /// Number of chunks the message was split into (1 = not split).
+  unsigned chunk_count = 0;
+  /// Number of chunks submitted from a remote (offloaded) core.
+  unsigned offloaded_chunks = 0;
+
+  bool done() const { return state == SendState::kDone; }
+};
+
+struct RecvRequest {
+  std::uint64_t id = 0;
+  NodeId src = 0;
+  Tag tag = 0;
+  std::uint8_t* data = nullptr;
+  std::size_t capacity = 0;
+
+  RecvState state = RecvState::kPosted;
+  /// Message id this request got bound to on first fragment/RTS.
+  std::uint64_t matched_msg = 0;
+  std::size_t expected = std::numeric_limits<std::size_t>::max();
+  std::size_t bytes_received = 0;
+
+  SimTime post_time = 0;
+  SimTime complete_time = 0;
+
+  bool done() const { return state == RecvState::kDone; }
+};
+
+using SendHandle = std::shared_ptr<SendRequest>;
+using RecvHandle = std::shared_ptr<RecvRequest>;
+
+}  // namespace rails::core

@@ -1,0 +1,110 @@
+// Strategy plug-in interface (§III-B).
+//
+// "the features proposed in this article are mainly organized around the
+// implementation of a new NewMadeleine optimization strategy which actually
+// is a plug-in called to gather the data requests and interrogated by the
+// lower layer in order to know what to do at the appropriate time."
+//
+// The engine interrogates the strategy at the paper's three decision points:
+//  * plan_eager     — just before managing the emission of eager packets
+//                     (also re-invoked whenever a NIC becomes idle);
+//  * plan_rendezvous — when a rendezvous acknowledgement (CTS) arrives and
+//                     the bulk data must be scheduled across rails;
+//  * control_rail   — which rail carries a control segment.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fabric/nic.hpp"
+#include "fabric/sim_cores.hpp"
+#include "sampling/estimator.hpp"
+#include "strategy/offload_model.hpp"
+#include "strategy/split_solver.hpp"
+
+namespace rails::core {
+
+struct SendRequest;
+
+struct EngineConfig {
+  /// Core the packet scheduler (strategy) runs on.
+  CoreId scheduler_core = 0;
+  /// Multicore eager-offload parameters (TO etc.).
+  strategy::OffloadConfig offload;
+  /// Overrides the sampled eager/rendezvous threshold when non-zero.
+  std::size_t rdv_threshold_override = 0;
+  /// Host memcpy bandwidth charged when an iovec send must be coalesced
+  /// because some rail lacks gather/scatter support (MB/s).
+  double host_copy_mbps = 2500.0;
+};
+
+/// Everything a strategy may inspect when interrogated.
+struct StrategyContext {
+  SimTime now = 0;
+  const sampling::Estimator* estimator = nullptr;
+  std::span<fabric::SimNic* const> nics;  ///< this node's NICs, indexed by rail
+  fabric::SimCores* cores = nullptr;
+  const EngineConfig* config = nullptr;
+
+  std::uint32_t rail_count() const { return static_cast<std::uint32_t>(nics.size()); }
+  SimTime rail_busy_until(RailId rail) const { return nics[rail]->busy_until(); }
+  SimDuration rail_ready_offset(RailId rail) const {
+    const SimTime b = rail_busy_until(rail);
+    return b > now ? b - now : 0;
+  }
+};
+
+/// One piece of one application message inside an eager emission.
+struct EagerPiece {
+  const SendRequest* send = nullptr;
+  std::size_t offset = 0;
+  std::size_t len = 0;
+};
+
+/// One eager segment to post: possibly several aggregated pieces, possibly
+/// submitted from a remote core (offload_core set) at a TO signalling cost.
+struct EagerEmission {
+  RailId rail = 0;
+  std::optional<CoreId> offload_core;
+  std::vector<EagerPiece> pieces;
+
+  std::size_t payload_bytes() const {
+    std::size_t n = 0;
+    for (const auto& p : pieces) n += p.len;
+    return n;
+  }
+};
+
+/// Result of plan_eager: emissions to post now. Sends not referenced by any
+/// emission stay queued; the engine re-interrogates when a NIC frees up.
+struct EagerSchedule {
+  std::vector<EagerEmission> emissions;
+  bool empty() const { return emissions.empty(); }
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+
+  /// Plans emission of the queued eager sends (all to the same engine; the
+  /// engine groups by destination before interrogating).
+  virtual EagerSchedule plan_eager(const StrategyContext& ctx,
+                                   std::span<const SendRequest* const> pending) = 0;
+
+  /// Plans the DMA chunk layout for a rendezvous message of `len` bytes
+  /// (called when the CTS arrives).
+  virtual strategy::SplitResult plan_rendezvous(const StrategyContext& ctx,
+                                                std::size_t len) = 0;
+
+  /// Rail used for control segments (RTS/CTS/FIN). Default: the rail with
+  /// the lowest predicted completion for a zero-byte eager message.
+  virtual RailId control_rail(const StrategyContext& ctx) const;
+};
+
+}  // namespace rails::core

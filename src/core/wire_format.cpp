@@ -1,0 +1,67 @@
+#include "core/wire_format.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace rails::core {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void append_subpacket(std::vector<std::uint8_t>& out, const SubPacket& sp) {
+  out.reserve(out.size() + framed_size(sp.len));
+  put_u64(out, sp.msg_id);
+  put_u64(out, sp.tag);
+  put_u64(out, sp.msg_total);
+  put_u64(out, sp.offset);
+  put_u32(out, sp.len);
+  if (sp.len > 0) {
+    RAILS_CHECK(sp.bytes != nullptr);
+    out.insert(out.end(), sp.bytes, sp.bytes + sp.len);
+  }
+}
+
+std::vector<SubPacket> parse_subpackets(const std::vector<std::uint8_t>& payload) {
+  std::vector<SubPacket> out;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    RAILS_CHECK_MSG(pos + SubPacket::kHeaderBytes <= payload.size(),
+                    "truncated sub-packet header");
+    SubPacket sp;
+    sp.msg_id = get_u64(&payload[pos]);
+    sp.tag = get_u64(&payload[pos + 8]);
+    sp.msg_total = get_u64(&payload[pos + 16]);
+    sp.offset = get_u64(&payload[pos + 24]);
+    sp.len = get_u32(&payload[pos + 32]);
+    pos += SubPacket::kHeaderBytes;
+    RAILS_CHECK_MSG(pos + sp.len <= payload.size(), "truncated sub-packet body");
+    sp.bytes = sp.len > 0 ? &payload[pos] : nullptr;
+    pos += sp.len;
+    out.push_back(sp);
+  }
+  return out;
+}
+
+}  // namespace rails::core

@@ -1,0 +1,43 @@
+// Framing of eager segments.
+//
+// One eager segment may carry several application packets (aggregation,
+// Fig. 4b) and/or a fragment of a larger packet (multicore split, Fig. 7),
+// so the payload is a sequence of self-describing sub-packets:
+//
+//   [msg_id u64][tag u64][msg_total u64][offset u64][frag_len u32][bytes...]*
+//
+// Rendezvous control and DATA segments use the Segment header fields
+// directly and need no framing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rails::core {
+
+struct SubPacket {
+  std::uint64_t msg_id = 0;
+  Tag tag = 0;
+  std::uint64_t msg_total = 0;  ///< full length of the application message
+  std::uint64_t offset = 0;     ///< where this fragment starts in the message
+  const std::uint8_t* bytes = nullptr;
+  std::uint32_t len = 0;
+
+  static constexpr std::size_t kHeaderBytes = 8 * 4 + 4;
+};
+
+/// Appends one framed sub-packet to `out`.
+void append_subpacket(std::vector<std::uint8_t>& out, const SubPacket& sp);
+
+/// Parses every sub-packet of an eager payload. The returned views alias
+/// `payload`; consume them before the segment is destroyed.
+std::vector<SubPacket> parse_subpackets(const std::vector<std::uint8_t>& payload);
+
+/// Wire size one fragment of `len` bytes will occupy inside a segment.
+constexpr std::size_t framed_size(std::size_t len) {
+  return SubPacket::kHeaderBytes + len;
+}
+
+}  // namespace rails::core

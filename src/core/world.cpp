@@ -1,0 +1,115 @@
+#include "core/world.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "fabric/presets.hpp"
+
+namespace rails::core {
+
+World::World(WorldConfig config)
+    : config_(std::move(config)),
+      estimator_(config_.profile_override.empty()
+                     ? sampling::Estimator(
+                           sampling::sample_rails(config_.fabric.rails, config_.sampler))
+                     : sampling::Estimator(config_.profile_override)) {
+  RAILS_CHECK_MSG(config_.profile_override.empty() ||
+                      config_.profile_override.size() == config_.fabric.rails.size(),
+                  "profile override must cover every rail");
+  fabric_ = std::make_unique<fabric::Fabric>(config_.fabric);
+  engines_.reserve(fabric_->node_count());
+  for (NodeId n = 0; n < fabric_->node_count(); ++n) {
+    engines_.push_back(std::make_unique<Engine>(fabric_.get(), n, &estimator_,
+                                                config_.engine));
+  }
+  set_strategy(config_.strategy);
+}
+
+Engine& World::engine(NodeId node) {
+  RAILS_CHECK(node < engines_.size());
+  return *engines_[node];
+}
+
+void World::set_strategy(const std::string& name) {
+  for (auto& engine : engines_) engine->set_strategy(make_strategy(name));
+}
+
+SimTime World::wait(const SendHandle& send) {
+  fabric_->events().run_until([&] { return send->done(); });
+  RAILS_CHECK_MSG(send->done(), "send cannot complete: event queue drained");
+  return send->complete_time;
+}
+
+SimTime World::wait(const RecvHandle& recv) {
+  fabric_->events().run_until([&] { return recv->done(); });
+  RAILS_CHECK_MSG(recv->done(), "recv cannot complete: event queue drained");
+  return recv->complete_time;
+}
+
+SimDuration World::measure_one_way(std::size_t size) {
+  return measure_one_way_batch(size, 1);
+}
+
+SimDuration World::measure_one_way_batch(std::size_t size, unsigned count) {
+  RAILS_CHECK(count >= 1);
+  if (tx_buf_.size() < size) tx_buf_.assign(size, 0x5A);
+  if (rx_buf_.size() < size * count) rx_buf_.assign(size * count, 0);
+
+  // Quiesce: let any prior traffic drain so the NICs start idle.
+  fabric_->events().run_all();
+
+  std::vector<RecvHandle> recvs;
+  recvs.reserve(count);
+  const Tag tag = next_tag_++;
+  for (unsigned i = 0; i < count; ++i) {
+    recvs.push_back(engine(1).irecv(0, tag, rx_buf_.data() + i * size, size));
+  }
+  const SimTime start = fabric_->now();
+  std::vector<SendHandle> sends;
+  sends.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    sends.push_back(engine(0).isend(1, tag, tx_buf_.data(), size));
+  }
+  SimTime done = start;
+  for (auto& recv : recvs) done = std::max(done, wait(recv));
+  return done - start;
+}
+
+SimDuration World::measure_pingpong(std::size_t size, unsigned iterations) {
+  RAILS_CHECK(iterations >= 1);
+  if (tx_buf_.size() < size) tx_buf_.assign(size, 0x5A);
+  if (rx_buf_.size() < size) rx_buf_.assign(size, 0);
+
+  fabric_->events().run_all();
+  const SimTime start = fabric_->now();
+  const Tag tag = next_tag_++;
+  for (unsigned i = 0; i < iterations; ++i) {
+    auto recv1 = engine(1).irecv(0, tag, rx_buf_.data(), size);
+    auto send0 = engine(0).isend(1, tag, tx_buf_.data(), size);
+    wait(recv1);
+    auto recv0 = engine(0).irecv(1, tag, rx_buf_.data(), size);
+    auto send1 = engine(1).isend(0, tag, rx_buf_.data(), size);
+    wait(recv0);
+    wait(send0);
+    wait(send1);
+  }
+  const SimTime end = fabric_->now();
+  return (end - start) / (2 * static_cast<SimDuration>(iterations));
+}
+
+double World::measure_bandwidth(std::size_t size, unsigned iterations) {
+  return mbps(size, measure_pingpong(size, iterations));
+}
+
+WorldConfig paper_testbed(const std::string& strategy) {
+  WorldConfig cfg;
+  cfg.fabric.node_count = 2;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::qsnet2()};
+  cfg.fabric.topology = MachineTopology::opteron_2x2();
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+}  // namespace rails::core

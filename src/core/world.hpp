@@ -1,0 +1,80 @@
+// Virtual-cluster assembly: fabric + sampling + one engine per node.
+//
+// This is the public entry point a user of the library touches first: build
+// a WorldConfig (which rails, how many nodes, which strategy), then exchange
+// messages and measure. Sampling runs once at construction — the same
+// "profile each NIC at initialization" step NewMadeleine performs — and the
+// resulting estimator is shared by every engine (all nodes have identical
+// hardware, as in the paper's testbed).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "fabric/fabric.hpp"
+#include "sampling/estimator.hpp"
+
+namespace rails::core {
+
+struct WorldConfig {
+  fabric::FabricConfig fabric;
+  EngineConfig engine;
+  sampling::SamplerConfig sampler;
+  /// Strategy installed on every engine at construction (factory name).
+  std::string strategy = "hetero-split";
+  /// Skips startup sampling and uses these profiles instead (one per rail).
+  /// This is how a deployment reuses an on-disk sampling cache — and how
+  /// the stale-profile ablation injects outdated knowledge.
+  std::vector<sampling::RailProfile> profile_override;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  fabric::Fabric& fabric() { return *fabric_; }
+  Engine& engine(NodeId node);
+  const sampling::Estimator& estimator() const { return estimator_; }
+  SimTime now() const { return fabric_->now(); }
+
+  /// Installs a fresh strategy instance (by factory name) on every engine.
+  void set_strategy(const std::string& name);
+
+  /// Runs fabric events until the request completes. Returns the completion
+  /// time on the virtual clock.
+  SimTime wait(const SendHandle& send);
+  SimTime wait(const RecvHandle& recv);
+
+  /// One-way transfer 0 -> 1: returns receiver-side completion minus start.
+  /// The receive is pre-posted (expected message).
+  SimDuration measure_one_way(std::size_t size);
+
+  /// One-way transfer of `count` back-to-back messages of `size` bytes each
+  /// (Fig. 3 workload with count=2): completion of the last receive.
+  SimDuration measure_one_way_batch(std::size_t size, unsigned count);
+
+  /// Classic ping-pong between nodes 0 and 1; returns the average half
+  /// round-trip over `iterations` (§IV-A's benchmark).
+  SimDuration measure_pingpong(std::size_t size, unsigned iterations = 4);
+
+  /// Bandwidth (MB/s) derived from measure_pingpong.
+  double measure_bandwidth(std::size_t size, unsigned iterations = 4);
+
+ private:
+  WorldConfig config_;
+  sampling::Estimator estimator_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::uint8_t> tx_buf_;
+  std::vector<std::uint8_t> rx_buf_;
+  Tag next_tag_ = 1;
+};
+
+/// The paper's testbed: two dual-socket dual-core Opteron nodes linked by
+/// Myri-10G (rail 0) and QsNetII (rail 1).
+WorldConfig paper_testbed(const std::string& strategy = "hetero-split");
+
+}  // namespace rails::core

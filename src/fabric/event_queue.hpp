@@ -1,0 +1,90 @@
+// Discrete-event simulation core.
+//
+// Every hardware element of the virtual cluster (NIC injection, wire
+// delivery, DMA completion, core release) is an event on this queue. The
+// queue is strictly deterministic: ties on the timestamp are broken by
+// insertion sequence, so a given workload always replays identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rails::fabric {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now).
+  void at(SimTime t, Handler fn) {
+    RAILS_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+    heap_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after `d` nanoseconds of virtual time.
+  void after(SimDuration d, Handler fn) { at(now_ + d, std::move(fn)); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the earliest event. Returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately after, so the heap invariant is never observed
+    // broken.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    RAILS_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  /// Drains the queue. `max_events` guards against runaway self-scheduling.
+  std::size_t run_all(std::size_t max_events = 100'000'000) {
+    std::size_t n = 0;
+    while (n < max_events && step()) ++n;
+    RAILS_CHECK_MSG(heap_.empty() || n < max_events, "event budget exhausted");
+    return n;
+  }
+
+  /// Runs events until `pred()` becomes true or the queue drains. Returns
+  /// whether the predicate was satisfied.
+  bool run_until(const std::function<bool()>& pred) {
+    while (!pred()) {
+      if (!step()) return pred();
+    }
+    return true;
+  }
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void run_to(SimTime t) {
+    while (!heap_.empty() && heap_.top().time <= t) step();
+    RAILS_CHECK(t >= now_);
+    now_ = t;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rails::fabric

@@ -1,0 +1,79 @@
+#include "fabric/fabric.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace rails::fabric {
+
+Fabric::Fabric(FabricConfig config) : config_(std::move(config)) {
+  RAILS_CHECK_MSG(config_.node_count >= 1, "fabric needs at least one node");
+  RAILS_CHECK_MSG(!config_.rails.empty(), "fabric needs at least one rail");
+
+  nics_.resize(config_.node_count);
+  rx_handlers_.resize(config_.node_count);
+  delivered_payload_.assign(config_.rails.size(), 0);
+  cores_.reserve(config_.node_count);
+
+  for (NodeId n = 0; n < config_.node_count; ++n) {
+    cores_.emplace_back(config_.topology);
+    nics_[n].reserve(config_.rails.size());
+    for (RailId r = 0; r < config_.rails.size(); ++r) {
+      auto nic = std::make_unique<SimNic>(&events_, NetworkModel(config_.rails[r]), n, r);
+      nic->set_deliver([this](Segment&& seg) { route(std::move(seg)); });
+      nics_[n].push_back(std::move(nic));
+    }
+  }
+}
+
+SimNic& Fabric::nic(NodeId node, RailId rail) {
+  RAILS_CHECK(node < nics_.size() && rail < nics_[node].size());
+  return *nics_[node][rail];
+}
+
+const SimNic& Fabric::nic(NodeId node, RailId rail) const {
+  RAILS_CHECK(node < nics_.size() && rail < nics_[node].size());
+  return *nics_[node][rail];
+}
+
+SimCores& Fabric::cores(NodeId node) {
+  RAILS_CHECK(node < cores_.size());
+  return cores_[node];
+}
+
+void Fabric::set_rx_handler(NodeId node, RxHandler handler) {
+  RAILS_CHECK(node < rx_handlers_.size());
+  rx_handlers_[node] = std::move(handler);
+}
+
+std::uint64_t Fabric::delivered_payload(RailId rail) const {
+  RAILS_CHECK(rail < delivered_payload_.size());
+  return delivered_payload_[rail];
+}
+
+void Fabric::route(Segment&& seg) {
+  RAILS_CHECK_MSG(seg.dst < rx_handlers_.size(), "segment addressed to unknown node");
+  RAILS_CHECK_MSG(seg.src != seg.dst, "loopback traffic should not reach the fabric");
+
+  // Receive-port admission: converging flows serialise at the destination
+  // NIC. A segment admitted immediately is handed over inline; a delayed
+  // one is re-scheduled for its admission time.
+  const SimTime deliver_at = nic(seg.dst, seg.rail).admit_rx(events_.now(),
+                                                             seg.payload.size());
+  if (deliver_at > events_.now()) {
+    events_.at(deliver_at, [this, s = std::move(seg)]() mutable { deliver(std::move(s)); });
+    return;
+  }
+  deliver(std::move(seg));
+}
+
+void Fabric::deliver(Segment&& seg) {
+  delivered_payload_[seg.rail] += seg.payload.size();
+  RAILS_TRACE("fabric", "deliver %s msg=%llu rail=%u %u->%u len=%zu t=%.3fus",
+              to_string(seg.kind), static_cast<unsigned long long>(seg.msg_id), seg.rail,
+              seg.src, seg.dst, seg.payload.size(), to_usec(events_.now()));
+  auto& handler = rx_handlers_[seg.dst];
+  RAILS_CHECK_MSG(handler != nullptr, "destination node has no rx handler");
+  handler(std::move(seg));
+}
+
+}  // namespace rails::fabric

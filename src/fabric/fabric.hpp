@@ -1,0 +1,68 @@
+// Virtual multirail cluster assembly.
+//
+// A Fabric instantiates `node_count` nodes, each with one SimNic per rail
+// and a set of simulated cores, and wires rail i of every node to rail i of
+// every other node (full crossbar per rail, like a switch). Engines attach
+// per-node receive handlers; segments posted on any NIC are routed to the
+// destination node's handler at their modeled arrival time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/topology.hpp"
+#include "fabric/event_queue.hpp"
+#include "fabric/nic.hpp"
+#include "fabric/sim_cores.hpp"
+
+namespace rails::fabric {
+
+struct FabricConfig {
+  std::uint32_t node_count = 2;
+  std::vector<NetworkModelParams> rails;
+  MachineTopology topology = MachineTopology::opteron_2x2();
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  EventQueue& events() { return events_; }
+  SimTime now() const { return events_.now(); }
+
+  std::uint32_t node_count() const { return config_.node_count; }
+  std::uint32_t rail_count() const { return static_cast<std::uint32_t>(config_.rails.size()); }
+  const FabricConfig& config() const { return config_; }
+
+  SimNic& nic(NodeId node, RailId rail);
+  const SimNic& nic(NodeId node, RailId rail) const;
+  SimCores& cores(NodeId node);
+
+  using RxHandler = std::function<void(Segment&&)>;
+
+  /// Installs the handler invoked (at virtual arrival time) for every segment
+  /// addressed to `node`.
+  void set_rx_handler(NodeId node, RxHandler handler);
+
+  /// Total payload bytes delivered so far, per rail (conservation checks).
+  std::uint64_t delivered_payload(RailId rail) const;
+
+ private:
+  void route(Segment&& seg);
+  void deliver(Segment&& seg);
+
+  FabricConfig config_;
+  EventQueue events_;
+  // unique_ptr keeps SimNic addresses stable; drivers hold raw pointers.
+  std::vector<std::vector<std::unique_ptr<SimNic>>> nics_;  // [node][rail]
+  std::vector<SimCores> cores_;
+  std::vector<RxHandler> rx_handlers_;
+  std::vector<std::uint64_t> delivered_payload_;
+};
+
+}  // namespace rails::fabric

@@ -1,0 +1,65 @@
+#include "fabric/network_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rails::fabric {
+
+SimDuration NetworkModel::pio_time(std::size_t size) const {
+  const std::size_t fast = std::min(size, p_.pio_cache_limit);
+  const std::size_t slow = size - fast;
+  return wire_time(fast, p_.pio_bw_mbps) + wire_time(slow, p_.pio_bw_large_mbps);
+}
+
+std::size_t NetworkModel::packet_count(std::size_t size) const {
+  if (size == 0) return 1;  // a zero-byte message still sends a header packet
+  return (size + p_.mtu - 1) / p_.mtu;
+}
+
+TransferTiming NetworkModel::eager(std::size_t size) const {
+  TransferTiming t;
+  const SimDuration copy = pio_time(size);
+  const SimDuration pkts =
+      static_cast<SimDuration>(static_cast<double>(packet_count(size)) * p_.per_packet_us * 1e3);
+  t.host = usec(p_.post_us) + copy + pkts;
+  t.nic = t.host;  // PIO injection holds the NIC port for the duration of the copy
+  t.total = t.host + usec(p_.wire_latency_us);
+  return t;
+}
+
+TransferTiming NetworkModel::rendezvous(std::size_t size, bool include_handshake) const {
+  TransferTiming t;
+  t.host = usec(p_.post_us + p_.dma_setup_us);
+  const SimDuration stream = wire_time(size, p_.dma_bw_mbps);
+  t.nic = t.host + stream;
+  t.total = t.nic + usec(p_.wire_latency_us);
+  if (include_handshake) t.total += usec(p_.rdv_handshake_us);
+  return t;
+}
+
+SimDuration NetworkModel::duration(std::size_t size, Protocol proto) const {
+  return proto == Protocol::kEager ? eager(size).total : rendezvous(size).total;
+}
+
+SimDuration NetworkModel::best_duration(std::size_t size) const {
+  if (size > p_.max_eager) return rendezvous(size).total;
+  return std::min(eager(size).total, rendezvous(size).total);
+}
+
+std::size_t NetworkModel::natural_rdv_threshold() const {
+  // Cap the scan: some synthetic models (affine) declare an unbounded eager
+  // path, in which case 1 GiB stands in for "never switches".
+  const std::size_t cap = std::min(p_.max_eager, std::size_t{1} << 30);
+  std::size_t size = 1;
+  for (; size <= cap && size != 0; size <<= 1) {
+    if (rendezvous(size).total < eager(size).total) return size;
+  }
+  return cap;
+}
+
+double NetworkModel::bandwidth_at(std::size_t size) const {
+  return mbps(size, best_duration(size));
+}
+
+}  // namespace rails::fabric

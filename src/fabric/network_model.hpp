@@ -1,0 +1,100 @@
+// Analytic performance model of one network technology.
+//
+// Every figure in the paper is a function of per-NIC duration(size) curves;
+// this class is where those curves live. The model separates the costs the
+// way the paper's analysis does:
+//
+//  * eager path (small messages): a per-message software post cost and a
+//    PIO copy that OCCUPY THE SUBMITTING CORE, a per-MTU packetisation cost,
+//    and a wire latency tail that does not occupy the core. PIO bandwidth is
+//    piecewise (fast while the payload fits the cache, degraded above) —
+//    this is why "a split ratio for a 8 MB message may not fit a 256 KB
+//    message" (§II-A) and why sampling beats vendor lat/bw figures.
+//  * rendezvous path (large messages): an RTS/CTS handshake, a DMA setup
+//    cost, then a DMA stream at the technology's large-message bandwidth.
+//    The DMA does NOT occupy a core, which is why large-message splitting
+//    needs no multicore help while eager splitting does (§II-C).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rails::fabric {
+
+/// Which protocol a transfer uses. The engine picks per message; the model
+/// can also report its natural crossover (`natural_rdv_threshold`).
+enum class Protocol { kEager, kRendezvous };
+
+struct NetworkModelParams {
+  std::string name = "net";
+
+  // -- eager path --
+  double post_us = 1.0;           ///< per-message software send cost (core-occupying)
+  double wire_latency_us = 1.0;   ///< one-way latency tail after injection
+  double pio_bw_mbps = 1000.0;    ///< PIO copy bandwidth while payload fits cache
+  double pio_bw_large_mbps = 600.0;  ///< PIO bandwidth past the cache limit
+  std::size_t pio_cache_limit = 16u * 1024u;  ///< bytes copied at the fast rate
+  std::size_t mtu = 4u * 1024u;   ///< eager segmentation unit
+  double per_packet_us = 0.2;     ///< per-MTU packetisation cost (core-occupying)
+  std::size_t max_eager = 64u * 1024u;  ///< hardware cap on one eager segment
+
+  // -- rendezvous path --
+  double rdv_handshake_us = 8.0;  ///< RTS/CTS round trip + matching
+  double dma_setup_us = 1.0;      ///< DMA programming per chunk (core-occupying)
+  double dma_bw_mbps = 1000.0;    ///< large-message zero-copy bandwidth
+
+  // -- capabilities (§II-B: "actual properties such as ... the availability
+  //    of gather/scatter operations") --
+  bool gather_scatter = true;     ///< can aggregate iovecs without extra copy
+  bool rdma = true;               ///< supports remote put (rendezvous data path)
+};
+
+/// Timing breakdown of one posted transfer, on the virtual clock.
+struct TransferTiming {
+  SimDuration host = 0;   ///< time the submitting core is busy
+  SimDuration nic = 0;    ///< time the NIC's injection port is busy
+  SimDuration total = 0;  ///< post-to-delivery duration (host + wire tail)
+};
+
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+  explicit NetworkModel(NetworkModelParams params) : p_(std::move(params)) {}
+
+  const NetworkModelParams& params() const { return p_; }
+  const std::string& name() const { return p_.name; }
+
+  /// Core-occupying PIO copy time for `size` bytes (piecewise marginal rate).
+  SimDuration pio_time(std::size_t size) const;
+
+  /// Number of MTU packets an eager payload of `size` bytes occupies.
+  std::size_t packet_count(std::size_t size) const;
+
+  /// Full eager-path timing for a segment of `size` payload bytes.
+  TransferTiming eager(std::size_t size) const;
+
+  /// Full rendezvous-path timing for one DMA chunk of `size` bytes,
+  /// `include_handshake` selects whether the RTS/CTS round is counted (it is
+  /// paid once per message, not once per chunk).
+  TransferTiming rendezvous(std::size_t size, bool include_handshake = true) const;
+
+  /// End-to-end duration under the given protocol.
+  SimDuration duration(std::size_t size, Protocol proto) const;
+
+  /// Duration with the cheaper of the two protocols.
+  SimDuration best_duration(std::size_t size) const;
+
+  /// Smallest power-of-two size where rendezvous beats eager (the threshold
+  /// the sampler derives empirically, §III-C).
+  std::size_t natural_rdv_threshold() const;
+
+  /// Steady-state bandwidth in MB/s at `size` under the cheaper protocol.
+  double bandwidth_at(std::size_t size) const;
+
+ private:
+  NetworkModelParams p_;
+};
+
+}  // namespace rails::fabric

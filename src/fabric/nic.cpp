@@ -1,0 +1,110 @@
+#include "fabric/nic.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rails::fabric {
+
+const char* to_string(SegKind kind) {
+  switch (kind) {
+    case SegKind::kEager: return "EAGER";
+    case SegKind::kRts: return "RTS";
+    case SegKind::kCts: return "CTS";
+    case SegKind::kData: return "DATA";
+    case SegKind::kFin: return "FIN";
+  }
+  return "?";
+}
+
+namespace {
+
+TransferTiming scale_timing(TransferTiming t, double scale) {
+  if (scale != 1.0) {
+    t.host = static_cast<SimDuration>(static_cast<double>(t.host) * scale);
+    t.nic = static_cast<SimDuration>(static_cast<double>(t.nic) * scale);
+    t.total = static_cast<SimDuration>(static_cast<double>(t.total) * scale);
+  }
+  return t;
+}
+
+}  // namespace
+
+SimNic::PostTimes SimNic::compute_times(const Segment& seg, SimTime earliest) const {
+  PostTimes t;
+  if (seg.kind == SegKind::kData) {
+    // DMA chunk: the host only writes a descriptor — it does not wait for
+    // the injection port. The stream begins when the port frees up, so a
+    // busy NIC delays the data but never stalls the submitting core (this
+    // is what lets the strategy feed the other rails immediately, Fig. 2).
+    const TransferTiming timing = scale_timing(
+        model_.rendezvous(seg.payload.size(), /*include_handshake=*/false), perf_scale_);
+    t.host_start = earliest;
+    t.host_end = t.host_start + timing.host;
+    const SimDuration stream = timing.nic - timing.host;
+    const SimDuration tail = timing.total - timing.nic;
+    const SimTime stream_begin = std::max(t.host_end, busy_until_);
+    t.nic_end = stream_begin + stream;
+    t.deliver_at = t.nic_end + tail;
+    return t;
+  }
+
+  // Eager and control segments are PIO: the submitting core performs the
+  // injection itself, so it queues behind a busy port.
+  TransferTiming timing;
+  switch (seg.kind) {
+    case SegKind::kEager:
+      timing = model_.eager(seg.payload.size());
+      break;
+    case SegKind::kRts:
+    case SegKind::kCts:
+    case SegKind::kFin:
+      // Control segments ride the eager path with a header-only payload.
+      timing = model_.eager(0);
+      break;
+    case SegKind::kData:
+      break;  // handled above
+  }
+  timing = scale_timing(timing, perf_scale_);
+  t.host_start = std::max(earliest, busy_until_);
+  t.host_end = t.host_start + timing.host;
+  t.nic_end = t.host_start + timing.nic;
+  t.deliver_at = t.host_start + timing.total;
+  return t;
+}
+
+SimNic::PostTimes SimNic::preview(const Segment& seg, SimTime earliest) const {
+  return compute_times(seg, earliest);
+}
+
+SimTime SimNic::admit_rx(SimTime arrival, std::size_t payload_bytes) {
+  // The segment's bytes occupied the port for `occupancy` (drained at the
+  // technology's link rate) *ending* at the delivery instant: a segment
+  // arriving at `arrival` was on the wire during [arrival - occupancy,
+  // arrival], so an uncontended port finishes exactly at arrival — a single
+  // steady stream is never delayed. If the port is still draining earlier
+  // traffic, reception restarts after it: deliver = rx_busy + occupancy.
+  const SimDuration occupancy = static_cast<SimDuration>(
+      static_cast<double>(wire_time(payload_bytes, model_.params().dma_bw_mbps)) *
+      perf_scale_);
+  const SimTime deliver = std::max(arrival, rx_busy_until_ + occupancy);
+  rx_busy_until_ = deliver;
+  return deliver;
+}
+
+SimNic::PostTimes SimNic::post(Segment seg, SimTime earliest) {
+  RAILS_CHECK_MSG(deliver_ != nullptr, "SimNic has no delivery route installed");
+  RAILS_CHECK_MSG(seg.rail == rail_, "segment posted on the wrong rail");
+  const PostTimes t = compute_times(seg, earliest);
+  busy_until_ = t.nic_end;
+
+  ++segments_sent_;
+  bytes_sent_ += seg.wire_size();
+  payload_bytes_sent_ += seg.payload.size();
+
+  events_->at(t.deliver_at,
+              [fn = &deliver_, s = std::move(seg)]() mutable { (*fn)(std::move(s)); });
+  return t;
+}
+
+}  // namespace rails::fabric

@@ -1,0 +1,99 @@
+// Simulated network interface card.
+//
+// A SimNic owns one injection port on one rail. It tracks its busy-until
+// time on the virtual clock — the quantity the paper's strategy reasons
+// about (Fig. 2) — and turns posted segments into delivery events using its
+// NetworkModel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "fabric/event_queue.hpp"
+#include "fabric/network_model.hpp"
+#include "fabric/segment.hpp"
+
+namespace rails::fabric {
+
+class SimNic {
+ public:
+  using DeliverFn = std::function<void(Segment&&)>;
+
+  SimNic(EventQueue* events, NetworkModel model, NodeId node, RailId rail)
+      : events_(events), model_(std::move(model)), node_(node), rail_(rail) {}
+
+  const NetworkModel& model() const { return model_; }
+  NodeId node() const { return node_; }
+  RailId rail() const { return rail_; }
+
+  SimTime busy_until() const { return busy_until_; }
+  bool idle(SimTime now) const { return busy_until_ <= now; }
+
+  /// Receive-port admission (cut-through): a segment arriving at `arrival`
+  /// is delivered at max(arrival, rx_busy_until); the port then stays busy
+  /// for the segment's wire occupancy. A single steady stream is never
+  /// delayed (its arrivals are already spaced by at least the occupancy),
+  /// but converging flows — incast, gather — serialise here, which is what
+  /// makes multirail receivers worth having.
+  SimTime admit_rx(SimTime arrival, std::size_t payload_bytes);
+  SimTime rx_busy_until() const { return rx_busy_until_; }
+
+  /// Routing hook, installed by the Fabric.
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Runtime performance degradation: every transfer on this NIC takes
+  /// `scale` times longer than the model predicts (contention, cable
+  /// renegotiation, ...). Models §II-A's "misknowledge of networks'
+  /// workload": sampled profiles taken before the degradation go stale.
+  void set_perf_scale(double scale) {
+    RAILS_CHECK_MSG(scale >= 1.0, "perf scale < 1 would beat the hardware model");
+    perf_scale_ = scale;
+  }
+  double perf_scale() const { return perf_scale_; }
+
+  struct PostTimes {
+    SimTime host_start = 0;  ///< when the post actually began (NIC port free)
+    SimTime host_end = 0;    ///< submitting core released
+    SimTime nic_end = 0;     ///< injection port released
+    SimTime deliver_at = 0;  ///< segment arrives at the destination
+  };
+
+  /// Posts a segment. `earliest` is when the submitting core is ready to
+  /// start (the caller charges that core until `host_end`). Posts to a busy
+  /// port queue behind the port (FIFO per NIC), exactly like a real doorbell.
+  PostTimes post(Segment seg, SimTime earliest);
+
+  /// Timing a post *would* get if issued at `earliest` — used by strategies
+  /// to predict without committing.
+  PostTimes preview(const Segment& seg, SimTime earliest) const;
+
+  // -- statistics -------------------------------------------------------
+  std::uint64_t segments_sent() const { return segments_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
+
+  void reset_stats() {
+    segments_sent_ = 0;
+    bytes_sent_ = 0;
+    payload_bytes_sent_ = 0;
+  }
+
+ private:
+  PostTimes compute_times(const Segment& seg, SimTime earliest) const;
+
+  EventQueue* events_;
+  NetworkModel model_;
+  NodeId node_;
+  RailId rail_;
+  SimTime busy_until_ = 0;
+  SimTime rx_busy_until_ = 0;
+  double perf_scale_ = 1.0;
+  DeliverFn deliver_;
+
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t payload_bytes_sent_ = 0;
+};
+
+}  // namespace rails::fabric

@@ -1,0 +1,43 @@
+// Calibrated network models.
+//
+// The Myri-10G and QsNetII parameters are calibrated against the numbers the
+// paper reports in §IV: single-rail ping-pong bandwidths of 1170 MB/s
+// (MX/Myri-10G) and 837 MB/s (Elan/QsNetII); a 2 MiB chunk streaming in
+// ~1730 µs over Myri-10G and ~2400 µs over Quadrics; iso-split saturating at
+// ~1670 MB/s and hetero-split at ~1987 MB/s; and the small-message latency
+// regime of Fig. 3/Fig. 9 where Quadrics wins tiny messages, Myri-10G wins
+// past a few KiB, and per-message PIO copies dominate the eager path.
+//
+// InfiniBand DDR and GigE are extrapolated from period-typical figures; they
+// feed the T2K-style rail-count extension (the paper's motivating example is
+// the 4-rail IB T2K machine) and the heterogeneity stress tests.
+#pragma once
+
+#include "fabric/network_model.hpp"
+
+namespace rails::fabric {
+
+/// MX over Myri-10G (Myricom). ~2.9 µs small-message latency, 1170 MB/s
+/// large-message bandwidth through the engine.
+NetworkModelParams myri10g();
+
+/// Elan over Quadrics QsNetII. ~1.6 µs small-message latency, 837 MB/s
+/// large-message bandwidth; slower eager PIO past the cache limit.
+NetworkModelParams qsnet2();
+
+/// Verbs over InfiniBand DDR 4x (T2K-style rail).
+NetworkModelParams ib_ddr();
+
+/// TCP over gigabit Ethernet — the slow heterogeneous outlier.
+NetworkModelParams gige_tcp();
+
+/// GM over Myrinet-2000 — the previous hardware generation (the authors'
+/// HCW'07 multirail work ran on it). Useful for generation-gap
+/// heterogeneity studies.
+NetworkModelParams myri2000();
+
+/// A deliberately simple affine network (latency + size/bandwidth, single
+/// regime) for closed-form verification in tests.
+NetworkModelParams affine(double latency_us, double bandwidth_mbps);
+
+}  // namespace rails::fabric

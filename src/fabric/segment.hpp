@@ -1,0 +1,52 @@
+// Wire format: the unit of data a NIC injects onto a rail.
+//
+// A segment is what one driver post produces. The header fields cover the
+// whole engine protocol (eager data — possibly carrying several aggregated
+// application packets — rendezvous control, and rendezvous DMA chunks), so
+// the fabric can stay ignorant of engine policy while still letting tests
+// inspect traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rails::fabric {
+
+enum class SegKind : std::uint8_t {
+  kEager = 0,  ///< eager data; payload framed as one or more sub-packets
+  kRts,        ///< rendezvous request-to-send (control)
+  kCts,        ///< rendezvous clear-to-send (control)
+  kData,       ///< rendezvous DMA chunk
+  kFin,        ///< rendezvous completion notification (control)
+};
+
+const char* to_string(SegKind kind);
+
+struct Segment {
+  SegKind kind = SegKind::kEager;
+  NodeId src = 0;
+  NodeId dst = 0;
+  RailId rail = 0;
+
+  /// Engine-assigned message id (per source node); control segments of one
+  /// rendezvous share the id of their message.
+  std::uint64_t msg_id = 0;
+  Tag tag = 0;
+
+  /// For kData: byte offset of this chunk inside the message. For kRts: the
+  /// full message length travels in `total_len`.
+  std::uint64_t offset = 0;
+  std::uint64_t total_len = 0;
+
+  /// Real payload bytes (kEager, kData). Control segments carry none.
+  std::vector<std::uint8_t> payload;
+
+  std::size_t wire_size() const { return payload.size() + kHeaderBytes; }
+
+  /// Modeled size of the segment header on the wire.
+  static constexpr std::size_t kHeaderBytes = 40;
+};
+
+}  // namespace rails::fabric

@@ -1,0 +1,682 @@
+// Collective algorithms as polled state machines.
+//
+// Each op is one rank's side of the collective; step() is idempotent and
+// cheap: it checks the round's outstanding requests and posts the next
+// round when they complete. All algorithms are the textbook ones (the same
+// families MPICH uses at these scales).
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mpi/communicator.hpp"
+
+namespace rails::mpi {
+
+namespace {
+
+/// Collective tags live in the top half of the tag space so they can never
+/// collide with application point-to-point tags.
+enum class Alg : std::uint8_t {
+  kBarrier = 1,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAllgather,
+  kAlltoall,
+  kReduceScatter,
+  kScan,
+};
+
+Tag coll_tag(std::uint32_t seq, Alg alg, std::uint32_t round) {
+  return (Tag{1} << 63) | (Tag{seq} << 24) | (Tag{static_cast<std::uint8_t>(alg)} << 16) |
+         Tag{round};
+}
+
+bool all_done(const std::vector<core::SendHandle>& sends,
+              const std::vector<core::RecvHandle>& recvs) {
+  for (const auto& s : sends) {
+    if (!s->done()) return false;
+  }
+  for (const auto& r : recvs) {
+    if (!r->done()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Barrier: dissemination. ceil(log2 p) rounds; in round k every rank sends a
+// zero-byte token to (rank + 2^k) mod p and receives from (rank - 2^k).
+// ---------------------------------------------------------------------------
+
+class BarrierOp final : public CollectiveOp {
+ public:
+  BarrierOp(Communicator comm, std::uint32_t seq) : comm_(comm), seq_(seq) {}
+  const char* name() const override { return "barrier"; }
+
+  bool step() override {
+    const int p = comm_.size();
+    if (p == 1) return true;
+    while (true) {
+      if (!all_done(sends_, recvs_)) return false;
+      if ((1 << round_) >= p) return true;
+      const int dist = 1 << round_;
+      const int to = (comm_.rank() + dist) % p;
+      const int from = (comm_.rank() - dist % p + p) % p;
+      const Tag tag = coll_tag(seq_, Alg::kBarrier, static_cast<std::uint32_t>(round_));
+      sends_ = {comm_.isend(to, tag, nullptr, 0)};
+      recvs_ = {comm_.irecv(from, tag, nullptr, 0)};
+      ++round_;
+    }
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  int round_ = 0;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+// ---------------------------------------------------------------------------
+// Bcast: binomial tree rooted at `root`.
+// ---------------------------------------------------------------------------
+
+class BcastOp final : public CollectiveOp {
+ public:
+  BcastOp(Communicator comm, std::uint32_t seq, void* buf, std::size_t len, int root)
+      : comm_(comm), seq_(seq), buf_(buf), len_(len), root_(root) {}
+  const char* name() const override { return "bcast"; }
+
+  bool step() override {
+    const int p = comm_.size();
+    if (p == 1) return true;
+    const int vrank = (comm_.rank() - root_ + p) % p;
+    const Tag tag = coll_tag(seq_, Alg::kBcast, 0);
+
+    while (true) {
+      if (!recv_posted_ && vrank != 0) {
+        // Find the parent: the bit position where this rank joins the tree.
+        int mask = 1;
+        while ((vrank & mask) == 0) mask <<= 1;
+        const int parent = (vrank - mask + root_ + p) % p;
+        join_mask_ = mask;
+        recvs_ = {comm_.irecv(parent, tag, buf_, len_)};
+        recv_posted_ = true;
+        continue;  // the recv may complete instantly from the unexpected queue
+      }
+      if (!all_done(sends_, recvs_)) return false;
+      if (sent_) return true;
+
+      // Data in hand: fan out to children below the join bit.
+      int mask = vrank == 0 ? top_mask(p) : join_mask_ >> 1;
+      for (; mask > 0; mask >>= 1) {
+        const int child = vrank + mask;
+        if (child < p) {
+          sends_.push_back(comm_.isend((child + root_) % p, tag, buf_, len_));
+        }
+      }
+      sent_ = true;
+    }
+  }
+
+ private:
+  static int top_mask(int p) {
+    int mask = 1;
+    while (mask < p) mask <<= 1;
+    return mask >> 1;
+  }
+
+  Communicator comm_;
+  std::uint32_t seq_;
+  void* buf_;
+  std::size_t len_;
+  int root_;
+  int join_mask_ = 0;
+  bool recv_posted_ = false;
+  bool sent_ = false;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+// ---------------------------------------------------------------------------
+// Reduce: binomial tree, leaves upward. Receives arrive in mask order; the
+// operator is applied as each child's contribution lands.
+// ---------------------------------------------------------------------------
+
+class ReduceOpImpl final : public CollectiveOp {
+ public:
+  ReduceOpImpl(Communicator comm, std::uint32_t seq, const void* sendbuf, void* recvbuf,
+               std::size_t count, DType dtype, ReduceOp op, int root)
+      : comm_(comm),
+        seq_(seq),
+        recvbuf_(recvbuf),
+        count_(count),
+        dtype_(dtype),
+        op_(op),
+        root_(root),
+        acc_(count * dtype_size(dtype)),
+        inbox_(count * dtype_size(dtype)) {
+    std::memcpy(acc_.data(), sendbuf, acc_.size());
+  }
+  const char* name() const override { return "reduce"; }
+
+  bool step() override {
+    const int p = comm_.size();
+    const int vrank = (comm_.rank() - root_ + p) % p;
+    const Tag tag = coll_tag(seq_, Alg::kReduce, 0);
+
+    while (true) {
+      // Fold in a completed child contribution.
+      if (!recvs_.empty()) {
+        if (!recvs_[0]->done()) return false;
+        apply_op(op_, dtype_, acc_.data(), inbox_.data(), count_);
+        recvs_.clear();
+      }
+      if (sent_) return sends_.empty() || sends_[0]->done();
+
+      if (mask_ < p) {
+        if ((vrank & mask_) == 0) {
+          const int child = vrank | mask_;
+          mask_ <<= 1;
+          if (child < p) {
+            // The child's contribution may already sit in the unexpected
+            // queue and complete this recv instantly — loop rather than
+            // return so such progress needs no fabric event.
+            recvs_ = {comm_.irecv((child + root_) % p, tag, inbox_.data(), inbox_.size())};
+          }
+          continue;
+        }
+        // Our turn to send the partial result to the parent and finish.
+        const int parent = (vrank & ~mask_);
+        sends_ = {comm_.isend((parent + root_) % p, tag, acc_.data(), acc_.size())};
+        sent_ = true;
+        return false;
+      }
+      // vrank 0 has folded every subtree: done.
+      if (vrank == 0) std::memcpy(recvbuf_, acc_.data(), acc_.size());
+      sent_ = true;
+      sends_.clear();
+      return true;
+    }
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  void* recvbuf_;
+  std::size_t count_;
+  DType dtype_;
+  ReduceOp op_;
+  int root_;
+  int mask_ = 1;
+  bool sent_ = false;
+  std::vector<std::uint8_t> acc_;
+  std::vector<std::uint8_t> inbox_;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+// ---------------------------------------------------------------------------
+// Allreduce: recursive doubling for power-of-two sizes; otherwise binomial
+// reduce to rank 0 chained with a binomial bcast (both reused).
+// ---------------------------------------------------------------------------
+
+class AllreduceOp final : public CollectiveOp {
+ public:
+  AllreduceOp(Communicator comm, std::uint32_t seq, const void* sendbuf, void* recvbuf,
+              std::size_t count, DType dtype, ReduceOp op)
+      : comm_(comm),
+        seq_(seq),
+        recvbuf_(recvbuf),
+        count_(count),
+        dtype_(dtype),
+        op_(op),
+        inbox_(count * dtype_size(dtype)) {
+    std::memcpy(recvbuf_, sendbuf, inbox_.size());
+    const int p = comm_.size();
+    pow2_ = (p & (p - 1)) == 0;
+    if (!pow2_) {
+      reduce_ = std::make_unique<ReduceOpImpl>(comm_, seq_, recvbuf_, recvbuf_, count_,
+                                               dtype_, op_, /*root=*/0);
+      bcast_ = std::make_unique<BcastOp>(comm_, seq_ + (1u << 20), recvbuf_,
+                                         inbox_.size(), /*root=*/0);
+    }
+  }
+  const char* name() const override { return "allreduce"; }
+
+  bool step() override {
+    const int p = comm_.size();
+    if (p == 1) return true;
+    if (!pow2_) {
+      if (!reduce_done_) {
+        if (!reduce_->step()) return false;
+        reduce_done_ = true;
+      }
+      return bcast_->step();
+    }
+
+    while (true) {
+      if (!sends_.empty() || !recvs_.empty()) {
+        if (!all_done(sends_, recvs_)) return false;
+        apply_op(op_, dtype_, recvbuf_, inbox_.data(), count_);
+        sends_.clear();
+        recvs_.clear();
+      }
+      const int dist = 1 << round_;
+      if (dist >= p) return true;
+      const int peer = comm_.rank() ^ dist;
+      const Tag tag = coll_tag(seq_, Alg::kAllreduce, static_cast<std::uint32_t>(round_));
+      recvs_ = {comm_.irecv(peer, tag, inbox_.data(), inbox_.size())};
+      sends_ = {comm_.isend(peer, tag, recvbuf_, inbox_.size())};
+      ++round_;
+    }
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  void* recvbuf_;
+  std::size_t count_;
+  DType dtype_;
+  ReduceOp op_;
+  std::vector<std::uint8_t> inbox_;
+  bool pow2_ = true;
+  int round_ = 0;
+  bool reduce_done_ = false;
+  std::unique_ptr<CollectiveOp> reduce_;
+  std::unique_ptr<CollectiveOp> bcast_;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+// ---------------------------------------------------------------------------
+// Gather / Scatter: flat (star) — fine at the node counts a multirail
+// cluster exposes per switch.
+// ---------------------------------------------------------------------------
+
+class GatherOp final : public CollectiveOp {
+ public:
+  GatherOp(Communicator comm, std::uint32_t seq, const void* sendbuf, std::size_t len,
+           void* recvbuf, int root)
+      : comm_(comm), seq_(seq), sendbuf_(sendbuf), len_(len), recvbuf_(recvbuf),
+        root_(root) {}
+  const char* name() const override { return "gather"; }
+
+  bool step() override {
+    const Tag tag = coll_tag(seq_, Alg::kGather, 0);
+    if (!posted_) {
+      posted_ = true;
+      if (comm_.rank() == root_) {
+        auto* out = static_cast<std::uint8_t*>(recvbuf_);
+        std::memcpy(out + static_cast<std::size_t>(root_) * len_, sendbuf_, len_);
+        for (int r = 0; r < comm_.size(); ++r) {
+          if (r == root_) continue;
+          recvs_.push_back(
+              comm_.irecv(r, tag, out + static_cast<std::size_t>(r) * len_, len_));
+        }
+      } else {
+        sends_ = {comm_.isend(root_, tag, sendbuf_, len_)};
+      }
+    }
+    return all_done(sends_, recvs_);
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  const void* sendbuf_;
+  std::size_t len_;
+  void* recvbuf_;
+  int root_;
+  bool posted_ = false;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+class ScatterOp final : public CollectiveOp {
+ public:
+  ScatterOp(Communicator comm, std::uint32_t seq, const void* sendbuf, std::size_t len,
+            void* recvbuf, int root)
+      : comm_(comm), seq_(seq), sendbuf_(sendbuf), len_(len), recvbuf_(recvbuf),
+        root_(root) {}
+  const char* name() const override { return "scatter"; }
+
+  bool step() override {
+    const Tag tag = coll_tag(seq_, Alg::kScatter, 0);
+    if (!posted_) {
+      posted_ = true;
+      if (comm_.rank() == root_) {
+        const auto* in = static_cast<const std::uint8_t*>(sendbuf_);
+        std::memcpy(recvbuf_, in + static_cast<std::size_t>(root_) * len_, len_);
+        for (int r = 0; r < comm_.size(); ++r) {
+          if (r == root_) continue;
+          sends_.push_back(
+              comm_.isend(r, tag, in + static_cast<std::size_t>(r) * len_, len_));
+        }
+      } else {
+        recvs_ = {comm_.irecv(root_, tag, recvbuf_, len_)};
+      }
+    }
+    return all_done(sends_, recvs_);
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  const void* sendbuf_;
+  std::size_t len_;
+  void* recvbuf_;
+  int root_;
+  bool posted_ = false;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+// ---------------------------------------------------------------------------
+// Allgather: ring. p-1 rounds; in round k pass block (rank - k) to the right
+// while receiving block (rank - k - 1) from the left.
+// ---------------------------------------------------------------------------
+
+class AllgatherOp final : public CollectiveOp {
+ public:
+  AllgatherOp(Communicator comm, std::uint32_t seq, const void* sendbuf, std::size_t len,
+              void* recvbuf)
+      : comm_(comm), seq_(seq), len_(len), recvbuf_(recvbuf) {
+    auto* out = static_cast<std::uint8_t*>(recvbuf_);
+    std::memcpy(out + static_cast<std::size_t>(comm_.rank()) * len_, sendbuf, len_);
+  }
+  const char* name() const override { return "allgather"; }
+
+  bool step() override {
+    const int p = comm_.size();
+    if (p == 1) return true;
+    while (true) {
+      if (!all_done(sends_, recvs_)) return false;
+      if (round_ >= p - 1) return true;
+      auto* out = static_cast<std::uint8_t*>(recvbuf_);
+      const int right = (comm_.rank() + 1) % p;
+      const int left = (comm_.rank() - 1 + p) % p;
+      const int send_block = (comm_.rank() - round_ + p) % p;
+      const int recv_block = (comm_.rank() - round_ - 1 + p * 2) % p;
+      const Tag tag = coll_tag(seq_, Alg::kAllgather, static_cast<std::uint32_t>(round_));
+      recvs_ = {comm_.irecv(left, tag, out + static_cast<std::size_t>(recv_block) * len_,
+                            len_)};
+      sends_ = {comm_.isend(right, tag,
+                            out + static_cast<std::size_t>(send_block) * len_, len_)};
+      ++round_;
+    }
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  std::size_t len_;
+  void* recvbuf_;
+  int round_ = 0;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+// ---------------------------------------------------------------------------
+// Alltoall: pairwise exchange, one peer per round.
+// ---------------------------------------------------------------------------
+
+class AlltoallOp final : public CollectiveOp {
+ public:
+  AlltoallOp(Communicator comm, std::uint32_t seq, const void* sendbuf, std::size_t len,
+             void* recvbuf)
+      : comm_(comm), seq_(seq), sendbuf_(sendbuf), len_(len), recvbuf_(recvbuf) {
+    const auto* in = static_cast<const std::uint8_t*>(sendbuf_);
+    auto* out = static_cast<std::uint8_t*>(recvbuf_);
+    const auto me = static_cast<std::size_t>(comm_.rank());
+    std::memcpy(out + me * len_, in + me * len_, len_);
+  }
+  const char* name() const override { return "alltoall"; }
+
+  bool step() override {
+    const int p = comm_.size();
+    if (p == 1) return true;
+    while (true) {
+      if (!all_done(sends_, recvs_)) return false;
+      if (round_ >= p) return true;
+      const int dst = (comm_.rank() + round_) % p;
+      const int src = (comm_.rank() - round_ + p) % p;
+      const auto* in = static_cast<const std::uint8_t*>(sendbuf_);
+      auto* out = static_cast<std::uint8_t*>(recvbuf_);
+      const Tag tag = coll_tag(seq_, Alg::kAlltoall, static_cast<std::uint32_t>(round_));
+      recvs_ = {comm_.irecv(src, tag, out + static_cast<std::size_t>(src) * len_, len_)};
+      sends_ = {comm_.isend(dst, tag, in + static_cast<std::size_t>(dst) * len_, len_)};
+      ++round_;
+    }
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  const void* sendbuf_;
+  std::size_t len_;
+  void* recvbuf_;
+  int round_ = 1;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+// ---------------------------------------------------------------------------
+// Reduce-scatter: ring. In step k every rank folds its contribution into the
+// partial for block (rank - k) and passes partial block (rank - k) to the
+// right; after p-1 steps each rank holds the fully reduced block (rank+1)...
+// We use the standard formulation: rank r ends with block r.
+// ---------------------------------------------------------------------------
+
+class ReduceScatterOp final : public CollectiveOp {
+ public:
+  ReduceScatterOp(Communicator comm, std::uint32_t seq, const void* sendbuf,
+                  void* recvbuf, std::size_t count, DType dtype, ReduceOp op)
+      : comm_(comm),
+        seq_(seq),
+        recvbuf_(recvbuf),
+        count_(count),
+        dtype_(dtype),
+        op_(op),
+        block_bytes_(count * dtype_size(dtype)),
+        work_(static_cast<std::size_t>(comm.size()) * block_bytes_),
+        inbox_(block_bytes_) {
+    std::memcpy(work_.data(), sendbuf, work_.size());
+  }
+  const char* name() const override { return "reduce-scatter"; }
+
+  bool step() override {
+    const int p = comm_.size();
+    if (p == 1) {
+      if (round_ == 0) {
+        std::memcpy(recvbuf_, work_.data(), block_bytes_);
+        ++round_;
+      }
+      return true;
+    }
+    while (true) {
+      if (!all_done(sends_, recvs_)) return false;
+      if (!recvs_.empty()) {
+        // The arriving partial is for block (rank - round - 1): it started
+        // at that block's successor rank and has moved `round_` hops right.
+        const int block = (comm_.rank() - round_ - 1 + 2 * p) % p;
+        apply_op(op_, dtype_, work_.data() + static_cast<std::size_t>(block) * block_bytes_,
+                 inbox_.data(), count_);
+        recvs_.clear();
+        sends_.clear();
+      }
+      if (round_ >= p - 1) {
+        std::memcpy(recvbuf_,
+                    work_.data() + static_cast<std::size_t>(comm_.rank()) * block_bytes_,
+                    block_bytes_);
+        return true;
+      }
+      // Send the partial for block (rank - round - 1) to the right; receive
+      // the partial for block (rank - round) from the left.
+      ++round_;
+      const int right = (comm_.rank() + 1) % p;
+      const int left = (comm_.rank() - 1 + p) % p;
+      const int send_block = (comm_.rank() - round_ + p * 2) % p;
+      const Tag tag = coll_tag(seq_, Alg::kReduceScatter,
+                               static_cast<std::uint32_t>(round_));
+      recvs_ = {comm_.irecv(left, tag, inbox_.data(), inbox_.size())};
+      sends_ = {comm_.isend(right, tag,
+                            work_.data() + static_cast<std::size_t>(send_block) *
+                                               block_bytes_,
+                            block_bytes_)};
+    }
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  void* recvbuf_;
+  std::size_t count_;
+  DType dtype_;
+  ReduceOp op_;
+  std::size_t block_bytes_;
+  int round_ = 0;
+  std::vector<std::uint8_t> work_;
+  std::vector<std::uint8_t> inbox_;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+// ---------------------------------------------------------------------------
+// Scan: linear pipeline. Rank r waits for the prefix of ranks 0..r-1 from
+// its left neighbour, folds its own contribution, forwards the new prefix.
+// ---------------------------------------------------------------------------
+
+class ScanOp final : public CollectiveOp {
+ public:
+  ScanOp(Communicator comm, std::uint32_t seq, const void* sendbuf, void* recvbuf,
+         std::size_t count, DType dtype, ReduceOp op)
+      : comm_(comm),
+        seq_(seq),
+        recvbuf_(recvbuf),
+        count_(count),
+        dtype_(dtype),
+        op_(op),
+        inbox_(count * dtype_size(dtype)) {
+    std::memcpy(recvbuf_, sendbuf, inbox_.size());
+  }
+  const char* name() const override { return "scan"; }
+
+  bool step() override {
+    const int p = comm_.size();
+    const Tag tag = coll_tag(seq_, Alg::kScan, 0);
+    while (true) {
+      if (!all_done(sends_, recvs_)) return false;
+      if (!recvs_.empty()) {
+        // Prefix of the left neighbours arrived: fold below our own value.
+        apply_op(op_, dtype_, recvbuf_, inbox_.data(), count_);
+        recvs_.clear();
+      }
+      switch (phase_) {
+        case 0:
+          phase_ = 1;
+          if (comm_.rank() > 0) {
+            recvs_ = {comm_.irecv(comm_.rank() - 1, tag, inbox_.data(), inbox_.size())};
+            continue;
+          }
+          continue;
+        case 1:
+          phase_ = 2;
+          if (comm_.rank() + 1 < p) {
+            sends_ = {comm_.isend(comm_.rank() + 1, tag, recvbuf_, inbox_.size())};
+            continue;
+          }
+          continue;
+        default:
+          return true;
+      }
+    }
+  }
+
+ private:
+  Communicator comm_;
+  std::uint32_t seq_;
+  void* recvbuf_;
+  std::size_t count_;
+  DType dtype_;
+  ReduceOp op_;
+  int phase_ = 0;
+  std::vector<std::uint8_t> inbox_;
+  std::vector<core::SendHandle> sends_;
+  std::vector<core::RecvHandle> recvs_;
+};
+
+}  // namespace
+
+// -- factories ---------------------------------------------------------------
+
+std::unique_ptr<CollectiveOp> make_barrier(Communicator comm, std::uint32_t seq) {
+  return std::make_unique<BarrierOp>(comm, seq);
+}
+
+std::unique_ptr<CollectiveOp> make_bcast(Communicator comm, std::uint32_t seq, void* buf,
+                                         std::size_t len, int root) {
+  RAILS_CHECK(root >= 0 && root < comm.size());
+  return std::make_unique<BcastOp>(comm, seq, buf, len, root);
+}
+
+std::unique_ptr<CollectiveOp> make_reduce(Communicator comm, std::uint32_t seq,
+                                          const void* sendbuf, void* recvbuf,
+                                          std::size_t count, DType dtype, ReduceOp op,
+                                          int root) {
+  RAILS_CHECK(root >= 0 && root < comm.size());
+  // The binomial implementation is rooted at 0 via vranks, so any root works.
+  return std::make_unique<ReduceOpImpl>(comm, seq, sendbuf, recvbuf, count, dtype, op,
+                                        root);
+}
+
+std::unique_ptr<CollectiveOp> make_allreduce(Communicator comm, std::uint32_t seq,
+                                             const void* sendbuf, void* recvbuf,
+                                             std::size_t count, DType dtype,
+                                             ReduceOp op) {
+  return std::make_unique<AllreduceOp>(comm, seq, sendbuf, recvbuf, count, dtype, op);
+}
+
+std::unique_ptr<CollectiveOp> make_gather(Communicator comm, std::uint32_t seq,
+                                          const void* sendbuf, std::size_t len,
+                                          void* recvbuf, int root) {
+  RAILS_CHECK(root >= 0 && root < comm.size());
+  return std::make_unique<GatherOp>(comm, seq, sendbuf, len, recvbuf, root);
+}
+
+std::unique_ptr<CollectiveOp> make_scatter(Communicator comm, std::uint32_t seq,
+                                           const void* sendbuf, std::size_t len,
+                                           void* recvbuf, int root) {
+  RAILS_CHECK(root >= 0 && root < comm.size());
+  return std::make_unique<ScatterOp>(comm, seq, sendbuf, len, recvbuf, root);
+}
+
+std::unique_ptr<CollectiveOp> make_allgather(Communicator comm, std::uint32_t seq,
+                                             const void* sendbuf, std::size_t len,
+                                             void* recvbuf) {
+  return std::make_unique<AllgatherOp>(comm, seq, sendbuf, len, recvbuf);
+}
+
+std::unique_ptr<CollectiveOp> make_alltoall(Communicator comm, std::uint32_t seq,
+                                            const void* sendbuf, std::size_t len,
+                                            void* recvbuf) {
+  return std::make_unique<AlltoallOp>(comm, seq, sendbuf, len, recvbuf);
+}
+
+std::unique_ptr<CollectiveOp> make_reduce_scatter(Communicator comm, std::uint32_t seq,
+                                                  const void* sendbuf, void* recvbuf,
+                                                  std::size_t count, DType dtype,
+                                                  ReduceOp op) {
+  return std::make_unique<ReduceScatterOp>(comm, seq, sendbuf, recvbuf, count, dtype, op);
+}
+
+std::unique_ptr<CollectiveOp> make_scan(Communicator comm, std::uint32_t seq,
+                                        const void* sendbuf, void* recvbuf,
+                                        std::size_t count, DType dtype, ReduceOp op) {
+  return std::make_unique<ScanOp>(comm, seq, sendbuf, recvbuf, count, dtype, op);
+}
+
+}  // namespace rails::mpi

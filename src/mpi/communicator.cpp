@@ -1,0 +1,91 @@
+#include "mpi/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace rails::mpi {
+
+std::size_t dtype_size(DType dtype) {
+  return dtype == DType::kDouble ? sizeof(double) : sizeof(std::int64_t);
+}
+
+namespace {
+
+template <typename T>
+void apply_typed(ReduceOp op, T* acc, const T* in, std::size_t count) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+void apply_op(ReduceOp op, DType dtype, void* acc, const void* in, std::size_t count) {
+  if (dtype == DType::kDouble) {
+    apply_typed(op, static_cast<double*>(acc), static_cast<const double*>(in), count);
+  } else {
+    apply_typed(op, static_cast<std::int64_t*>(acc),
+                static_cast<const std::int64_t*>(in), count);
+  }
+}
+
+core::SendHandle Communicator::isend(int dest, Tag tag, const void* buf, std::size_t len) {
+  RAILS_CHECK(dest >= 0 && dest < size_ && dest != rank_);
+  return engine().isend(static_cast<NodeId>(dest), tag, buf, len);
+}
+
+core::RecvHandle Communicator::irecv(int src, Tag tag, void* buf, std::size_t capacity) {
+  RAILS_CHECK(src >= 0 && src < size_ && src != rank_);
+  return engine().irecv(static_cast<NodeId>(src), tag, buf, capacity);
+}
+
+void Communicator::send(int dest, Tag tag, const void* buf, std::size_t len) {
+  world_->wait(isend(dest, tag, buf, len));
+}
+
+void Communicator::recv(int src, Tag tag, void* buf, std::size_t capacity) {
+  world_->wait(irecv(src, tag, buf, capacity));
+}
+
+void Communicator::sendrecv(int dest, Tag stag, const void* sbuf, std::size_t slen,
+                            int src, Tag rtag, void* rbuf, std::size_t rcap) {
+  // Post both before waiting: immune to ordering deadlocks.
+  auto r = irecv(src, rtag, rbuf, rcap);
+  auto s = isend(dest, stag, sbuf, slen);
+  world_->wait(r);
+  world_->wait(s);
+}
+
+SimDuration run_all(core::World& world, std::vector<std::unique_ptr<CollectiveOp>> ops) {
+  RAILS_CHECK(!ops.empty());
+  // Let prior traffic drain so the measured duration is the collective's.
+  world.fabric().events().run_all();
+  const SimTime start = world.now();
+
+  std::vector<bool> done(ops.size(), false);
+  std::size_t remaining = ops.size();
+  while (remaining > 0) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!done[i] && ops[i]->step()) {
+        done[i] = true;
+        --remaining;
+      }
+    }
+    if (remaining == 0) break;
+    RAILS_CHECK_MSG(world.fabric().events().step(),
+                    "collective deadlocked: event queue drained with ranks pending");
+  }
+  return world.now() - start;
+}
+
+}  // namespace rails::mpi

@@ -1,0 +1,140 @@
+// MPI-style layer over the multirail engine.
+//
+// The paper's stated future work is to "integrate NewMadeleine in the
+// MPICH2-Nemesis software stack so as to use the multirail capabilities ...
+// within the widespread MPI implementation". This module provides that
+// upper layer: ranks, tagged point-to-point operations and nonblocking
+// collectives, all running over the multirail engines of a World.
+//
+// Collectives are state machines (CollectiveOp) advanced by polling — the
+// natural shape on top of an engine whose requests are completion-polled.
+// Each rank constructs its op; Collective::run_all() drives the fabric
+// until every rank's op completes. Algorithms are the classic ones:
+// dissemination barrier, binomial-tree bcast/reduce, recursive-doubling
+// allreduce, ring allgather, pairwise alltoall.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace rails::mpi {
+
+/// Element-wise reduction operators. Reductions are typed: the byte buffers
+/// are reinterpreted as arrays of `double` or `std::int64_t`.
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+enum class DType : std::uint8_t { kDouble, kInt64 };
+
+std::size_t dtype_size(DType dtype);
+
+/// Applies `op` element-wise: acc[i] = op(acc[i], in[i]).
+void apply_op(ReduceOp op, DType dtype, void* acc, const void* in, std::size_t count);
+
+/// A rank's endpoint: thin wrapper over its engine with an MPI-flavoured
+/// API. All ranks of a communicator share one World (one virtual cluster).
+class Communicator {
+ public:
+  Communicator(core::World* world, int rank)
+      : world_(world), rank_(rank), size_(static_cast<int>(world->fabric().node_count())) {}
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  core::World& world() { return *world_; }
+  core::Engine& engine() { return world_->engine(static_cast<NodeId>(rank_)); }
+
+  /// Nonblocking tagged point-to-point (thin forwarding).
+  core::SendHandle isend(int dest, Tag tag, const void* buf, std::size_t len);
+  core::RecvHandle irecv(int src, Tag tag, void* buf, std::size_t capacity);
+
+  /// Blocking variants: run the virtual cluster until completion.
+  void send(int dest, Tag tag, const void* buf, std::size_t len);
+  void recv(int src, Tag tag, void* buf, std::size_t capacity);
+
+  /// Combined exchange, deadlock-free regardless of rank order.
+  void sendrecv(int dest, Tag stag, const void* sbuf, std::size_t slen,  //
+                int src, Tag rtag, void* rbuf, std::size_t rcap);
+
+ private:
+  core::World* world_;
+  int rank_;
+  int size_;
+};
+
+/// One rank's participation in one collective. step() posts/advances what
+/// it can and returns true once this rank is finished.
+class CollectiveOp {
+ public:
+  virtual ~CollectiveOp() = default;
+  virtual bool step() = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Drives a set of per-rank ops (one per rank, same collective) to
+/// completion over the shared fabric. Returns the virtual duration.
+SimDuration run_all(core::World& world, std::vector<std::unique_ptr<CollectiveOp>> ops);
+
+// -- factories: one op per rank ---------------------------------------------
+// `seq` disambiguates concurrent collectives: callers increment it per
+// operation so tags never collide (it is folded into the high tag bits).
+
+std::unique_ptr<CollectiveOp> make_barrier(Communicator comm, std::uint32_t seq);
+
+std::unique_ptr<CollectiveOp> make_bcast(Communicator comm, std::uint32_t seq, void* buf,
+                                         std::size_t len, int root);
+
+std::unique_ptr<CollectiveOp> make_reduce(Communicator comm, std::uint32_t seq,
+                                          const void* sendbuf, void* recvbuf,
+                                          std::size_t count, DType dtype, ReduceOp op,
+                                          int root);
+
+std::unique_ptr<CollectiveOp> make_allreduce(Communicator comm, std::uint32_t seq,
+                                             const void* sendbuf, void* recvbuf,
+                                             std::size_t count, DType dtype, ReduceOp op);
+
+std::unique_ptr<CollectiveOp> make_gather(Communicator comm, std::uint32_t seq,
+                                          const void* sendbuf, std::size_t len,
+                                          void* recvbuf, int root);
+
+std::unique_ptr<CollectiveOp> make_scatter(Communicator comm, std::uint32_t seq,
+                                           const void* sendbuf, std::size_t len,
+                                           void* recvbuf, int root);
+
+std::unique_ptr<CollectiveOp> make_allgather(Communicator comm, std::uint32_t seq,
+                                             const void* sendbuf, std::size_t len,
+                                             void* recvbuf);
+
+std::unique_ptr<CollectiveOp> make_alltoall(Communicator comm, std::uint32_t seq,
+                                            const void* sendbuf, std::size_t len,
+                                            void* recvbuf);
+
+/// Reduce-scatter: element-wise reduction of p blocks of `count` elements,
+/// each rank ending with the reduced block at its own rank index
+/// (MPI_Reduce_scatter_block semantics). Ring algorithm: p-1 steps, each
+/// moving one partially-reduced block to the right neighbour.
+std::unique_ptr<CollectiveOp> make_reduce_scatter(Communicator comm, std::uint32_t seq,
+                                                  const void* sendbuf, void* recvbuf,
+                                                  std::size_t count, DType dtype,
+                                                  ReduceOp op);
+
+/// Inclusive scan (prefix reduction): rank r receives op over the
+/// contributions of ranks 0..r. Linear pipeline.
+std::unique_ptr<CollectiveOp> make_scan(Communicator comm, std::uint32_t seq,
+                                        const void* sendbuf, void* recvbuf,
+                                        std::size_t count, DType dtype, ReduceOp op);
+
+/// Convenience: build one op per rank with the given factory and run them.
+template <typename Factory>
+SimDuration collective(core::World& world, std::uint32_t seq, Factory&& factory) {
+  std::vector<std::unique_ptr<CollectiveOp>> ops;
+  const int n = static_cast<int>(world.fabric().node_count());
+  ops.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    ops.push_back(factory(Communicator(&world, r), seq));
+  }
+  return run_all(world, std::move(ops));
+}
+
+}  // namespace rails::mpi

@@ -1,0 +1,34 @@
+// Event sources for the progression engine (PIOMan analogue).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rails::progress {
+
+/// One pollable origin of communication events (a NIC completion queue, an
+/// rx ring, a timer). The progression engine decides, per context, whether
+/// to poll it actively or to park in a blocking wait.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Non-blocking check; returns the number of events processed (0 = none).
+  virtual unsigned poll() = 0;
+
+  /// Whether the source supports a blocking wait (interrupt-driven NICs do;
+  /// pure memory rings do not).
+  virtual bool supports_blocking() const { return false; }
+
+  /// Blocks until at least one event arrives or `timeout_us` elapses;
+  /// returns the number of events processed. Only called when
+  /// supports_blocking() is true.
+  virtual unsigned block(std::uint64_t timeout_us) {
+    (void)timeout_us;
+    return 0;
+  }
+};
+
+}  // namespace rails::progress

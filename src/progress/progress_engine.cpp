@@ -1,0 +1,111 @@
+#include "progress/progress_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rails::progress {
+
+const char* to_string(Method m) {
+  return m == Method::kPolling ? "polling" : "blocking";
+}
+
+Method choose_method(const Context& ctx) {
+  // No source can block: polling is the only option.
+  if (!ctx.sources_support_blocking) return Method::kPolling;
+  // A spare core means polling costs nothing and reacts fastest.
+  if (ctx.idle_cores > 0) return Method::kPolling;
+  // Saturated machine: stealing cycles from computing threads for a poll
+  // loop hurts both sides — park in a blocking wait instead.
+  if (ctx.computing_threads > 0) return Method::kBlocking;
+  return Method::kPolling;
+}
+
+ProgressEngine::~ProgressEngine() { stop(); }
+
+void ProgressEngine::add_source(EventSource* source) {
+  RAILS_CHECK(source != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  sources_.push_back(source);
+}
+
+void ProgressEngine::remove_source(EventSource* source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sources_.erase(std::remove(sources_.begin(), sources_.end(), source), sources_.end());
+}
+
+std::size_t ProgressEngine::source_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sources_.size();
+}
+
+unsigned ProgressEngine::tick(const Context& ctx) {
+  std::vector<EventSource*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = sources_;
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+
+  const Method method = choose_method(ctx);
+  unsigned total = 0;
+  for (EventSource* src : snapshot) {
+    unsigned n = 0;
+    if (method == Method::kBlocking && src->supports_blocking()) {
+      blocking_waits_.fetch_add(1, std::memory_order_relaxed);
+      n = src->block(/*timeout_us=*/100);
+    } else {
+      polls_.fetch_add(1, std::memory_order_relaxed);
+      n = src->poll();
+    }
+    total += n;
+  }
+  events_.fetch_add(total, std::memory_order_relaxed);
+  return total;
+}
+
+void ProgressEngine::start(rt::WorkerPool* pool, unsigned worker, const Context& ctx) {
+  RAILS_CHECK(pool != nullptr);
+  bool expected = false;
+  RAILS_CHECK_MSG(running_.compare_exchange_strong(expected, true),
+                  "progress engine already running");
+  pool_ = pool;
+  pump(pool, worker, ctx);
+}
+
+void ProgressEngine::pump(rt::WorkerPool* pool, unsigned worker, Context ctx) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  pool->submit_to(worker, rt::Tasklet(
+                              [this, pool, worker, ctx] {
+                                if (running_.load(std::memory_order_acquire)) {
+                                  tick(ctx);
+                                  // Chain the next pump before releasing this
+                                  // one so inflight_ never dips to 0 while
+                                  // running.
+                                  pump(pool, worker, ctx);
+                                }
+                                inflight_.fetch_sub(1, std::memory_order_acq_rel);
+                              },
+                              rt::TaskPriority::kTasklet));
+}
+
+void ProgressEngine::stop() {
+  running_.store(false, std::memory_order_release);
+  // Wait out our own in-flight pump tasklets: each observes running_ ==
+  // false and ends its chain, so afterwards nothing references this engine.
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+ProgressStats ProgressEngine::stats() const {
+  ProgressStats s;
+  s.ticks = ticks_.load(std::memory_order_relaxed);
+  s.events = events_.load(std::memory_order_relaxed);
+  s.polls = polls_.load(std::memory_order_relaxed);
+  s.blocking_waits = blocking_waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace rails::progress

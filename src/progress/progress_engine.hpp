@@ -1,0 +1,92 @@
+// Progression engine (PIOMan analogue, §III-A).
+//
+// "PIOMAN is able to choose the most appropriate method (polling or
+// interrupt-based blocking call) depending on the context (number of
+// computing threads, available CPUs, etc.) to ensure a high level of
+// reactivity."
+//
+// The engine owns a registry of EventSources and drives them either by
+// explicit ticks (tick()) or from a dedicated progression tasklet running on
+// a WorkerPool worker. The polling/blocking decision is a pure function of
+// the observed context so it can be unit-tested in isolation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rt/worker_pool.hpp"
+#include "progress/event_source.hpp"
+
+namespace rails::progress {
+
+enum class Method : std::uint8_t {
+  kPolling,   ///< spin through sources: lowest latency, burns a core
+  kBlocking,  ///< interrupt-style wait: frees the core, higher latency
+};
+
+const char* to_string(Method m);
+
+/// The scheduling context the method decision is based on.
+struct Context {
+  unsigned idle_cores = 0;        ///< cores with no runnable thread
+  unsigned computing_threads = 0; ///< application threads wanting CPU
+  bool sources_support_blocking = false;
+};
+
+/// Pure decision function: poll when a core can be spared (or when no source
+/// can block), block when the machine is saturated with computation.
+Method choose_method(const Context& ctx);
+
+struct ProgressStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t events = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t blocking_waits = 0;
+};
+
+class ProgressEngine {
+ public:
+  ProgressEngine() = default;
+  ~ProgressEngine();
+
+  ProgressEngine(const ProgressEngine&) = delete;
+  ProgressEngine& operator=(const ProgressEngine&) = delete;
+
+  /// Registers a source. Sources must outlive the engine or be removed.
+  void add_source(EventSource* source);
+  void remove_source(EventSource* source);
+  std::size_t source_count() const;
+
+  /// One progression step under the given context: chooses the method and
+  /// drives every source once. Returns the number of events processed.
+  unsigned tick(const Context& ctx);
+
+  /// Spawns a repeating progression tasklet on `pool` worker `worker`; the
+  /// tasklet re-submits itself until stop() is called — the same structure
+  /// as PIOMan's Marcel-scheduled detection tasklets.
+  void start(rt::WorkerPool* pool, unsigned worker, const Context& ctx);
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ProgressStats stats() const;
+
+ private:
+  void pump(rt::WorkerPool* pool, unsigned worker, Context ctx);
+
+  mutable std::mutex mutex_;
+  std::vector<EventSource*> sources_;
+  rt::WorkerPool* pool_ = nullptr;  ///< set by start()
+  std::atomic<bool> running_{false};
+  std::atomic<int> inflight_{0};     ///< pump tasklets queued or executing
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> polls_{0};
+  std::atomic<std::uint64_t> blocking_waits_{0};
+};
+
+}  // namespace rails::progress

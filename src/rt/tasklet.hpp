@@ -1,0 +1,30 @@
+// Tasklets: high-priority deferred work items (Marcel analogue, §III-A).
+//
+// "Tasklets have been introduced in operating systems to defer treatments
+// that cannot be performed within an interrupt handler. Tasklets have a very
+// high priority, meaning that they are executed as soon as the scheduler
+// reaches a point where it is safe to let them run."
+//
+// In this runtime a tasklet is a small callable with a priority class; the
+// worker pool always drains pending tasklets before ordinary work items.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+namespace rails::rt {
+
+enum class TaskPriority : int {
+  kTasklet = 0,  ///< drained before anything else (I/O detection, PIO submits)
+  kNormal = 1,   ///< ordinary deferred work
+};
+
+struct Tasklet {
+  std::function<void()> fn;
+  TaskPriority priority = TaskPriority::kNormal;
+
+  Tasklet() = default;
+  Tasklet(std::function<void()> f, TaskPriority p) : fn(std::move(f)), priority(p) {}
+};
+
+}  // namespace rails::rt

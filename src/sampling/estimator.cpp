@@ -1,0 +1,61 @@
+#include "sampling/estimator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rails::sampling {
+
+const RailProfile& Estimator::profile(RailId rail) const {
+  RAILS_CHECK(rail < profiles_.size());
+  return profiles_[rail];
+}
+
+fabric::Protocol Estimator::protocol_for(RailId rail, std::size_t size) const {
+  const RailProfile& rp = profile(rail);
+  if (size > rp.max_eager || size >= rp.rdv_threshold) return fabric::Protocol::kRendezvous;
+  return fabric::Protocol::kEager;
+}
+
+std::size_t Estimator::engine_rdv_threshold() const {
+  RAILS_CHECK(!profiles_.empty());
+  std::size_t threshold = 0;
+  for (const auto& rp : profiles_) threshold = std::max(threshold, rp.rdv_threshold);
+  return threshold;
+}
+
+const PerfProfile& Estimator::table(RailId rail, fabric::Protocol proto) const {
+  const RailProfile& rp = profile(rail);
+  return proto == fabric::Protocol::kEager ? rp.eager : rp.rendezvous;
+}
+
+SimDuration Estimator::duration(RailId rail, std::size_t size,
+                                fabric::Protocol proto) const {
+  return table(rail, proto).estimate(size);
+}
+
+SimDuration Estimator::chunk_duration(RailId rail, std::size_t size) const {
+  return profile(rail).rdv_chunk.estimate(size);
+}
+
+SimDuration Estimator::eager_host_time(RailId rail, std::size_t size) const {
+  return profile(rail).eager_host.estimate(size);
+}
+
+SimTime Estimator::completion(const RailState& state, SimTime now, std::size_t size,
+                              fabric::Protocol proto) const {
+  const SimTime start = std::max(now, state.busy_until);
+  return start + duration(state.rail, size, proto);
+}
+
+std::size_t Estimator::max_chunk_by(const RailState& state, SimTime now, SimTime deadline,
+                                    fabric::Protocol proto) const {
+  const SimTime start = std::max(now, state.busy_until);
+  if (deadline <= start) return 0;
+  const PerfProfile& tbl = proto == fabric::Protocol::kEager
+                               ? profile(state.rail).eager
+                               : profile(state.rail).rdv_chunk;
+  return tbl.max_bytes_within(deadline - start);
+}
+
+}  // namespace rails::sampling

@@ -1,0 +1,66 @@
+// Busy-aware transfer-time prediction (§II-B, Fig. 2).
+//
+// The estimator combines the sampled profiles with a snapshot of each NIC's
+// busy-until time: "For each interface, the time remaining before it becomes
+// idle is added to its predicted transfer time." Strategies consult it for
+// every decision — which protocol, which rails, which split.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fabric/network_model.hpp"
+#include "sampling/sampler.hpp"
+
+namespace rails::sampling {
+
+/// Snapshot of one rail at decision time.
+struct RailState {
+  RailId rail = 0;
+  SimTime busy_until = 0;  ///< NIC injection port frees at this time
+};
+
+class Estimator {
+ public:
+  Estimator() = default;
+  explicit Estimator(std::vector<RailProfile> profiles) : profiles_(std::move(profiles)) {}
+
+  std::size_t rail_count() const { return profiles_.size(); }
+  const RailProfile& profile(RailId rail) const;
+
+  /// Protocol the engine should use on `rail` for a message of `size`.
+  fabric::Protocol protocol_for(RailId rail, std::size_t size) const;
+
+  /// Eager/rendezvous threshold for the whole engine: a message uses the
+  /// rendezvous path once it exceeds every rail's own threshold (a message
+  /// below some rail's threshold can still go eager on that rail).
+  std::size_t engine_rdv_threshold() const;
+
+  /// Pure transfer duration on an idle rail.
+  SimDuration duration(RailId rail, std::size_t size, fabric::Protocol proto) const;
+
+  /// Duration of one rendezvous DMA chunk (no handshake) — what the split
+  /// solver balances across rails.
+  SimDuration chunk_duration(RailId rail, std::size_t size) const;
+
+  /// Core-occupying time of an eager post (the PIO copy the multicore
+  /// strategy offloads).
+  SimDuration eager_host_time(RailId rail, std::size_t size) const;
+
+  /// Predicted completion of a transfer submitted now: waits for the NIC to
+  /// go idle, then streams. This is Fig. 2's selection metric.
+  SimTime completion(const RailState& state, SimTime now, std::size_t size,
+                     fabric::Protocol proto) const;
+
+  /// Largest chunk `rail` can finish by `deadline` if submission starts at
+  /// max(now, busy_until). 0 when even the latency does not fit.
+  std::size_t max_chunk_by(const RailState& state, SimTime now, SimTime deadline,
+                           fabric::Protocol proto) const;
+
+ private:
+  const PerfProfile& table(RailId rail, fabric::Protocol proto) const;
+  std::vector<RailProfile> profiles_;
+};
+
+}  // namespace rails::sampling

@@ -1,0 +1,130 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace rails::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSubmit: return "submit";
+    case EventKind::kRecvPosted: return "recv-posted";
+    case EventKind::kEagerEmit: return "eager-emit";
+    case EventKind::kOffloadSignal: return "offload-signal";
+    case EventKind::kRtsSent: return "rts";
+    case EventKind::kCtsSent: return "cts";
+    case EventKind::kChunkPosted: return "chunk";
+    case EventKind::kSendComplete: return "send-complete";
+    case EventKind::kRecvComplete: return "recv-complete";
+  }
+  return "?";
+}
+
+void Tracer::record(const TraceEvent& event) { events_.push_back(event); }
+
+std::vector<TraceEvent> Tracer::of_kind(EventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<MessageTimeline> Tracer::message(NodeId node, std::uint64_t msg_id) const {
+  MessageTimeline tl;
+  tl.msg_id = msg_id;
+  bool seen = false;
+  for (const auto& e : events_) {
+    if (e.node != node || e.msg_id != msg_id) continue;
+    seen = true;
+    switch (e.kind) {
+      case EventKind::kSubmit:
+        tl.submit = e.time;
+        tl.bytes = e.bytes;
+        break;
+      case EventKind::kEagerEmit:
+      case EventKind::kChunkPosted:
+        if (tl.first_emission < 0) tl.first_emission = e.time;
+        ++tl.chunks;
+        break;
+      case EventKind::kOffloadSignal:
+        ++tl.offloaded;
+        break;
+      case EventKind::kSendComplete:
+        tl.complete = e.time;
+        break;
+      default:
+        break;
+    }
+  }
+  if (!seen) return std::nullopt;
+  return tl;
+}
+
+std::vector<std::uint64_t> Tracer::bytes_per_rail() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& e : events_) {
+    if (e.kind != EventKind::kEagerEmit && e.kind != EventKind::kChunkPosted) continue;
+    if (e.rail >= out.size()) out.resize(e.rail + 1, 0);
+    out[e.rail] += e.bytes;
+  }
+  return out;
+}
+
+std::vector<SimDuration> Tracer::rail_busy_time() const {
+  std::vector<SimDuration> out;
+  for (const auto& e : events_) {
+    if (e.kind != EventKind::kEagerEmit && e.kind != EventKind::kChunkPosted) continue;
+    if (e.rail >= out.size()) out.resize(e.rail + 1, 0);
+    out[e.rail] += std::max<SimDuration>(0, e.nic_end - e.time);
+  }
+  return out;
+}
+
+void Tracer::dump_csv(std::ostream& os) const {
+  os << "time_ns,node,kind,msg_id,tag,rail,core,bytes,nic_end_ns\n";
+  for (const auto& e : events_) {
+    os << e.time << ',' << e.node << ',' << to_string(e.kind) << ',' << e.msg_id << ','
+       << e.tag << ',' << e.rail << ',' << e.core << ',' << e.bytes << ',' << e.nic_end
+       << '\n';
+  }
+}
+
+void Tracer::render_gantt(std::ostream& os, unsigned width) const {
+  RAILS_CHECK(width >= 8);
+  SimTime begin = kSimTimeNever;
+  SimTime end = 0;
+  std::size_t rails = 0;
+  for (const auto& e : events_) {
+    if (e.kind != EventKind::kEagerEmit && e.kind != EventKind::kChunkPosted) continue;
+    begin = std::min(begin, e.time);
+    end = std::max(end, e.nic_end);
+    rails = std::max<std::size_t>(rails, e.rail + 1);
+  }
+  if (rails == 0 || end <= begin) {
+    os << "(no NIC activity recorded)\n";
+    return;
+  }
+  const double scale = static_cast<double>(width) / static_cast<double>(end - begin);
+  for (std::size_t r = 0; r < rails; ++r) {
+    std::string lane(width, '.');
+    for (const auto& e : events_) {
+      if (e.rail != r) continue;
+      if (e.kind != EventKind::kEagerEmit && e.kind != EventKind::kChunkPosted) continue;
+      const auto from = static_cast<std::size_t>(
+          static_cast<double>(e.time - begin) * scale);
+      auto to = static_cast<std::size_t>(static_cast<double>(e.nic_end - begin) * scale);
+      to = std::min<std::size_t>(std::max(to, from + 1), width);
+      const char mark = e.kind == EventKind::kChunkPosted ? '#' : '=';
+      for (std::size_t c = from; c < to; ++c) lane[c] = mark;
+    }
+    os << "rail " << r << " |" << lane << "|\n";
+  }
+  os << "        " << to_usec(begin) << " us";
+  os << std::string(width > 24 ? width - 24 : 1, ' ');
+  os << to_usec(end) << " us\n";
+}
+
+}  // namespace rails::trace

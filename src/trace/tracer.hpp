@@ -1,0 +1,98 @@
+// Execution tracing for the communication engine.
+//
+// NewMadeleine ships with trace-based visualisation of its scheduling
+// decisions; this is the equivalent observability layer. When a Tracer is
+// attached to an Engine, every scheduling-relevant event (submission,
+// emission, chunk post, completion) is recorded with its virtual timestamp,
+// rail, core and byte count. Traces are queryable in-process (per-message
+// timelines, per-rail utilisation) and exportable as CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rails::trace {
+
+enum class EventKind : std::uint8_t {
+  kSubmit,        ///< application called isend
+  kRecvPosted,    ///< application called irecv
+  kEagerEmit,     ///< eager segment handed to a NIC
+  kOffloadSignal, ///< emission routed to a remote core (TO charged)
+  kRtsSent,       ///< rendezvous request out
+  kCtsSent,       ///< rendezvous acknowledged by the receiver
+  kChunkPosted,   ///< one DMA chunk handed to a NIC
+  kSendComplete,  ///< send request finished
+  kRecvComplete,  ///< receive request finished
+};
+
+const char* to_string(EventKind kind);
+
+struct TraceEvent {
+  SimTime time = 0;
+  NodeId node = 0;
+  EventKind kind = EventKind::kSubmit;
+  std::uint64_t msg_id = 0;
+  Tag tag = 0;
+  RailId rail = 0;
+  CoreId core = 0;
+  std::size_t bytes = 0;
+  /// For emissions/chunks: when the transfer is predicted to leave the NIC.
+  SimTime nic_end = 0;
+};
+
+/// Per-message summary reconstructed from a trace.
+struct MessageTimeline {
+  std::uint64_t msg_id = 0;
+  SimTime submit = -1;
+  SimTime first_emission = -1;
+  SimTime complete = -1;
+  unsigned chunks = 0;
+  unsigned offloaded = 0;
+  std::size_t bytes = 0;
+
+  SimDuration queueing_delay() const {
+    return first_emission >= 0 && submit >= 0 ? first_emission - submit : 0;
+  }
+  SimDuration total_latency() const {
+    return complete >= 0 && submit >= 0 ? complete - submit : 0;
+  }
+};
+
+class Tracer {
+ public:
+  void record(const TraceEvent& event);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in record order.
+  std::vector<TraceEvent> of_kind(EventKind kind) const;
+
+  /// Reconstructs the timeline of one sender-side message.
+  std::optional<MessageTimeline> message(NodeId node, std::uint64_t msg_id) const;
+
+  /// Payload bytes handed to each rail (emissions + chunks), highest rail
+  /// index observed defines the vector length.
+  std::vector<std::uint64_t> bytes_per_rail() const;
+
+  /// Busy time per rail within [begin, end], from emission nic_end spans.
+  std::vector<SimDuration> rail_busy_time() const;
+
+  /// CSV export: one event per line with a header row.
+  void dump_csv(std::ostream& os) const;
+
+  /// ASCII per-rail Gantt chart of NIC activity, `width` columns wide.
+  void render_gantt(std::ostream& os, unsigned width = 72) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rails::trace

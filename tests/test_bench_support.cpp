@@ -1,0 +1,73 @@
+#include "bench_support/table.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rails::bench {
+namespace {
+
+TEST(SeriesTable, StoresAndRetrievesValues) {
+  SeriesTable t("demo", "x", {"a", "b"});
+  t.add_row("1", {10.0, 20.0});
+  t.add_row("2", {30.0, 40.0});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.value(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(t.value(1, 1), 40.0);
+}
+
+TEST(SeriesTable, PrintsAlignedColumns) {
+  SeriesTable t("demo title", "size", {"first", "second"});
+  t.add_row("4K", {1.5, 2.25});
+  std::ostringstream os;
+  t.print(os, 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo title"), std::string::npos);
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(SeriesTable, NanRendersAsDash) {
+  SeriesTable t("demo", "x", {"a"});
+  t.add_row("1", {std::nan("")});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find('-'), std::string::npos);
+}
+
+TEST(SeriesTableDeath, RowWidthMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SeriesTable t("demo", "x", {"a", "b"});
+  EXPECT_DEATH(t.add_row("1", {1.0}), "");
+}
+
+TEST(FormatSize, HumanReadable) {
+  EXPECT_EQ(format_size(4), "4");
+  EXPECT_EQ(format_size(1023), "1023");
+  EXPECT_EQ(format_size(1024), "1K");
+  EXPECT_EQ(format_size(16384), "16K");
+  EXPECT_EQ(format_size(1048576), "1M");
+  EXPECT_EQ(format_size(8u << 20), "8M");
+  // Non-multiples stay exact rather than rounding.
+  EXPECT_EQ(format_size(1025), "1025");
+}
+
+TEST(Pow2Sizes, InclusiveLadder) {
+  EXPECT_EQ(pow2_sizes(4, 32), (std::vector<std::size_t>{4, 8, 16, 32}));
+  EXPECT_EQ(pow2_sizes(8, 8), (std::vector<std::size_t>{8}));
+}
+
+TEST(ShapeCheck, PrintsAndCounts) {
+  const int before = shape_failures();
+  std::ostringstream os;
+  EXPECT_TRUE(shape_check(os, "always true", true));
+  EXPECT_FALSE(shape_check(os, "always false", false));
+  EXPECT_NE(os.str().find("[shape PASS] always true"), std::string::npos);
+  EXPECT_NE(os.str().find("[shape FAIL] always false"), std::string::npos);
+  EXPECT_EQ(shape_failures(), before + 1);
+}
+
+}  // namespace
+}  // namespace rails::bench

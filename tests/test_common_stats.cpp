@@ -1,0 +1,150 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rails {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256 rng(7);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(SampleSet, MedianAndPercentiles) {
+  SampleSet s;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75.0), 4.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(10.0), 1.0);
+}
+
+TEST(SampleSet, SingleSampleEveryPercentile) {
+  SampleSet s;
+  s.add(7.5);
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) EXPECT_DOUBLE_EQ(s.percentile(p), 7.5);
+}
+
+TEST(SampleSet, AddAfterQueryKeepsSorted) {
+  SampleSet s;
+  s.add(2.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.5);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+}
+
+TEST(SampleSet, MeanOfEmptyIsZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileSweep, MonotoneInP) {
+  Xoshiro256 rng(GetParam());
+  SampleSet s;
+  for (int i = 0; i < 200; ++i) s.add(rng.uniform());
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double v = s.percentile(p);
+    EXPECT_GE(v, prev) << "percentile must be monotone in p";
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Xoshiro, DeterministicAcrossInstances) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, RangeBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rails

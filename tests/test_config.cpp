@@ -1,0 +1,117 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rails::core {
+namespace {
+
+TEST(ClusterConfig, ParsesPresetsAndDirectives) {
+  std::istringstream is(R"(
+# the paper testbed
+nodes 2
+topology 2x2
+strategy hetero-split
+offload_signal_us 3.0
+rail preset myri10g
+rail preset qsnet2
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_EQ(cfg.fabric.node_count, 2u);
+  EXPECT_EQ(cfg.fabric.topology.core_count(), 4u);
+  EXPECT_EQ(cfg.strategy, "hetero-split");
+  EXPECT_EQ(cfg.engine.offload.signal_cost, usec(3.0));
+  ASSERT_EQ(cfg.fabric.rails.size(), 2u);
+  EXPECT_EQ(cfg.fabric.rails[0].name, "myri10g");
+  EXPECT_EQ(cfg.fabric.rails[1].name, "qsnet2");
+}
+
+TEST(ClusterConfig, ParsesCustomRail) {
+  std::istringstream is(R"(
+nodes 2
+rail custom name=lab-net post_us=2.5 wire_latency_us=7 pio_bw=800 dma_bw=300 rdma=0
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  ASSERT_EQ(cfg.fabric.rails.size(), 1u);
+  const auto& r = cfg.fabric.rails[0];
+  EXPECT_EQ(r.name, "lab-net");
+  EXPECT_DOUBLE_EQ(r.post_us, 2.5);
+  EXPECT_DOUBLE_EQ(r.wire_latency_us, 7.0);
+  EXPECT_DOUBLE_EQ(r.pio_bw_mbps, 800.0);
+  EXPECT_DOUBLE_EQ(r.dma_bw_mbps, 300.0);
+  EXPECT_FALSE(r.rdma);
+  // Unspecified parameters keep their defaults.
+  EXPECT_TRUE(r.gather_scatter);
+}
+
+TEST(ClusterConfig, CommentsAndBlanksIgnored) {
+  std::istringstream is("rail preset ib-ddr # inline comment\n\n   \n# full line\n");
+  const WorldConfig cfg = parse_world_config(is);
+  ASSERT_EQ(cfg.fabric.rails.size(), 1u);
+  EXPECT_EQ(cfg.fabric.rails[0].name, "ib-ddr");
+}
+
+TEST(ClusterConfig, RoundTripThroughSave) {
+  std::istringstream is(R"(
+nodes 4
+topology 4x4
+strategy iso-split
+rdv_threshold 16384
+rail preset myri10g
+rail preset gige-tcp
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_EQ(again.fabric.node_count, 4u);
+  EXPECT_EQ(again.fabric.topology.sockets, 4u);
+  EXPECT_EQ(again.strategy, "iso-split");
+  EXPECT_EQ(again.engine.rdv_threshold_override, 16384u);
+  ASSERT_EQ(again.fabric.rails.size(), 2u);
+  EXPECT_EQ(again.fabric.rails[0].name, "myri10g");
+  EXPECT_DOUBLE_EQ(again.fabric.rails[0].dma_bw_mbps, cfg.fabric.rails[0].dma_bw_mbps);
+  EXPECT_DOUBLE_EQ(again.fabric.rails[1].rdv_handshake_us,
+                   cfg.fabric.rails[1].rdv_handshake_us);
+}
+
+TEST(ClusterConfig, ConfigBuildsWorkingWorld) {
+  std::istringstream is(R"(
+nodes 2
+strategy hetero-split
+sampler_max_size 1048576
+rail preset myri10g
+rail preset qsnet2
+)");
+  core::World world(parse_world_config(is));
+  EXPECT_EQ(world.fabric().rail_count(), 2u);
+  EXPECT_GT(world.measure_bandwidth(512_KiB, 1), 1000.0);
+}
+
+TEST(ClusterConfigDeath, UnknownDirective) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("bogus 7\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, UnknownPreset) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("rail preset carrier-pigeon\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, NoRails) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("nodes 2\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, BadKeyValue) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("rail custom name\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+}  // namespace
+}  // namespace rails::core

@@ -1,0 +1,137 @@
+// Cross-component validation: ties the layers together.
+//
+//  * the sampled estimator must predict what the engine then measures;
+//  * the equal-finish solver must match brute force on coarse grids;
+//  * full experiment pipelines must be bit-deterministic, including traces.
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+#include "strategy/rail_cost.hpp"
+#include "strategy/split_solver.hpp"
+#include "test_util.hpp"
+#include "trace/tracer.hpp"
+
+namespace rails {
+namespace {
+
+class PredictionConsistency : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PredictionConsistency, EstimatorMatchesEngineOnIdleFabric) {
+  core::World world(core::paper_testbed("single-rail:1"));
+  const std::size_t size = GetParam();
+  const auto proto = size <= world.engine(0).rdv_threshold()
+                         ? fabric::Protocol::kEager
+                         : fabric::Protocol::kRendezvous;
+  const SimDuration predicted = world.estimator().duration(1, size, proto);
+  const SimDuration measured = world.measure_one_way(size);
+  // Within 3% + 1 µs: interpolation plus engine progress-event latency.
+  EXPECT_NEAR(static_cast<double>(predicted), static_cast<double>(measured),
+              static_cast<double>(measured) * 0.03 + 1000.0)
+      << "size " << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PredictionConsistency,
+                         ::testing::Values(100ul, 1500ul, 12_KiB, 100000ul, 1_MiB,
+                                           6_MiB),
+                         [](const auto& info) { return std::to_string(info.param); });
+
+TEST(SolverOptimality, MatchesBruteForceOnCoarseGrid) {
+  // Brute-force the 2-rail split at 4 KiB granularity and verify the
+  // equal-finish solver is never worse (it works at byte granularity).
+  const auto profiles =
+      sampling::sample_rails({fabric::myri10g(), fabric::qsnet2()}, {});
+  const strategy::ProfileCost myri(&profiles[0].rdv_chunk);
+  const strategy::ProfileCost qs(&profiles[1].rdv_chunk);
+
+  for (SimDuration busy_offset : {0_us, 200_us, 900_us}) {
+    const std::vector<strategy::SolverRail> rails = {{0, &myri, busy_offset},
+                                                     {1, &qs, 0}};
+    for (std::size_t total : {256_KiB, 1_MiB, 4_MiB}) {
+      SimDuration best_brute = kSimTimeNever;
+      for (std::size_t a = 0; a <= total; a += 4_KiB) {
+        const SimDuration t =
+            std::max(busy_offset + myri.duration(a), qs.duration(total - a));
+        best_brute = std::min(best_brute, t);
+      }
+      const auto solved = strategy::solve_equal_finish(rails, total);
+      EXPECT_LE(solved.makespan, best_brute)
+          << "total " << total << " busy " << busy_offset;
+    }
+  }
+}
+
+TEST(SolverOptimality, DichotomyWithinHalfPercentOfEqualFinish) {
+  const auto profiles =
+      sampling::sample_rails({fabric::myri10g(), fabric::qsnet2()}, {});
+  const strategy::ProfileCost myri(&profiles[0].rdv_chunk);
+  const strategy::ProfileCost qs(&profiles[1].rdv_chunk);
+  const std::vector<strategy::SolverRail> rails = {{0, &myri, 0}, {1, &qs, 0}};
+  for (std::size_t total = 128_KiB; total <= 8_MiB; total <<= 1) {
+    const auto dich = strategy::dichotomy_split(rails[0], rails[1], total);
+    const auto ef = strategy::solve_equal_finish(rails, total);
+    EXPECT_LE(static_cast<double>(dich.makespan),
+              static_cast<double>(ef.makespan) * 1.005)
+        << "total " << total;
+  }
+}
+
+TEST(Determinism, IdenticalTracesAcrossRuns) {
+  auto run = [] {
+    core::World world(core::paper_testbed("multicore-hetero-split"));
+    trace::Tracer tracer;
+    world.engine(0).set_tracer(&tracer);
+    const auto tx1 = test::make_pattern(20_KiB, 1);
+    const auto tx2 = test::make_pattern(3_MiB, 2);
+    std::vector<std::uint8_t> rx1(tx1.size()), rx2(tx2.size());
+    auto r1 = world.engine(1).irecv(0, 1, rx1.data(), rx1.size());
+    auto r2 = world.engine(1).irecv(0, 2, rx2.data(), rx2.size());
+    world.engine(0).isend(1, 1, tx1.data(), tx1.size());
+    world.engine(0).isend(1, 2, tx2.data(), tx2.size());
+    world.wait(r1);
+    world.wait(r2);
+    world.engine(0).set_tracer(nullptr);
+    std::ostringstream csv;
+    tracer.dump_csv(csv);
+    return csv.str();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, SamplerIsBitStable) {
+  const auto a = sampling::sample_rail(fabric::ib_ddr(), {});
+  const auto b = sampling::sample_rail(fabric::ib_ddr(), {});
+  ASSERT_EQ(a.eager.point_count(), b.eager.point_count());
+  for (std::size_t i = 0; i < a.eager.points().size(); ++i) {
+    EXPECT_EQ(a.eager.points()[i].duration, b.eager.points()[i].duration);
+  }
+  EXPECT_EQ(a.rdv_threshold, b.rdv_threshold);
+}
+
+TEST(Conservation, FabricDeliversExactlyWhatEnginesPost) {
+  core::World world(core::paper_testbed("hetero-split"));
+  const auto tx = test::make_pattern(3_MiB, 9);
+  std::vector<std::uint8_t> rx(tx.size());
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), rx.size());
+  auto send = world.engine(0).isend(1, 1, tx.data(), tx.size());
+  world.wait(send);
+  (void)recv;
+  world.fabric().events().run_all();
+  std::uint64_t delivered = 0;
+  for (RailId r = 0; r < world.fabric().rail_count(); ++r) {
+    delivered += world.fabric().delivered_payload(r);
+  }
+  std::uint64_t posted = 0;
+  for (RailId r = 0; r < world.fabric().rail_count(); ++r) {
+    posted += world.fabric().nic(0, r).payload_bytes_sent() +
+              world.fabric().nic(1, r).payload_bytes_sent();
+  }
+  EXPECT_EQ(delivered, posted);
+  EXPECT_GE(delivered, tx.size());  // payload + control/framing overhead
+}
+
+}  // namespace
+}  // namespace rails

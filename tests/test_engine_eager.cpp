@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "test_util.hpp"
+
+namespace rails::core {
+namespace {
+
+class EagerEngineTest : public ::testing::Test {
+ protected:
+  // One world per fixture instance keeps NIC/core state isolated per test.
+  EagerEngineTest() : world_(paper_testbed("aggregate-fastest")) {}
+
+  core::World world_;
+};
+
+TEST_F(EagerEngineTest, SmallMessageIntegrity) {
+  const auto tx = test::make_pattern(1024, 7);
+  std::vector<std::uint8_t> rx(1024, 0);
+  auto recv = world_.engine(1).irecv(0, 5, rx.data(), rx.size());
+  auto send = world_.engine(0).isend(1, 5, tx.data(), tx.size());
+  world_.wait(recv);
+  EXPECT_TRUE(send->done());
+  EXPECT_EQ(rx, tx);
+  EXPECT_EQ(recv->bytes_received, 1024u);
+}
+
+TEST_F(EagerEngineTest, ZeroByteMessage) {
+  auto recv = world_.engine(1).irecv(0, 1, nullptr, 0);
+  auto send = world_.engine(0).isend(1, 1, nullptr, 0);
+  world_.wait(recv);
+  EXPECT_TRUE(recv->done());
+  EXPECT_TRUE(send->done());
+  EXPECT_EQ(recv->bytes_received, 0u);
+}
+
+TEST_F(EagerEngineTest, UnexpectedMessageBuffered) {
+  const auto tx = test::make_pattern(512, 3);
+  std::vector<std::uint8_t> rx(512, 0);
+  auto send = world_.engine(0).isend(1, 9, tx.data(), tx.size());
+  world_.fabric().events().run_all();  // arrives before any recv is posted
+  EXPECT_TRUE(send->done());
+  auto recv = world_.engine(1).irecv(0, 9, rx.data(), rx.size());
+  // Matched immediately from the unexpected store.
+  EXPECT_TRUE(recv->done());
+  EXPECT_EQ(rx, tx);
+}
+
+TEST_F(EagerEngineTest, TagsMatchIndependently) {
+  const auto tx_a = test::make_pattern(100, 1);
+  const auto tx_b = test::make_pattern(200, 2);
+  std::vector<std::uint8_t> rx_a(100), rx_b(200);
+  // Post receives in the opposite order of the sends.
+  auto recv_b = world_.engine(1).irecv(0, 22, rx_b.data(), rx_b.size());
+  auto recv_a = world_.engine(1).irecv(0, 11, rx_a.data(), rx_a.size());
+  world_.engine(0).isend(1, 11, tx_a.data(), tx_a.size());
+  world_.engine(0).isend(1, 22, tx_b.data(), tx_b.size());
+  world_.wait(recv_a);
+  world_.wait(recv_b);
+  EXPECT_EQ(rx_a, tx_a);
+  EXPECT_EQ(rx_b, tx_b);
+}
+
+TEST_F(EagerEngineTest, SameTagMatchesInOrder) {
+  const auto tx1 = test::make_pattern(64, 10);
+  const auto tx2 = test::make_pattern(64, 20);
+  std::vector<std::uint8_t> rx1(64), rx2(64);
+  auto recv1 = world_.engine(1).irecv(0, 7, rx1.data(), 64);
+  auto recv2 = world_.engine(1).irecv(0, 7, rx2.data(), 64);
+  world_.engine(0).isend(1, 7, tx1.data(), 64);
+  world_.engine(0).isend(1, 7, tx2.data(), 64);
+  world_.wait(recv1);
+  world_.wait(recv2);
+  // FIFO semantics: first posted recv gets the first send.
+  EXPECT_EQ(rx1, tx1);
+  EXPECT_EQ(rx2, tx2);
+}
+
+TEST_F(EagerEngineTest, AggregationSharesOneSegment) {
+  // While the NIC is busy with the first message, subsequent submissions
+  // accumulate in the pack list and leave in one aggregated segment.
+  const auto tx = test::make_pattern(256, 4);
+  std::vector<std::vector<std::uint8_t>> rx(8, std::vector<std::uint8_t>(256));
+  std::vector<RecvHandle> recvs;
+  for (int i = 0; i < 8; ++i) {
+    recvs.push_back(world_.engine(1).irecv(0, 100 + i, rx[i].data(), 256));
+  }
+  std::vector<SendHandle> sends;
+  for (int i = 0; i < 8; ++i) {
+    sends.push_back(world_.engine(0).isend(1, 100 + i, tx.data(), 256));
+  }
+  for (auto& r : recvs) world_.wait(r);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rx[i], tx);
+
+  const auto& stats = world_.engine(0).stats();
+  EXPECT_EQ(stats.eager_msgs, 8u);
+  // Message 1 leaves alone immediately; 2..8 are queued behind the busy NIC
+  // and leave aggregated: strictly fewer segments than messages.
+  EXPECT_LT(stats.eager_segments, 8u);
+  EXPECT_GT(stats.aggregated_packets, 0u);
+}
+
+TEST_F(EagerEngineTest, ManySizesIntegrity) {
+  for (std::size_t size : {1ul, 3ul, 64ul, 1000ul, 4096ul, 16384ul, 32768ul}) {
+    const auto tx = test::make_pattern(size, size);
+    std::vector<std::uint8_t> rx(size, 0);
+    auto recv = world_.engine(1).irecv(0, size, rx.data(), size);
+    world_.engine(0).isend(1, size, tx.data(), size);
+    world_.wait(recv);
+    EXPECT_EQ(rx, tx) << "size " << size;
+  }
+}
+
+TEST_F(EagerEngineTest, BidirectionalTraffic) {
+  const auto tx0 = test::make_pattern(2048, 1);
+  const auto tx1 = test::make_pattern(2048, 2);
+  std::vector<std::uint8_t> rx0(2048), rx1(2048);
+  auto recv0 = world_.engine(0).irecv(1, 1, rx0.data(), 2048);
+  auto recv1 = world_.engine(1).irecv(0, 1, rx1.data(), 2048);
+  world_.engine(0).isend(1, 1, tx0.data(), 2048);
+  world_.engine(1).isend(0, 1, tx1.data(), 2048);
+  world_.wait(recv0);
+  world_.wait(recv1);
+  EXPECT_EQ(rx1, tx0);
+  EXPECT_EQ(rx0, tx1);
+}
+
+TEST_F(EagerEngineTest, SendCompletionIsLocal) {
+  // Eager sends complete at host release (buffered semantics), before the
+  // receiver ever posts a matching recv.
+  const auto tx = test::make_pattern(128, 5);
+  auto send = world_.engine(0).isend(1, 3, tx.data(), tx.size());
+  world_.fabric().events().run_all();
+  EXPECT_TRUE(send->done());
+  EXPECT_EQ(world_.engine(1).stats().recvs, 0u);
+}
+
+TEST_F(EagerEngineTest, StatsCountMessages) {
+  const auto tx = test::make_pattern(64, 1);
+  std::vector<std::uint8_t> rx(64);
+  auto recv = world_.engine(1).irecv(0, 1, rx.data(), 64);
+  world_.engine(0).isend(1, 1, tx.data(), 64);
+  world_.wait(recv);
+  EXPECT_EQ(world_.engine(0).stats().sends, 1u);
+  EXPECT_EQ(world_.engine(0).stats().eager_msgs, 1u);
+  EXPECT_EQ(world_.engine(0).stats().rdv_msgs, 0u);
+  EXPECT_EQ(world_.engine(1).stats().recvs, 1u);
+}
+
+TEST_F(EagerEngineTest, PendingSendsDrain) {
+  const auto tx = test::make_pattern(4096, 2);
+  for (int i = 0; i < 16; ++i) world_.engine(0).isend(1, 50 + i, tx.data(), tx.size());
+  world_.fabric().events().run_all();
+  EXPECT_EQ(world_.engine(0).pending_sends(), 0u);
+}
+
+TEST_F(EagerEngineTest, ThresholdFromSampling) {
+  // The engine derives its eager/rendezvous switch from the sampled
+  // profiles; for the paper testbed this lands in the tens of KiB.
+  EXPECT_GE(world_.engine(0).rdv_threshold(), 8_KiB);
+  EXPECT_LE(world_.engine(0).rdv_threshold(), 64_KiB);
+}
+
+}  // namespace
+}  // namespace rails::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "test_util.hpp"
+
+namespace rails::core {
+namespace {
+
+class RdvEngineTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  RdvEngineTest() : world_(paper_testbed(GetParam())) {}
+  core::World world_;
+};
+
+TEST_P(RdvEngineTest, LargeMessageIntegrity) {
+  const std::size_t size = 2_MiB;
+  const auto tx = test::make_pattern(size, 99);
+  std::vector<std::uint8_t> rx(size, 0);
+  auto recv = world_.engine(1).irecv(0, 1, rx.data(), size);
+  auto send = world_.engine(0).isend(1, 1, tx.data(), size);
+  world_.wait(recv);
+  world_.wait(send);
+  EXPECT_TRUE(send->rendezvous);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST_P(RdvEngineTest, OddSizesIntegrity) {
+  for (std::size_t size : {65537ul, 100001ul, 1048577ul}) {
+    const auto tx = test::make_pattern(size, size);
+    std::vector<std::uint8_t> rx(size, 0);
+    auto recv = world_.engine(1).irecv(0, 2, rx.data(), size);
+    auto send = world_.engine(0).isend(1, 2, tx.data(), size);
+    world_.wait(recv);
+    world_.wait(send);
+    EXPECT_EQ(rx, tx) << "size " << size;
+  }
+}
+
+TEST_P(RdvEngineTest, UnexpectedRtsWaitsForRecv) {
+  const std::size_t size = 1_MiB;
+  const auto tx = test::make_pattern(size, 5);
+  std::vector<std::uint8_t> rx(size, 0);
+  auto send = world_.engine(0).isend(1, 3, tx.data(), size);
+  world_.fabric().events().run_all();  // RTS arrives, no recv posted
+  EXPECT_FALSE(send->done());
+  auto recv = world_.engine(1).irecv(0, 3, rx.data(), size);
+  world_.wait(recv);
+  world_.wait(send);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST_P(RdvEngineTest, SenderCompletesOnlyAfterDelivery) {
+  // Rendezvous completion is remote: the FIN arrives after the receiver got
+  // every byte, so the receiver can never still be incomplete when the
+  // sender finishes.
+  const std::size_t size = 4_MiB;
+  const auto tx = test::make_pattern(size, 6);
+  std::vector<std::uint8_t> rx(size, 0);
+  auto recv = world_.engine(1).irecv(0, 4, rx.data(), size);
+  auto send = world_.engine(0).isend(1, 4, tx.data(), size);
+  world_.wait(send);
+  EXPECT_TRUE(recv->done());
+  EXPECT_GE(send->complete_time, recv->complete_time);
+}
+
+TEST_P(RdvEngineTest, ConcurrentRendezvous) {
+  const std::size_t size = 512_KiB;
+  std::vector<std::vector<std::uint8_t>> tx;
+  std::vector<std::vector<std::uint8_t>> rx(4, std::vector<std::uint8_t>(size));
+  std::vector<RecvHandle> recvs;
+  std::vector<SendHandle> sends;
+  for (int i = 0; i < 4; ++i) {
+    tx.push_back(test::make_pattern(size, 50 + i));
+    recvs.push_back(world_.engine(1).irecv(0, 10 + i, rx[i].data(), size));
+  }
+  for (int i = 0; i < 4; ++i) {
+    sends.push_back(world_.engine(0).isend(1, 10 + i, tx[i].data(), size));
+  }
+  for (auto& r : recvs) world_.wait(r);
+  for (auto& s : sends) world_.wait(s);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rx[i], tx[i]) << "message " << i;
+}
+
+TEST_P(RdvEngineTest, StatsCountRendezvous) {
+  const std::size_t size = 1_MiB;
+  const auto tx = test::make_pattern(size, 1);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world_.engine(1).irecv(0, 1, rx.data(), size);
+  auto send = world_.engine(0).isend(1, 1, tx.data(), size);
+  world_.wait(send);
+  (void)recv;
+  const auto& stats = world_.engine(0).stats();
+  EXPECT_EQ(stats.rdv_msgs, 1u);
+  EXPECT_GE(stats.rdv_chunks, 1u);
+  EXPECT_EQ(send->chunk_count, stats.rdv_chunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, RdvEngineTest,
+                         ::testing::Values("single-rail:0", "single-rail:1",
+                                           "greedy-balance", "aggregate-fastest",
+                                           "iso-split", "fixed-ratio-split",
+                                           "hetero-split", "multicore-hetero-split"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-' || c == ':') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(RdvChunks, HeteroSplitUsesBothRailsWithMyriMajority) {
+  core::World world(paper_testbed("hetero-split"));
+  const std::size_t size = 4_MiB;
+  const auto tx = test::make_pattern(size, 1);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), size);
+  auto send = world.engine(0).isend(1, 1, tx.data(), size);
+  world.wait(send);
+  (void)recv;
+  EXPECT_EQ(send->chunk_count, 2u);
+  const auto& per_rail = world.engine(0).stats().payload_bytes_per_rail;
+  // Rail 0 (Myri-10G, faster DMA) carries the larger share — the §IV-A
+  // example splits 4 MB into roughly 2437 KB / 1757 KB.
+  EXPECT_GT(per_rail[0], per_rail[1]);
+  EXPECT_GT(per_rail[1], size / 3);
+}
+
+TEST(RdvChunks, IsoSplitIsEqual) {
+  core::World world(paper_testbed("iso-split"));
+  const std::size_t size = 4_MiB;
+  const auto tx = test::make_pattern(size, 2);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), size);
+  auto send = world.engine(0).isend(1, 1, tx.data(), size);
+  world.wait(send);
+  (void)recv;
+  const auto& per_rail = world.engine(0).stats().payload_bytes_per_rail;
+  EXPECT_EQ(per_rail[0], per_rail[1]);
+}
+
+TEST(RdvChunks, SingleRailKeepsEverythingOnOneRail) {
+  core::World world(paper_testbed("single-rail:1"));
+  const std::size_t size = 2_MiB;
+  const auto tx = test::make_pattern(size, 3);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), size);
+  auto send = world.engine(0).isend(1, 1, tx.data(), size);
+  world.wait(send);
+  (void)recv;
+  const auto& per_rail = world.engine(0).stats().payload_bytes_per_rail;
+  EXPECT_EQ(per_rail[0], 0u);
+  EXPECT_EQ(per_rail[1], size);
+}
+
+}  // namespace
+}  // namespace rails::core

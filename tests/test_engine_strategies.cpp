@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+#include "test_util.hpp"
+
+namespace rails::core {
+namespace {
+
+TEST(StrategyFactory, KnownNames) {
+  for (const char* name :
+       {"single-rail:0", "single-rail:1", "greedy-balance", "aggregate-fastest",
+        "iso-split", "fixed-ratio-split", "hetero-split", "multicore-hetero-split"}) {
+    auto s = make_strategy(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(s->name(), name);
+  }
+}
+
+TEST(StrategyFactoryDeath, UnknownNameAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(make_strategy("does-not-exist"), "unknown strategy");
+}
+
+TEST(GreedyStrategy, NeverAggregates) {
+  core::World world(paper_testbed("greedy-balance"));
+  const auto tx = test::make_pattern(256, 1);
+  std::vector<std::vector<std::uint8_t>> rx(6, std::vector<std::uint8_t>(256));
+  std::vector<RecvHandle> recvs;
+  for (int i = 0; i < 6; ++i) {
+    recvs.push_back(world.engine(1).irecv(0, 10 + i, rx[i].data(), 256));
+  }
+  for (int i = 0; i < 6; ++i) world.engine(0).isend(1, 10 + i, tx.data(), 256);
+  for (auto& r : recvs) world.wait(r);
+  const auto& stats = world.engine(0).stats();
+  // One segment per message: greedy balancing does not aggregate.
+  EXPECT_EQ(stats.eager_segments, 6u);
+  EXPECT_EQ(stats.aggregated_packets, 0u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(rx[i], tx);
+}
+
+TEST(GreedyStrategy, SpreadsAcrossRails) {
+  core::World world(paper_testbed("greedy-balance"));
+  const auto tx = test::make_pattern(1024, 2);
+  std::vector<std::vector<std::uint8_t>> rx(4, std::vector<std::uint8_t>(1024));
+  std::vector<RecvHandle> recvs;
+  for (int i = 0; i < 4; ++i) {
+    recvs.push_back(world.engine(1).irecv(0, i, rx[i].data(), 1024));
+  }
+  for (int i = 0; i < 4; ++i) world.engine(0).isend(1, i, tx.data(), 1024);
+  for (auto& r : recvs) world.wait(r);
+  const auto& per_rail = world.engine(0).stats().payload_bytes_per_rail;
+  EXPECT_GT(per_rail[0], 0u);
+  EXPECT_GT(per_rail[1], 0u);
+}
+
+TEST(SingleRailStrategy, OnlyUsesItsRail) {
+  core::World world(paper_testbed("single-rail:0"));
+  const auto tx = test::make_pattern(2048, 3);
+  std::vector<std::uint8_t> rx(2048);
+  for (int i = 0; i < 3; ++i) {
+    auto recv = world.engine(1).irecv(0, i, rx.data(), 2048);
+    world.engine(0).isend(1, i, tx.data(), 2048);
+    world.wait(recv);
+  }
+  EXPECT_EQ(world.engine(0).stats().payload_bytes_per_rail[1], 0u);
+}
+
+TEST(MulticoreStrategy, MediumEagerIsSplitAndOffloaded) {
+  core::World world(paper_testbed("multicore-hetero-split"));
+  const std::size_t size = 16_KiB;  // below rdv threshold, big enough to split
+  ASSERT_LT(size, world.engine(0).rdv_threshold());
+  const auto tx = test::make_pattern(size, 4);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), size);
+  auto send = world.engine(0).isend(1, 1, tx.data(), size);
+  world.wait(recv);
+  EXPECT_EQ(rx, tx);
+  EXPECT_GE(send->chunk_count, 2u);
+  EXPECT_EQ(send->offloaded_chunks, send->chunk_count);
+  EXPECT_GE(world.engine(0).stats().split_eager_msgs, 1u);
+  EXPECT_GE(world.engine(0).stats().offloaded_chunks, 2u);
+}
+
+TEST(MulticoreStrategy, TinyEagerIsNotSplit) {
+  core::World world(paper_testbed("multicore-hetero-split"));
+  const auto tx = test::make_pattern(64, 5);
+  std::vector<std::uint8_t> rx(64);
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), 64);
+  auto send = world.engine(0).isend(1, 1, tx.data(), 64);
+  world.wait(recv);
+  EXPECT_EQ(send->chunk_count, 1u);
+  EXPECT_EQ(send->offloaded_chunks, 0u);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST(MulticoreStrategy, FasterThanSingleRailAtMediumSizes) {
+  core::World multicore(paper_testbed("multicore-hetero-split"));
+  core::World single(paper_testbed("aggregate-fastest"));
+  const std::size_t size = 16_KiB;
+  const SimDuration split_time = multicore.measure_one_way(size);
+  const SimDuration single_time = single.measure_one_way(size);
+  EXPECT_LT(split_time, single_time);
+}
+
+TEST(MulticoreStrategy, OffloadDelayVisibleInTimeline) {
+  // With TO = 3 µs, a split 16 KiB send cannot arrive sooner than TO.
+  core::World world(paper_testbed("multicore-hetero-split"));
+  const SimDuration t = world.measure_one_way(16_KiB);
+  EXPECT_GE(t, world.engine(0).config().offload.signal_cost);
+}
+
+TEST(MulticoreStrategy, BatchOfTinyMessagesAggregates) {
+  core::World world(paper_testbed("multicore-hetero-split"));
+  const auto tx = test::make_pattern(128, 6);
+  std::vector<std::vector<std::uint8_t>> rx(5, std::vector<std::uint8_t>(128));
+  std::vector<RecvHandle> recvs;
+  for (int i = 0; i < 5; ++i) {
+    recvs.push_back(world.engine(1).irecv(0, i, rx[i].data(), 128));
+  }
+  for (int i = 0; i < 5; ++i) world.engine(0).isend(1, i, tx.data(), 128);
+  for (auto& r : recvs) world.wait(r);
+  // Multiple pending tiny packets fall back to aggregation, not offload.
+  EXPECT_GT(world.engine(0).stats().aggregated_packets, 0u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(rx[i], tx);
+}
+
+TEST(HeteroStrategy, BeatsIsoOnHeterogeneousRails) {
+  core::World hetero(paper_testbed("hetero-split"));
+  core::World iso(paper_testbed("iso-split"));
+  for (std::size_t size : {1_MiB, 4_MiB, 8_MiB}) {
+    EXPECT_LT(hetero.measure_pingpong(size, 2), iso.measure_pingpong(size, 2))
+        << "size " << size;
+  }
+}
+
+TEST(HeteroStrategy, MatchesIsoOnHomogeneousRails) {
+  // On two identical rails the equal-finish split *is* the equal split.
+  WorldConfig cfg;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::myri10g()};
+  cfg.strategy = "hetero-split";
+  core::World hetero(cfg);
+  cfg.strategy = "iso-split";
+  core::World iso(cfg);
+  const SimDuration th = hetero.measure_pingpong(4_MiB, 2);
+  const SimDuration ti = iso.measure_pingpong(4_MiB, 2);
+  EXPECT_NEAR(static_cast<double>(th), static_cast<double>(ti),
+              static_cast<double>(ti) * 0.02);
+}
+
+TEST(ControlRail, DefaultPrefersLowLatencyRail) {
+  core::World world(paper_testbed("hetero-split"));
+  StrategyContext ctx;
+  ctx.now = 0;
+  ctx.estimator = &world.estimator();
+  std::vector<fabric::SimNic*> nics = {&world.fabric().nic(0, 0),
+                                       &world.fabric().nic(0, 1)};
+  ctx.nics = std::span<fabric::SimNic* const>(nics.data(), nics.size());
+  // QsNetII (rail 1) has the lower zero-byte latency.
+  EXPECT_EQ(world.engine(0).strategy().control_rail(ctx), 1u);
+}
+
+}  // namespace
+}  // namespace rails::core

@@ -1,0 +1,95 @@
+#include "sampling/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/presets.hpp"
+
+namespace rails::sampling {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  static Estimator make() {
+    SamplerConfig cfg;
+    cfg.max_size = 2_MiB;
+    return Estimator(sample_rails({fabric::myri10g(), fabric::qsnet2()}, cfg));
+  }
+};
+
+TEST_F(EstimatorTest, RailCountAndProfiles) {
+  const auto est = make();
+  EXPECT_EQ(est.rail_count(), 2u);
+  EXPECT_EQ(est.profile(0).name, "myri10g");
+  EXPECT_EQ(est.profile(1).name, "qsnet2");
+}
+
+TEST_F(EstimatorTest, ProtocolSelection) {
+  const auto est = make();
+  for (RailId r = 0; r < 2; ++r) {
+    EXPECT_EQ(est.protocol_for(r, 64), fabric::Protocol::kEager);
+    EXPECT_EQ(est.protocol_for(r, 1_MiB), fabric::Protocol::kRendezvous);
+  }
+}
+
+TEST_F(EstimatorTest, EngineThresholdIsMaxOfRails) {
+  const auto est = make();
+  const std::size_t th = est.engine_rdv_threshold();
+  EXPECT_EQ(th, std::max(est.profile(0).rdv_threshold, est.profile(1).rdv_threshold));
+}
+
+TEST_F(EstimatorTest, CompletionAddsBusyOffset) {
+  const auto est = make();
+  const SimTime now = 1000;
+  const RailState idle{0, 0};
+  const RailState busy{0, now + usec(50.0)};
+  const SimTime t_idle = est.completion(idle, now, 4_KiB, fabric::Protocol::kEager);
+  const SimTime t_busy = est.completion(busy, now, 4_KiB, fabric::Protocol::kEager);
+  // "the time remaining before it becomes idle is added to its predicted
+  // transfer time."
+  EXPECT_EQ(t_busy - t_idle, usec(50.0));
+}
+
+TEST_F(EstimatorTest, CompletionIgnoresStaleBusyTimes) {
+  const auto est = make();
+  const SimTime now = usec(100.0);
+  const RailState stale{0, usec(10.0)};  // freed long ago
+  const RailState fresh{0, 0};
+  EXPECT_EQ(est.completion(stale, now, 1_KiB, fabric::Protocol::kEager),
+            est.completion(fresh, now, 1_KiB, fabric::Protocol::kEager));
+}
+
+TEST_F(EstimatorTest, MaxChunkByZeroWhenDeadlineBeforeReady) {
+  const auto est = make();
+  const RailState busy{0, usec(100.0)};
+  EXPECT_EQ(est.max_chunk_by(busy, 0, usec(50.0), fabric::Protocol::kRendezvous), 0u);
+  // Deadline equal to the ready time leaves no room either.
+  EXPECT_EQ(est.max_chunk_by(busy, 0, usec(100.0), fabric::Protocol::kRendezvous), 0u);
+}
+
+TEST_F(EstimatorTest, MaxChunkByGrowsWithDeadline) {
+  const auto est = make();
+  const RailState idle{0, 0};
+  const std::size_t small =
+      est.max_chunk_by(idle, 0, usec(100.0), fabric::Protocol::kRendezvous);
+  const std::size_t large =
+      est.max_chunk_by(idle, 0, usec(1000.0), fabric::Protocol::kRendezvous);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0u);
+}
+
+TEST_F(EstimatorTest, ChunkDurationExcludesHandshake) {
+  const auto est = make();
+  EXPECT_LT(est.chunk_duration(0, 1_MiB),
+            est.duration(0, 1_MiB, fabric::Protocol::kRendezvous));
+}
+
+TEST_F(EstimatorTest, EagerHostTimeBelowTotal) {
+  const auto est = make();
+  for (std::size_t s = 64; s <= 32_KiB; s <<= 2) {
+    EXPECT_LT(est.eager_host_time(0, s), est.duration(0, s, fabric::Protocol::kEager));
+    EXPECT_GT(est.eager_host_time(0, s), 0);
+  }
+}
+
+}  // namespace
+}  // namespace rails::sampling

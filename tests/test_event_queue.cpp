@@ -1,0 +1,110 @@
+#include "fabric/event_queue.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rails::fabric {
+namespace {
+
+TEST(EventQueue, StartsAtZero) {
+  EventQueue eq;
+  EXPECT_EQ(eq.now(), 0);
+  EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.at(30, [&] { order.push_back(3); });
+  eq.at(10, [&] { order.push_back(1); });
+  eq.at(20, [&] { order.push_back(2); });
+  eq.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) eq.at(100, [&order, i] { order.push_back(i); });
+  eq.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, AfterIsRelative) {
+  EventQueue eq;
+  SimTime seen = -1;
+  eq.at(50, [&] { eq.after(25, [&] { seen = eq.now(); }); });
+  eq.run_all();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(EventQueue, EventsCanScheduleAtSameTime) {
+  EventQueue eq;
+  int count = 0;
+  eq.at(10, [&] {
+    ++count;
+    eq.at(10, [&] { ++count; });
+  });
+  eq.run_all();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(eq.now(), 10);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.step());
+  eq.at(1, [] {});
+  EXPECT_TRUE(eq.step());
+  EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunUntilPredicate) {
+  EventQueue eq;
+  int fired = 0;
+  for (SimTime t = 1; t <= 10; ++t) eq.at(t, [&] { ++fired; });
+  const bool satisfied = eq.run_until([&] { return fired == 4; });
+  EXPECT_TRUE(satisfied);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(eq.now(), 4);
+  EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilReturnsFalseIfDrained) {
+  EventQueue eq;
+  eq.at(5, [] {});
+  EXPECT_FALSE(eq.run_until([] { return false; }));
+}
+
+TEST(EventQueue, RunToAdvancesClockPastLastEvent) {
+  EventQueue eq;
+  int fired = 0;
+  eq.at(10, [&] { ++fired; });
+  eq.at(30, [&] { ++fired; });
+  eq.run_to(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eq.now(), 20);
+  eq.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EventQueue eq;
+  eq.at(10, [] {});
+  eq.run_all();
+  EXPECT_DEATH(eq.at(5, [] {}), "past");
+}
+
+TEST(EventQueue, RunAllHonoursBudget) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EventQueue eq;
+  // Self-perpetuating event chain: the budget must stop it.
+  std::function<void()> reschedule = [&] { eq.after(1, reschedule); };
+  eq.after(1, reschedule);
+  EXPECT_DEATH(eq.run_all(1000), "budget");
+}
+
+}  // namespace
+}  // namespace rails::fabric

@@ -1,0 +1,240 @@
+#include "fabric/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/presets.hpp"
+
+namespace rails::fabric {
+namespace {
+
+FabricConfig two_node_two_rail() {
+  FabricConfig cfg;
+  cfg.node_count = 2;
+  cfg.rails = {myri10g(), qsnet2()};
+  return cfg;
+}
+
+Segment eager_seg(NodeId src, NodeId dst, RailId rail, std::size_t len) {
+  Segment s;
+  s.kind = SegKind::kEager;
+  s.src = src;
+  s.dst = dst;
+  s.rail = rail;
+  s.payload.assign(len, 0x42);
+  return s;
+}
+
+TEST(Fabric, Construction) {
+  Fabric fab(two_node_two_rail());
+  EXPECT_EQ(fab.node_count(), 2u);
+  EXPECT_EQ(fab.rail_count(), 2u);
+  EXPECT_EQ(fab.nic(0, 0).model().name(), "myri10g");
+  EXPECT_EQ(fab.nic(1, 1).model().name(), "qsnet2");
+  EXPECT_EQ(fab.cores(0).count(), 4u);
+}
+
+TEST(Fabric, DeliversToDestinationHandler) {
+  Fabric fab(two_node_two_rail());
+  int delivered = 0;
+  Segment got;
+  fab.set_rx_handler(1, [&](Segment&& s) {
+    ++delivered;
+    got = std::move(s);
+  });
+  fab.nic(0, 0).post(eager_seg(0, 1, 0, 256), 0);
+  fab.events().run_all();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(got.payload.size(), 256u);
+  EXPECT_EQ(got.src, 0u);
+  EXPECT_EQ(got.rail, 0u);
+}
+
+TEST(Fabric, DeliveryTimeMatchesModel) {
+  Fabric fab(two_node_two_rail());
+  SimTime arrival = -1;
+  fab.set_rx_handler(1, [&](Segment&&) { arrival = fab.now(); });
+  const NetworkModel& m = fab.nic(0, 0).model();
+  fab.nic(0, 0).post(eager_seg(0, 1, 0, 4096), 0);
+  fab.events().run_all();
+  EXPECT_EQ(arrival, m.eager(4096).total);
+}
+
+TEST(Fabric, NicBusySerializesPosts) {
+  Fabric fab(two_node_two_rail());
+  std::vector<SimTime> arrivals;
+  fab.set_rx_handler(1, [&](Segment&&) { arrivals.push_back(fab.now()); });
+  auto& nic = fab.nic(0, 0);
+  const auto t1 = nic.post(eager_seg(0, 1, 0, 4096), 0);
+  const auto t2 = nic.post(eager_seg(0, 1, 0, 4096), 0);
+  // Second post queues behind the first at the injection port.
+  EXPECT_EQ(t2.host_start, t1.nic_end);
+  fab.events().run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_GT(arrivals[1], arrivals[0]);
+}
+
+TEST(Fabric, RailsAreIndependent) {
+  Fabric fab(two_node_two_rail());
+  fab.set_rx_handler(1, [](Segment&&) {});
+  const auto t0 = fab.nic(0, 0).post(eager_seg(0, 1, 0, 4096), 0);
+  const auto t1 = fab.nic(0, 1).post(eager_seg(0, 1, 1, 4096), 0);
+  // Both injections start immediately: different ports.
+  EXPECT_EQ(t0.host_start, 0);
+  EXPECT_EQ(t1.host_start, 0);
+}
+
+TEST(Fabric, PreviewDoesNotCommit) {
+  Fabric fab(two_node_two_rail());
+  auto& nic = fab.nic(0, 0);
+  const Segment seg = eager_seg(0, 1, 0, 1024);
+  const auto preview = nic.preview(seg, 0);
+  EXPECT_EQ(nic.busy_until(), 0);
+  EXPECT_TRUE(fab.events().empty());
+  fab.set_rx_handler(1, [](Segment&&) {});
+  const auto posted = nic.post(eager_seg(0, 1, 0, 1024), 0);
+  EXPECT_EQ(preview.deliver_at, posted.deliver_at);
+}
+
+TEST(Fabric, StatsCountPayloadAndHeaders) {
+  Fabric fab(two_node_two_rail());
+  fab.set_rx_handler(1, [](Segment&&) {});
+  fab.nic(0, 0).post(eager_seg(0, 1, 0, 100), 0);
+  fab.nic(0, 0).post(eager_seg(0, 1, 0, 200), 0);
+  fab.events().run_all();
+  EXPECT_EQ(fab.nic(0, 0).segments_sent(), 2u);
+  EXPECT_EQ(fab.nic(0, 0).payload_bytes_sent(), 300u);
+  EXPECT_EQ(fab.nic(0, 0).bytes_sent(), 300u + 2 * Segment::kHeaderBytes);
+  EXPECT_EQ(fab.delivered_payload(0), 300u);
+  EXPECT_EQ(fab.delivered_payload(1), 0u);
+}
+
+TEST(Fabric, MultiNodeRouting) {
+  FabricConfig cfg;
+  cfg.node_count = 4;
+  cfg.rails = {myri10g()};
+  Fabric fab(cfg);
+  std::vector<int> received(4, 0);
+  for (NodeId n = 0; n < 4; ++n) {
+    fab.set_rx_handler(n, [&received, n](Segment&&) { ++received[n]; });
+  }
+  // Node 0 sends one segment to each peer.
+  for (NodeId dst = 1; dst < 4; ++dst) {
+    fab.nic(0, 0).post(eager_seg(0, dst, 0, 64), fab.now());
+  }
+  fab.events().run_all();
+  EXPECT_EQ(received[0], 0);
+  EXPECT_EQ(received[1], 1);
+  EXPECT_EQ(received[2], 1);
+  EXPECT_EQ(received[3], 1);
+}
+
+TEST(FabricDeath, WrongRailAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Fabric fab(two_node_two_rail());
+  fab.set_rx_handler(1, [](Segment&&) {});
+  EXPECT_DEATH(fab.nic(0, 0).post(eager_seg(0, 1, 1, 64), 0), "wrong rail");
+}
+
+TEST(FabricDeath, MissingHandlerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Fabric fab(two_node_two_rail());
+  fab.nic(0, 0).post(eager_seg(0, 1, 0, 64), 0);
+  EXPECT_DEATH(fab.events().run_all(), "rx handler");
+}
+
+TEST(RxContention, SingleStreamNeverDelayed) {
+  // Back-to-back segments from one sender are already spaced by their wire
+  // occupancy: the receive port must not add anything.
+  Fabric fab(two_node_two_rail());
+  std::vector<SimTime> arrivals;
+  fab.set_rx_handler(1, [&](Segment&&) { arrivals.push_back(fab.now()); });
+  const auto t1 = fab.nic(0, 0).post(eager_seg(0, 1, 0, 8192), 0);
+  const auto t2 = fab.nic(0, 0).post(eager_seg(0, 1, 0, 8192), 0);
+  fab.events().run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], t1.deliver_at);
+  EXPECT_EQ(arrivals[1], t2.deliver_at);
+}
+
+TEST(RxContention, ConvergingFlowsSerialise) {
+  // Two senders hitting the same receive port at the same instant: the
+  // second delivery waits out the first segment's drain.
+  FabricConfig cfg;
+  cfg.node_count = 3;
+  cfg.rails = {myri10g()};
+  Fabric fab(cfg);
+  std::vector<SimTime> arrivals;
+  fab.set_rx_handler(0, [&](Segment&&) { arrivals.push_back(fab.now()); });
+  const std::size_t size = 256u * 1024u;
+  fab.nic(1, 0).post(eager_seg(1, 0, 0, size), 0);
+  fab.nic(2, 0).post(eager_seg(2, 0, 0, size), 0);
+  fab.events().run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const SimDuration drain = wire_time(size, myri10g().dma_bw_mbps);
+  EXPECT_EQ(arrivals[1] - arrivals[0], drain);
+}
+
+TEST(RxContention, DifferentRailsDoNotContend) {
+  FabricConfig cfg;
+  cfg.node_count = 3;
+  cfg.rails = {myri10g(), myri10g()};
+  Fabric fab(cfg);
+  std::vector<SimTime> arrivals;
+  fab.set_rx_handler(0, [&](Segment&&) { arrivals.push_back(fab.now()); });
+  fab.nic(1, 0).post(eager_seg(1, 0, 0, 256u * 1024u), 0);
+  fab.nic(2, 1).post(eager_seg(2, 0, 1, 256u * 1024u), 0);
+  fab.events().run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], arrivals[1]);  // separate ports, identical timing
+}
+
+TEST(RxContention, TinyControlAfterBigSegmentNotDelayed) {
+  // Regression: a big segment's drain ends at its arrival; a later tiny
+  // segment must not inherit a phantom busy window.
+  Fabric fab(two_node_two_rail());
+  std::vector<SimTime> arrivals;
+  fab.set_rx_handler(1, [&](Segment&&) { arrivals.push_back(fab.now()); });
+  fab.nic(0, 0).post(eager_seg(0, 1, 0, 64u * 1024u), 0);
+  fab.events().run_all();
+  const auto tiny = fab.nic(0, 0).post(eager_seg(0, 1, 0, 8), fab.now());
+  fab.events().run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1], tiny.deliver_at);
+}
+
+TEST(SimCores, OccupyAndIdle) {
+  SimCores cores(MachineTopology::opteron_2x2());
+  EXPECT_EQ(cores.idle_count(0), 4u);
+  const SimTime free_at = cores.occupy(1, 100, 50);
+  EXPECT_EQ(free_at, 150);
+  EXPECT_FALSE(cores.idle(1, 120));
+  EXPECT_TRUE(cores.idle(1, 150));
+  EXPECT_EQ(cores.idle_count(120), 3u);
+  EXPECT_EQ(cores.idle_count(120, CoreId{0}), 2u);
+}
+
+TEST(SimCores, OccupyQueuesBehindBusy) {
+  SimCores cores;
+  cores.occupy(0, 0, 100);
+  const SimTime free_at = cores.occupy(0, 50, 10);  // starts at 100, not 50
+  EXPECT_EQ(free_at, 110);
+}
+
+TEST(SimCores, PickOffloadPrefersSameSocketIdle) {
+  SimCores cores(MachineTopology::opteron_2x2());
+  // All idle: core 1 (same socket as 0) wins.
+  EXPECT_EQ(cores.pick_offload_core(0, 0, std::nullopt), 1u);
+  // Core 1 busy: earliest-idle remote core wins.
+  cores.occupy(1, 0, 1000);
+  EXPECT_EQ(cores.pick_offload_core(500, 0, std::nullopt), 2u);
+}
+
+TEST(SimCores, Reset) {
+  SimCores cores;
+  cores.occupy(0, 0, 100);
+  cores.reset();
+  EXPECT_TRUE(cores.idle(0, 0));
+}
+
+}  // namespace
+}  // namespace rails::fabric

@@ -1,0 +1,68 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace rails::log {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(level()) {}
+  ~LogLevelGuard() { set_level(saved_); }
+
+ private:
+  Level saved_;
+};
+
+TEST(Log, LevelThresholding) {
+  LogLevelGuard guard;
+  set_level(Level::kWarn);
+  EXPECT_FALSE(enabled(Level::kTrace));
+  EXPECT_FALSE(enabled(Level::kDebug));
+  EXPECT_FALSE(enabled(Level::kInfo));
+  EXPECT_TRUE(enabled(Level::kWarn));
+  EXPECT_TRUE(enabled(Level::kError));
+}
+
+TEST(Log, OffDisablesEverything) {
+  LogLevelGuard guard;
+  set_level(Level::kOff);
+  EXPECT_FALSE(enabled(Level::kError));
+}
+
+TEST(Log, InitFromEnvParsesNames) {
+  LogLevelGuard guard;
+  ::setenv("RAILS_LOG", "debug", 1);
+  init_from_env();
+  EXPECT_EQ(level(), Level::kDebug);
+  ::setenv("RAILS_LOG", "error", 1);
+  init_from_env();
+  EXPECT_EQ(level(), Level::kError);
+  ::unsetenv("RAILS_LOG");
+}
+
+TEST(Log, InitFromEnvIgnoresGarbage) {
+  LogLevelGuard guard;
+  set_level(Level::kInfo);
+  ::setenv("RAILS_LOG", "shouting", 1);
+  init_from_env();
+  EXPECT_EQ(level(), Level::kInfo);  // unchanged
+  ::unsetenv("RAILS_LOG");
+}
+
+TEST(Log, MacroEvaluatesLazily) {
+  LogLevelGuard guard;
+  set_level(Level::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  RAILS_ERROR("test", "value %d", expensive());
+  EXPECT_EQ(evaluations, 0) << "disabled log must not evaluate its arguments";
+}
+
+}  // namespace
+}  // namespace rails::log

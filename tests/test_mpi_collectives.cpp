@@ -1,0 +1,338 @@
+#include <numeric>
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/presets.hpp"
+#include "mpi/communicator.hpp"
+#include "test_util.hpp"
+
+namespace rails::mpi {
+namespace {
+
+core::WorldConfig cluster(std::uint32_t nodes, const char* strategy = "hetero-split") {
+  core::WorldConfig cfg;
+  cfg.fabric.node_count = nodes;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::qsnet2()};
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+/// Node-count sweep: collectives must be correct for 1, 2, powers of two
+/// and awkward odd sizes alike.
+class CollectiveSweep : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  std::uint32_t nodes() const { return GetParam(); }
+};
+
+TEST_P(CollectiveSweep, BarrierCompletes) {
+  core::World world(cluster(nodes()));
+  std::uint32_t seq = 1;
+  const SimDuration t = collective(world, seq, [](Communicator comm, std::uint32_t s) {
+    return make_barrier(comm, s);
+  });
+  EXPECT_GE(t, 0);
+  if (nodes() > 1) {
+    EXPECT_GT(t, 0);
+  }
+}
+
+TEST_P(CollectiveSweep, BcastDeliversToAll) {
+  core::World world(cluster(nodes()));
+  const std::size_t len = 12_KiB;
+  const auto payload = test::make_pattern(len, 7);
+  std::vector<std::vector<std::uint8_t>> bufs(nodes(), std::vector<std::uint8_t>(len));
+  const int root = static_cast<int>(nodes() / 2);
+  bufs[static_cast<std::size_t>(root)] = payload;
+
+  collective(world, 2, [&](Communicator comm, std::uint32_t s) {
+    return make_bcast(comm, s, bufs[static_cast<std::size_t>(comm.rank())].data(), len,
+                      root);
+  });
+  for (std::uint32_t r = 0; r < nodes(); ++r) EXPECT_EQ(bufs[r], payload) << "rank " << r;
+}
+
+TEST_P(CollectiveSweep, ReduceSumsAtRoot) {
+  core::World world(cluster(nodes()));
+  const std::size_t count = 512;
+  std::vector<std::vector<double>> contrib(nodes(), std::vector<double>(count));
+  for (std::uint32_t r = 0; r < nodes(); ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      contrib[r][i] = static_cast<double>(r + 1) * static_cast<double>(i);
+    }
+  }
+  std::vector<double> result(count, -1.0);
+  const int root = 0;
+  collective(world, 3, [&](Communicator comm, std::uint32_t s) {
+    return make_reduce(comm, s, contrib[static_cast<std::size_t>(comm.rank())].data(),
+                       result.data(), count, DType::kDouble, ReduceOp::kSum, root);
+  });
+  const double rank_sum =
+      static_cast<double>(nodes()) * static_cast<double>(nodes() + 1) / 2.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_DOUBLE_EQ(result[i], rank_sum * static_cast<double>(i)) << "element " << i;
+  }
+}
+
+TEST_P(CollectiveSweep, ReduceAtNonzeroRoot) {
+  core::World world(cluster(nodes()));
+  const std::size_t count = 64;
+  std::vector<std::vector<std::int64_t>> contrib(nodes(),
+                                                 std::vector<std::int64_t>(count));
+  for (std::uint32_t r = 0; r < nodes(); ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      contrib[r][i] = static_cast<std::int64_t>(r * 100 + i);
+    }
+  }
+  std::vector<std::int64_t> result(count, -1);
+  const int root = static_cast<int>(nodes() - 1);
+  collective(world, 4, [&](Communicator comm, std::uint32_t s) {
+    return make_reduce(comm, s, contrib[static_cast<std::size_t>(comm.rank())].data(),
+                       result.data(), count, DType::kInt64, ReduceOp::kMax, root);
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(result[i], static_cast<std::int64_t>((nodes() - 1) * 100 + i));
+  }
+}
+
+TEST_P(CollectiveSweep, AllreduceEveryRankHasSum) {
+  core::World world(cluster(nodes()));
+  const std::size_t count = 256;
+  std::vector<std::vector<double>> in(nodes(), std::vector<double>(count));
+  std::vector<std::vector<double>> out(nodes(), std::vector<double>(count, -1.0));
+  for (std::uint32_t r = 0; r < nodes(); ++r) {
+    for (std::size_t i = 0; i < count; ++i) in[r][i] = static_cast<double>(r) + 0.5;
+  }
+  collective(world, 5, [&](Communicator comm, std::uint32_t s) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    return make_allreduce(comm, s, in[me].data(), out[me].data(), count, DType::kDouble,
+                          ReduceOp::kSum);
+  });
+  const double expected =
+      static_cast<double>(nodes()) * (static_cast<double>(nodes()) - 1.0) / 2.0 +
+      0.5 * static_cast<double>(nodes());
+  for (std::uint32_t r = 0; r < nodes(); ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_DOUBLE_EQ(out[r][i], expected) << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST_P(CollectiveSweep, GatherCollectsInRankOrder) {
+  core::World world(cluster(nodes()));
+  const std::size_t len = 1_KiB;
+  std::vector<std::vector<std::uint8_t>> in;
+  for (std::uint32_t r = 0; r < nodes(); ++r) in.push_back(test::make_pattern(len, r));
+  std::vector<std::uint8_t> out(len * nodes(), 0);
+  const int root = 0;
+  collective(world, 6, [&](Communicator comm, std::uint32_t s) {
+    return make_gather(comm, s, in[static_cast<std::size_t>(comm.rank())].data(), len,
+                       out.data(), root);
+  });
+  for (std::uint32_t r = 0; r < nodes(); ++r) {
+    const std::vector<std::uint8_t> block(out.begin() + r * len,
+                                          out.begin() + (r + 1) * len);
+    EXPECT_EQ(block, in[r]) << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveSweep, ScatterDistributesInRankOrder) {
+  core::World world(cluster(nodes()));
+  const std::size_t len = 2_KiB;
+  std::vector<std::uint8_t> in(len * nodes());
+  for (std::uint32_t r = 0; r < nodes(); ++r) {
+    const auto block = test::make_pattern(len, r + 50);
+    std::copy(block.begin(), block.end(), in.begin() + r * len);
+  }
+  std::vector<std::vector<std::uint8_t>> out(nodes(), std::vector<std::uint8_t>(len));
+  const int root = static_cast<int>(nodes() - 1);
+  collective(world, 7, [&](Communicator comm, std::uint32_t s) {
+    return make_scatter(comm, s, in.data(), len,
+                        out[static_cast<std::size_t>(comm.rank())].data(), root);
+  });
+  for (std::uint32_t r = 0; r < nodes(); ++r) {
+    EXPECT_EQ(out[r], test::make_pattern(len, r + 50)) << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveSweep, AllgatherEveryoneSeesEveryBlock) {
+  core::World world(cluster(nodes()));
+  const std::size_t len = 1_KiB;
+  std::vector<std::vector<std::uint8_t>> in;
+  for (std::uint32_t r = 0; r < nodes(); ++r) in.push_back(test::make_pattern(len, r + 9));
+  std::vector<std::vector<std::uint8_t>> out(nodes(),
+                                             std::vector<std::uint8_t>(len * nodes()));
+  collective(world, 8, [&](Communicator comm, std::uint32_t s) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    return make_allgather(comm, s, in[me].data(), len, out[me].data());
+  });
+  for (std::uint32_t viewer = 0; viewer < nodes(); ++viewer) {
+    for (std::uint32_t r = 0; r < nodes(); ++r) {
+      const std::vector<std::uint8_t> block(out[viewer].begin() + r * len,
+                                            out[viewer].begin() + (r + 1) * len);
+      EXPECT_EQ(block, in[r]) << "viewer " << viewer << " block " << r;
+    }
+  }
+}
+
+TEST_P(CollectiveSweep, AlltoallTransposesBlocks) {
+  core::World world(cluster(nodes()));
+  const std::size_t len = 512;
+  const std::uint32_t n = nodes();
+  // in[r] block d is pattern(seed = r * n + d); after alltoall, out[d] block
+  // r must hold that pattern.
+  std::vector<std::vector<std::uint8_t>> in(n, std::vector<std::uint8_t>(len * n));
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      const auto block = test::make_pattern(len, r * n + d);
+      std::copy(block.begin(), block.end(), in[r].begin() + d * len);
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> out(n, std::vector<std::uint8_t>(len * n));
+  collective(world, 9, [&](Communicator comm, std::uint32_t s) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    return make_alltoall(comm, s, in[me].data(), len, out[me].data());
+  });
+  for (std::uint32_t d = 0; d < n; ++d) {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      const std::vector<std::uint8_t> block(out[d].begin() + r * len,
+                                            out[d].begin() + (r + 1) * len);
+      EXPECT_EQ(block, test::make_pattern(len, r * n + d))
+          << "dest " << d << " from " << r;
+    }
+  }
+}
+
+TEST_P(CollectiveSweep, ReduceScatterBlocks) {
+  core::World world(cluster(nodes()));
+  const std::size_t count = 128;
+  const std::uint32_t n = nodes();
+  // in[r] block b element i = (r+1) * (b * count + i); the reduced block b
+  // is sum over r = (b*count+i) * n(n+1)/2.
+  std::vector<std::vector<std::int64_t>> in(n, std::vector<std::int64_t>(count * n));
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      for (std::size_t i = 0; i < count; ++i) {
+        in[r][b * count + i] =
+            static_cast<std::int64_t>((r + 1) * (b * count + i));
+      }
+    }
+  }
+  std::vector<std::vector<std::int64_t>> out(n, std::vector<std::int64_t>(count, -1));
+  collective(world, 13, [&](Communicator comm, std::uint32_t s) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    return make_reduce_scatter(comm, s, in[me].data(), out[me].data(), count,
+                               DType::kInt64, ReduceOp::kSum);
+  });
+  const std::int64_t rank_sum = static_cast<std::int64_t>(n) * (n + 1) / 2;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[r][i],
+                rank_sum * static_cast<std::int64_t>(r * count + i))
+          << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST_P(CollectiveSweep, InclusiveScanPrefixes) {
+  core::World world(cluster(nodes()));
+  const std::size_t count = 64;
+  const std::uint32_t n = nodes();
+  std::vector<std::vector<double>> in(n, std::vector<double>(count));
+  std::vector<std::vector<double>> out(n, std::vector<double>(count, -1.0));
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < count; ++i) in[r][i] = static_cast<double>(r + 1);
+  }
+  collective(world, 14, [&](Communicator comm, std::uint32_t s) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    return make_scan(comm, s, in[me].data(), out[me].data(), count, DType::kDouble,
+                     ReduceOp::kSum);
+  });
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const double prefix = static_cast<double>(r + 1) * static_cast<double>(r + 2) / 2.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_DOUBLE_EQ(out[r][i], prefix) << "rank " << r;
+    }
+  }
+}
+
+TEST(ReduceScatter, EquivalentToReduceThenScatter) {
+  // Cross-check against the composition it replaces.
+  const std::uint32_t n = 4;
+  const std::size_t count = 32;
+  core::World world(cluster(n));
+  std::vector<std::vector<std::int64_t>> in(n, std::vector<std::int64_t>(count * n));
+  Xoshiro256 rng(9);
+  for (auto& v : in) {
+    for (auto& x : v) x = static_cast<std::int64_t>(rng.below(1000));
+  }
+  // Path A: reduce_scatter.
+  std::vector<std::vector<std::int64_t>> direct(n, std::vector<std::int64_t>(count));
+  collective(world, 15, [&](Communicator comm, std::uint32_t s) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    return make_reduce_scatter(comm, s, in[me].data(), direct[me].data(), count,
+                               DType::kInt64, ReduceOp::kSum);
+  });
+  // Path B: reduce to root 0, then scatter.
+  std::vector<std::int64_t> reduced(count * n, 0);
+  collective(world, 16, [&](Communicator comm, std::uint32_t s) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    return make_reduce(comm, s, in[me].data(), reduced.data(), count * n,
+                       DType::kInt64, ReduceOp::kSum, 0);
+  });
+  std::vector<std::vector<std::int64_t>> scattered(n, std::vector<std::int64_t>(count));
+  collective(world, 17, [&](Communicator comm, std::uint32_t s) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    return make_scatter(comm, s, reduced.data(), count * sizeof(std::int64_t),
+                        scattered[me].data(), 0);
+  });
+  for (std::uint32_t r = 0; r < n; ++r) EXPECT_EQ(direct[r], scattered[r]) << "rank " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, CollectiveSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u, 8u),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(CollectiveTiming, BcastScalesLogarithmically) {
+  // Binomial bcast: doubling the node count adds ~one tree level, far less
+  // than doubling the time a flat send loop would need.
+  const std::size_t len = 256_KiB;
+  std::vector<std::uint8_t> payload(len, 0x3C);
+  auto time_bcast = [&](std::uint32_t n) {
+    core::World world(cluster(n));
+    std::vector<std::vector<std::uint8_t>> bufs(n, std::vector<std::uint8_t>(len));
+    bufs[0] = payload;
+    return collective(world, 11, [&](Communicator comm, std::uint32_t s) {
+      return make_bcast(comm, s, bufs[static_cast<std::size_t>(comm.rank())].data(), len,
+                        0);
+    });
+  };
+  const SimDuration t2 = time_bcast(2);
+  const SimDuration t8 = time_bcast(8);
+  // 8 ranks = 3 levels vs 1 level: at most ~3.5x, not 7x.
+  EXPECT_LT(t8, t2 * 4);
+}
+
+TEST(CollectiveTiming, MultirailSpeedsUpLargeBcast) {
+  const std::size_t len = 4_MiB;
+  std::vector<std::uint8_t> payload(len, 0x3C);
+  auto time_bcast = [&](const char* strategy) {
+    core::WorldConfig cfg = cluster(4, strategy);
+    core::World world(cfg);
+    std::vector<std::vector<std::uint8_t>> bufs(4, std::vector<std::uint8_t>(len));
+    bufs[0] = payload;
+    return collective(world, 12, [&](Communicator comm, std::uint32_t s) {
+      return make_bcast(comm, s, bufs[static_cast<std::size_t>(comm.rank())].data(), len,
+                        0);
+    });
+  };
+  const SimDuration single = time_bcast("single-rail:0");
+  const SimDuration multi = time_bcast("hetero-split");
+  EXPECT_LT(multi, single);
+  EXPECT_LT(multi, static_cast<SimDuration>(static_cast<double>(single) * 0.75));
+}
+
+}  // namespace
+}  // namespace rails::mpi

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "fabric/presets.hpp"
+#include "mpi/communicator.hpp"
+#include "test_util.hpp"
+
+namespace rails::mpi {
+namespace {
+
+core::WorldConfig four_nodes(const char* strategy = "hetero-split") {
+  core::WorldConfig cfg;
+  cfg.fabric.node_count = 4;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::qsnet2()};
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+TEST(MpiPt2pt, RankAndSize) {
+  core::World world(four_nodes());
+  Communicator comm(&world, 2);
+  EXPECT_EQ(comm.rank(), 2);
+  EXPECT_EQ(comm.size(), 4);
+}
+
+TEST(MpiPt2pt, BlockingSendRecv) {
+  core::World world(four_nodes());
+  Communicator c0(&world, 0);
+  Communicator c1(&world, 1);
+  const auto tx = test::make_pattern(8_KiB, 1);
+  std::vector<std::uint8_t> rx(8_KiB);
+  // Post the receive nonblocking, then the blocking send drives the fabric.
+  auto r = c1.irecv(0, 5, rx.data(), rx.size());
+  c0.send(1, 5, tx.data(), tx.size());
+  world.wait(r);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST(MpiPt2pt, SendrecvExchange) {
+  core::World world(four_nodes());
+  Communicator c0(&world, 0);
+  Communicator c1(&world, 1);
+  const auto tx0 = test::make_pattern(4_KiB, 10);
+  const auto tx1 = test::make_pattern(4_KiB, 20);
+  std::vector<std::uint8_t> rx0(4_KiB), rx1(4_KiB);
+  // Both sides can call sendrecv "simultaneously" without deadlock.
+  auto r0 = c0.irecv(1, 2, rx0.data(), rx0.size());
+  auto s0 = c0.isend(1, 1, tx0.data(), tx0.size());
+  c1.sendrecv(0, 2, tx1.data(), tx1.size(), 0, 1, rx1.data(), rx1.size());
+  world.wait(r0);
+  world.wait(s0);
+  EXPECT_EQ(rx0, tx1);
+  EXPECT_EQ(rx1, tx0);
+}
+
+TEST(MpiPt2pt, LargeMessagesUseMultirail) {
+  core::World world(four_nodes("hetero-split"));
+  Communicator c0(&world, 0);
+  Communicator c3(&world, 3);
+  const auto tx = test::make_pattern(2_MiB, 3);
+  std::vector<std::uint8_t> rx(2_MiB);
+  auto r = c3.irecv(0, 9, rx.data(), rx.size());
+  c0.send(3, 9, tx.data(), tx.size());
+  world.wait(r);
+  EXPECT_EQ(rx, tx);
+  const auto& per_rail = world.engine(0).stats().payload_bytes_per_rail;
+  EXPECT_GT(per_rail[0], 0u);
+  EXPECT_GT(per_rail[1], 0u);
+}
+
+TEST(MpiDeath, SelfSendRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  core::World world(four_nodes());
+  Communicator c0(&world, 0);
+  std::uint8_t byte = 0;
+  EXPECT_DEATH(c0.isend(0, 1, &byte, 1), "");
+}
+
+TEST(MpiOps, ApplyOpDouble) {
+  double acc[3] = {1.0, 5.0, -2.0};
+  const double in[3] = {2.0, 3.0, -4.0};
+  apply_op(ReduceOp::kSum, DType::kDouble, acc, in, 3);
+  EXPECT_DOUBLE_EQ(acc[0], 3.0);
+  EXPECT_DOUBLE_EQ(acc[1], 8.0);
+  EXPECT_DOUBLE_EQ(acc[2], -6.0);
+
+  double mn[2] = {1.0, 5.0};
+  const double mn_in[2] = {0.5, 7.0};
+  apply_op(ReduceOp::kMin, DType::kDouble, mn, mn_in, 2);
+  EXPECT_DOUBLE_EQ(mn[0], 0.5);
+  EXPECT_DOUBLE_EQ(mn[1], 5.0);
+}
+
+TEST(MpiOps, ApplyOpInt64) {
+  std::int64_t acc[2] = {10, -3};
+  const std::int64_t in[2] = {-20, 4};
+  apply_op(ReduceOp::kMax, DType::kInt64, acc, in, 2);
+  EXPECT_EQ(acc[0], 10);
+  EXPECT_EQ(acc[1], 4);
+}
+
+TEST(MpiOps, DtypeSizes) {
+  EXPECT_EQ(dtype_size(DType::kDouble), 8u);
+  EXPECT_EQ(dtype_size(DType::kInt64), 8u);
+}
+
+}  // namespace
+}  // namespace rails::mpi

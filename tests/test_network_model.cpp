@@ -1,0 +1,200 @@
+#include "fabric/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/presets.hpp"
+
+namespace rails::fabric {
+namespace {
+
+TEST(NetworkModel, PioPiecewiseMarginalRates) {
+  NetworkModelParams p;
+  p.pio_bw_mbps = 1000.0;        // 1 ns per byte
+  p.pio_bw_large_mbps = 500.0;   // 2 ns per byte
+  p.pio_cache_limit = 1024;
+  NetworkModel m(p);
+  EXPECT_EQ(m.pio_time(0), 0);
+  EXPECT_EQ(m.pio_time(1024), 1024);             // all fast
+  EXPECT_EQ(m.pio_time(2048), 1024 + 2048);      // 1024 fast + 1024 slow
+}
+
+TEST(NetworkModel, PacketCount) {
+  NetworkModelParams p;
+  p.mtu = 4096;
+  NetworkModel m(p);
+  EXPECT_EQ(m.packet_count(0), 1u);  // header-only packet
+  EXPECT_EQ(m.packet_count(1), 1u);
+  EXPECT_EQ(m.packet_count(4096), 1u);
+  EXPECT_EQ(m.packet_count(4097), 2u);
+  EXPECT_EQ(m.packet_count(16384), 4u);
+}
+
+TEST(NetworkModel, EagerTimingDecomposition) {
+  NetworkModelParams p;
+  p.post_us = 1.0;
+  p.wire_latency_us = 2.0;
+  p.pio_bw_mbps = 1000.0;
+  p.pio_bw_large_mbps = 1000.0;
+  p.per_packet_us = 0.5;
+  p.mtu = 1024;
+  NetworkModel m(p);
+  const auto t = m.eager(2048);
+  // host = post (1us) + copy (2048ns) + 2 packets (1us)
+  EXPECT_EQ(t.host, usec(1.0) + 2048 + usec(1.0));
+  EXPECT_EQ(t.nic, t.host);
+  EXPECT_EQ(t.total, t.host + usec(2.0));
+}
+
+TEST(NetworkModel, RendezvousTimingDecomposition) {
+  NetworkModelParams p;
+  p.post_us = 1.0;
+  p.dma_setup_us = 2.0;
+  p.dma_bw_mbps = 1000.0;
+  p.rdv_handshake_us = 10.0;
+  p.wire_latency_us = 1.0;
+  NetworkModel m(p);
+  const auto with = m.rendezvous(1000, true);
+  const auto without = m.rendezvous(1000, false);
+  EXPECT_EQ(with.total - without.total, usec(10.0));
+  EXPECT_EQ(without.host, usec(3.0));
+  EXPECT_EQ(without.nic, usec(3.0) + 1000);
+  EXPECT_EQ(without.total, without.nic + usec(1.0));
+}
+
+TEST(NetworkModel, DmaDoesNotOccupyHostForStream) {
+  // The host share of a rendezvous chunk is constant — DMA frees the core
+  // (this is why large-message splitting needs no multicore help).
+  const NetworkModel m{myri10g()};
+  EXPECT_EQ(m.rendezvous(1_MiB).host, m.rendezvous(8_MiB).host);
+  EXPECT_GT(m.eager(32_KiB).host, m.eager(1_KiB).host);
+}
+
+TEST(NetworkModel, BestDurationPicksCheaperProtocol) {
+  const NetworkModel m{myri10g()};
+  const std::size_t th = m.natural_rdv_threshold();
+  EXPECT_EQ(m.best_duration(th / 4), m.eager(th / 4).total);
+  EXPECT_EQ(m.best_duration(8_MiB), m.rendezvous(8_MiB).total);
+}
+
+// -- calibration against the paper's §IV numbers ---------------------------
+
+TEST(Presets, MyriLargeMessageBandwidth) {
+  const NetworkModel m{myri10g()};
+  EXPECT_NEAR(m.bandwidth_at(8_MiB), 1170.0, 15.0);
+}
+
+TEST(Presets, QsnetLargeMessageBandwidth) {
+  const NetworkModel m{qsnet2()};
+  EXPECT_NEAR(m.bandwidth_at(8_MiB), 837.0, 10.0);
+}
+
+TEST(Presets, TwoMiBChunkTimesMatchPaper) {
+  // §IV-A: a 2 MB chunk streams in ~1730 µs over Myri-10G and ~2400 µs over
+  // Quadrics (these are DMA chunk times without the handshake).
+  const NetworkModel myri{myri10g()};
+  const NetworkModel qs{qsnet2()};
+  EXPECT_NEAR(to_usec(myri.rendezvous(2_MiB, false).total), 1730.0, 80.0);
+  EXPECT_NEAR(to_usec(qs.rendezvous(2_MiB, false).total), 2400.0, 110.0);
+}
+
+TEST(Presets, SmallMessageLatency) {
+  // Fig. 9: ~2.9 µs for Myri-10G, ~1.6 µs for QsNetII at 4 bytes.
+  const NetworkModel myri{myri10g()};
+  const NetworkModel qs{qsnet2()};
+  EXPECT_NEAR(to_usec(myri.eager(4).total), 2.9, 0.4);
+  EXPECT_NEAR(to_usec(qs.eager(4).total), 1.6, 0.3);
+}
+
+TEST(Presets, QsnetWinsTinyMyriWinsMedium) {
+  // Fig. 3's two aggregated curves cross: Quadrics is faster for tiny
+  // payloads, Myri-10G for larger eager payloads.
+  const NetworkModel myri{myri10g()};
+  const NetworkModel qs{qsnet2()};
+  EXPECT_LT(qs.eager(4).total, myri.eager(4).total);
+  EXPECT_LT(myri.eager(32_KiB).total, qs.eager(32_KiB).total);
+}
+
+TEST(Presets, Myri2000IsThePreviousGeneration) {
+  const NetworkModel old{myri2000()};
+  const NetworkModel modern{myri10g()};
+  EXPECT_NEAR(old.bandwidth_at(8_MiB), 245.0, 5.0);
+  // Strictly slower than its successor everywhere.
+  for (std::size_t s = 4; s <= 8_MiB; s <<= 2) {
+    EXPECT_GT(old.best_duration(s), modern.best_duration(s)) << "size " << s;
+  }
+}
+
+TEST(Presets, NaturalThresholdIsMediumSized) {
+  for (const auto& params : {myri10g(), qsnet2(), ib_ddr()}) {
+    const NetworkModel m{params};
+    const std::size_t th = m.natural_rdv_threshold();
+    EXPECT_GE(th, 4_KiB) << params.name;
+    EXPECT_LE(th, 64_KiB) << params.name;
+  }
+}
+
+TEST(Presets, AffineModelIsExactlyAffine) {
+  const NetworkModel m{affine(5.0, 1000.0)};
+  const SimDuration d1 = m.eager(1000).total;
+  const SimDuration d2 = m.eager(2000).total;
+  const SimDuration d3 = m.eager(3000).total;
+  EXPECT_EQ(d2 - d1, d3 - d2);
+  EXPECT_EQ(m.eager(0).total, usec(5.0));
+}
+
+// -- property sweeps over all presets ---------------------------------------
+
+class ModelProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  static NetworkModelParams params_for(const std::string& name) {
+    if (name == "myri10g") return myri10g();
+    if (name == "qsnet2") return qsnet2();
+    if (name == "ib-ddr") return ib_ddr();
+    if (name == "myri2000") return myri2000();
+    return gige_tcp();
+  }
+};
+
+TEST_P(ModelProperty, DurationsMonotoneInSize) {
+  const NetworkModel m{params_for(GetParam())};
+  SimDuration prev_eager = -1;
+  SimDuration prev_rdv = -1;
+  for (std::size_t s = 1; s <= 8_MiB; s <<= 1) {
+    if (s <= m.params().max_eager) {
+      const SimDuration e = m.eager(s).total;
+      EXPECT_GT(e, prev_eager) << GetParam() << " size " << s;
+      prev_eager = e;
+    }
+    const SimDuration r = m.rendezvous(s).total;
+    EXPECT_GT(r, prev_rdv) << GetParam() << " size " << s;
+    prev_rdv = r;
+  }
+}
+
+TEST_P(ModelProperty, HostNeverExceedsTotal) {
+  const NetworkModel m{params_for(GetParam())};
+  for (std::size_t s = 1; s <= 8_MiB; s <<= 1) {
+    if (s <= m.params().max_eager) {
+      const auto e = m.eager(s);
+      EXPECT_LE(e.host, e.total);
+      EXPECT_LE(e.host, e.nic);
+    }
+    const auto r = m.rendezvous(s);
+    EXPECT_LE(r.host, r.nic);
+    EXPECT_LE(r.nic, r.total);
+  }
+}
+
+TEST_P(ModelProperty, BandwidthApproachesAsymptote) {
+  const NetworkModel m{params_for(GetParam())};
+  // At 8 MiB the achieved bandwidth is within 2% of the DMA rate.
+  EXPECT_NEAR(m.bandwidth_at(8_MiB), m.params().dma_bw_mbps,
+              m.params().dma_bw_mbps * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, ModelProperty,
+                         ::testing::Values("myri10g", "qsnet2", "ib-ddr", "gige-tcp",
+                                           "myri2000"));
+
+}  // namespace
+}  // namespace rails::fabric

@@ -1,0 +1,161 @@
+#include "sampling/profile.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rails::sampling {
+namespace {
+
+PerfProfile linear_profile() {
+  // duration = 1000 + 2 * size, sampled at powers of two.
+  std::vector<SamplePoint> pts;
+  for (std::size_t s = 1; s <= 1024; s <<= 1) {
+    pts.push_back({s, static_cast<SimDuration>(1000 + 2 * s)});
+  }
+  return PerfProfile(std::move(pts));
+}
+
+TEST(PerfProfile, ExactAtSamplePoints) {
+  const auto p = linear_profile();
+  for (std::size_t s = 1; s <= 1024; s <<= 1) {
+    EXPECT_EQ(p.estimate(s), static_cast<SimDuration>(1000 + 2 * s));
+  }
+}
+
+TEST(PerfProfile, InterpolatesBetweenPoints) {
+  const auto p = linear_profile();
+  // Between 256 and 512 the underlying curve is linear, so interpolation is
+  // exact at any intermediate size.
+  EXPECT_EQ(p.estimate(384), 1000 + 2 * 384);
+  EXPECT_EQ(p.estimate(300), 1000 + 2 * 300);
+}
+
+TEST(PerfProfile, ExtrapolatesBeyondEnds) {
+  const auto p = linear_profile();
+  EXPECT_EQ(p.estimate(2048), 1000 + 2 * 2048);  // beyond last point
+  EXPECT_EQ(p.estimate(0), 1000);                // below first point
+}
+
+TEST(PerfProfile, SinglePointIsConstant) {
+  PerfProfile p({{64, 500}});
+  EXPECT_EQ(p.estimate(1), 500);
+  EXPECT_EQ(p.estimate(64), 500);
+  EXPECT_EQ(p.estimate(1024), 500);
+}
+
+TEST(PerfProfile, DuplicateSizesKeepLatest) {
+  PerfProfile p;
+  p.add(100, 10);
+  p.add(200, 20);
+  p.add(100, 12);
+  EXPECT_EQ(p.point_count(), 2u);
+  EXPECT_EQ(p.estimate(100), 12);
+}
+
+TEST(PerfProfile, NoiseInversionsClamped) {
+  // A larger size measured faster than a smaller one (noise) must not
+  // produce a non-monotone estimate.
+  PerfProfile p({{100, 50}, {200, 40}, {400, 80}});
+  EXPECT_GE(p.estimate(200), p.estimate(100));
+  EXPECT_GE(p.estimate(300), p.estimate(200));
+}
+
+TEST(PerfProfile, LatencyIsZeroSizeIntercept) {
+  EXPECT_EQ(linear_profile().latency(), 1000);
+}
+
+TEST(PerfProfile, AsymptoticBandwidth) {
+  // Slope 2 ns/byte -> 500 MB/s.
+  EXPECT_NEAR(linear_profile().asymptotic_bandwidth(), 500.0, 1e-9);
+}
+
+TEST(PerfProfile, MaxBytesWithinBasics) {
+  const auto p = linear_profile();
+  EXPECT_EQ(p.max_bytes_within(999), 0u);          // below latency
+  EXPECT_EQ(p.max_bytes_within(1000), 0u);         // exactly latency -> 0 bytes
+  EXPECT_EQ(p.max_bytes_within(1000 + 2 * 100), 100u);
+  EXPECT_EQ(p.max_bytes_within(1000 + 2 * 5000), 5000u);  // beyond last sample
+}
+
+TEST(PerfProfile, InverseRoundTripProperty) {
+  const auto p = linear_profile();
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const SimDuration budget = 1000 + static_cast<SimDuration>(rng.below(10000));
+    const std::size_t bytes = p.max_bytes_within(budget);
+    // The returned size fits the budget...
+    EXPECT_LE(p.estimate(bytes), budget);
+    // ...and one more byte would not.
+    EXPECT_GT(p.estimate(bytes + 1), budget);
+  }
+}
+
+TEST(PerfProfile, SaveLoadRoundTrip) {
+  const auto p = linear_profile();
+  std::stringstream ss;
+  p.save(ss);
+  const auto q = PerfProfile::load(ss);
+  ASSERT_EQ(q.point_count(), p.point_count());
+  for (std::size_t i = 0; i < p.points().size(); ++i) {
+    EXPECT_EQ(q.points()[i].size, p.points()[i].size);
+    EXPECT_EQ(q.points()[i].duration, p.points()[i].duration);
+  }
+}
+
+TEST(PerfProfile, LoadSkipsCommentsAndBlanks) {
+  std::stringstream ss("# header\n\n10 100\n# mid\n20 200\n");
+  const auto p = PerfProfile::load(ss);
+  EXPECT_EQ(p.point_count(), 2u);
+  EXPECT_EQ(p.estimate(15), 150);
+}
+
+class ProfileRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileRandomized, EstimateMonotoneForMonotoneSamples) {
+  Xoshiro256 rng(GetParam());
+  PerfProfile p;
+  SimDuration d = 100;
+  for (std::size_t s = 4; s <= 1_MiB; s <<= 1) {
+    d += static_cast<SimDuration>(rng.below(5000)) + 1;
+    p.add(s, d);
+  }
+  SimDuration prev = -1;
+  for (std::size_t s = 1; s <= 2_MiB; s = s * 3 / 2 + 1) {
+    const SimDuration est = p.estimate(s);
+    EXPECT_GE(est, prev) << "size " << s;
+    prev = est;
+  }
+}
+
+TEST_P(ProfileRandomized, InversePropertyOnRandomProfiles) {
+  Xoshiro256 rng(GetParam() + 100);
+  PerfProfile p;
+  SimDuration d = 50;
+  for (std::size_t s = 1; s <= 64_KiB; s <<= 1) {
+    d += static_cast<SimDuration>(rng.below(2000)) + 10;
+    p.add(s, d);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const SimDuration budget = 50 + static_cast<SimDuration>(rng.below(40000));
+    const std::size_t bytes = p.max_bytes_within(budget);
+    if (bytes > 0) {
+      // The returned size fits, and the next byte is at the budget boundary
+      // or beyond (integer durations can plateau, hence GE rather than GT).
+      EXPECT_LE(p.estimate(bytes), budget);
+      EXPECT_GE(p.estimate(bytes + 1), budget);
+    } else {
+      // Nothing fits only when even the smallest sampled message is over
+      // budget (the zero-size extrapolation may dip below it).
+      EXPECT_GT(p.estimate(p.min_size()), budget);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileRandomized, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace rails::sampling

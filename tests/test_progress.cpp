@@ -1,0 +1,202 @@
+#include "progress/progress_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "progress/queue_source.hpp"
+
+namespace rails::progress {
+namespace {
+
+TEST(ChooseMethod, PollingWhenNoBlockingSupport) {
+  Context ctx;
+  ctx.sources_support_blocking = false;
+  ctx.idle_cores = 0;
+  ctx.computing_threads = 8;
+  EXPECT_EQ(choose_method(ctx), Method::kPolling);
+}
+
+TEST(ChooseMethod, PollingWithSpareCore) {
+  Context ctx;
+  ctx.sources_support_blocking = true;
+  ctx.idle_cores = 1;
+  ctx.computing_threads = 8;
+  EXPECT_EQ(choose_method(ctx), Method::kPolling);
+}
+
+TEST(ChooseMethod, BlockingWhenSaturated) {
+  // "depending on the context (number of computing threads, available
+  // CPUs...)": no spare core + computing threads -> blocking.
+  Context ctx;
+  ctx.sources_support_blocking = true;
+  ctx.idle_cores = 0;
+  ctx.computing_threads = 4;
+  EXPECT_EQ(choose_method(ctx), Method::kBlocking);
+}
+
+TEST(ChooseMethod, PollingWhenMachineIsEmpty) {
+  Context ctx;
+  ctx.sources_support_blocking = true;
+  ctx.idle_cores = 0;
+  ctx.computing_threads = 0;
+  EXPECT_EQ(choose_method(ctx), Method::kPolling);
+}
+
+TEST(ToString, Methods) {
+  EXPECT_STREQ(to_string(Method::kPolling), "polling");
+  EXPECT_STREQ(to_string(Method::kBlocking), "blocking");
+}
+
+class CountingSource final : public EventSource {
+ public:
+  explicit CountingSource(unsigned events_per_poll, bool blocking = false)
+      : per_poll_(events_per_poll), blocking_(blocking) {}
+  std::string name() const override { return "counting"; }
+  unsigned poll() override {
+    ++polled_;
+    return per_poll_;
+  }
+  bool supports_blocking() const override { return blocking_; }
+  unsigned block(std::uint64_t) override {
+    ++blocked_;
+    return per_poll_;
+  }
+  unsigned polled_ = 0;
+  unsigned blocked_ = 0;
+
+ private:
+  unsigned per_poll_;
+  bool blocking_;
+};
+
+TEST(ProgressEngine, TickPollsEverySource) {
+  ProgressEngine engine;
+  CountingSource a(2), b(3);
+  engine.add_source(&a);
+  engine.add_source(&b);
+  Context ctx;
+  EXPECT_EQ(engine.tick(ctx), 5u);
+  EXPECT_EQ(a.polled_, 1u);
+  EXPECT_EQ(b.polled_, 1u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_EQ(stats.events, 5u);
+  EXPECT_EQ(stats.polls, 2u);
+}
+
+TEST(ProgressEngine, BlockingContextUsesBlockingCalls) {
+  ProgressEngine engine;
+  CountingSource blocking(1, true);
+  CountingSource polling_only(1, false);
+  engine.add_source(&blocking);
+  engine.add_source(&polling_only);
+  Context ctx;
+  ctx.sources_support_blocking = true;
+  ctx.idle_cores = 0;
+  ctx.computing_threads = 2;
+  engine.tick(ctx);
+  EXPECT_EQ(blocking.blocked_, 1u);
+  EXPECT_EQ(blocking.polled_, 0u);
+  // A source without blocking support still gets polled in blocking mode.
+  EXPECT_EQ(polling_only.polled_, 1u);
+  EXPECT_EQ(engine.stats().blocking_waits, 1u);
+}
+
+TEST(ProgressEngine, RemoveSource) {
+  ProgressEngine engine;
+  CountingSource a(1);
+  engine.add_source(&a);
+  EXPECT_EQ(engine.source_count(), 1u);
+  engine.remove_source(&a);
+  EXPECT_EQ(engine.source_count(), 0u);
+  EXPECT_EQ(engine.tick({}), 0u);
+}
+
+TEST(ProgressEngine, QueueSourceDrainsMessages) {
+  SpscQueue<QueueSource::Message> ring(64);
+  std::vector<QueueSource::Message> received;
+  QueueSource source("rx", &ring, [&](QueueSource::Message&& m) {
+    received.push_back(std::move(m));
+  });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.try_push(QueueSource::Message(static_cast<std::size_t>(i + 1), 0xEE)));
+  }
+  EXPECT_EQ(source.poll(), 10u);
+  EXPECT_EQ(source.poll(), 0u);
+  ASSERT_EQ(received.size(), 10u);
+  EXPECT_EQ(received[3].size(), 4u);
+}
+
+TEST(ProgressEngine, QueueSourceBoundedDrainPerPoll) {
+  SpscQueue<QueueSource::Message> ring(256);
+  unsigned handled = 0;
+  QueueSource source("rx", &ring, [&](QueueSource::Message&&) { ++handled; });
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(ring.try_push(QueueSource::Message(1, 0)));
+  // One poll handles at most its bound (64), leaving the rest for the next.
+  EXPECT_EQ(source.poll(), 64u);
+  EXPECT_EQ(source.poll(), 36u);
+  EXPECT_EQ(handled, 100u);
+}
+
+TEST(ProgressEngine, BackgroundPumpDetectsTraffic) {
+  rt::WorkerPool pool(2);
+  ProgressEngine engine;
+  SpscQueue<QueueSource::Message> ring(64);
+  std::atomic<unsigned> received{0};
+  QueueSource source("rx", &ring, [&](QueueSource::Message&&) {
+    received.fetch_add(1);
+  });
+  engine.add_source(&source);
+  engine.start(&pool, 0, Context{});
+
+  for (int i = 0; i < 20; ++i) {
+    while (!ring.try_push(QueueSource::Message(8, 0x11))) std::this_thread::yield();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (received.load() < 20 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  engine.stop();
+  EXPECT_EQ(received.load(), 20u);
+  EXPECT_GT(engine.stats().ticks, 0u);
+}
+
+TEST(ProgressEngine, ThreadedPingPongOverQueues) {
+  // Two "nodes" exchanging real bytes through SPSC rings driven by the
+  // progression engine — the threaded-mode analogue of the DES ping-pong.
+  rt::WorkerPool pool(2);
+  SpscQueue<QueueSource::Message> to_b(64), to_a(64);
+  std::atomic<int> rounds{0};
+  constexpr int kRounds = 50;
+
+  ProgressEngine engine_a;
+  ProgressEngine engine_b;
+  QueueSource src_a("a-rx", &to_a, [&](QueueSource::Message&& m) {
+    if (rounds.load() < kRounds) {
+      rounds.fetch_add(1);
+      while (!to_b.try_push(std::move(m))) std::this_thread::yield();
+    }
+  });
+  QueueSource src_b("b-rx", &to_b, [&](QueueSource::Message&& m) {
+    while (!to_a.try_push(std::move(m))) std::this_thread::yield();
+  });
+  engine_a.add_source(&src_a);
+  engine_b.add_source(&src_b);
+  engine_a.start(&pool, 0, Context{});
+  engine_b.start(&pool, 1, Context{});
+
+  while (!to_b.try_push(QueueSource::Message(16, 0x42))) std::this_thread::yield();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (rounds.load() < kRounds && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  engine_a.stop();
+  engine_b.stop();
+  EXPECT_GE(rounds.load(), kRounds);
+}
+
+}  // namespace
+}  // namespace rails::progress

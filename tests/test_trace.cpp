@@ -1,0 +1,160 @@
+#include "trace/tracer.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "test_util.hpp"
+
+namespace rails::trace {
+namespace {
+
+TEST(Tracer, StartsEmpty) {
+  Tracer tracer;
+  EXPECT_TRUE(tracer.empty());
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_FALSE(tracer.message(0, 1).has_value());
+}
+
+TEST(Tracer, RecordAndFilter) {
+  Tracer tracer;
+  tracer.record({100, 0, EventKind::kSubmit, 1, 5, 0, 0, 64, 0});
+  tracer.record({200, 0, EventKind::kEagerEmit, 1, 5, 1, 2, 64, 300});
+  tracer.record({400, 0, EventKind::kSendComplete, 1, 5, 0, 0, 64, 0});
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.of_kind(EventKind::kEagerEmit).size(), 1u);
+  EXPECT_EQ(tracer.of_kind(EventKind::kRecvComplete).size(), 0u);
+}
+
+TEST(Tracer, MessageTimelineReconstruction) {
+  Tracer tracer;
+  tracer.record({100, 0, EventKind::kSubmit, 7, 1, 0, 0, 1000, 0});
+  tracer.record({250, 0, EventKind::kOffloadSignal, 7, 1, 0, 1, 0, 0});
+  tracer.record({300, 0, EventKind::kEagerEmit, 7, 1, 0, 1, 600, 900});
+  tracer.record({320, 0, EventKind::kEagerEmit, 7, 1, 1, 2, 400, 800});
+  tracer.record({900, 0, EventKind::kSendComplete, 7, 1, 0, 0, 1000, 0});
+  const auto tl = tracer.message(0, 7);
+  ASSERT_TRUE(tl.has_value());
+  EXPECT_EQ(tl->submit, 100);
+  EXPECT_EQ(tl->first_emission, 300);
+  EXPECT_EQ(tl->complete, 900);
+  EXPECT_EQ(tl->chunks, 2u);
+  EXPECT_EQ(tl->offloaded, 1u);
+  EXPECT_EQ(tl->bytes, 1000u);
+  EXPECT_EQ(tl->queueing_delay(), 200);
+  EXPECT_EQ(tl->total_latency(), 800);
+}
+
+TEST(Tracer, BytesAndBusyPerRail) {
+  Tracer tracer;
+  tracer.record({0, 0, EventKind::kChunkPosted, 1, 0, 0, 0, 100, 50});
+  tracer.record({10, 0, EventKind::kChunkPosted, 1, 0, 2, 0, 300, 110});
+  tracer.record({20, 0, EventKind::kSubmit, 2, 0, 1, 0, 999, 0});  // not NIC activity
+  const auto bytes = tracer.bytes_per_rail();
+  ASSERT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 100u);
+  EXPECT_EQ(bytes[1], 0u);
+  EXPECT_EQ(bytes[2], 300u);
+  const auto busy = tracer.rail_busy_time();
+  EXPECT_EQ(busy[0], 50);
+  EXPECT_EQ(busy[2], 100);
+}
+
+TEST(Tracer, CsvExport) {
+  Tracer tracer;
+  tracer.record({100, 1, EventKind::kRtsSent, 3, 9, 1, 0, 2048, 0});
+  std::ostringstream os;
+  tracer.dump_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time_ns,node,kind"), std::string::npos);
+  EXPECT_NE(csv.find("100,1,rts,3,9,1,0,2048,0"), std::string::npos);
+}
+
+TEST(Tracer, GanttRendersLanes) {
+  Tracer tracer;
+  tracer.record({0, 0, EventKind::kChunkPosted, 1, 0, 0, 0, 100, 1000});
+  tracer.record({500, 0, EventKind::kChunkPosted, 1, 0, 1, 0, 100, 1000});
+  std::ostringstream os;
+  tracer.render_gantt(os, 40);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rail 0 |"), std::string::npos);
+  EXPECT_NE(out.find("rail 1 |"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Tracer, GanttHandlesEmptyTrace) {
+  Tracer tracer;
+  std::ostringstream os;
+  tracer.render_gantt(os);
+  EXPECT_NE(os.str().find("no NIC activity"), std::string::npos);
+}
+
+// -- engine integration ------------------------------------------------------
+
+class EngineTracing : public ::testing::Test {
+ protected:
+  EngineTracing() : world_(core::paper_testbed("hetero-split")) {
+    world_.engine(0).set_tracer(&tracer_);
+  }
+  ~EngineTracing() override { world_.engine(0).set_tracer(nullptr); }
+
+  core::World world_;
+  Tracer tracer_;
+};
+
+TEST_F(EngineTracing, RendezvousLifecycleRecorded) {
+  const std::size_t size = 2_MiB;
+  const auto tx = test::make_pattern(size, 1);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world_.engine(1).irecv(0, 4, rx.data(), size);
+  auto send = world_.engine(0).isend(1, 4, tx.data(), size);
+  world_.wait(send);
+  (void)recv;
+
+  EXPECT_EQ(tracer_.of_kind(EventKind::kSubmit).size(), 1u);
+  EXPECT_EQ(tracer_.of_kind(EventKind::kRtsSent).size(), 1u);
+  EXPECT_EQ(tracer_.of_kind(EventKind::kChunkPosted).size(), 2u);  // hetero: 2 rails
+  EXPECT_EQ(tracer_.of_kind(EventKind::kSendComplete).size(), 1u);
+
+  const auto tl = tracer_.message(0, send->id);
+  ASSERT_TRUE(tl.has_value());
+  EXPECT_EQ(tl->chunks, 2u);
+  EXPECT_EQ(tl->complete, send->complete_time);
+  EXPECT_GT(tl->total_latency(), 0);
+
+  const auto bytes = tracer_.bytes_per_rail();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0] + bytes[1], size);
+}
+
+TEST_F(EngineTracing, EagerOffloadRecorded) {
+  world_.set_strategy("multicore-hetero-split");
+  world_.engine(0).set_tracer(&tracer_);  // set_strategy does not touch tracers
+  const std::size_t size = 16_KiB;
+  const auto tx = test::make_pattern(size, 2);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world_.engine(1).irecv(0, 5, rx.data(), size);
+  world_.engine(0).isend(1, 5, tx.data(), size);
+  world_.wait(recv);
+
+  EXPECT_GE(tracer_.of_kind(EventKind::kOffloadSignal).size(), 2u);
+  EXPECT_GE(tracer_.of_kind(EventKind::kEagerEmit).size(), 2u);
+  // Offloaded emissions run on distinct non-scheduler cores.
+  for (const auto& e : tracer_.of_kind(EventKind::kEagerEmit)) {
+    EXPECT_NE(e.core, world_.engine(0).config().scheduler_core);
+  }
+}
+
+TEST_F(EngineTracing, DetachStopsRecording) {
+  world_.engine(0).set_tracer(nullptr);
+  const auto tx = test::make_pattern(256, 3);
+  std::vector<std::uint8_t> rx(256);
+  auto recv = world_.engine(1).irecv(0, 6, rx.data(), 256);
+  world_.engine(0).isend(1, 6, tx.data(), 256);
+  world_.wait(recv);
+  EXPECT_TRUE(tracer_.empty());
+}
+
+}  // namespace
+}  // namespace rails::trace

@@ -1,0 +1,69 @@
+#include "bench_support/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+
+namespace rails::bench {
+namespace {
+
+TEST(Traffic, LowLoadAchievesOfferedRate) {
+  core::World world(core::paper_testbed("hetero-split"));
+  TrafficConfig cfg;
+  cfg.offered_mbps = 300.0;  // well below the ~2 GB/s capacity
+  cfg.message_count = 100;
+  const auto result = run_open_loop(world, cfg);
+  EXPECT_NEAR(result.achieved_mbps, cfg.offered_mbps, cfg.offered_mbps * 0.35);
+  EXPECT_GT(result.total_bytes, 0u);
+  EXPECT_GT(result.p99_latency_us, result.p50_latency_us);
+}
+
+TEST(Traffic, DeterministicForFixedSeed) {
+  TrafficConfig cfg;
+  cfg.offered_mbps = 800.0;
+  cfg.message_count = 60;
+  core::World a(core::paper_testbed("iso-split"));
+  core::World b(core::paper_testbed("iso-split"));
+  const auto ra = run_open_loop(a, cfg);
+  const auto rb = run_open_loop(b, cfg);
+  EXPECT_DOUBLE_EQ(ra.mean_latency_us, rb.mean_latency_us);
+  EXPECT_DOUBLE_EQ(ra.p99_latency_us, rb.p99_latency_us);
+  EXPECT_EQ(ra.total_bytes, rb.total_bytes);
+}
+
+TEST(Traffic, DifferentSeedsDifferentSchedules) {
+  TrafficConfig a;
+  a.seed = 1;
+  TrafficConfig b;
+  b.seed = 2;
+  core::World wa(core::paper_testbed("hetero-split"));
+  core::World wb(core::paper_testbed("hetero-split"));
+  EXPECT_NE(run_open_loop(wa, a).total_bytes, run_open_loop(wb, b).total_bytes);
+}
+
+TEST(Traffic, LatencyGrowsWithLoad) {
+  auto mean_at = [](double load) {
+    core::World world(core::paper_testbed("single-rail:0"));
+    TrafficConfig cfg;
+    cfg.offered_mbps = load;
+    cfg.message_count = 100;
+    return run_open_loop(world, cfg).mean_latency_us;
+  };
+  const double low = mean_at(200.0);
+  const double high = mean_at(1400.0);  // beyond the 1.17 GB/s plateau
+  EXPECT_GT(high, low * 3.0);
+}
+
+TEST(Traffic, SizesRespectBounds) {
+  core::World world(core::paper_testbed("hetero-split"));
+  TrafficConfig cfg;
+  cfg.min_size = 1000;
+  cfg.max_size = 2000;
+  cfg.message_count = 50;
+  const auto result = run_open_loop(world, cfg);
+  EXPECT_GE(result.total_bytes, 50u * 1000u);
+  EXPECT_LE(result.total_bytes, 50u * 2000u);
+}
+
+}  // namespace
+}  // namespace rails::bench

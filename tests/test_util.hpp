@@ -1,0 +1,26 @@
+// Shared helpers for the rails test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rails::test {
+
+/// Deterministic byte pattern derived from (seed, index): catches both
+/// missing fragments and fragments written at the wrong offset.
+inline std::vector<std::uint8_t> make_pattern(std::size_t size, std::uint64_t seed) {
+  std::vector<std::uint8_t> buf(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    buf[i] = static_cast<std::uint8_t>((seed * 1315423911u + i * 2654435761u) >> 24);
+  }
+  return buf;
+}
+
+inline bool matches_pattern(const std::vector<std::uint8_t>& buf, std::uint64_t seed) {
+  const auto expect = make_pattern(buf.size(), seed);
+  return buf == expect;
+}
+
+}  // namespace rails::test

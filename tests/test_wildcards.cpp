@@ -1,0 +1,114 @@
+// Receive-side wildcards: kAnySource / kAnyTag matching semantics.
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+#include "test_util.hpp"
+
+namespace rails::core {
+namespace {
+
+core::WorldConfig three_nodes() {
+  core::WorldConfig cfg = paper_testbed("hetero-split");
+  cfg.fabric.node_count = 3;
+  return cfg;
+}
+
+TEST(Wildcards, AnyTagMatchesFirstArrival) {
+  core::World world(three_nodes());
+  const auto tx = test::make_pattern(512, 1);
+  std::vector<std::uint8_t> rx(512);
+  auto recv = world.engine(1).irecv(0, kAnyTag, rx.data(), rx.size());
+  world.engine(0).isend(1, /*tag=*/777, tx.data(), tx.size());
+  world.wait(recv);
+  EXPECT_EQ(rx, tx);
+  EXPECT_EQ(recv->tag, 777u);  // bound to the actual tag
+  EXPECT_EQ(recv->src, 0u);
+}
+
+TEST(Wildcards, AnySourceMatchesEitherSender) {
+  core::World world(three_nodes());
+  const auto tx = test::make_pattern(256, 2);
+  std::vector<std::uint8_t> rx(256);
+  auto recv = world.engine(1).irecv(kAnySource, 5, rx.data(), rx.size());
+  world.engine(2).isend(1, 5, tx.data(), tx.size());
+  world.wait(recv);
+  EXPECT_EQ(rx, tx);
+  EXPECT_EQ(recv->src, 2u);
+}
+
+TEST(Wildcards, FullyWildRecvTakesUnexpected) {
+  core::World world(three_nodes());
+  const auto tx = test::make_pattern(1024, 3);
+  world.engine(2).isend(1, 99, tx.data(), tx.size());
+  world.fabric().events().run_all();  // parks in the unexpected store
+  std::vector<std::uint8_t> rx(1024);
+  auto recv = world.engine(1).irecv(kAnySource, kAnyTag, rx.data(), rx.size());
+  EXPECT_TRUE(recv->done());
+  EXPECT_EQ(rx, tx);
+  EXPECT_EQ(recv->src, 2u);
+  EXPECT_EQ(recv->tag, 99u);
+}
+
+TEST(Wildcards, WildcardRendezvousFromUnexpectedRts) {
+  core::World world(three_nodes());
+  const auto tx = test::make_pattern(1_MiB, 4);
+  auto send = world.engine(2).isend(1, 50, tx.data(), tx.size());
+  world.fabric().events().run_all();  // RTS parked
+  std::vector<std::uint8_t> rx(tx.size());
+  auto recv = world.engine(1).irecv(kAnySource, kAnyTag, rx.data(), rx.size());
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_EQ(rx, tx);
+  EXPECT_EQ(recv->src, 2u);
+  EXPECT_EQ(recv->tag, 50u);
+}
+
+TEST(Wildcards, PostedWildcardCatchesRendezvousRts) {
+  core::World world(three_nodes());
+  const auto tx = test::make_pattern(2_MiB, 5);
+  std::vector<std::uint8_t> rx(tx.size());
+  auto recv = world.engine(1).irecv(kAnySource, kAnyTag, rx.data(), rx.size());
+  auto send = world.engine(0).isend(1, 8, tx.data(), tx.size());
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_EQ(rx, tx);
+  EXPECT_EQ(recv->src, 0u);
+}
+
+TEST(Wildcards, ExactRecvStillMatchesOnlyItsSource) {
+  core::World world(three_nodes());
+  const auto tx0 = test::make_pattern(128, 6);
+  const auto tx2 = test::make_pattern(128, 7);
+  std::vector<std::uint8_t> rx_exact(128), rx_wild(128);
+  // Exact recv for node 2 posted first; wildcard second. A message from
+  // node 0 must skip the exact recv and land in the wildcard.
+  auto exact = world.engine(1).irecv(2, 1, rx_exact.data(), 128);
+  auto wild = world.engine(1).irecv(kAnySource, 1, rx_wild.data(), 128);
+  world.engine(0).isend(1, 1, tx0.data(), 128);
+  world.wait(wild);
+  EXPECT_EQ(rx_wild, tx0);
+  EXPECT_FALSE(exact->done());
+  world.engine(2).isend(1, 1, tx2.data(), 128);
+  world.wait(exact);
+  EXPECT_EQ(rx_exact, tx2);
+}
+
+TEST(Wildcards, FifoAcrossWildcardAndExact) {
+  core::World world(three_nodes());
+  const auto tx_a = test::make_pattern(64, 8);
+  const auto tx_b = test::make_pattern(64, 9);
+  std::vector<std::uint8_t> rx1(64), rx2(64);
+  // Wildcard posted before exact: first matching message goes to it.
+  auto wild = world.engine(1).irecv(kAnySource, kAnyTag, rx1.data(), 64);
+  auto exact = world.engine(1).irecv(0, 3, rx2.data(), 64);
+  world.engine(0).isend(1, 3, tx_a.data(), 64);
+  world.engine(0).isend(1, 3, tx_b.data(), 64);
+  world.wait(wild);
+  world.wait(exact);
+  EXPECT_EQ(rx1, tx_a);
+  EXPECT_EQ(rx2, tx_b);
+}
+
+}  // namespace
+}  // namespace rails::core

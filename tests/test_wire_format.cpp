@@ -1,0 +1,96 @@
+#include "core/wire_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rails::core {
+namespace {
+
+TEST(WireFormat, SingleSubPacketRoundTrip) {
+  const auto data = test::make_pattern(100, 1);
+  std::vector<std::uint8_t> payload;
+  append_subpacket(payload, {7, 42, 100, 0, data.data(), 100});
+  EXPECT_EQ(payload.size(), framed_size(100));
+
+  const auto parsed = parse_subpackets(payload);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].msg_id, 7u);
+  EXPECT_EQ(parsed[0].tag, 42u);
+  EXPECT_EQ(parsed[0].msg_total, 100u);
+  EXPECT_EQ(parsed[0].offset, 0u);
+  ASSERT_EQ(parsed[0].len, 100u);
+  EXPECT_EQ(std::vector<std::uint8_t>(parsed[0].bytes, parsed[0].bytes + 100), data);
+}
+
+TEST(WireFormat, AggregatedSubPacketsPreserveOrder) {
+  std::vector<std::uint8_t> payload;
+  std::vector<std::vector<std::uint8_t>> bodies;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    bodies.push_back(test::make_pattern(10 + i * 7, i));
+    append_subpacket(payload, {i, i * 2, bodies[i].size(), 0, bodies[i].data(),
+                               static_cast<std::uint32_t>(bodies[i].size())});
+  }
+  const auto parsed = parse_subpackets(payload);
+  ASSERT_EQ(parsed.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(parsed[i].msg_id, i);
+    EXPECT_EQ(parsed[i].tag, i * 2);
+    EXPECT_EQ(std::vector<std::uint8_t>(parsed[i].bytes, parsed[i].bytes + parsed[i].len),
+              bodies[i]);
+  }
+}
+
+TEST(WireFormat, ZeroLengthFragment) {
+  std::vector<std::uint8_t> payload;
+  append_subpacket(payload, {1, 2, 0, 0, nullptr, 0});
+  EXPECT_EQ(payload.size(), SubPacket::kHeaderBytes);
+  const auto parsed = parse_subpackets(payload);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].len, 0u);
+  EXPECT_EQ(parsed[0].bytes, nullptr);
+}
+
+TEST(WireFormat, FragmentWithOffset) {
+  const auto data = test::make_pattern(64, 3);
+  std::vector<std::uint8_t> payload;
+  append_subpacket(payload, {9, 1, 4096, 2048, data.data(), 64});
+  const auto parsed = parse_subpackets(payload);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].msg_total, 4096u);
+  EXPECT_EQ(parsed[0].offset, 2048u);
+}
+
+TEST(WireFormat, EmptyPayloadParsesToNothing) {
+  EXPECT_TRUE(parse_subpackets({}).empty());
+}
+
+TEST(WireFormat, LargeFieldValuesSurvive) {
+  const std::uint64_t big = 0xFEDCBA9876543210ULL;
+  std::vector<std::uint8_t> payload;
+  append_subpacket(payload, {big, big - 1, big - 2, big - 3, nullptr, 0});
+  const auto parsed = parse_subpackets(payload);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].msg_id, big);
+  EXPECT_EQ(parsed[0].tag, big - 1);
+  EXPECT_EQ(parsed[0].msg_total, big - 2);
+  EXPECT_EQ(parsed[0].offset, big - 3);
+}
+
+TEST(WireFormatDeath, TruncatedHeaderAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<std::uint8_t> payload(SubPacket::kHeaderBytes - 1, 0);
+  EXPECT_DEATH(parse_subpackets(payload), "truncated");
+}
+
+TEST(WireFormatDeath, TruncatedBodyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<std::uint8_t> payload;
+  const std::uint8_t byte = 0xAA;
+  append_subpacket(payload, {1, 1, 8, 0, &byte, 1});
+  payload.pop_back();  // drop the body byte
+  EXPECT_DEATH(parse_subpackets(payload), "truncated");
+}
+
+}  // namespace
+}  // namespace rails::core

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+
+namespace rails::core {
+namespace {
+
+TEST(World, PaperTestbedShape) {
+  core::World world(paper_testbed());
+  EXPECT_EQ(world.fabric().node_count(), 2u);
+  EXPECT_EQ(world.fabric().rail_count(), 2u);
+  EXPECT_EQ(world.estimator().rail_count(), 2u);
+  EXPECT_EQ(world.estimator().profile(0).name, "myri10g");
+}
+
+TEST(World, BandwidthMatchesPaperPlateaus) {
+  core::World world(paper_testbed("single-rail:0"));
+  EXPECT_NEAR(world.measure_bandwidth(8_MiB, 2), 1170.0, 25.0);
+  world.set_strategy("single-rail:1");
+  EXPECT_NEAR(world.measure_bandwidth(8_MiB, 2), 837.0, 20.0);
+  world.set_strategy("hetero-split");
+  EXPECT_NEAR(world.measure_bandwidth(8_MiB, 2), 1987.0, 60.0);
+}
+
+TEST(World, PingPongScalesWithSize) {
+  core::World world(paper_testbed());
+  const SimDuration t1 = world.measure_pingpong(64_KiB, 2);
+  const SimDuration t2 = world.measure_pingpong(1_MiB, 2);
+  const SimDuration t3 = world.measure_pingpong(8_MiB, 2);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+}
+
+TEST(World, OneWayBatchLaterCompletion) {
+  core::World world(paper_testbed("aggregate-fastest"));
+  const SimDuration one = world.measure_one_way(4_KiB);
+  const SimDuration four = world.measure_one_way_batch(4_KiB, 4);
+  EXPECT_GT(four, one);
+}
+
+TEST(World, MeasurementsAreDeterministic) {
+  core::World a(paper_testbed("hetero-split"));
+  core::World b(paper_testbed("hetero-split"));
+  EXPECT_EQ(a.measure_pingpong(1_MiB, 3), b.measure_pingpong(1_MiB, 3));
+  EXPECT_EQ(a.measure_one_way(4_KiB), b.measure_one_way(4_KiB));
+}
+
+TEST(World, RepeatedMeasurementsStable) {
+  // Back-to-back measurements on one world quiesce in between; the second
+  // run must match the first (no state leaks across measurements).
+  core::World world(paper_testbed("hetero-split"));
+  const SimDuration first = world.measure_pingpong(2_MiB, 2);
+  const SimDuration second = world.measure_pingpong(2_MiB, 2);
+  EXPECT_EQ(first, second);
+}
+
+TEST(World, FourRailT2kStyleAggregation) {
+  WorldConfig cfg;
+  cfg.fabric.rails = {fabric::ib_ddr(), fabric::ib_ddr(), fabric::ib_ddr(),
+                      fabric::ib_ddr()};
+  cfg.fabric.topology = MachineTopology::t2k_4x4();
+  cfg.strategy = "hetero-split";
+  core::World world(cfg);
+  const double bw = world.measure_bandwidth(8_MiB, 2);
+  // Four 1400 MB/s rails: aggregate should exceed 3.8x one rail.
+  EXPECT_GT(bw, 4 * 1400.0 * 0.95);
+  EXPECT_LT(bw, 4 * 1400.0 * 1.02);
+}
+
+TEST(World, ThreeHeterogeneousRails) {
+  WorldConfig cfg;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::qsnet2(), fabric::ib_ddr()};
+  cfg.strategy = "hetero-split";
+  core::World world(cfg);
+  const double bw = world.measure_bandwidth(8_MiB, 2);
+  const double sum = 1170.0 + 837.0 + 1400.0;
+  EXPECT_GT(bw, sum * 0.93);
+}
+
+TEST(World, GigeOutlierIsMostlyExcludedFromSmallSplits) {
+  // A GigE rail next to Myri-10G: for a 256 KiB message the equal-finish
+  // solver gives the slow rail only a sliver (or nothing).
+  WorldConfig cfg;
+  cfg.fabric.rails = {fabric::myri10g(), fabric::gige_tcp()};
+  cfg.strategy = "hetero-split";
+  core::World world(cfg);
+  world.measure_one_way(256_KiB);
+  const auto& per_rail = world.engine(0).stats().payload_bytes_per_rail;
+  EXPECT_LT(per_rail[1], per_rail[0] / 4);
+}
+
+}  // namespace
+}  // namespace rails::core

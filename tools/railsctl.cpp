@@ -1,0 +1,214 @@
+// railsctl — command-line front end for the rails engine.
+//
+//   railsctl describe <cluster-file>
+//   railsctl sample   <cluster-file> [--out <dir>]
+//   railsctl pingpong <cluster-file> [--min 4] [--max 8388608] [--iters 2]
+//   railsctl compare  <cluster-file> --size <bytes> [--strategies a,b,c]
+//   railsctl gantt    <cluster-file> [--size <bytes>]
+//
+// The cluster file format is documented in src/core/config.hpp; presets:
+// myri10g, qsnet2, ib-ddr, gige-tcp.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/table.hpp"
+#include "bench_support/traffic.hpp"
+#include "core/config.hpp"
+#include "core/world.hpp"
+#include "trace/tracer.hpp"
+
+using namespace rails;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: railsctl <describe|sample|pingpong|compare|gantt> "
+               "<cluster-file> [options]\n"
+               "  describe               print the parsed configuration\n"
+               "  sample [--out DIR]     sample every rail; write profiles to DIR\n"
+               "  pingpong [--min N] [--max N] [--iters N]\n"
+               "                         bandwidth table over a size sweep\n"
+               "  compare --size N [--strategies a,b,c]\n"
+               "                         one-way latency per strategy at one size\n"
+               "  gantt [--size N]       trace one transfer, render NIC lanes\n"
+               "  loadsweep [--messages N]\n"
+               "                         open-loop latency vs offered load\n"
+               "  incast [--senders N] [--size N]\n"
+               "                         N senders converge on node 0\n");
+  return 2;
+}
+
+/// Returns the value following `flag`, or `fallback`.
+const char* opt(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const auto comma = csv.find(',', pos);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    if (end > pos) out.push_back(csv.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_describe(const core::WorldConfig& cfg) {
+  core::save_world_config(cfg, std::cout);
+  return 0;
+}
+
+int cmd_sample(const core::WorldConfig& cfg, const char* out_dir) {
+  const auto profiles = sampling::sample_rails(cfg.fabric.rails, cfg.sampler);
+  std::printf("%-12s %10s %12s %12s %14s\n", "rail", "latency", "eager bw",
+              "DMA bw", "rdv threshold");
+  for (const auto& rp : profiles) {
+    std::printf("%-12s %7.2f us %7.0f MB/s %7.0f MB/s %11zu B\n", rp.name.c_str(),
+                to_usec(rp.eager.latency()), rp.eager.asymptotic_bandwidth(),
+                rp.rdv_chunk.asymptotic_bandwidth(), rp.rdv_threshold);
+    if (out_dir != nullptr) {
+      const std::string path = std::string(out_dir) + "/" + rp.name + ".rails-profile";
+      rp.save_file(path);
+      std::printf("  -> %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_pingpong(core::WorldConfig cfg, std::size_t min_size, std::size_t max_size,
+                 unsigned iters) {
+  core::World world(std::move(cfg));
+  std::printf("strategy %s, %u iteration(s) per size\n",
+              world.engine(0).strategy().name().c_str(), iters);
+  std::printf("%10s %14s %14s\n", "size", "half-rtt (us)", "bw (MB/s)");
+  for (std::size_t size = min_size; size <= max_size; size <<= 1) {
+    const SimDuration t = world.measure_pingpong(size, iters);
+    std::printf("%10s %11.1f us %11.0f\n", bench::format_size(size).c_str(), to_usec(t),
+                mbps(size, t));
+  }
+  return 0;
+}
+
+int cmd_compare(const core::WorldConfig& base, std::size_t size,
+                const std::vector<std::string>& strategies) {
+  std::printf("%-24s %14s %12s %8s\n", "strategy", "one-way (us)", "bw (MB/s)",
+              "chunks");
+  for (const auto& name : strategies) {
+    core::WorldConfig cfg = base;
+    cfg.strategy = name;
+    core::World world(std::move(cfg));
+    world.engine(0).reset_stats();
+    const SimDuration t = world.measure_one_way(size);
+    const auto& stats = world.engine(0).stats();
+    const auto chunks = stats.rdv_chunks + stats.eager_segments;
+    std::printf("%-24s %11.1f us %9.0f %8llu\n", name.c_str(), to_usec(t),
+                mbps(size, t), static_cast<unsigned long long>(chunks));
+  }
+  return 0;
+}
+
+int cmd_gantt(core::WorldConfig cfg, std::size_t size) {
+  core::World world(std::move(cfg));
+  trace::Tracer tracer;
+  world.engine(0).set_tracer(&tracer);
+  std::vector<std::uint8_t> tx(size, 0x61);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), size);
+  auto send = world.engine(0).isend(1, 1, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  std::printf("%zu-byte transfer under %s ('=' eager PIO, '#' DMA chunk):\n", size,
+              world.engine(0).strategy().name().c_str());
+  tracer.render_gantt(std::cout, 72);
+  const auto tl = tracer.message(0, send->id);
+  if (tl) {
+    std::printf("queueing %.1f us, total %.1f us, %u chunk(s), %u offloaded\n",
+                to_usec(tl->queueing_delay()), to_usec(tl->total_latency()), tl->chunks,
+                tl->offloaded);
+  }
+  world.engine(0).set_tracer(nullptr);
+  return 0;
+}
+
+int cmd_loadsweep(const core::WorldConfig& base, unsigned messages) {
+  std::printf("%-14s %14s %14s %14s\n", "offered MB/s", "mean (us)", "p99 (us)",
+              "achieved MB/s");
+  for (double load : {200.0, 500.0, 1000.0, 1500.0, 2000.0}) {
+    core::WorldConfig cfg = base;
+    core::World world(std::move(cfg));
+    bench::TrafficConfig tc;
+    tc.offered_mbps = load;
+    tc.message_count = messages;
+    const auto r = bench::run_open_loop(world, tc);
+    std::printf("%-14.0f %11.1f us %11.1f us %11.0f\n", load, r.mean_latency_us,
+                r.p99_latency_us, r.achieved_mbps);
+  }
+  return 0;
+}
+
+int cmd_incast(const core::WorldConfig& base, unsigned senders, std::size_t size) {
+  core::WorldConfig cfg = base;
+  cfg.fabric.node_count = senders + 1;
+  core::World world(std::move(cfg));
+  std::vector<std::uint8_t> tx(size, 0x5D);
+  std::vector<std::vector<std::uint8_t>> rx(senders, std::vector<std::uint8_t>(size));
+  std::vector<core::RecvHandle> recvs;
+  for (unsigned s = 0; s < senders; ++s) {
+    recvs.push_back(world.engine(0).irecv(s + 1, 1, rx[s].data(), size));
+  }
+  const SimTime start = world.now();
+  for (unsigned s = 0; s < senders; ++s) world.engine(s + 1).isend(0, 1, tx.data(), size);
+  SimTime done = start;
+  for (auto& r : recvs) done = std::max(done, world.wait(r));
+  std::printf("%u senders x %zu bytes into node 0 under %s: %.1f us, %.0f MB/s aggregate\n",
+              senders, size, world.engine(0).strategy().name().c_str(),
+              to_usec(done - start), mbps(size * senders, done - start));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const core::WorldConfig cfg = core::load_world_config(argv[2]);
+
+  if (cmd == "describe") return cmd_describe(cfg);
+  if (cmd == "sample") return cmd_sample(cfg, opt(argc, argv, "--out", nullptr));
+  if (cmd == "pingpong") {
+    return cmd_pingpong(cfg, std::stoul(opt(argc, argv, "--min", "4")),
+                        std::stoul(opt(argc, argv, "--max", "8388608")),
+                        static_cast<unsigned>(std::stoul(opt(argc, argv, "--iters", "2"))));
+  }
+  if (cmd == "compare") {
+    const std::size_t size = std::stoul(opt(argc, argv, "--size", "4194304"));
+    const auto strategies = split_csv(opt(
+        argc, argv, "--strategies",
+        "single-rail:0,greedy-balance,aggregate-fastest,iso-split,fixed-ratio-split,"
+        "hetero-split,multicore-hetero-split,batch-spread"));
+    return cmd_compare(cfg, size, strategies);
+  }
+  if (cmd == "gantt") {
+    return cmd_gantt(cfg, std::stoul(opt(argc, argv, "--size", "4194304")));
+  }
+  if (cmd == "loadsweep") {
+    return cmd_loadsweep(
+        cfg, static_cast<unsigned>(std::stoul(opt(argc, argv, "--messages", "120"))));
+  }
+  if (cmd == "incast") {
+    return cmd_incast(cfg,
+                      static_cast<unsigned>(std::stoul(opt(argc, argv, "--senders", "4"))),
+                      std::stoul(opt(argc, argv, "--size", "2097152")));
+  }
+  return usage();
+}
