@@ -5,17 +5,28 @@
 //   * Iso-split over both       (paper plateau: 1670 MB/s)
 //   * Hetero-split over both    (paper plateau: 1987 MB/s)
 // plus the 4 MB chunk-split example (2437 KB / 1757 KB in ~2000 µs each).
+// With --metrics, a JSON snapshot of the engine's telemetry registry is
+// appended after the tables.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "bench_support/paper_reference.hpp"
 #include "bench_support/table.hpp"
 #include "core/world.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace rails;
 
-int main() {
+int main(int argc, char** argv) {
+  bool with_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
+  }
+
   core::World world(core::paper_testbed());
+  telemetry::MetricsRegistry registry;
+  if (with_metrics) world.engine(0).set_metrics(&registry);
 
   const std::vector<std::string> series = {"Myri-10G", "Quadrics", "Iso-split",
                                            "Hetero-split"};
@@ -77,5 +88,12 @@ int main() {
       table.value(last, 3) > (table.value(last, 0) + table.value(last, 1)) * 0.97);
   bench::shape_check(std::cout, "hetero-split plateau within 5% of the paper's 1987 MB/s",
                      std::abs(plateau[3] / bench::paper::kHeteroSplitBandwidth - 1.0) < 0.05);
+
+  if (with_metrics) {
+    world.engine(0).set_metrics(nullptr);
+    std::printf("\nmetrics snapshot (sender engine):\n");
+    registry.dump_json(std::cout);
+    std::cout << "\n";
+  }
   return bench::shape_failures();
 }

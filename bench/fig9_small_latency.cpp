@@ -9,19 +9,30 @@
 // mechanically). Past the engine's sampled rendezvous threshold the run
 // switches protocol, so the estimation column keeps the pure eq.-(1) view
 // all the way to 64 KiB like the paper does.
+// With --metrics, a JSON snapshot of the engine's telemetry registry is
+// appended after the tables.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "bench_support/paper_reference.hpp"
 #include "bench_support/table.hpp"
 #include "core/world.hpp"
 #include "strategy/rail_cost.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace rails;
 
-int main() {
+int main(int argc, char** argv) {
+  bool with_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
+  }
+
   core::World world(core::paper_testbed());
+  telemetry::MetricsRegistry registry;
+  if (with_metrics) world.engine(0).set_metrics(&registry);
   const auto& est = world.estimator();
 
   strategy::ProfileCost myri_cost(&est.profile(0).eager);
@@ -89,5 +100,12 @@ int main() {
                        }
                        return true;
                      }());
+
+  if (with_metrics) {
+    world.engine(0).set_metrics(nullptr);
+    std::printf("\nmetrics snapshot (sender engine):\n");
+    registry.dump_json(std::cout);
+    std::cout << "\n";
+  }
   return bench::shape_failures();
 }

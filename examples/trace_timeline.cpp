@@ -47,9 +47,12 @@ int main() {
   for (const auto& send : sends) {
     const auto tl = tracer.message(0, send->id);
     if (!tl) continue;
+    const auto queue_delay = tl->queueing_delay();
+    const auto latency = tl->total_latency();
+    if (!queue_delay || !latency) continue;  // message never completed
     std::printf("  tag %-4llu %10zu %9.1f us %9.1f us %8u %9u\n",
                 static_cast<unsigned long long>(send->tag), tl->bytes,
-                to_usec(tl->queueing_delay()), to_usec(tl->total_latency()), tl->chunks,
+                to_usec(*queue_delay), to_usec(*latency), tl->chunks,
                 tl->offloaded);
   }
 

@@ -42,6 +42,12 @@ Engine::Engine(fabric::Fabric* fabric, NodeId self, const sampling::Estimator* e
 void Engine::set_strategy(std::unique_ptr<Strategy> strategy) {
   RAILS_CHECK(strategy != nullptr);
   strategy_ = std::move(strategy);
+  metrics_.set_strategy_name(strategy_->name());
+}
+
+void Engine::set_metrics(telemetry::MetricsRegistry* registry) {
+  metrics_.attach(registry, fabric_->rail_count());
+  if (strategy_ != nullptr) metrics_.set_strategy_name(strategy_->name());
 }
 
 Strategy& Engine::strategy() {
@@ -92,6 +98,7 @@ SendHandle Engine::isend(NodeId dst, Tag tag, const void* data, std::size_t len)
   send->submit_time = fabric_->now();
   ++stats_.sends;
   trace_event(trace::EventKind::kSubmit, send->id, tag, 0, 0, len, send->submit_time);
+  metrics_.on_submit(len > rdv_threshold_);
 
   if (len > rdv_threshold_) {
     send->rendezvous = true;
@@ -151,6 +158,7 @@ RecvHandle Engine::irecv(NodeId src, Tag tag, void* data, std::size_t capacity) 
   ++stats_.recvs;
   trace_event(trace::EventKind::kRecvPosted, recv->id, tag, 0, 0, capacity,
               recv->post_time);
+  metrics_.on_recv_posted();
 
   // Unexpected eager data first (FIFO by message id within the source).
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
@@ -207,6 +215,7 @@ RecvHandle Engine::irecv(NodeId src, Tag tag, void* data, std::size_t capacity) 
 void Engine::progress() {
   if (pending_eager_.empty()) return;
   RAILS_CHECK_MSG(strategy_ != nullptr, "traffic submitted before a strategy was installed");
+  metrics_.on_progress();
 
   // Interrogate the strategy once per destination group, preserving the
   // submission order within each group.
@@ -221,6 +230,7 @@ void Engine::progress() {
       if (s->dst == dst) group.push_back(s.get());
     }
     const StrategyContext ctx = make_context();
+    metrics_.on_plan_eager();
     EagerSchedule schedule =
         strategy_->plan_eager(ctx, std::span<const SendRequest* const>(group));
     for (const EagerEmission& emission : schedule.emissions) post_emission(emission);
@@ -303,7 +313,23 @@ void Engine::post_emission(const EagerEmission& emission) {
     delay = idle ? config_.offload.signal_cost : config_.offload.preempt_cost;
     ++stats_.offloaded_chunks;
   }
+
+  // Predict before posting: the post itself advances the NIC's busy-until.
+  const SimTime decision_now = fabric_->now();
+  const std::size_t framed_bytes = seg.payload.size();
+  SimTime predicted_end = 0;
+  if (predictions_ != nullptr) {
+    const sampling::RailState state{emission.rail, nics_[emission.rail]->busy_until()};
+    predicted_end = estimator_->completion(state, decision_now + delay, framed_bytes,
+                                           fabric::Protocol::kEager);
+  }
+
   const auto times = post_segment(emission.rail, std::move(seg), core, delay);
+  metrics_.on_eager_emit(emission.rail, framed_bytes, emission.offload_core.has_value());
+  if (predictions_ != nullptr) {
+    predictions_->record(emission.rail, predicted_end - decision_now,
+                         times.nic_end - decision_now);
+  }
   if (emission.offload_core) {
     trace_event(trace::EventKind::kOffloadSignal, emission.pieces.front().send->id,
                 seg_tag, emission.rail, core, 0, fabric_->now());
@@ -319,6 +345,9 @@ void Engine::post_emission(const EagerEmission& emission) {
   // Account posted bytes and complete sends whose last piece this was.
   for (const EagerPiece& piece : emission.pieces) {
     auto* send = const_cast<SendRequest*>(piece.send);
+    if (send->bytes_posted == 0) {
+      metrics_.on_queueing(times.host_start - send->submit_time);
+    }
     send->bytes_posted += piece.len;
     ++send->chunk_count;
     if (emission.offload_core) ++send->offloaded_chunks;
@@ -328,6 +357,7 @@ void Engine::post_emission(const EagerEmission& emission) {
       if (send->chunk_count > 1) ++stats_.split_eager_msgs;
       trace_event(trace::EventKind::kSendComplete, send->id, send->tag, emission.rail,
                   0, send->len, send->complete_time);
+      metrics_.on_send_complete(send->complete_time - send->submit_time);
     }
   }
 }
@@ -361,6 +391,7 @@ void Engine::stream_chunks(SendRequest& send) {
   // "when a rendezvous request has just been received" — the strategy is
   // interrogated with the live NIC states to lay out the DMA chunks.
   const StrategyContext ctx = make_context();
+  metrics_.on_plan_rendezvous();
   const strategy::SplitResult split = strategy_->plan_rendezvous(ctx, send.len);
   RAILS_CHECK(!split.chunks.empty());
 
@@ -368,8 +399,23 @@ void Engine::stream_chunks(SendRequest& send) {
   for (const strategy::Chunk& chunk : split.chunks) covered += chunk.bytes;
   RAILS_CHECK_MSG(covered == send.len, "rendezvous plan does not tile the message");
 
+  const SimTime decision_now = fabric_->now();
+  bool first_chunk = true;
   send.chunk_count = static_cast<unsigned>(split.chunks.size());
-  for (const strategy::Chunk& chunk : split.chunks) {
+  for (std::size_t i = 0; i < split.chunks.size(); ++i) {
+    const strategy::Chunk& chunk = split.chunks[i];
+    // The solver's own per-chunk finish prediction when available (it saw
+    // the ready offsets); otherwise the estimator's busy-aware fallback.
+    SimDuration predicted = 0;
+    if (predictions_ != nullptr) {
+      if (i < split.finish_times.size()) {
+        predicted = split.finish_times[i];
+      } else {
+        const sampling::RailState state{chunk.rail, nics_[chunk.rail]->busy_until()};
+        predicted =
+            estimator_->chunk_completion(state, decision_now, chunk.bytes) - decision_now;
+      }
+    }
     fabric::Segment data;
     data.kind = fabric::SegKind::kData;
     data.dst = send.dst;
@@ -382,6 +428,14 @@ void Engine::stream_chunks(SendRequest& send) {
     trace_event(trace::EventKind::kChunkPosted, send.id, send.tag, chunk.rail,
                 config_.scheduler_core, chunk.bytes, times.host_start, times.nic_end);
     ++stats_.rdv_chunks;
+    metrics_.on_chunk_posted(chunk.rail, chunk.bytes);
+    if (first_chunk) {
+      metrics_.on_queueing(times.host_start - send.submit_time);
+      first_chunk = false;
+    }
+    if (predictions_ != nullptr) {
+      predictions_->record(chunk.rail, predicted, times.nic_end - decision_now);
+    }
     send.bytes_posted += chunk.bytes;
   }
 }
@@ -395,6 +449,8 @@ void Engine::handle_fin(const fabric::Segment& seg) {
   send.complete_time = fabric_->now();
   trace_event(trace::EventKind::kSendComplete, send.id, send.tag, 0, 0, send.len,
               send.complete_time);
+  metrics_.on_rdv_complete();
+  metrics_.on_send_complete(send.complete_time - send.submit_time);
   rdv_sends_.erase(it);
 }
 
@@ -537,6 +593,7 @@ void Engine::complete_recv(const RecvHandle& recv) {
   recv->complete_time = fabric_->now();
   trace_event(trace::EventKind::kRecvComplete, recv->id, recv->tag, 0, 0,
               recv->bytes_received, recv->complete_time);
+  metrics_.on_recv_complete(recv->complete_time - recv->post_time);
 }
 
 }  // namespace rails::core

@@ -23,6 +23,8 @@
 #include "core/strategy_iface.hpp"
 #include "core/wire_format.hpp"
 #include "fabric/fabric.hpp"
+#include "telemetry/engine_metrics.hpp"
+#include "telemetry/prediction.hpp"
 #include "trace/tracer.hpp"
 
 namespace rails::core {
@@ -85,6 +87,19 @@ class Engine {
   /// Attaches an execution tracer (nullptr detaches). The tracer must
   /// outlive the engine or be detached first.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches a metrics registry (nullptr detaches). Handles are resolved
+  /// once here; afterwards the hot path touches only relaxed atomics, and a
+  /// detached engine pays one null-check per site (same contract as
+  /// set_tracer). The registry must outlive the engine or be detached.
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
+  /// Attaches a predicted-vs-actual completion tracker (nullptr detaches).
+  /// Records one sample per emission/chunk: the duration the estimator (or
+  /// the split solver) promised against the fabric's actual NIC completion.
+  void set_prediction_tracker(telemetry::PredictionTracker* tracker) {
+    predictions_ = tracker;
+  }
 
   /// Number of sends still sitting in the pack list (tests/diagnostics).
   std::size_t pending_sends() const { return pending_eager_.size(); }
@@ -162,6 +177,8 @@ class Engine {
 
   EngineStats stats_;
   trace::Tracer* tracer_ = nullptr;
+  telemetry::EngineMetrics metrics_;
+  telemetry::PredictionTracker* predictions_ = nullptr;
 };
 
 }  // namespace rails::core

@@ -46,6 +46,7 @@ unsigned ProgressEngine::tick(const Context& ctx) {
     snapshot = sources_;
   }
   ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (m_ticks_ != nullptr) m_ticks_->inc();
 
   const Method method = choose_method(ctx);
   unsigned total = 0;
@@ -53,15 +54,33 @@ unsigned ProgressEngine::tick(const Context& ctx) {
     unsigned n = 0;
     if (method == Method::kBlocking && src->supports_blocking()) {
       blocking_waits_.fetch_add(1, std::memory_order_relaxed);
+      if (m_blocking_ != nullptr) m_blocking_->inc();
       n = src->block(/*timeout_us=*/100);
     } else {
       polls_.fetch_add(1, std::memory_order_relaxed);
+      if (m_polls_ != nullptr) m_polls_->inc();
       n = src->poll();
     }
     total += n;
   }
   events_.fetch_add(total, std::memory_order_relaxed);
+  if (m_events_per_tick_ != nullptr) m_events_per_tick_->observe(total);
   return total;
+}
+
+void ProgressEngine::set_metrics(telemetry::MetricsRegistry* registry) {
+  RAILS_CHECK_MSG(!running(), "attach/detach metrics while the engine is stopped");
+  if (registry == nullptr) {
+    m_ticks_ = nullptr;
+    m_polls_ = nullptr;
+    m_blocking_ = nullptr;
+    m_events_per_tick_ = nullptr;
+    return;
+  }
+  m_ticks_ = registry->counter("progress.ticks");
+  m_polls_ = registry->counter("progress.polls");
+  m_blocking_ = registry->counter("progress.blocking_waits");
+  m_events_per_tick_ = registry->histogram("progress.events_per_tick");
 }
 
 void ProgressEngine::start(rt::WorkerPool* pool, unsigned worker, const Context& ctx) {

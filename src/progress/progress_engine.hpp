@@ -21,6 +21,7 @@
 
 #include "rt/worker_pool.hpp"
 #include "progress/event_source.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace rails::progress {
 
@@ -75,6 +76,12 @@ class ProgressEngine {
 
   ProgressStats stats() const;
 
+  /// Attaches a metrics registry (nullptr detaches): tick/poll/blocking
+  /// counters plus an events-per-tick histogram, all under "progress.*".
+  /// Must be called while the engine is not running (handles are read from
+  /// the progression tasklet's thread).
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
  private:
   void pump(rt::WorkerPool* pool, unsigned worker, Context ctx);
 
@@ -87,6 +94,11 @@ class ProgressEngine {
   std::atomic<std::uint64_t> events_{0};
   std::atomic<std::uint64_t> polls_{0};
   std::atomic<std::uint64_t> blocking_waits_{0};
+
+  telemetry::Counter* m_ticks_ = nullptr;
+  telemetry::Counter* m_polls_ = nullptr;
+  telemetry::Counter* m_blocking_ = nullptr;
+  telemetry::Histogram* m_events_per_tick_ = nullptr;
 };
 
 }  // namespace rails::progress

@@ -35,6 +35,7 @@ void WorkerPool::submit_to(unsigned worker, Tasklet tasklet) {
   RAILS_CHECK(tasklet.fn != nullptr);
   Worker& w = *workers_[worker];
   pending_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(w.mutex);
     if (tasklet.priority == TaskPriority::kTasklet) {
@@ -42,8 +43,13 @@ void WorkerPool::submit_to(unsigned worker, Tasklet tasklet) {
     } else {
       w.normal.push_back(std::move(tasklet));
     }
+    depth = w.tasklets.size() + w.normal.size();
   }
   w.cv.notify_one();
+  if (m_signals_ != nullptr) {
+    m_signals_->inc();
+    m_queue_hwm_->update_max(depth);
+  }
 }
 
 void WorkerPool::submit(Tasklet tasklet) {
@@ -102,6 +108,7 @@ void WorkerPool::run_worker(unsigned index) {
       lock.unlock();
       t.fn();
       executed_.fetch_add(1, std::memory_order_relaxed);
+      if (m_executed_ != nullptr) m_executed_->inc();
       pending_.fetch_sub(1, std::memory_order_release);
       lock.lock();
       continue;
@@ -113,6 +120,20 @@ void WorkerPool::run_worker(unsigned index) {
              !w.normal.empty();
     });
   }
+}
+
+void WorkerPool::set_metrics(telemetry::MetricsRegistry* registry) {
+  RAILS_CHECK_MSG(pending_.load(std::memory_order_acquire) == 0,
+                  "attach/detach metrics while the pool is quiescent");
+  if (registry == nullptr) {
+    m_signals_ = nullptr;
+    m_executed_ = nullptr;
+    m_queue_hwm_ = nullptr;
+    return;
+  }
+  m_signals_ = registry->counter("rt.signals");
+  m_executed_ = registry->counter("rt.executed");
+  m_queue_hwm_ = registry->gauge("rt.queue_depth_hwm");
 }
 
 double WorkerPool::calibrate_signal_cost_us(unsigned round_trips) {

@@ -23,6 +23,7 @@
 
 #include "common/types.hpp"
 #include "rt/tasklet.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace rails::rt {
 
@@ -58,6 +59,12 @@ class WorkerPool {
 
   std::uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
 
+  /// Attaches a metrics registry (nullptr detaches): "rt.signals" /
+  /// "rt.executed" counters and an "rt.queue_depth_hwm" high-water gauge.
+  /// Must be called while no tasklets are queued or executing — the handles
+  /// are read from worker threads without further synchronisation.
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
  private:
   struct Worker {
     std::mutex mutex;
@@ -74,6 +81,10 @@ class WorkerPool {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> pending_{0};
+
+  telemetry::Counter* m_signals_ = nullptr;
+  telemetry::Counter* m_executed_ = nullptr;
+  telemetry::Gauge* m_queue_hwm_ = nullptr;
 };
 
 }  // namespace rails::rt

@@ -48,6 +48,12 @@ SimTime Estimator::completion(const RailState& state, SimTime now, std::size_t s
   return start + duration(state.rail, size, proto);
 }
 
+SimTime Estimator::chunk_completion(const RailState& state, SimTime now,
+                                    std::size_t size) const {
+  const SimTime start = std::max(now, state.busy_until);
+  return start + chunk_duration(state.rail, size);
+}
+
 std::size_t Estimator::max_chunk_by(const RailState& state, SimTime now, SimTime deadline,
                                     fabric::Protocol proto) const {
   const SimTime start = std::max(now, state.busy_until);

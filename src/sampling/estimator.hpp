@@ -53,6 +53,12 @@ class Estimator {
   SimTime completion(const RailState& state, SimTime now, std::size_t size,
                      fabric::Protocol proto) const;
 
+  /// Busy-aware completion of one rendezvous DMA chunk: same waiting rule
+  /// as completion() but over the rdv_chunk table (no handshake cost). The
+  /// telemetry PredictionTracker compares this against actual chunk
+  /// completions when a strategy bypasses the equal-finish solver.
+  SimTime chunk_completion(const RailState& state, SimTime now, std::size_t size) const;
+
   /// Largest chunk `rail` can finish by `deadline` if submission starts at
   /// max(now, busy_until). 0 when even the latency does not fit.
   std::size_t max_chunk_by(const RailState& state, SimTime now, SimTime deadline,

@@ -53,6 +53,7 @@ SplitResult finalize(std::vector<Chunk> chunks, std::span<const SolverRail> rail
     result.makespan = std::max(result.makespan, f);
     earliest = std::min(earliest, f);
     result.chunks.push_back(out);
+    result.finish_times.push_back(f);
   }
   result.imbalance = result.chunks.size() > 1 ? result.makespan - earliest : 0;
   return result;

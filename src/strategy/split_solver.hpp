@@ -32,6 +32,12 @@ struct SplitResult {
   SimDuration makespan = 0;    ///< predicted completion (including ready offsets)
   unsigned iterations = 0;     ///< solver iterations actually used
   SimDuration imbalance = 0;   ///< max |finish_i - finish_j| over used rails
+  /// Predicted finish time of each chunk (aligned with `chunks`, measured
+  /// from the decision instant, ready offsets included). This is what the
+  /// telemetry PredictionTracker compares against the fabric's actual chunk
+  /// completions. Empty when a strategy hand-builds the result without
+  /// going through a solver.
+  std::vector<SimDuration> finish_times;
 };
 
 struct DichotomyConfig {

@@ -1,0 +1,149 @@
+// Cached metric handles for the communication engine's hot path.
+//
+// attach() resolves every named metric once (allocating registry entries);
+// afterwards each hook is a single branch on `registry_` plus relaxed
+// atomics — no map lookups, no allocation, no locks. Detached, every hook
+// is exactly one null-pointer check, mirroring Engine::set_tracer's
+// zero-cost contract (verified by an allocation-counting test).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rails::telemetry {
+
+class EngineMetrics {
+ public:
+  /// Resolves handles against `registry` for `rail_count` rails. Passing
+  /// nullptr detaches (all hooks become no-ops).
+  void attach(MetricsRegistry* registry, std::size_t rail_count) {
+    registry_ = registry;
+    per_rail_bytes_.clear();
+    per_rail_chunks_.clear();
+    if (registry_ == nullptr) return;
+    submits_ = registry_->counter("engine.sends");
+    recv_posts_ = registry_->counter("engine.recvs");
+    eager_msgs_ = registry_->counter("engine.eager_msgs");
+    rdv_msgs_ = registry_->counter("engine.rdv_msgs");
+    eager_emits_ = registry_->counter("engine.eager_segments");
+    chunks_posted_ = registry_->counter("engine.rdv_chunks");
+    offload_signals_ = registry_->counter("engine.offload_signals");
+    rdv_roundtrips_ = registry_->counter("engine.rdv_roundtrips");
+    progress_calls_ = registry_->counter("engine.progress_calls");
+    send_latency_ = registry_->histogram("engine.send_latency_ns");
+    recv_latency_ = registry_->histogram("engine.recv_latency_ns");
+    queueing_delay_ = registry_->histogram("engine.queueing_delay_ns");
+    emission_bytes_ = registry_->histogram("engine.emission_bytes");
+    chunk_bytes_ = registry_->histogram("engine.chunk_bytes");
+    per_rail_bytes_.reserve(rail_count);
+    per_rail_chunks_.reserve(rail_count);
+    for (std::size_t r = 0; r < rail_count; ++r) {
+      const std::string prefix = "engine.rail" + std::to_string(r);
+      per_rail_bytes_.push_back(registry_->counter(prefix + ".payload_bytes"));
+      per_rail_chunks_.push_back(registry_->counter(prefix + ".segments"));
+    }
+  }
+
+  /// Re-resolves the per-strategy decision counters; called whenever the
+  /// installed strategy (or the registry) changes.
+  void set_strategy_name(const std::string& name) {
+    strategy_name_ = name;
+    if (registry_ == nullptr || name.empty()) {
+      plan_eager_ = nullptr;
+      plan_rendezvous_ = nullptr;
+      return;
+    }
+    plan_eager_ = registry_->counter("strategy." + name + ".plan_eager");
+    plan_rendezvous_ = registry_->counter("strategy." + name + ".plan_rendezvous");
+  }
+
+  bool attached() const { return registry_ != nullptr; }
+  const std::string& strategy_name() const { return strategy_name_; }
+
+  // -- hot-path hooks (one branch when detached) -----------------------------
+
+  void on_submit(bool rendezvous) {
+    if (registry_ == nullptr) return;
+    submits_->inc();
+    (rendezvous ? rdv_msgs_ : eager_msgs_)->inc();
+  }
+  void on_recv_posted() {
+    if (registry_ == nullptr) return;
+    recv_posts_->inc();
+  }
+  void on_progress() {
+    if (registry_ == nullptr) return;
+    progress_calls_->inc();
+  }
+  void on_plan_eager() {
+    if (registry_ == nullptr || plan_eager_ == nullptr) return;
+    plan_eager_->inc();
+  }
+  void on_plan_rendezvous() {
+    if (registry_ == nullptr || plan_rendezvous_ == nullptr) return;
+    plan_rendezvous_->inc();
+  }
+  void on_eager_emit(RailId rail, std::size_t bytes, bool offloaded) {
+    if (registry_ == nullptr) return;
+    eager_emits_->inc();
+    if (offloaded) offload_signals_->inc();
+    emission_bytes_->observe(bytes);
+    if (rail < per_rail_bytes_.size()) {
+      per_rail_bytes_[rail]->inc(bytes);
+      per_rail_chunks_[rail]->inc();
+    }
+  }
+  void on_chunk_posted(RailId rail, std::size_t bytes) {
+    if (registry_ == nullptr) return;
+    chunks_posted_->inc();
+    chunk_bytes_->observe(bytes);
+    if (rail < per_rail_bytes_.size()) {
+      per_rail_bytes_[rail]->inc(bytes);
+      per_rail_chunks_[rail]->inc();
+    }
+  }
+  void on_rdv_complete() {
+    if (registry_ == nullptr) return;
+    rdv_roundtrips_->inc();
+  }
+  void on_send_complete(SimDuration latency) {
+    if (registry_ == nullptr) return;
+    send_latency_->observe(latency > 0 ? static_cast<std::uint64_t>(latency) : 0);
+  }
+  /// Submission-to-first-emission delay of one message.
+  void on_queueing(SimDuration queueing) {
+    if (registry_ == nullptr) return;
+    queueing_delay_->observe(queueing > 0 ? static_cast<std::uint64_t>(queueing) : 0);
+  }
+  void on_recv_complete(SimDuration latency) {
+    if (registry_ == nullptr) return;
+    recv_latency_->observe(latency > 0 ? static_cast<std::uint64_t>(latency) : 0);
+  }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::string strategy_name_;
+  Counter* submits_ = nullptr;
+  Counter* recv_posts_ = nullptr;
+  Counter* eager_msgs_ = nullptr;
+  Counter* rdv_msgs_ = nullptr;
+  Counter* eager_emits_ = nullptr;
+  Counter* chunks_posted_ = nullptr;
+  Counter* offload_signals_ = nullptr;
+  Counter* rdv_roundtrips_ = nullptr;
+  Counter* progress_calls_ = nullptr;
+  Counter* plan_eager_ = nullptr;
+  Counter* plan_rendezvous_ = nullptr;
+  Histogram* send_latency_ = nullptr;
+  Histogram* recv_latency_ = nullptr;
+  Histogram* queueing_delay_ = nullptr;
+  Histogram* emission_bytes_ = nullptr;
+  Histogram* chunk_bytes_ = nullptr;
+  std::vector<Counter*> per_rail_bytes_;
+  std::vector<Counter*> per_rail_chunks_;
+};
+
+}  // namespace rails::telemetry

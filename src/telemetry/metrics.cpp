@@ -1,0 +1,239 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+#include <vector>
+
+namespace rails::telemetry {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+unsigned Histogram::bucket_index(std::uint64_t v) {
+  return v == 0 ? 0 : static_cast<unsigned>(std::bit_width(v));
+}
+
+std::uint64_t Histogram::bucket_lower(unsigned i) {
+  if (i <= 1) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_upper(unsigned i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << i) - 1;
+}
+
+void Histogram::observe(std::uint64_t v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket(unsigned i) const {
+  return i < kBucketCount ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      static_cast<double>(n) * p / 100.0 + 0.5);
+  std::uint64_t cumulative = 0;
+  for (unsigned i = 0; i < kBucketCount; ++i) {
+    cumulative += bucket(i);
+    if (cumulative >= target && cumulative > 0) {
+      return std::min(bucket_upper(i), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (unsigned i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count() != 0) {
+    const std::uint64_t omin = other.min_.load(std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (omin < cur &&
+           !min_.compare_exchange_weak(cur, omin, std::memory_order_relaxed)) {
+    }
+  }
+  const std::uint64_t omax = other.max();
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (omax > cur &&
+         !max_.compare_exchange_weak(cur, omax, std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Map, typename T>
+T* find_or_create(std::mutex& mutex, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+template <typename Map>
+auto* find_only(std::mutex& mutex, const Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  return find_or_create<decltype(counters_), Counter>(mutex_, counters_, name);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create<decltype(gauges_), Gauge>(mutex_, gauges_, name);
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  return find_or_create<decltype(histograms_), Histogram>(mutex_, histograms_, name);
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_only(mutex_, counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_only(mutex_, gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  return find_only(mutex_, histograms_, name);
+}
+
+std::size_t MetricsRegistry::counter_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size();
+}
+
+std::size_t MetricsRegistry::gauge_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_.size();
+}
+
+std::size_t MetricsRegistry::histogram_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_.size();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot the other registry's names under its lock, then fold in without
+  // holding both locks at once (merge is a quiescent-point operation; the
+  // values themselves are atomics).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    for (const auto& [name, c] : other.counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : other.gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : other.histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  for (const auto& [name, c] : counters) counter(name)->inc(c->value());
+  for (const auto& [name, g] : gauges) gauge(name)->update_max(g->value());
+  for (const auto& [name, h] : histograms) histogram(name)->merge(*h);
+}
+
+void MetricsRegistry::dump_text(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      os << "  " << name << " = " << c->value() << '\n';
+    }
+  }
+  if (!gauges_.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, g] : gauges_) {
+      os << "  " << name << " = " << g->value() << '\n';
+    }
+  }
+  if (!histograms_.empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : histograms_) {
+      os << "  " << name << ": count " << h->count() << ", mean " << h->mean()
+         << ", p50 " << h->percentile(50.0) << ", p95 " << h->percentile(95.0)
+         << ", max " << h->max() << '\n';
+    }
+  }
+}
+
+void MetricsRegistry::dump_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"mean\":" << h->mean() << ",\"p50\":" << h->percentile(50.0)
+       << ",\"p95\":" << h->percentile(95.0) << ",\"min\":" << h->min()
+       << ",\"max\":" << h->max() << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (unsigned i = 0; i < Histogram::kBucketCount; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n == 0) continue;
+      if (!first_bucket) os << ',';
+      first_bucket = false;
+      os << '[' << Histogram::bucket_lower(i) << ',' << n << ']';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+}  // namespace rails::telemetry

@@ -1,0 +1,136 @@
+// Metrics & telemetry registry (observability layer).
+//
+// The engine's EngineStats answers "how many"; this registry answers "how
+// long, how distributed, and how well-predicted" — the per-layer breakdown
+// that "Breaking Band" (Zambre & Chandramowlishwaran) shows is required to
+// understand multirail critical paths. Three primitives:
+//
+//  * Counter   — monotonically increasing, relaxed-atomic.
+//  * Gauge     — last-value or high-water-mark (update_max), atomic.
+//  * Histogram — log2-bucketed distribution (bucket i >= 1 spans
+//                [2^(i-1), 2^i)), atomic per-bucket so worker threads can
+//                observe concurrently; mergeable like RunningStats::merge.
+//
+// A MetricsRegistry names metrics and owns their storage at stable
+// addresses: instrumented modules resolve Counter*/Gauge*/Histogram*
+// handles once at attach time and then touch only relaxed atomics on the
+// hot path. When no registry is attached, every instrumentation site is a
+// single null-pointer check — the same zero-cost idiom as
+// Engine::set_tracer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace rails::telemetry {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// High-water-mark update: keeps the maximum ever seen.
+  void update_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// Bucket 0 holds exact zeros; bucket i >= 1 spans [2^(i-1), 2^i). With
+  /// 64-bit samples the highest index is 64, hence 65 buckets.
+  static constexpr unsigned kBucketCount = 65;
+
+  static unsigned bucket_index(std::uint64_t v);
+  /// Inclusive lower bound of bucket `i` (0 for buckets 0 and 1).
+  static std::uint64_t bucket_lower(unsigned i);
+  /// Inclusive upper bound of bucket `i`.
+  static std::uint64_t bucket_upper(unsigned i);
+
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(unsigned i) const;
+  double mean() const;
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+
+  /// Approximate percentile: the inclusive upper bound of the bucket where
+  /// the cumulative count first reaches p% (clamped by the exact max).
+  std::uint64_t percentile(double p) const;
+
+  /// Parallel-reduction merge, mirroring RunningStats::merge.
+  void merge(const Histogram& other);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use. The returned
+  /// pointer is stable for the registry's lifetime — instrumented modules
+  /// cache it at attach time and never look it up again.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Lookup without creation (nullptr when absent). For tests/exporters.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  std::size_t counter_count() const;
+  std::size_t gauge_count() const;
+  std::size_t histogram_count() const;
+
+  /// Folds another registry in by metric name (per-worker registries are
+  /// merged into one at the end of a run, the RunningStats::merge idiom).
+  void merge(const MetricsRegistry& other);
+
+  /// Human-readable snapshot: sorted names, histogram summary lines.
+  void dump_text(std::ostream& os) const;
+
+  /// Machine-readable snapshot:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{name:{count,sum,mean,p50,p95,max,buckets:[[lo,n],..]}}}
+  void dump_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace rails::telemetry

@@ -1,0 +1,87 @@
+#include "telemetry/prediction.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace rails::telemetry {
+
+PredictionTracker::PredictionTracker(std::size_t rail_count) : rails_(rail_count) {
+  RAILS_CHECK(rail_count >= 1);
+}
+
+void PredictionTracker::record(RailId rail, SimDuration predicted, SimDuration actual) {
+  if (rail >= rails_.size()) return;
+  PerRail& pr = rails_[rail];
+  const double denom = actual > 0 ? static_cast<double>(actual) : 1.0;
+  const double signed_err =
+      static_cast<double>(actual - predicted) / denom;
+  const double rel = std::abs(signed_err);
+  pr.rel_error.add(rel);
+  pr.bias.add(signed_err);
+  pr.abs_error_ns.add(std::abs(static_cast<double>(actual - predicted)));
+  pr.rel_samples.add(rel);
+}
+
+std::size_t PredictionTracker::samples(RailId rail) const {
+  RAILS_CHECK(rail < rails_.size());
+  return rails_[rail].rel_error.count();
+}
+
+std::size_t PredictionTracker::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& pr : rails_) n += pr.rel_error.count();
+  return n;
+}
+
+PredictionTracker::RailAccuracy PredictionTracker::accuracy(RailId rail) const {
+  RAILS_CHECK(rail < rails_.size());
+  const PerRail& pr = rails_[rail];
+  RailAccuracy out;
+  out.samples = pr.rel_error.count();
+  if (out.samples == 0) return out;
+  out.mean_rel_error = pr.rel_error.mean();
+  out.p95_rel_error = pr.rel_samples.percentile(95.0);
+  out.max_rel_error = pr.rel_error.max();
+  out.mean_bias = pr.bias.mean();
+  out.mean_abs_error_us = pr.abs_error_ns.mean() / 1e3;
+  return out;
+}
+
+void PredictionTracker::merge(const PredictionTracker& other) {
+  RAILS_CHECK_MSG(rails_.size() == other.rails_.size(),
+                  "prediction trackers disagree on the rail count");
+  for (std::size_t r = 0; r < rails_.size(); ++r) {
+    rails_[r].rel_error.merge(other.rails_[r].rel_error);
+    rails_[r].bias.merge(other.rails_[r].bias);
+    rails_[r].abs_error_ns.merge(other.rails_[r].abs_error_ns);
+    for (const double s : other.rails_[r].rel_samples.samples()) {
+      rails_[r].rel_samples.add(s);
+    }
+  }
+}
+
+void PredictionTracker::dump(std::ostream& os) const {
+  os << "prediction accuracy (relative error of predicted vs actual completion):\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-6s %9s %10s %10s %10s %10s %14s\n", "rail",
+                "samples", "mean", "p95", "max", "bias", "mean abs (us)");
+  os << line;
+  for (std::size_t r = 0; r < rails_.size(); ++r) {
+    const RailAccuracy a = accuracy(static_cast<RailId>(r));
+    if (a.samples == 0) {
+      std::snprintf(line, sizeof(line), "  %-6zu %9s\n", r, "-");
+      os << line;
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-6zu %9zu %9.2f%% %9.2f%% %9.2f%% %+9.2f%% %14.2f\n", r,
+                  a.samples, a.mean_rel_error * 100.0, a.p95_rel_error * 100.0,
+                  a.max_rel_error * 100.0, a.mean_bias * 100.0, a.mean_abs_error_us);
+    os << line;
+  }
+}
+
+}  // namespace rails::telemetry

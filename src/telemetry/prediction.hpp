@@ -1,0 +1,65 @@
+// Prediction-accuracy tracking (the paper's Table-style accuracy view).
+//
+// Every scheduling decision rests on predicted transfer durations — linear
+// interpolation over sampled profiles plus per-NIC busy offsets (Fig. 2,
+// eq. (1)). This tracker records (predicted, actual) completion pairs per
+// rail as transfers really finish and maintains online residual statistics:
+// mean/p95 relative error and the signed bias, so a run can report how
+// trustworthy its own predictions were.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace rails::telemetry {
+
+class PredictionTracker {
+ public:
+  explicit PredictionTracker(std::size_t rail_count);
+
+  std::size_t rail_count() const { return rails_.size(); }
+
+  /// Records one completed transfer on `rail`: the duration the estimator
+  /// promised vs the duration the fabric delivered (both measured from the
+  /// same decision instant). Ignores rails beyond rail_count().
+  void record(RailId rail, SimDuration predicted, SimDuration actual);
+
+  std::size_t samples(RailId rail) const;
+  std::size_t total_samples() const;
+
+  struct RailAccuracy {
+    std::size_t samples = 0;
+    double mean_rel_error = 0.0;   ///< mean |actual-predicted| / actual
+    double p95_rel_error = 0.0;    ///< 95th percentile of the same
+    double max_rel_error = 0.0;
+    double mean_bias = 0.0;        ///< mean (actual-predicted)/actual; >0 = optimistic
+    double mean_abs_error_us = 0.0;
+  };
+
+  RailAccuracy accuracy(RailId rail) const;
+
+  /// Folds per-worker trackers together (RunningStats::merge idiom). Rail
+  /// counts must match.
+  void merge(const PredictionTracker& other);
+
+  /// Table view, one row per rail.
+  void dump(std::ostream& os) const;
+
+ private:
+  struct PerRail {
+    RunningStats rel_error;      ///< |actual-predicted| / actual
+    RunningStats bias;           ///< (actual-predicted) / actual
+    RunningStats abs_error_ns;   ///< |actual-predicted|
+    /// Exact percentiles; mutable because SampleSet::percentile sorts
+    /// lazily and accuracy() is logically const.
+    mutable SampleSet rel_samples;
+  };
+
+  std::vector<PerRail> rails_;
+};
+
+}  // namespace rails::telemetry

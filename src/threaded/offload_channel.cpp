@@ -1,5 +1,6 @@
 #include "threaded/offload_channel.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -77,6 +78,7 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
   RAILS_CHECK_MSG(running_.load(std::memory_order_acquire), "channel not started");
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  if (m_sends_ != nullptr) m_sends_->inc();
 
   // The "split ratio computation" of Fig. 7 — homogeneous rails here, so the
   // chunks are equal; the point is the parallel submission.
@@ -95,9 +97,23 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
     const std::size_t n = std::min(per_chunk, len - std::min(len, offset));
     const unsigned worker = c % config_.workers;
     const unsigned rail = c % config_.rails;
+    // Timestamp the signal only when a histogram is attached — the detached
+    // hot path must not pay for a clock read.
+    const auto signalled = m_signal_delay_ != nullptr
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
     sender_pool_.submit_to(
         worker, rt::Tasklet(
-                    [this, ticket, bytes, msg_id, tag, len, offset, n, rail, worker] {
+                    [this, ticket, bytes, msg_id, tag, len, offset, n, rail, worker,
+                     signalled] {
+                      if (m_signal_delay_ != nullptr) {
+                        const auto delay =
+                            std::chrono::steady_clock::now() - signalled;
+                        m_signal_delay_->observe(static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                delay)
+                                .count()));
+                      }
                       WireChunk chunk;
                       chunk.msg_id = msg_id;
                       chunk.tag = tag;
@@ -107,6 +123,10 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
                       if (n > 0) std::memcpy(chunk.bytes.data(), bytes + offset, n);
                       while (!rings_[rail]->try_push(std::move(chunk))) {
                         std::this_thread::yield();
+                      }
+                      if (m_chunks_ != nullptr) {
+                        m_chunks_->inc();
+                        m_ring_hwm_->update_max(rings_[rail]->size());
                       }
                       worker_chunks_[worker].fetch_add(1, std::memory_order_relaxed);
                       ticket->remaining_.fetch_sub(1, std::memory_order_acq_rel);
@@ -141,6 +161,24 @@ void OffloadChannel::pump_rail(unsigned rail, WireChunk&& chunk) {
     }
   }
   handler_(tag, std::move(completed));
+}
+
+void OffloadChannel::set_metrics(telemetry::MetricsRegistry* registry) {
+  RAILS_CHECK_MSG(!running_.load(std::memory_order_acquire),
+                  "attach/detach metrics before start()");
+  sender_pool_.set_metrics(registry);
+  progress_.set_metrics(registry);
+  if (registry == nullptr) {
+    m_sends_ = nullptr;
+    m_chunks_ = nullptr;
+    m_ring_hwm_ = nullptr;
+    m_signal_delay_ = nullptr;
+    return;
+  }
+  m_sends_ = registry->counter("offload.sends");
+  m_chunks_ = registry->counter("offload.chunks");
+  m_ring_hwm_ = registry->gauge("offload.ring_hwm");
+  m_signal_delay_ = registry->histogram("offload.signal_delay_ns");
 }
 
 std::vector<std::uint64_t> OffloadChannel::chunks_per_worker() const {

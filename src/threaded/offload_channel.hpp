@@ -35,6 +35,7 @@
 #include "common/types.hpp"
 #include "progress/progress_engine.hpp"
 #include "rt/worker_pool.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace rails::threaded {
 
@@ -96,6 +97,14 @@ class OffloadChannel {
   /// Chunks submitted by each worker (tests verify the spread).
   std::vector<std::uint64_t> chunks_per_worker() const;
 
+  /// Attaches a metrics registry (nullptr detaches). Must be called before
+  /// start(): "offload.sends" / "offload.chunks" counters, an
+  /// "offload.ring_hwm" ring-occupancy high-water gauge, and an
+  /// "offload.signal_delay_ns" histogram of the wall-clock submit-to-tasklet
+  /// latency — the empirical TO of eq. (1). Also forwards to the sender pool
+  /// ("rt.*") and the progression engine ("progress.*").
+  void set_metrics(telemetry::MetricsRegistry* registry);
+
  private:
   struct Reassembly {
     std::vector<std::uint8_t> buffer;
@@ -118,6 +127,11 @@ class OffloadChannel {
   std::map<std::uint64_t, Reassembly> reassembly_;
   std::atomic<std::uint64_t> next_msg_id_{1};
   std::atomic<bool> running_{false};
+
+  telemetry::Counter* m_sends_ = nullptr;
+  telemetry::Counter* m_chunks_ = nullptr;
+  telemetry::Gauge* m_ring_hwm_ = nullptr;
+  telemetry::Histogram* m_signal_delay_ = nullptr;
 };
 
 }  // namespace rails::threaded

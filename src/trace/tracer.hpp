@@ -5,7 +5,13 @@
 // attached to an Engine, every scheduling-relevant event (submission,
 // emission, chunk post, completion) is recorded with its virtual timestamp,
 // rail, core and byte count. Traces are queryable in-process (per-message
-// timelines, per-rail utilisation) and exportable as CSV.
+// timelines, per-rail utilisation) and exportable as CSV or as Chrome-trace
+// JSON (chrome://tracing / Perfetto).
+//
+// Capacity: an unbounded tracer keeps every event; constructing with
+// Tracer{max_events} bounds memory with a ring buffer — once full, each new
+// event overwrites the oldest and dropped() counts the evictions, so long
+// benchmark runs keep the most recent window instead of exhausting memory.
 #pragma once
 
 #include <cstdint>
@@ -55,24 +61,46 @@ struct MessageTimeline {
   unsigned offloaded = 0;
   std::size_t bytes = 0;
 
-  SimDuration queueing_delay() const {
-    return first_emission >= 0 && submit >= 0 ? first_emission - submit : 0;
+  /// Submission-to-first-emission delay. nullopt when either endpoint was
+  /// not recorded (message still queued, or its events were evicted from a
+  /// bounded tracer) — an incomplete message is NOT an instant one.
+  std::optional<SimDuration> queueing_delay() const {
+    if (first_emission < 0 || submit < 0) return std::nullopt;
+    return first_emission - submit;
   }
-  SimDuration total_latency() const {
-    return complete >= 0 && submit >= 0 ? complete - submit : 0;
+  /// Submission-to-completion latency; nullopt when incomplete (see above).
+  std::optional<SimDuration> total_latency() const {
+    if (complete < 0 || submit < 0) return std::nullopt;
+    return complete - submit;
   }
 };
 
 class Tracer {
  public:
+  Tracer() = default;
+  /// Bounded tracer: keeps the most recent `max_events` events in a ring.
+  explicit Tracer(std::size_t max_events) : max_events_(max_events) {}
+
   void record(const TraceEvent& event);
 
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
+  /// Ring capacity; 0 means unbounded.
+  std::size_t capacity() const { return max_events_; }
+  /// Events evicted from a bounded tracer since the last clear().
+  std::uint64_t dropped() const { return dropped_; }
+  /// Raw storage. In record order until the ring wraps; use snapshot() for
+  /// guaranteed chronological (oldest-first) order.
   const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  /// Copy of the retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+  void clear() {
+    events_.clear();
+    ring_pos_ = 0;
+    dropped_ = 0;
+  }
 
-  /// Events of one kind, in record order.
+  /// Events of one kind, oldest first.
   std::vector<TraceEvent> of_kind(EventKind kind) const;
 
   /// Reconstructs the timeline of one sender-side message.
@@ -85,14 +113,34 @@ class Tracer {
   /// Busy time per rail within [begin, end], from emission nic_end spans.
   std::vector<SimDuration> rail_busy_time() const;
 
-  /// CSV export: one event per line with a header row.
+  /// CSV export: one event per line with a header row, oldest first.
   void dump_csv(std::ostream& os) const;
+
+  /// Chrome-trace (chrome://tracing / Perfetto) JSON export. NIC activity
+  /// (eager emissions, DMA chunks) becomes complete "X" spans on a
+  /// per-node/per-rail track; everything else becomes instant events.
+  /// Timestamps are virtual microseconds.
+  void dump_chrome_trace(std::ostream& os) const;
 
   /// ASCII per-rail Gantt chart of NIC activity, `width` columns wide.
   void render_gantt(std::ostream& os, unsigned width = 72) const;
 
  private:
+  /// Invokes `fn` on every retained event, oldest first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (dropped_ == 0) {
+      for (const auto& e : events_) fn(e);
+      return;
+    }
+    const std::size_t n = events_.size();
+    for (std::size_t i = 0; i < n; ++i) fn(events_[(ring_pos_ + i) % n]);
+  }
+
   std::vector<TraceEvent> events_;
+  std::size_t max_events_ = 0;  ///< 0 = unbounded
+  std::size_t ring_pos_ = 0;    ///< next overwrite slot once full
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace rails::trace

@@ -129,6 +129,35 @@ TEST(OffloadChannel, BackpressureOnTinyRings) {
   for (const auto& [tag, bytes] : inbox.messages) EXPECT_EQ(bytes, tx[tag]);
 }
 
+TEST(OffloadChannel, MetricsCoverOffloadPipeline) {
+  telemetry::MetricsRegistry registry;
+  OffloadChannel channel({2, 2, 4096, 256});
+  channel.set_metrics(&registry);
+  Inbox inbox;
+  channel.start(inbox.handler());
+  const auto big = test::make_pattern(64u * 1024u, 11);
+  const auto small = test::make_pattern(128, 12);
+  auto t1 = channel.send(1, big.data(), big.size());    // splits into 2 chunks
+  auto t2 = channel.send(2, small.data(), small.size());  // single chunk
+  t1->wait();
+  t2->wait();
+  ASSERT_TRUE(inbox.wait_for(2));
+  channel.stop();
+
+  EXPECT_EQ(registry.find_counter("offload.sends")->value(), 2u);
+  EXPECT_EQ(registry.find_counter("offload.chunks")->value(), 3u);
+  EXPECT_GE(registry.find_gauge("offload.ring_hwm")->value(), 1);
+  // The TO histogram saw one wall-clock signal delay per chunk tasklet.
+  const telemetry::Histogram* to_cost =
+      registry.find_histogram("offload.signal_delay_ns");
+  ASSERT_NE(to_cost, nullptr);
+  EXPECT_EQ(to_cost->count(), 3u);
+  // Forwarded sinks: the sender pool and the progression engine report too.
+  EXPECT_GE(registry.find_counter("rt.signals")->value(), 3u);
+  EXPECT_GE(registry.find_counter("progress.ticks")->value(), 1u);
+  EXPECT_GE(registry.find_counter("progress.polls")->value(), 1u);
+}
+
 TEST(OffloadChannel, StopIsIdempotent) {
   OffloadChannel channel({2, 2, 4096, 64});
   Inbox inbox;

@@ -42,8 +42,10 @@ TEST(Tracer, MessageTimelineReconstruction) {
   EXPECT_EQ(tl->chunks, 2u);
   EXPECT_EQ(tl->offloaded, 1u);
   EXPECT_EQ(tl->bytes, 1000u);
-  EXPECT_EQ(tl->queueing_delay(), 200);
-  EXPECT_EQ(tl->total_latency(), 800);
+  ASSERT_TRUE(tl->queueing_delay().has_value());
+  ASSERT_TRUE(tl->total_latency().has_value());
+  EXPECT_EQ(*tl->queueing_delay(), 200);
+  EXPECT_EQ(*tl->total_latency(), 800);
 }
 
 TEST(Tracer, BytesAndBusyPerRail) {
@@ -81,6 +83,129 @@ TEST(Tracer, GanttRendersLanes) {
   EXPECT_NE(out.find("rail 0 |"), std::string::npos);
   EXPECT_NE(out.find("rail 1 |"), std::string::npos);
   EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Tracer, IncompleteTimelineHasNoDerivedDurations) {
+  Tracer tracer;
+  tracer.record({100, 0, EventKind::kSubmit, 7, 1, 0, 0, 1000, 0});
+  const auto tl = tracer.message(0, 7);
+  ASSERT_TRUE(tl.has_value());
+  // Still queued: neither delay is defined — an incomplete message must not
+  // read as an instant one.
+  EXPECT_FALSE(tl->queueing_delay().has_value());
+  EXPECT_FALSE(tl->total_latency().has_value());
+}
+
+TEST(Tracer, RingBufferKeepsMostRecentWindow) {
+  Tracer tracer(4);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  for (SimTime t = 0; t < 7; ++t) {
+    tracer.record({t * 100, 0, EventKind::kSubmit, static_cast<std::uint64_t>(t + 1),
+                   0, 0, 0, 64, 0});
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest three evicted; the window is chronological.
+  EXPECT_EQ(events.front().time, 300);
+  EXPECT_EQ(events.back().time, 600);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].time, events[i].time);
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.empty());
+}
+
+TEST(Tracer, RingBufferQueriesSeeOnlyRetainedEvents) {
+  Tracer tracer(2);
+  tracer.record({0, 0, EventKind::kChunkPosted, 1, 0, 0, 0, 100, 50});
+  tracer.record({10, 0, EventKind::kChunkPosted, 1, 0, 1, 0, 200, 60});
+  tracer.record({20, 0, EventKind::kChunkPosted, 1, 0, 1, 0, 300, 70});  // evicts rail 0
+  const auto bytes = tracer.bytes_per_rail();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0u);
+  EXPECT_EQ(bytes[1], 500u);
+  EXPECT_EQ(tracer.of_kind(EventKind::kChunkPosted).size(), 2u);
+}
+
+TEST(Tracer, UnboundedTracerNeverDrops) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.capacity(), 0u);
+  for (int i = 0; i < 1000; ++i) {
+    tracer.record({i, 0, EventKind::kSubmit, 1, 0, 0, 0, 1, 0});
+  }
+  EXPECT_EQ(tracer.size(), 1000u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// -- Chrome-trace export -----------------------------------------------------
+
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// Structural JSON check: braces and brackets balance outside string
+/// literals and never go negative. Catches truncated or mis-nested output
+/// without needing a JSON parser.
+bool json_balanced(const std::string& s) {
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': if (--braces < 0) return false; break;
+      case '[': ++brackets; break;
+      case ']': if (--brackets < 0) return false; break;
+      default: break;
+    }
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+}  // namespace
+
+TEST(ChromeTrace, GoldenSyntheticTrace) {
+  Tracer tracer;
+  tracer.record({1000, 0, EventKind::kSubmit, 7, 1, 0, 0, 1000, 0});
+  tracer.record({1200, 0, EventKind::kOffloadSignal, 7, 1, 0, 1, 0, 0});
+  tracer.record({1500, 0, EventKind::kEagerEmit, 7, 1, 0, 1, 600, 2500});
+  tracer.record({1500, 0, EventKind::kChunkPosted, 7, 1, 1, 2, 400, 3000});
+  tracer.record({3000, 0, EventKind::kSendComplete, 7, 1, 0, 0, 1000, 0});
+  std::ostringstream os;
+  tracer.dump_chrome_trace(os);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // NIC activity -> complete spans; each X span carries a duration.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"dur\":"), 2u);
+  // Submit / signal / completion -> instants.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 3u);
+  // One process (node 0), two rail tracks -> 1 + 2 metadata records.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"M\""), 3u);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // ts is in microseconds: the 1500 ns emission lands at 1.500 us.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  // The eager span runs 1500->2500 ns = 1 us.
+  EXPECT_NE(json.find("\"dur\":1.000"), std::string::npos);
 }
 
 TEST(Tracer, GanttHandlesEmptyTrace) {
@@ -121,7 +246,8 @@ TEST_F(EngineTracing, RendezvousLifecycleRecorded) {
   ASSERT_TRUE(tl.has_value());
   EXPECT_EQ(tl->chunks, 2u);
   EXPECT_EQ(tl->complete, send->complete_time);
-  EXPECT_GT(tl->total_latency(), 0);
+  ASSERT_TRUE(tl->total_latency().has_value());
+  EXPECT_GT(*tl->total_latency(), 0);
 
   const auto bytes = tracer_.bytes_per_rail();
   ASSERT_EQ(bytes.size(), 2u);
@@ -144,6 +270,27 @@ TEST_F(EngineTracing, EagerOffloadRecorded) {
   for (const auto& e : tracer_.of_kind(EventKind::kEagerEmit)) {
     EXPECT_NE(e.core, world_.engine(0).config().scheduler_core);
   }
+}
+
+TEST_F(EngineTracing, ChromeTraceFromRealTransferIsLoadable) {
+  const std::size_t size = 2_MiB;
+  const auto tx = test::make_pattern(size, 9);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world_.engine(1).irecv(0, 8, rx.data(), size);
+  auto send = world_.engine(0).isend(1, 8, tx.data(), size);
+  world_.wait(send);
+  world_.wait(recv);
+
+  std::ostringstream os;
+  tracer_.dump_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_balanced(json));
+  // Every NIC chunk must appear as a complete span.
+  const auto chunks = tracer_.of_kind(EventKind::kChunkPosted).size();
+  EXPECT_GE(chunks, 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), chunks);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""),
+            count_occurrences(json, "\"dur\":"));
 }
 
 TEST_F(EngineTracing, DetachStopsRecording) {

@@ -117,6 +117,28 @@ TEST(WorkerPool, ManyWorkersStress) {
   EXPECT_EQ(sum.load(), static_cast<long long>(kCount) * (kCount - 1) / 2);
 }
 
+TEST(WorkerPool, MetricsCountSignalsAndExecution) {
+  telemetry::MetricsRegistry registry;
+  WorkerPool pool(2);
+  pool.set_metrics(&registry);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit(Tasklet([&] { counter.fetch_add(1); }, TaskPriority::kNormal));
+  }
+  pool.drain();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(registry.find_counter("rt.signals")->value(), 50u);
+  EXPECT_EQ(registry.find_counter("rt.executed")->value(), 50u);
+  EXPECT_GE(registry.find_gauge("rt.queue_depth_hwm")->value(), 1);
+
+  // Detached again: further work leaves the registry untouched.
+  pool.set_metrics(nullptr);
+  pool.submit(Tasklet([&] { counter.fetch_add(1); }, TaskPriority::kNormal));
+  pool.drain();
+  EXPECT_EQ(registry.find_counter("rt.signals")->value(), 50u);
+  EXPECT_EQ(registry.find_counter("rt.executed")->value(), 50u);
+}
+
 TEST(WorkerPool, DestructorJoinsCleanly) {
   std::atomic<int> counter{0};
   {

@@ -5,11 +5,14 @@
 //   railsctl pingpong <cluster-file> [--min 4] [--max 8388608] [--iters 2]
 //   railsctl compare  <cluster-file> --size <bytes> [--strategies a,b,c]
 //   railsctl gantt    <cluster-file> [--size <bytes>]
+//   railsctl metrics  <cluster-file> [--size <bytes>] [--strategies a,b,c]
+//   railsctl trace    <cluster-file> --chrome <out.json> [--size <bytes>]
 //
 // The cluster file format is documented in src/core/config.hpp; presets:
 // myri10g, qsnet2, ib-ddr, gige-tcp.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,6 +21,8 @@
 #include "bench_support/traffic.hpp"
 #include "core/config.hpp"
 #include "core/world.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prediction.hpp"
 #include "trace/tracer.hpp"
 
 using namespace rails;
@@ -26,7 +31,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: railsctl <describe|sample|pingpong|compare|gantt> "
+               "usage: railsctl <describe|sample|pingpong|compare|gantt|metrics|trace> "
                "<cluster-file> [options]\n"
                "  describe               print the parsed configuration\n"
                "  sample [--out DIR]     sample every rail; write profiles to DIR\n"
@@ -35,6 +40,12 @@ int usage() {
                "  compare --size N [--strategies a,b,c]\n"
                "                         one-way latency per strategy at one size\n"
                "  gantt [--size N]       trace one transfer, render NIC lanes\n"
+               "  metrics [--size N] [--strategies a,b,c] [--json]\n"
+               "                         run a mixed workload per strategy; print\n"
+               "                         counters, latency histograms, prediction error\n"
+               "  trace --chrome FILE [--size N]\n"
+               "                         trace a mixed workload, write Chrome-trace\n"
+               "                         JSON loadable in Perfetto / about:tracing\n"
                "  loadsweep [--messages N]\n"
                "                         open-loop latency vs offered load\n"
                "  incast [--senders N] [--size N]\n"
@@ -48,6 +59,14 @@ const char* opt(int argc, char** argv, const char* flag, const char* fallback) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+/// True when the bare `flag` appears among the options.
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -131,12 +150,93 @@ int cmd_gantt(core::WorldConfig cfg, std::size_t size) {
               world.engine(0).strategy().name().c_str());
   tracer.render_gantt(std::cout, 72);
   const auto tl = tracer.message(0, send->id);
-  if (tl) {
+  if (tl && tl->queueing_delay() && tl->total_latency()) {
     std::printf("queueing %.1f us, total %.1f us, %u chunk(s), %u offloaded\n",
-                to_usec(tl->queueing_delay()), to_usec(tl->total_latency()), tl->chunks,
-                tl->offloaded);
+                to_usec(*tl->queueing_delay()), to_usec(*tl->total_latency()),
+                tl->chunks, tl->offloaded);
   }
   world.engine(0).set_tracer(nullptr);
+  return 0;
+}
+
+/// Mixed workload shared by `metrics` and `trace`: a burst of small eager
+/// messages, one medium (offloadable) eager message, and one large
+/// rendezvous transfer of `size` bytes, all node 0 -> node 1.
+void run_mixed_workload(core::World& world, std::size_t size) {
+  std::vector<std::uint8_t> small(512, 0x11);
+  std::vector<std::uint8_t> medium(24_KiB, 0x22);
+  std::vector<std::uint8_t> large(size, 0x33);
+  std::vector<std::uint8_t> rx_small(8 * 512);
+  std::vector<std::uint8_t> rx_medium(medium.size());
+  std::vector<std::uint8_t> rx_large(large.size());
+
+  std::vector<core::RecvHandle> recvs;
+  for (int i = 0; i < 8; ++i) {
+    recvs.push_back(world.engine(1).irecv(0, 100 + i, rx_small.data() + i * 512, 512));
+  }
+  recvs.push_back(world.engine(1).irecv(0, 200, rx_medium.data(), rx_medium.size()));
+  recvs.push_back(world.engine(1).irecv(0, 300, rx_large.data(), rx_large.size()));
+
+  std::vector<core::SendHandle> sends;
+  for (int i = 0; i < 8; ++i) {
+    sends.push_back(world.engine(0).isend(1, 100 + i, small.data(), small.size()));
+  }
+  sends.push_back(world.engine(0).isend(1, 200, medium.data(), medium.size()));
+  sends.push_back(world.engine(0).isend(1, 300, large.data(), large.size()));
+  for (auto& r : recvs) world.wait(r);
+  for (auto& s : sends) world.wait(s);
+}
+
+int cmd_metrics(const core::WorldConfig& base, std::size_t size,
+                const std::vector<std::string>& strategies, bool json) {
+  for (const auto& name : strategies) {
+    core::WorldConfig cfg = base;
+    cfg.strategy = name;
+    const std::size_t rail_count = cfg.fabric.rails.size();
+    core::World world(std::move(cfg));
+    telemetry::MetricsRegistry registry;
+    telemetry::PredictionTracker predictions(rail_count);
+    world.engine(0).set_metrics(&registry);
+    world.engine(0).set_prediction_tracker(&predictions);
+
+    run_mixed_workload(world, size);
+
+    world.engine(0).set_metrics(nullptr);
+    world.engine(0).set_prediction_tracker(nullptr);
+
+    if (json) {
+      registry.dump_json(std::cout);
+      std::cout << "\n";
+      continue;
+    }
+    std::printf("=== strategy %s (%zu rails, %zu-byte rendezvous) ===\n", name.c_str(),
+                rail_count, size);
+    registry.dump_text(std::cout);
+    predictions.dump(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_trace(core::WorldConfig cfg, std::size_t size, const char* out_path) {
+  if (out_path == nullptr) {
+    std::fprintf(stderr, "railsctl trace: --chrome <out.json> is required\n");
+    return 2;
+  }
+  core::World world(std::move(cfg));
+  trace::Tracer tracer;
+  world.engine(0).set_tracer(&tracer);
+  run_mixed_workload(world, size);
+  world.engine(0).set_tracer(nullptr);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "railsctl trace: cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  tracer.dump_chrome_trace(out);
+  std::printf("wrote %zu events to %s (open in ui.perfetto.dev or about:tracing)\n",
+              tracer.size(), out_path);
   return 0;
 }
 
@@ -200,6 +300,16 @@ int main(int argc, char** argv) {
   }
   if (cmd == "gantt") {
     return cmd_gantt(cfg, std::stoul(opt(argc, argv, "--size", "4194304")));
+  }
+  if (cmd == "metrics") {
+    const std::size_t size = std::stoul(opt(argc, argv, "--size", "4194304"));
+    const auto strategies =
+        split_csv(opt(argc, argv, "--strategies", "multicore-hetero-split"));
+    return cmd_metrics(cfg, size, strategies, has_flag(argc, argv, "--json"));
+  }
+  if (cmd == "trace") {
+    return cmd_trace(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
+                     opt(argc, argv, "--chrome", nullptr));
   }
   if (cmd == "loadsweep") {
     return cmd_loadsweep(
