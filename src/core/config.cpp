@@ -104,6 +104,37 @@ WorldConfig parse_world_config(std::istream& is) {
       ls >> cfg.engine.offload.min_split_size;
     } else if (directive == "sampler_max_size") {
       ls >> cfg.sampler.max_size;
+    } else if (directive == "failover") {
+      int on = 1;
+      ls >> on;
+      cfg.engine.failover.enabled = on != 0;
+    } else if (directive == "failover_slack") {
+      ls >> cfg.engine.failover.timeout_slack;
+      if (cfg.engine.failover.timeout_slack < 1.0) {
+        fail(lineno, "failover_slack must be >= 1");
+      }
+    } else if (directive == "failover_min_timeout_us") {
+      double us = 0;
+      ls >> us;
+      cfg.engine.failover.min_timeout = usec(us);
+    } else if (directive == "failover_max_attempts") {
+      if (!(ls >> cfg.engine.failover.max_attempts) ||
+          cfg.engine.failover.max_attempts < 1) {
+        fail(lineno, "failover_max_attempts needs a positive integer");
+      }
+    } else if (directive == "quarantine_us") {
+      double us = 0;
+      ls >> us;
+      cfg.engine.failover.quarantine = usec(us);
+    } else if (directive == "quarantine_backoff") {
+      ls >> cfg.engine.failover.quarantine_backoff;
+      if (cfg.engine.failover.quarantine_backoff < 1.0) {
+        fail(lineno, "quarantine_backoff must be >= 1");
+      }
+    } else if (directive == "quarantine_max_us") {
+      double us = 0;
+      ls >> us;
+      cfg.engine.failover.max_quarantine = usec(us);
     } else if (directive == "rail") {
       std::string kind;
       ls >> kind;
@@ -143,6 +174,13 @@ void save_world_config(const WorldConfig& cfg, std::ostream& os) {
   os << "offload_preempt_us " << to_usec(cfg.engine.offload.preempt_cost) << "\n";
   os << "offload_min_split " << cfg.engine.offload.min_split_size << "\n";
   os << "sampler_max_size " << cfg.sampler.max_size << "\n";
+  os << "failover " << (cfg.engine.failover.enabled ? 1 : 0) << "\n";
+  os << "failover_slack " << cfg.engine.failover.timeout_slack << "\n";
+  os << "failover_min_timeout_us " << to_usec(cfg.engine.failover.min_timeout) << "\n";
+  os << "failover_max_attempts " << cfg.engine.failover.max_attempts << "\n";
+  os << "quarantine_us " << to_usec(cfg.engine.failover.quarantine) << "\n";
+  os << "quarantine_backoff " << cfg.engine.failover.quarantine_backoff << "\n";
+  os << "quarantine_max_us " << to_usec(cfg.engine.failover.max_quarantine) << "\n";
   for (const auto& r : cfg.fabric.rails) {
     os << "rail custom name=" << r.name << " post_us=" << r.post_us
        << " wire_latency_us=" << r.wire_latency_us << " pio_bw=" << r.pio_bw_mbps

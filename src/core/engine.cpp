@@ -9,11 +9,12 @@
 namespace rails::core {
 
 RailId Strategy::control_rail(const StrategyContext& ctx) const {
-  // Default policy: the rail whose zero-byte eager message completes first,
-  // busy offsets included — typically the lowest-latency idle rail.
+  // Default policy: the usable rail whose zero-byte eager message completes
+  // first, busy offsets included — typically the lowest-latency idle rail.
   RailId best = 0;
   SimTime best_done = kSimTimeNever;
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
+    if (!ctx.rail_usable(r)) continue;
     const sampling::RailState state{r, ctx.rail_busy_until(r)};
     const SimTime done =
         ctx.estimator->completion(state, ctx.now, 0, fabric::Protocol::kEager);
@@ -36,7 +37,15 @@ Engine::Engine(fabric::Fabric* fabric, NodeId self, const sampling::Estimator* e
   rdv_threshold_ = config_.rdv_threshold_override != 0 ? config_.rdv_threshold_override
                                                        : estimator_->engine_rdv_threshold();
   stats_.payload_bytes_per_rail.assign(fabric_->rail_count(), 0);
+  rail_health_.assign(fabric_->rail_count(), RailHealth{});
+  rail_usable_.assign(fabric_->rail_count(), 1);
   fabric_->set_rx_handler(self_, [this](fabric::Segment&& seg) { on_segment(std::move(seg)); });
+  // Completion-queue hooks on this node's own NICs: successful deliveries
+  // retire live chunks, drops enter the failover path.
+  for (fabric::SimNic* nic : nics_) {
+    nic->set_tx_error([this](fabric::Segment&& seg) { on_tx_error(std::move(seg)); });
+    nic->set_tx_complete([this](const fabric::Segment& seg) { on_tx_complete(seg); });
+  }
 }
 
 void Engine::set_strategy(std::unique_ptr<Strategy> strategy) {
@@ -84,6 +93,16 @@ StrategyContext Engine::make_context() {
   ctx.nics = std::span<fabric::SimNic* const>(nics_.data(), nics_.size());
   ctx.cores = &fabric_->cores(self_);
   ctx.config = &config_;
+  // Health mask: quarantined rails are hidden from the strategy. When every
+  // rail is quarantined there is nothing left to prefer — expose all of
+  // them so traffic keeps flowing (and keeps probing).
+  bool any_usable = false;
+  for (RailId r = 0; r < nics_.size(); ++r) {
+    rail_usable_[r] = rail_usable(r) ? 1 : 0;
+    any_usable = any_usable || rail_usable_[r] != 0;
+  }
+  if (!any_usable) rail_usable_.assign(nics_.size(), 1);
+  ctx.usable = std::span<const std::uint8_t>(rail_usable_.data(), rail_usable_.size());
   return ctx;
 }
 
@@ -406,15 +425,15 @@ void Engine::stream_chunks(SendRequest& send) {
     const strategy::Chunk& chunk = split.chunks[i];
     // The solver's own per-chunk finish prediction when available (it saw
     // the ready offsets); otherwise the estimator's busy-aware fallback.
+    // Besides feeding the PredictionTracker, this is what the chunk timeout
+    // is derived from (predicted completion times the slack factor).
     SimDuration predicted = 0;
-    if (predictions_ != nullptr) {
-      if (i < split.finish_times.size()) {
-        predicted = split.finish_times[i];
-      } else {
-        const sampling::RailState state{chunk.rail, nics_[chunk.rail]->busy_until()};
-        predicted =
-            estimator_->chunk_completion(state, decision_now, chunk.bytes) - decision_now;
-      }
+    if (i < split.finish_times.size()) {
+      predicted = split.finish_times[i];
+    } else {
+      const sampling::RailState state{chunk.rail, nics_[chunk.rail]->busy_until()};
+      predicted =
+          estimator_->chunk_completion(state, decision_now, chunk.bytes) - decision_now;
     }
     fabric::Segment data;
     data.kind = fabric::SegKind::kData;
@@ -437,6 +456,8 @@ void Engine::stream_chunks(SendRequest& send) {
       predictions_->record(chunk.rail, predicted, times.nic_end - decision_now);
     }
     send.bytes_posted += chunk.bytes;
+    track_chunk(send.id, chunk.offset, chunk.bytes, chunk.rail, /*attempt=*/0,
+                decision_now, predicted);
   }
 }
 
@@ -445,6 +466,7 @@ void Engine::handle_fin(const fabric::Segment& seg) {
   RAILS_CHECK_MSG(it != rdv_sends_.end(), "FIN for an unknown rendezvous send");
   SendRequest& send = *it->second;
   RAILS_CHECK(send.state == SendState::kStreaming);
+  live_chunks_.erase(seg.msg_id);  // any armed timeouts are stale now
   send.state = SendState::kDone;
   send.complete_time = fabric_->now();
   trace_event(trace::EventKind::kSendComplete, send.id, send.tag, 0, 0, send.len,
@@ -565,13 +587,55 @@ void Engine::accept_rendezvous(NodeId src, std::uint64_t msg_id) {
   trace_event(trace::EventKind::kCtsSent, msg_id, 0, rail, 0, 0, fabric_->now());
 }
 
+namespace {
+
+/// Merges [lo, hi) into a disjoint interval set (start -> end, keyed by
+/// start) and returns the number of bytes not previously covered.
+std::size_t add_interval(std::map<std::uint64_t, std::uint64_t>& set, std::uint64_t lo,
+                         std::uint64_t hi) {
+  if (hi <= lo) return 0;
+  auto it = set.lower_bound(lo);
+  if (it != set.begin() && std::prev(it)->second >= lo) it = std::prev(it);
+  std::size_t fresh = 0;
+  std::uint64_t cursor = lo;
+  std::uint64_t merged_lo = lo;
+  std::uint64_t merged_hi = hi;
+  while (it != set.end() && it->first <= hi) {
+    if (it->first > cursor) fresh += it->first - cursor;
+    cursor = std::max(cursor, it->second);
+    merged_lo = std::min(merged_lo, it->first);
+    merged_hi = std::max(merged_hi, it->second);
+    it = set.erase(it);
+  }
+  if (cursor < hi) fresh += hi - cursor;
+  set[merged_lo] = merged_hi;
+  return fresh;
+}
+
+}  // namespace
+
 void Engine::handle_data(const fabric::Segment& seg) {
   auto it = inbound_rdv_.find({seg.src, seg.msg_id});
-  RAILS_CHECK_MSG(it != inbound_rdv_.end(), "DATA chunk for an unknown rendezvous");
+  if (it == inbound_rdv_.end()) {
+    // Duplicate after completion: a spurious-timeout retransmit finished the
+    // message and the straggling original arrived late. Reception is
+    // idempotent — drop it.
+    ++stats_.duplicate_chunks;
+    metrics_.on_duplicate_chunk();
+    return;
+  }
   RecvHandle recv = it->second.recv;
   RAILS_CHECK(seg.offset + seg.payload.size() <= recv->expected);
-  std::memcpy(recv->data + seg.offset, seg.payload.data(), seg.payload.size());
-  recv->bytes_received += seg.payload.size();
+  if (!seg.payload.empty()) {
+    std::memcpy(recv->data + seg.offset, seg.payload.data(), seg.payload.size());
+  }
+  const std::size_t fresh =
+      add_interval(it->second.covered, seg.offset, seg.offset + seg.payload.size());
+  if (fresh < seg.payload.size()) {
+    ++stats_.duplicate_chunks;
+    metrics_.on_duplicate_chunk();
+  }
+  recv->bytes_received += fresh;
   if (recv->bytes_received == recv->expected) {
     const NodeId src = it->second.src;
     const std::uint64_t msg_id = seg.msg_id;
@@ -594,6 +658,251 @@ void Engine::complete_recv(const RecvHandle& recv) {
   trace_event(trace::EventKind::kRecvComplete, recv->id, recv->tag, 0, 0,
               recv->bytes_received, recv->complete_time);
   metrics_.on_recv_complete(recv->complete_time - recv->post_time);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: timeouts, retry/failover, quarantine (docs/FAULTS.md)
+// ---------------------------------------------------------------------------
+
+void Engine::on_tx_complete(const fabric::Segment& seg) {
+  if (seg.kind != fabric::SegKind::kData) return;
+  auto it = live_chunks_.find(seg.msg_id);
+  if (it == live_chunks_.end()) return;
+  // The bytes landed (whatever the attempt — a straggling older attempt
+  // covers at least this range); any armed timeout for this offset is moot.
+  it->second.erase(seg.offset);
+}
+
+void Engine::on_tx_error(fabric::Segment&& seg) {
+  ++stats_.tx_errors;
+  metrics_.on_tx_error();
+  if (!config_.failover.enabled) return;
+  quarantine_rail(seg.rail);
+
+  if (seg.kind == fabric::SegKind::kData) {
+    auto it = rdv_sends_.find(seg.msg_id);
+    if (it == rdv_sends_.end()) return;  // send already completed; stale error
+    failover_chunk(*it->second, seg.offset, seg.payload.size(), seg.rail, seg.attempt);
+    return;
+  }
+
+  // Eager and control segments are self-contained: re-post the whole
+  // segment on the best usable rail.
+  if (seg.attempt + 1u >= config_.failover.max_attempts) {
+    ++stats_.failover_exhausted;
+    metrics_.on_exhausted();
+    if (seg.kind == fabric::SegKind::kRts) {
+      // The handshake can never finish; fail the send instead of hanging.
+      if (auto it = rdv_sends_.find(seg.msg_id); it != rdv_sends_.end()) {
+        it->second->state = SendState::kFailed;
+        rdv_sends_.erase(it);
+      }
+    }
+    return;
+  }
+  const RailId rail = repost_rail(seg);
+  ++seg.attempt;
+  ++stats_.retries;
+  metrics_.on_retry();
+  post_segment(rail, std::move(seg), config_.scheduler_core);
+}
+
+RailId Engine::repost_rail(const fabric::Segment& seg) const {
+  // Best usable rail that can carry the payload, by predicted completion;
+  // fall back to any other rail, then to the original.
+  RailId best = seg.rail;
+  SimTime best_done = kSimTimeNever;
+  bool found = false;
+  for (RailId r = 0; r < nics_.size(); ++r) {
+    if (!rail_usable(r)) continue;
+    if (seg.kind == fabric::SegKind::kEager &&
+        seg.payload.size() > nics_[r]->model().params().max_eager) {
+      continue;
+    }
+    const sampling::RailState state{r, nics_[r]->busy_until()};
+    const SimTime done = estimator_->completion(state, fabric_->now(), seg.payload.size(),
+                                                fabric::Protocol::kEager);
+    if (!found || done < best_done) {
+      best_done = done;
+      best = r;
+      found = true;
+    }
+  }
+  if (found) return best;
+  for (RailId r = 0; r < nics_.size(); ++r) {
+    if (r != seg.rail) return r;
+  }
+  return seg.rail;
+}
+
+void Engine::track_chunk(std::uint64_t msg_id, std::uint64_t offset, std::size_t bytes,
+                         RailId rail, unsigned attempt, SimTime decision_now,
+                         SimDuration predicted) {
+  live_chunks_[msg_id][offset] = attempt;
+  if (!config_.failover.enabled) return;
+  // Timeout = predicted completion times the slack factor, floored so tiny
+  // chunks are not declared lost by rounding. On a healthy fabric the chunk
+  // retires (tx-complete) long before this event fires, making it a no-op.
+  const auto slack = static_cast<SimDuration>(config_.failover.timeout_slack *
+                                              static_cast<double>(predicted));
+  const SimTime deadline = decision_now + std::max(config_.failover.min_timeout, slack);
+  fabric_->events().at(deadline, [this, msg_id, offset, bytes, rail, attempt] {
+    on_chunk_timeout(msg_id, offset, bytes, rail, attempt);
+  });
+}
+
+void Engine::on_chunk_timeout(std::uint64_t msg_id, std::uint64_t offset, std::size_t bytes,
+                              RailId rail, unsigned attempt) {
+  auto it = rdv_sends_.find(msg_id);
+  if (it == rdv_sends_.end()) return;  // send completed or already failed
+  auto lc = live_chunks_.find(msg_id);
+  if (lc == live_chunks_.end()) return;
+  auto entry = lc->second.find(offset);
+  if (entry == lc->second.end() || entry->second != attempt) return;  // retired/superseded
+  ++stats_.chunk_timeouts;
+  metrics_.on_chunk_timeout();
+  quarantine_rail(rail);
+  failover_chunk(*it->second, offset, bytes, rail, attempt);
+}
+
+void Engine::failover_chunk(SendRequest& send, std::uint64_t offset, std::size_t bytes,
+                            RailId failed_rail, unsigned attempt) {
+  auto lc = live_chunks_.find(send.id);
+  if (lc == live_chunks_.end()) return;
+  auto entry = lc->second.find(offset);
+  if (entry == lc->second.end() || entry->second != attempt) return;  // superseded
+  lc->second.erase(entry);
+  if (bytes == 0) return;
+
+  ++stats_.failovers;
+  metrics_.on_failover();
+  trace_event(trace::EventKind::kFailover, send.id, send.tag, failed_rail,
+              config_.scheduler_core, bytes, fabric_->now());
+
+  if (attempt + 1u >= config_.failover.max_attempts) {
+    ++stats_.failover_exhausted;
+    metrics_.on_exhausted();
+    send.state = SendState::kFailed;
+    live_chunks_.erase(send.id);
+    rdv_sends_.erase(send.id);
+    return;
+  }
+
+  // Surviving rails. All-quarantined is not a reason to give up — retrying
+  // somewhere is strictly better than dropping the message, and the retry
+  // doubles as a probe.
+  std::vector<RailId> survivors;
+  for (RailId r = 0; r < nics_.size(); ++r) {
+    if (r != failed_rail && rail_usable(r)) survivors.push_back(r);
+  }
+  if (survivors.empty()) {
+    for (RailId r = 0; r < nics_.size(); ++r) {
+      if (r != failed_rail) survivors.push_back(r);
+    }
+  }
+  if (survivors.empty()) survivors.push_back(failed_rail);  // single-rail fabric
+
+  // Re-split the lost byte range across the survivors with the equal-finish
+  // solver, live busy offsets included (one survivor -> one chunk).
+  const SimTime now = fabric_->now();
+  std::vector<strategy::ProfileCost> costs;
+  costs.reserve(survivors.size());
+  for (RailId r : survivors) costs.emplace_back(&estimator_->profile(r).rdv_chunk);
+  std::vector<strategy::SolverRail> rails;
+  rails.reserve(survivors.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    const SimTime busy = nics_[survivors[i]]->busy_until();
+    rails.push_back({survivors[i], &costs[i], busy > now ? busy - now : 0});
+  }
+  const strategy::SplitResult split =
+      strategy::solve_equal_finish(std::span<const strategy::SolverRail>(rails), bytes);
+  for (const strategy::Chunk& c : split.chunks) {
+    post_data_chunk(send, c.rail, offset + c.offset, c.bytes, attempt + 1);
+  }
+}
+
+void Engine::post_data_chunk(SendRequest& send, RailId rail, std::uint64_t offset,
+                             std::size_t bytes, unsigned attempt) {
+  const SimTime now = fabric_->now();
+  const sampling::RailState state{rail, nics_[rail]->busy_until()};
+  const SimDuration predicted = estimator_->chunk_completion(state, now, bytes) - now;
+
+  fabric::Segment data;
+  data.kind = fabric::SegKind::kData;
+  data.dst = send.dst;
+  data.msg_id = send.id;
+  data.tag = send.tag;
+  data.offset = offset;
+  data.total_len = send.len;
+  data.attempt = static_cast<std::uint8_t>(attempt);
+  data.payload.assign(send.data + offset, send.data + offset + bytes);
+  const auto times = post_segment(rail, std::move(data), config_.scheduler_core);
+  trace_event(trace::EventKind::kChunkPosted, send.id, send.tag, rail,
+              config_.scheduler_core, bytes, times.host_start, times.nic_end);
+  ++stats_.rdv_chunks;
+  ++stats_.retries;
+  metrics_.on_retry();
+  metrics_.on_chunk_posted(rail, bytes);
+  ++send.chunk_count;
+  // Retransmissions do not advance bytes_posted: it tracks distinct message
+  // bytes handed to the NICs, and these bytes were already counted.
+  if (predictions_ != nullptr) predictions_->record(rail, predicted, times.nic_end - now);
+  track_chunk(send.id, offset, bytes, rail, attempt, now, predicted);
+}
+
+void Engine::quarantine_rail(RailId rail) {
+  RailHealth& h = rail_health_[rail];
+  const SimTime now = fabric_->now();
+  if (h.window == 0) h.window = config_.failover.quarantine;
+  if (h.quarantined) {
+    // Repeated trouble while quarantined pushes the lift time out.
+    h.until = std::max(h.until, now + h.window);
+    return;
+  }
+  h.quarantined = true;
+  h.until = now + h.window;
+  ++stats_.quarantines;
+  metrics_.on_quarantine(rail);
+  schedule_reprobe(rail);
+}
+
+void Engine::schedule_reprobe(RailId rail) {
+  fabric_->events().at(rail_health_[rail].until, [this, rail] { reprobe_rail(rail); });
+}
+
+void Engine::reprobe_rail(RailId rail) {
+  RailHealth& h = rail_health_[rail];
+  if (!h.quarantined) return;  // already lifted by an earlier probe
+  const SimTime now = fabric_->now();
+  if (now < h.until) {
+    // The window was extended after this event was armed; try again then.
+    schedule_reprobe(rail);
+    return;
+  }
+  ++stats_.reprobes;
+  const bool up = nics_[rail]->link_up(now);
+  metrics_.on_reprobe(rail, up);
+  if (up) {
+    ++stats_.reprobe_successes;
+    h.quarantined = false;
+    h.window = 0;  // healthy again: reset the backoff
+    if (!pending_eager_.empty()) arm_progress(now);
+    return;
+  }
+  if (h.window >= config_.failover.max_quarantine) {
+    // Backoff saturated and the link is still down: treat the rail as
+    // fail-stopped and stop probing, so the event queue can drain (an
+    // endless probe chain would make run_all() spin forever). The rail
+    // stays quarantined; failover's all-quarantined fallback may still try
+    // it as a last resort.
+    return;
+  }
+  h.window = std::min(static_cast<SimDuration>(static_cast<double>(h.window) *
+                                               config_.failover.quarantine_backoff),
+                      config_.failover.max_quarantine);
+  if (h.window <= 0) h.window = config_.failover.quarantine;
+  h.until = now + h.window;
+  schedule_reprobe(rail);
 }
 
 }  // namespace rails::core

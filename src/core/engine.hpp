@@ -40,6 +40,17 @@ struct EngineStats {
   std::uint64_t offloaded_chunks = 0;    ///< eager chunks submitted remotely
   std::uint64_t rdv_chunks = 0;          ///< DMA chunks posted
   std::vector<std::uint64_t> payload_bytes_per_rail;
+
+  // -- fault tolerance (docs/FAULTS.md) --------------------------------
+  std::uint64_t tx_errors = 0;          ///< segments reported dropped by a NIC
+  std::uint64_t chunk_timeouts = 0;     ///< chunks past predicted completion + slack
+  std::uint64_t failovers = 0;          ///< byte ranges re-split onto survivors
+  std::uint64_t retries = 0;            ///< segments re-posted (any kind)
+  std::uint64_t failover_exhausted = 0; ///< ranges that ran out of attempts
+  std::uint64_t quarantines = 0;        ///< rails entering quarantine
+  std::uint64_t reprobes = 0;           ///< quarantine re-probe attempts
+  std::uint64_t reprobe_successes = 0;  ///< re-probes that lifted a quarantine
+  std::uint64_t duplicate_chunks = 0;   ///< receiver-side duplicate DATA chunks
 };
 
 class Engine {
@@ -104,6 +115,10 @@ class Engine {
   /// Number of sends still sitting in the pack list (tests/diagnostics).
   std::size_t pending_sends() const { return pending_eager_.size(); }
 
+  /// True when `rail` is currently quarantined (excluded from strategy
+  /// decisions until a re-probe finds the link up again).
+  bool rail_quarantined(RailId rail) const { return rail_health_[rail].quarantined; }
+
  private:
   using MsgKey = std::pair<NodeId, std::uint64_t>;  // (source node, msg id)
 
@@ -124,6 +139,17 @@ class Engine {
   struct InboundRdv {
     RecvHandle recv;
     NodeId src = 0;
+    /// Disjoint byte ranges already landed ([start, end) keyed by start).
+    /// Makes reception idempotent: a duplicate DATA chunk — the original
+    /// arriving after a spurious-timeout retransmit — adds nothing.
+    std::map<std::uint64_t, std::uint64_t> covered;
+  };
+
+  /// Per-rail quarantine state (docs/FAULTS.md).
+  struct RailHealth {
+    bool quarantined = false;
+    SimTime until = 0;       ///< quarantine lifts no earlier than this
+    SimDuration window = 0;  ///< current backoff window (0 = config default)
   };
 
   StrategyContext make_context();
@@ -154,6 +180,28 @@ class Engine {
   void complete_recv(const RecvHandle& recv);
   RecvHandle match_posted(NodeId src, Tag tag);
 
+  // -- fault tolerance ---------------------------------------------------
+  bool rail_usable(RailId rail) const { return !rail_health_[rail].quarantined; }
+  void on_tx_error(fabric::Segment&& seg);
+  void on_tx_complete(const fabric::Segment& seg);
+  void on_chunk_timeout(std::uint64_t msg_id, std::uint64_t offset, std::size_t bytes,
+                        RailId rail, unsigned attempt);
+  /// Re-splits a lost byte range of `send` across the surviving rails.
+  void failover_chunk(SendRequest& send, std::uint64_t offset, std::size_t bytes,
+                      RailId failed_rail, unsigned attempt);
+  /// Posts one DATA chunk (failover path) and tracks it for timeout.
+  void post_data_chunk(SendRequest& send, RailId rail, std::uint64_t offset,
+                       std::size_t bytes, unsigned attempt);
+  /// Registers a live chunk and arms its timeout event.
+  void track_chunk(std::uint64_t msg_id, std::uint64_t offset, std::size_t bytes,
+                   RailId rail, unsigned attempt, SimTime decision_now,
+                   SimDuration predicted);
+  void quarantine_rail(RailId rail);
+  void schedule_reprobe(RailId rail);
+  void reprobe_rail(RailId rail);
+  /// Best usable rail for re-posting a self-contained segment.
+  RailId repost_rail(const fabric::Segment& seg) const;
+
   void trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag, RailId rail,
                    CoreId core, std::size_t bytes, SimTime time, SimTime nic_end = 0);
 
@@ -166,6 +214,13 @@ class Engine {
   std::size_t rdv_threshold_ = 0;
   std::uint64_t next_msg_id_ = 1;
   bool retry_armed_ = false;
+
+  std::vector<RailHealth> rail_health_;            ///< per-rail quarantine state
+  std::vector<std::uint8_t> rail_usable_;          ///< mask refreshed per context
+  /// In-flight DMA chunks: msg id -> (offset -> retransmission attempt).
+  /// Entries vanish on local tx-completion, error hand-off, or FIN — a
+  /// timeout event that finds no entry (or a newer attempt) is stale.
+  std::map<std::uint64_t, std::map<std::uint64_t, unsigned>> live_chunks_;
 
   std::vector<SendHandle> pending_eager_;          ///< the pack list
   std::map<std::uint64_t, SendHandle> rdv_sends_;  ///< RTS sent, keyed by msg id

@@ -19,6 +19,7 @@ enum class SendState : std::uint8_t {
   kRtsSent,   ///< rendezvous: waiting for the receiver's CTS
   kStreaming, ///< rendezvous: DMA chunks in flight
   kDone,
+  kFailed,    ///< failover exhausted every retry attempt; will never complete
 };
 
 enum class RecvState : std::uint8_t {
@@ -52,6 +53,7 @@ struct SendRequest {
   unsigned offloaded_chunks = 0;
 
   bool done() const { return state == SendState::kDone; }
+  bool failed() const { return state == SendState::kFailed; }
 };
 
 struct RecvRequest {

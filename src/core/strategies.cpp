@@ -12,6 +12,8 @@ namespace rails::core {
 namespace {
 
 /// Builds the solver inputs for one protocol table, busy offsets included.
+/// Quarantined rails are excluded — the engine guarantees at least one rail
+/// stays usable (docs/FAULTS.md).
 std::vector<strategy::SolverRail> solver_rails(
     const StrategyContext& ctx, std::vector<strategy::ProfileCost>& costs,
     const sampling::PerfProfile& (*table)(const sampling::RailProfile&)) {
@@ -23,9 +25,20 @@ std::vector<strategy::SolverRail> solver_rails(
     costs.emplace_back(&table(ctx.estimator->profile(r)));
   }
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
+    if (!ctx.rail_usable(r)) continue;
     rails.push_back({r, &costs[r], ctx.rail_ready_offset(r)});
   }
   return rails;
+}
+
+/// Rails the strategy may plan onto (usable mask applied).
+std::vector<RailId> usable_rails(const StrategyContext& ctx) {
+  std::vector<RailId> out;
+  out.reserve(ctx.rail_count());
+  for (RailId r = 0; r < ctx.rail_count(); ++r) {
+    if (ctx.rail_usable(r)) out.push_back(r);
+  }
+  return out;
 }
 
 const sampling::PerfProfile& rdv_chunk_table(const sampling::RailProfile& rp) {
@@ -120,7 +133,7 @@ EagerSchedule GreedyBalance::plan_eager(const StrategyContext& ctx,
   // round-robin, one message per emission (no aggregation, no split).
   std::vector<RailId> idle;
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
-    if (ctx.nics[r]->idle(ctx.now)) idle.push_back(r);
+    if (ctx.rail_usable(r) && ctx.nics[r]->idle(ctx.now)) idle.push_back(r);
   }
   if (idle.empty()) return schedule;
 
@@ -146,6 +159,7 @@ strategy::SplitResult GreedyBalance::plan_rendezvous(const StrategyContext& ctx,
   RailId best = 0;
   SimTime best_busy = kSimTimeNever;
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
+    if (!ctx.rail_usable(r)) continue;
     const SimTime b = ctx.rail_busy_until(r);
     if (b < best_busy) {
       best_busy = b;
@@ -172,7 +186,7 @@ EagerSchedule AggregateFastest::plan_eager(const StrategyContext& ctx,
   SimTime best_done = kSimTimeNever;
   bool any_idle = false;
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
-    if (!ctx.nics[r]->idle(ctx.now)) continue;
+    if (!ctx.rail_usable(r) || !ctx.nics[r]->idle(ctx.now)) continue;
     any_idle = true;
     const SimTime done = eager_completion(ctx, r, total);
     if (done < best_done) {
@@ -210,6 +224,7 @@ EagerSchedule PatientAggregate::plan_eager(const StrategyContext& ctx,
   RailId best = 0;
   SimTime best_done = kSimTimeNever;
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
+    if (!ctx.rail_usable(r)) continue;
     const SimTime done = eager_completion(ctx, r, total);
     if (done < best_done) {
       best_done = done;
@@ -230,12 +245,13 @@ EagerSchedule PatientAggregate::plan_eager(const StrategyContext& ctx,
 strategy::SplitResult IsoSplit::plan_rendezvous(const StrategyContext& ctx,
                                                 std::size_t len) {
   strategy::SplitResult result;
-  const std::uint32_t rails = ctx.rail_count();
+  const std::vector<RailId> rails = usable_rails(ctx);
   std::size_t offset = 0;
-  for (RailId r = 0; r < rails; ++r) {
-    const std::size_t bytes = r + 1 < rails ? len / rails : len - offset;
+  for (std::size_t i = 0; i < rails.size(); ++i) {
+    const std::size_t bytes =
+        i + 1 < rails.size() ? len / rails.size() : len - offset;
     if (bytes == 0) continue;
-    result.chunks.push_back({r, offset, bytes});
+    result.chunks.push_back({rails[i], offset, bytes});
     offset += bytes;
   }
   return result;
@@ -249,22 +265,23 @@ strategy::SplitResult FixedRatioSplit::plan_rendezvous(const StrategyContext& ct
                                                        std::size_t len) {
   // "OpenMPI computes a ratio by comparing the maximum available bandwidth
   // of each network" — size- and state-independent.
-  std::vector<double> bw(ctx.rail_count());
+  const std::vector<RailId> rails = usable_rails(ctx);
+  std::vector<double> bw(rails.size());
   double sum = 0;
-  for (RailId r = 0; r < ctx.rail_count(); ++r) {
-    bw[r] = ctx.estimator->profile(r).rdv_chunk.asymptotic_bandwidth();
-    sum += bw[r];
+  for (std::size_t i = 0; i < rails.size(); ++i) {
+    bw[i] = ctx.estimator->profile(rails[i]).rdv_chunk.asymptotic_bandwidth();
+    sum += bw[i];
   }
   RAILS_CHECK(sum > 0);
   strategy::SplitResult result;
   std::size_t offset = 0;
-  for (RailId r = 0; r < ctx.rail_count(); ++r) {
+  for (std::size_t i = 0; i < rails.size(); ++i) {
     const std::size_t bytes =
-        r + 1 < ctx.rail_count()
-            ? static_cast<std::size_t>(static_cast<double>(len) * bw[r] / sum)
+        i + 1 < rails.size()
+            ? static_cast<std::size_t>(static_cast<double>(len) * bw[i] / sum)
             : len - offset;
     if (bytes == 0) continue;
-    result.chunks.push_back({r, offset, bytes});
+    result.chunks.push_back({rails[i], offset, bytes});
     offset += bytes;
   }
   return result;
@@ -350,7 +367,7 @@ EagerSchedule BatchSpread::plan_eager(const StrategyContext& ctx,
   // Candidate rails: idle ones. Candidate cores: idle remote cores.
   std::vector<RailId> idle_rails;
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
-    if (ctx.nics[r]->idle(ctx.now)) idle_rails.push_back(r);
+    if (ctx.rail_usable(r) && ctx.nics[r]->idle(ctx.now)) idle_rails.push_back(r);
   }
   std::vector<CoreId> idle_cores;
   for (CoreId c :

@@ -31,6 +31,27 @@ namespace rails::core {
 
 struct SendRequest;
 
+/// Fault-tolerance knobs (docs/FAULTS.md). The defaults are inert on a
+/// healthy fabric: timeouts are armed with generous slack and simply expire
+/// unnoticed after their chunk completed, so enabling failover does not
+/// perturb fault-free timing.
+struct FailoverConfig {
+  bool enabled = true;
+  /// A DMA chunk is declared lost when it exceeds `timeout_slack` times its
+  /// estimator-predicted completion (floored at `min_timeout`).
+  double timeout_slack = 4.0;
+  SimDuration min_timeout = 50'000;  // 50 µs
+  /// Post attempts per byte range (original + retries) before giving up and
+  /// marking the send failed.
+  unsigned max_attempts = 4;
+  /// Initial quarantine window after an error/timeout; each unsuccessful
+  /// re-probe multiplies the window by `quarantine_backoff`, capped at
+  /// `max_quarantine`.
+  SimDuration quarantine = 2'000'000;  // 2 ms
+  double quarantine_backoff = 2.0;
+  SimDuration max_quarantine = 50'000'000;  // 50 ms
+};
+
 struct EngineConfig {
   /// Core the packet scheduler (strategy) runs on.
   CoreId scheduler_core = 0;
@@ -41,6 +62,8 @@ struct EngineConfig {
   /// Host memcpy bandwidth charged when an iovec send must be coalesced
   /// because some rail lacks gather/scatter support (MB/s).
   double host_copy_mbps = 2500.0;
+  /// Timeout/retry/quarantine behaviour on rail faults.
+  FailoverConfig failover;
 };
 
 /// Everything a strategy may inspect when interrogated.
@@ -51,12 +74,20 @@ struct StrategyContext {
   fabric::SimCores* cores = nullptr;
   const EngineConfig* config = nullptr;
 
+  /// Per-rail health mask maintained by the engine's fault-tolerance layer
+  /// (empty = every rail usable, which keeps hand-built contexts valid).
+  /// Quarantined rails keep their sampled profiles but must be skipped by
+  /// strategies until a re-probe succeeds. The engine guarantees at least
+  /// one usable rail (an all-quarantined node falls back to all-usable).
+  std::span<const std::uint8_t> usable;
+
   std::uint32_t rail_count() const { return static_cast<std::uint32_t>(nics.size()); }
   SimTime rail_busy_until(RailId rail) const { return nics[rail]->busy_until(); }
   SimDuration rail_ready_offset(RailId rail) const {
     const SimTime b = rail_busy_until(rail);
     return b > now ? b - now : 0;
   }
+  bool rail_usable(RailId rail) const { return usable.empty() || usable[rail] != 0; }
 };
 
 /// One piece of one application message inside an eager emission.

@@ -1,0 +1,50 @@
+// Fault models for the simulated fabric.
+//
+// Real multirail deployments lose rails: links flap during cable
+// renegotiation, a NIC firmware wedge fail-stops a port, congested switches
+// degrade bandwidth, and rerouted paths add latency. The engine's busy-until
+// prediction machinery (Fig. 2) is exactly what detects such anomalies —
+// a chunk that blows through its predicted completion plus slack is treated
+// as lost — so the fabric must be able to produce them on demand.
+//
+// A FaultSpec is injected per SimNic (SimNic::inject_fault). Semantics:
+//  * kFailStop  — the link goes down at `at` and never recovers.
+//  * kFlap      — the link is down during [at, at + duration); a duration of
+//                 zero means "forever" (equivalent to kFailStop at `at`).
+//  * kDegrade   — transfers starting within the window take `factor` times
+//                 longer (multiplies into SimNic::set_perf_scale).
+//  * kLatency   — deliveries of transfers starting within the window are
+//                 postponed by `extra_latency`.
+//
+// Down windows drop segments: a segment whose flight interval overlaps a
+// down window never reaches the receiver; the sending NIC reports it
+// through its tx-error callback at the time delivery would have occurred —
+// the simulation analogue of a completion-queue error. Degrade/latency
+// faults never drop; they produce stragglers, which exercise the engine's
+// timeout path instead of its error path.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace rails::fabric {
+
+enum class FaultKind : std::uint8_t {
+  kFailStop = 0,  ///< link down from `at`, permanently
+  kFlap,          ///< link down during [at, at + duration)
+  kDegrade,       ///< transfers scaled by `factor` within the window
+  kLatency,       ///< deliveries postponed by `extra_latency` within the window
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kFailStop;
+  SimTime at = 0;            ///< window start on the virtual clock
+  SimDuration duration = 0;  ///< window length; 0 = forever (ignored by kFailStop)
+  double factor = 1.0;       ///< kDegrade slowdown multiplier (>= 1)
+  SimDuration extra_latency = 0;  ///< kLatency delivery penalty
+};
+
+}  // namespace rails::fabric

@@ -17,6 +17,63 @@ const char* to_string(SegKind kind) {
   return "?";
 }
 
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFailStop: return "fail-stop";
+    case FaultKind::kFlap: return "flap";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kLatency: return "latency";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True when the (possibly open-ended) fault window [at, at + duration)
+/// intersects the closed interval [begin, end].
+bool window_overlaps(const FaultSpec& f, SimTime begin, SimTime end) {
+  if (f.at > end) return false;
+  if (f.duration <= 0) return true;  // open-ended window
+  return f.at + f.duration > begin;
+}
+
+}  // namespace
+
+void SimNic::inject_fault(const FaultSpec& fault) {
+  if (fault.kind == FaultKind::kDegrade) {
+    RAILS_CHECK_MSG(fault.factor >= 1.0, "degrade factor < 1 would beat the hardware model");
+  }
+  faults_.push_back(fault);
+}
+
+bool SimNic::down_overlaps(SimTime begin, SimTime end) const {
+  for (const FaultSpec& f : faults_) {
+    const bool down_kind = f.kind == FaultKind::kFailStop || f.kind == FaultKind::kFlap;
+    if (!down_kind) continue;
+    // A fail-stop never recovers regardless of the declared duration.
+    FaultSpec window = f;
+    if (f.kind == FaultKind::kFailStop) window.duration = 0;
+    if (window_overlaps(window, begin, end)) return true;
+  }
+  return false;
+}
+
+double SimNic::fault_scale_at(SimTime t) const {
+  double scale = 1.0;
+  for (const FaultSpec& f : faults_) {
+    if (f.kind == FaultKind::kDegrade && window_overlaps(f, t, t)) scale *= f.factor;
+  }
+  return scale;
+}
+
+SimDuration SimNic::fault_latency_at(SimTime t) const {
+  SimDuration extra = 0;
+  for (const FaultSpec& f : faults_) {
+    if (f.kind == FaultKind::kLatency && window_overlaps(f, t, t)) extra += f.extra_latency;
+  }
+  return extra;
+}
+
 namespace {
 
 TransferTiming scale_timing(TransferTiming t, double scale) {
@@ -37,15 +94,18 @@ SimNic::PostTimes SimNic::compute_times(const Segment& seg, SimTime earliest) co
     // the injection port. The stream begins when the port frees up, so a
     // busy NIC delays the data but never stalls the submitting core (this
     // is what lets the strategy feed the other rails immediately, Fig. 2).
-    const TransferTiming timing = scale_timing(
-        model_.rendezvous(seg.payload.size(), /*include_handshake=*/false), perf_scale_);
+    // Active degrade faults stretch the transfer; latency faults postpone
+    // only the delivery (the injection port frees on schedule).
+    const TransferTiming timing =
+        scale_timing(model_.rendezvous(seg.payload.size(), /*include_handshake=*/false),
+                     perf_scale_ * fault_scale_at(earliest));
     t.host_start = earliest;
     t.host_end = t.host_start + timing.host;
     const SimDuration stream = timing.nic - timing.host;
     const SimDuration tail = timing.total - timing.nic;
     const SimTime stream_begin = std::max(t.host_end, busy_until_);
     t.nic_end = stream_begin + stream;
-    t.deliver_at = t.nic_end + tail;
+    t.deliver_at = t.nic_end + tail + fault_latency_at(earliest);
     return t;
   }
 
@@ -65,11 +125,11 @@ SimNic::PostTimes SimNic::compute_times(const Segment& seg, SimTime earliest) co
     case SegKind::kData:
       break;  // handled above
   }
-  timing = scale_timing(timing, perf_scale_);
   t.host_start = std::max(earliest, busy_until_);
+  timing = scale_timing(timing, perf_scale_ * fault_scale_at(t.host_start));
   t.host_end = t.host_start + timing.host;
   t.nic_end = t.host_start + timing.nic;
-  t.deliver_at = t.host_start + timing.total;
+  t.deliver_at = t.host_start + timing.total + fault_latency_at(t.host_start);
   return t;
 }
 
@@ -102,8 +162,20 @@ SimNic::PostTimes SimNic::post(Segment seg, SimTime earliest) {
   bytes_sent_ += seg.wire_size();
   payload_bytes_sent_ += seg.payload.size();
 
+  // Delivery-time fate: a segment whose flight interval crosses a down
+  // window is lost. The sender learns about it through the tx-error hook at
+  // the instant delivery would have happened — the same place a reliable
+  // transport surfaces a completion-queue error.
   events_->at(t.deliver_at,
-              [fn = &deliver_, s = std::move(seg)]() mutable { (*fn)(std::move(s)); });
+              [this, begin = t.host_start, end = t.deliver_at, s = std::move(seg)]() mutable {
+                if (down_overlaps(begin, end)) {
+                  ++segments_dropped_;
+                  if (tx_error_ != nullptr) tx_error_(std::move(s));
+                  return;
+                }
+                if (tx_complete_ != nullptr) tx_complete_(s);
+                deliver_(std::move(s));
+              });
   return t;
 }
 

@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "fabric/event_queue.hpp"
+#include "fabric/fault.hpp"
 #include "fabric/network_model.hpp"
 #include "fabric/segment.hpp"
 
@@ -19,6 +21,11 @@ namespace rails::fabric {
 class SimNic {
  public:
   using DeliverFn = std::function<void(Segment&&)>;
+  /// Completion-queue error analogue: invoked (at the time delivery would
+  /// have happened) with a segment that was dropped by a down link.
+  using TxErrorFn = std::function<void(Segment&&)>;
+  /// Local completion analogue: invoked when a segment reached the far end.
+  using TxCompleteFn = std::function<void(const Segment&)>;
 
   SimNic(EventQueue* events, NetworkModel model, NodeId node, RailId rail)
       : events_(events), model_(std::move(model)), node_(node), rail_(rail) {}
@@ -41,6 +48,29 @@ class SimNic {
 
   /// Routing hook, installed by the Fabric.
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Error/completion hooks, installed by the owning engine (both optional).
+  void set_tx_error(TxErrorFn fn) { tx_error_ = std::move(fn); }
+  void set_tx_complete(TxCompleteFn fn) { tx_complete_ = std::move(fn); }
+
+  // -- fault injection ---------------------------------------------------
+
+  /// Arms a fault on this NIC (see fabric/fault.hpp for the semantics).
+  /// Faults accumulate; windows may overlap.
+  void inject_fault(const FaultSpec& fault);
+  void clear_faults() { faults_.clear(); }
+  const std::vector<FaultSpec>& faults() const { return faults_; }
+
+  /// Link state at `t` — what a local driver can observe (netdev carrier).
+  /// Degrade/latency faults keep the link nominally up.
+  bool link_up(SimTime t) const { return !down_overlaps(t, t); }
+
+  /// True when any down window intersects [begin, end] — the predicate the
+  /// delivery path uses to drop in-flight segments.
+  bool down_overlaps(SimTime begin, SimTime end) const;
+
+  /// Segments dropped by down windows since the last reset_stats().
+  std::uint64_t segments_dropped() const { return segments_dropped_; }
 
   /// Runtime performance degradation: every transfer on this NIC takes
   /// `scale` times longer than the model predicts (contention, cable
@@ -77,10 +107,16 @@ class SimNic {
     segments_sent_ = 0;
     bytes_sent_ = 0;
     payload_bytes_sent_ = 0;
+    segments_dropped_ = 0;
   }
 
  private:
   PostTimes compute_times(const Segment& seg, SimTime earliest) const;
+
+  /// Combined slowdown of active kDegrade faults for a transfer starting at `t`.
+  double fault_scale_at(SimTime t) const;
+  /// Summed delivery penalty of active kLatency faults at `t`.
+  SimDuration fault_latency_at(SimTime t) const;
 
   EventQueue* events_;
   NetworkModel model_;
@@ -90,10 +126,14 @@ class SimNic {
   SimTime rx_busy_until_ = 0;
   double perf_scale_ = 1.0;
   DeliverFn deliver_;
+  TxErrorFn tx_error_;
+  TxCompleteFn tx_complete_;
+  std::vector<FaultSpec> faults_;
 
   std::uint64_t segments_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t payload_bytes_sent_ = 0;
+  std::uint64_t segments_dropped_ = 0;
 };
 
 }  // namespace rails::fabric

@@ -40,6 +40,11 @@ struct Segment {
   std::uint64_t offset = 0;
   std::uint64_t total_len = 0;
 
+  /// Retransmission generation: 0 for the original post, incremented each
+  /// time the engine re-posts the same byte range after a NIC error or a
+  /// chunk timeout. Lets stale timeout events recognise superseded chunks.
+  std::uint8_t attempt = 0;
+
   /// Real payload bytes (kEager, kData). Control segments carry none.
   std::vector<std::uint8_t> payload;
 

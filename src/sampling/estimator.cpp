@@ -12,8 +12,12 @@ const RailProfile& Estimator::profile(RailId rail) const {
 }
 
 fabric::Protocol Estimator::protocol_for(RailId rail, std::size_t size) const {
+  // Strictly greater: a message exactly at the threshold stays eager, the
+  // same comparison the engine applies against engine_rdv_threshold(). The
+  // two used to disagree (`>=` here, `>` in the engine), so a message of
+  // exactly rdv_threshold bytes was predicted as rendezvous but sent eager.
   const RailProfile& rp = profile(rail);
-  if (size > rp.max_eager || size >= rp.rdv_threshold) return fabric::Protocol::kRendezvous;
+  if (size > rp.max_eager || size > rp.rdv_threshold) return fabric::Protocol::kRendezvous;
   return fabric::Protocol::kEager;
 }
 

@@ -30,6 +30,8 @@ class Estimator {
   const RailProfile& profile(RailId rail) const;
 
   /// Protocol the engine should use on `rail` for a message of `size`.
+  /// A message exactly at the rail's threshold stays eager (the switch is
+  /// strictly-greater, matching the engine's own comparison).
   fabric::Protocol protocol_for(RailId rail, std::size_t size) const;
 
   /// Eager/rendezvous threshold for the whole engine: a message uses the

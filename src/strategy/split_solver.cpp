@@ -8,12 +8,22 @@
 
 namespace rails::strategy {
 
+/// Search ceiling for max_bytes_within: 1 TiB. A degenerate model whose
+/// duration curve stays within the budget up to this size gets clamped here
+/// instead of the doubling loop running away; no simulated transfer
+/// approaches this.
+constexpr std::size_t kMaxSearchBytes = std::size_t{1} << 40;
+
 std::size_t ModelCost::max_bytes_within(SimDuration budget) const {
+  // Non-positive budgets fit nothing, even under a zero-latency model whose
+  // duration(0) == 0 (without this, the doubling loop below would climb all
+  // the way to the clamp and report ~1 TiB for an empty budget).
+  if (budget <= 0) return 0;
   if (budget < duration(0)) return 0;
   std::size_t lo = 0;
   std::size_t hi = 1;
-  while (duration(hi) <= budget && hi < (std::size_t{1} << 40)) hi <<= 1;
-  if (duration(hi) <= budget) return hi;
+  while (duration(hi) <= budget && hi < kMaxSearchBytes) hi <<= 1;
+  if (duration(hi) <= budget) return hi;  // clamped at kMaxSearchBytes
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo + 1) / 2;
     if (duration(mid) <= budget) {
@@ -39,6 +49,7 @@ SplitResult finalize(std::vector<Chunk> chunks, std::span<const SolverRail> rail
   // imbalance from the rails actually used.
   SimDuration earliest = std::numeric_limits<SimDuration>::max();
   std::size_t offset = 0;
+  std::vector<RailId> distinct;
   for (const Chunk& c : chunks) {
     if (c.bytes == 0) continue;
     Chunk out = c;
@@ -52,10 +63,15 @@ SplitResult finalize(std::vector<Chunk> chunks, std::span<const SolverRail> rail
     const SimDuration f = finish(*rail, out.bytes);
     result.makespan = std::max(result.makespan, f);
     earliest = std::min(earliest, f);
+    if (std::find(distinct.begin(), distinct.end(), c.rail) == distinct.end()) {
+      distinct.push_back(c.rail);
+    }
     result.chunks.push_back(out);
     result.finish_times.push_back(f);
   }
-  result.imbalance = result.chunks.size() > 1 ? result.makespan - earliest : 0;
+  // Imbalance is a cross-rail quantity: when pruning zero-byte chunks leaves
+  // everything on one rail, there is nothing to be imbalanced against.
+  result.imbalance = distinct.size() > 1 ? result.makespan - earliest : 0;
   return result;
 }
 

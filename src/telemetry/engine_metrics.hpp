@@ -23,6 +23,7 @@ class EngineMetrics {
     registry_ = registry;
     per_rail_bytes_.clear();
     per_rail_chunks_.clear();
+    per_rail_healthy_.clear();
     if (registry_ == nullptr) return;
     submits_ = registry_->counter("engine.sends");
     recv_posts_ = registry_->counter("engine.recvs");
@@ -38,12 +39,24 @@ class EngineMetrics {
     queueing_delay_ = registry_->histogram("engine.queueing_delay_ns");
     emission_bytes_ = registry_->histogram("engine.emission_bytes");
     chunk_bytes_ = registry_->histogram("engine.chunk_bytes");
+    tx_errors_ = registry_->counter("engine.tx_errors");
+    chunk_timeouts_ = registry_->counter("engine.chunk_timeouts");
+    failovers_ = registry_->counter("engine.failovers");
+    retries_ = registry_->counter("engine.failover_retries");
+    exhausted_ = registry_->counter("engine.failover_exhausted");
+    quarantines_ = registry_->counter("engine.quarantines");
+    reprobes_ = registry_->counter("engine.reprobes");
+    reprobe_successes_ = registry_->counter("engine.reprobe_successes");
+    duplicate_chunks_ = registry_->counter("engine.duplicate_chunks");
     per_rail_bytes_.reserve(rail_count);
     per_rail_chunks_.reserve(rail_count);
+    per_rail_healthy_.reserve(rail_count);
     for (std::size_t r = 0; r < rail_count; ++r) {
       const std::string prefix = "engine.rail" + std::to_string(r);
       per_rail_bytes_.push_back(registry_->counter(prefix + ".payload_bytes"));
       per_rail_chunks_.push_back(registry_->counter(prefix + ".segments"));
+      per_rail_healthy_.push_back(registry_->gauge(prefix + ".healthy"));
+      per_rail_healthy_.back()->set(1);
     }
   }
 
@@ -123,6 +136,53 @@ class EngineMetrics {
     recv_latency_->observe(latency > 0 ? static_cast<std::uint64_t>(latency) : 0);
   }
 
+  // -- fault-tolerance hooks -------------------------------------------------
+
+  /// A posted segment came back as a completion-queue error (dropped by a
+  /// down link).
+  void on_tx_error() {
+    if (registry_ == nullptr) return;
+    tx_errors_->inc();
+  }
+  /// A DMA chunk exceeded its predicted completion plus slack.
+  void on_chunk_timeout() {
+    if (registry_ == nullptr) return;
+    chunk_timeouts_->inc();
+  }
+  /// An in-flight byte range was re-split across surviving rails.
+  void on_failover() {
+    if (registry_ == nullptr) return;
+    failovers_->inc();
+  }
+  /// One segment re-posted (counts every retransmitted segment).
+  void on_retry() {
+    if (registry_ == nullptr) return;
+    retries_->inc();
+  }
+  /// A byte range ran out of attempts; its send is now failed.
+  void on_exhausted() {
+    if (registry_ == nullptr) return;
+    exhausted_->inc();
+  }
+  void on_quarantine(RailId rail) {
+    if (registry_ == nullptr) return;
+    quarantines_->inc();
+    if (rail < per_rail_healthy_.size()) per_rail_healthy_[rail]->set(0);
+  }
+  void on_reprobe(RailId rail, bool success) {
+    if (registry_ == nullptr) return;
+    reprobes_->inc();
+    if (!success) return;
+    reprobe_successes_->inc();
+    if (rail < per_rail_healthy_.size()) per_rail_healthy_[rail]->set(1);
+  }
+  /// Receiver saw a DATA chunk for bytes it already has (late duplicate
+  /// after a spurious-timeout retransmit).
+  void on_duplicate_chunk() {
+    if (registry_ == nullptr) return;
+    duplicate_chunks_->inc();
+  }
+
  private:
   MetricsRegistry* registry_ = nullptr;
   std::string strategy_name_;
@@ -142,8 +202,18 @@ class EngineMetrics {
   Histogram* queueing_delay_ = nullptr;
   Histogram* emission_bytes_ = nullptr;
   Histogram* chunk_bytes_ = nullptr;
+  Counter* tx_errors_ = nullptr;
+  Counter* chunk_timeouts_ = nullptr;
+  Counter* failovers_ = nullptr;
+  Counter* retries_ = nullptr;
+  Counter* exhausted_ = nullptr;
+  Counter* quarantines_ = nullptr;
+  Counter* reprobes_ = nullptr;
+  Counter* reprobe_successes_ = nullptr;
+  Counter* duplicate_chunks_ = nullptr;
   std::vector<Counter*> per_rail_bytes_;
   std::vector<Counter*> per_rail_chunks_;
+  std::vector<Gauge*> per_rail_healthy_;
 };
 
 }  // namespace rails::telemetry

@@ -42,11 +42,13 @@ OffloadChannel::OffloadChannel(OffloadChannelConfig config)
     : config_(config),
       sender_pool_(config.workers),
       receiver_pool_(1),
-      worker_chunks_(config.workers) {
+      worker_chunks_(config.workers),
+      rail_enabled_(config.rails) {
   RAILS_CHECK(config_.rails >= 1 && config_.workers >= 1);
   rings_.reserve(config_.rails);
   for (unsigned r = 0; r < config_.rails; ++r) {
     rings_.push_back(std::make_unique<SpscQueue<WireChunk>>(config_.ring_depth));
+    rail_enabled_[r].store(1, std::memory_order_relaxed);
   }
 }
 
@@ -80,11 +82,22 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
   const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
   if (m_sends_ != nullptr) m_sends_->inc();
 
+  // Rails currently marked usable; an all-disabled channel still sends on
+  // every rail rather than refusing.
+  std::vector<unsigned> usable;
+  usable.reserve(config_.rails);
+  for (unsigned r = 0; r < config_.rails; ++r) {
+    if (rail_enabled_[r].load(std::memory_order_relaxed) != 0) usable.push_back(r);
+  }
+  if (usable.empty()) {
+    for (unsigned r = 0; r < config_.rails; ++r) usable.push_back(r);
+  }
+
   // The "split ratio computation" of Fig. 7 — homogeneous rails here, so the
   // chunks are equal; the point is the parallel submission.
   unsigned chunks = 1;
   if (len >= config_.min_split) {
-    chunks = std::min(config_.rails, config_.workers);
+    chunks = std::min(static_cast<unsigned>(usable.size()), config_.workers);
   }
   const std::size_t per_chunk = (len + chunks - 1) / std::max(1u, chunks);
 
@@ -96,7 +109,7 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
     const std::size_t offset = static_cast<std::size_t>(c) * per_chunk;
     const std::size_t n = std::min(per_chunk, len - std::min(len, offset));
     const unsigned worker = c % config_.workers;
-    const unsigned rail = c % config_.rails;
+    const unsigned rail = usable[c % usable.size()];
     // Timestamp the signal only when a histogram is attached — the detached
     // hot path must not pay for a clock read.
     const auto signalled = m_signal_delay_ != nullptr
@@ -179,6 +192,16 @@ void OffloadChannel::set_metrics(telemetry::MetricsRegistry* registry) {
   m_chunks_ = registry->counter("offload.chunks");
   m_ring_hwm_ = registry->gauge("offload.ring_hwm");
   m_signal_delay_ = registry->histogram("offload.signal_delay_ns");
+}
+
+void OffloadChannel::set_rail_enabled(unsigned rail, bool enabled) {
+  RAILS_CHECK(rail < config_.rails);
+  rail_enabled_[rail].store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool OffloadChannel::rail_enabled(unsigned rail) const {
+  RAILS_CHECK(rail < config_.rails);
+  return rail_enabled_[rail].load(std::memory_order_relaxed) != 0;
 }
 
 std::vector<std::uint64_t> OffloadChannel::chunks_per_worker() const {

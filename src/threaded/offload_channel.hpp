@@ -94,6 +94,14 @@ class OffloadChannel {
 
   unsigned rails() const { return config_.rails; }
 
+  /// Marks a rail (un)usable for future sends — the real-thread analogue of
+  /// the engine's quarantine. Disabled rails are skipped by the split; when
+  /// every rail is disabled, sends fall back to using all of them (refusing
+  /// to send is never better than trying). Safe to call concurrently with
+  /// send().
+  void set_rail_enabled(unsigned rail, bool enabled);
+  bool rail_enabled(unsigned rail) const;
+
   /// Chunks submitted by each worker (tests verify the spread).
   std::vector<std::uint64_t> chunks_per_worker() const;
 
@@ -121,6 +129,7 @@ class OffloadChannel {
   std::vector<std::unique_ptr<SpscQueue<WireChunk>>> rings_;
   std::vector<std::unique_ptr<progress::EventSource>> sources_;
   std::vector<std::atomic<std::uint64_t>> worker_chunks_;
+  std::vector<std::atomic<std::uint8_t>> rail_enabled_;
 
   RecvHandler handler_;
   std::mutex reassembly_mutex_;

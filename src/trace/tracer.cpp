@@ -19,6 +19,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kChunkPosted: return "chunk";
     case EventKind::kSendComplete: return "send-complete";
     case EventKind::kRecvComplete: return "recv-complete";
+    case EventKind::kFailover: return "failover";
   }
   return "?";
 }

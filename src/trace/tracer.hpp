@@ -34,6 +34,7 @@ enum class EventKind : std::uint8_t {
   kChunkPosted,   ///< one DMA chunk handed to a NIC
   kSendComplete,  ///< send request finished
   kRecvComplete,  ///< receive request finished
+  kFailover,      ///< chunk re-split onto surviving rails after an error/timeout
 };
 
 const char* to_string(EventKind kind);

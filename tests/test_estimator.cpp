@@ -31,6 +31,22 @@ TEST_F(EstimatorTest, ProtocolSelection) {
   }
 }
 
+TEST_F(EstimatorTest, ProtocolExactlyAtThresholdStaysEager) {
+  // Regression: protocol_for used `>=` while the engine compares with `>`,
+  // so a message of exactly rdv_threshold bytes was predicted rendezvous
+  // but sent eager. Both sides now treat the threshold itself as eager.
+  const auto est = make();
+  for (RailId r = 0; r < 2; ++r) {
+    const std::size_t th = est.profile(r).rdv_threshold;
+    ASSERT_GT(th, 0u);
+    if (th <= est.profile(r).max_eager) {
+      EXPECT_EQ(est.protocol_for(r, th), fabric::Protocol::kEager) << "rail " << r;
+    }
+    EXPECT_EQ(est.protocol_for(r, th + 1), fabric::Protocol::kRendezvous)
+        << "rail " << r;
+  }
+}
+
 TEST_F(EstimatorTest, EngineThresholdIsMaxOfRails) {
   const auto est = make();
   const std::size_t th = est.engine_rdv_threshold();

@@ -1,0 +1,317 @@
+// Deterministic fault-injection tests (docs/FAULTS.md): fail-stop failover,
+// quarantine masking, flap recovery, straggler timeouts, and the telemetry
+// counters that observe all of it. Everything runs in virtual time on the
+// paper's two-rail testbed, so every scenario is exactly reproducible.
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "fabric/fault.hpp"
+#include "telemetry/metrics.hpp"
+#include "test_util.hpp"
+
+namespace rails::core {
+namespace {
+
+fabric::FaultSpec fail_stop_at(SimTime at) {
+  fabric::FaultSpec f;
+  f.kind = fabric::FaultKind::kFailStop;
+  f.at = at;
+  return f;
+}
+
+// -- fail-stop mid-transfer --------------------------------------------------
+
+TEST(FaultInjection, FailStopMidTransferCompletesViaSurvivor) {
+  core::World world(paper_testbed("hetero-split"));
+  const std::size_t size = 4_MiB;
+  const auto tx = test::make_pattern(size, 7);
+  std::vector<std::uint8_t> rx(size, 0);
+
+  // Rail 0 fail-stops while the rendezvous chunks are in flight.
+  world.fabric().nic(0, 0).inject_fault(fail_stop_at(usec(20)));
+
+  auto recv = world.engine(1).irecv(0, 1, rx.data(), size);
+  auto send = world.engine(0).isend(1, 1, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+
+  EXPECT_EQ(rx, tx);
+  const auto& stats = world.engine(0).stats();
+  EXPECT_GT(world.fabric().nic(0, 0).segments_dropped(), 0u);
+  EXPECT_GE(stats.tx_errors, 1u);
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(stats.quarantines, 1u);
+  EXPECT_TRUE(world.engine(0).rail_quarantined(0));
+  EXPECT_FALSE(world.engine(0).rail_quarantined(1));
+}
+
+TEST(FaultInjection, FailStopBeforeTransferStillCompletes) {
+  // The whole handshake (RTS included) must survive a rail that was already
+  // dead at submission time.
+  core::World world(paper_testbed("hetero-split"));
+  const std::size_t size = 1_MiB;
+  const auto tx = test::make_pattern(size, 8);
+  std::vector<std::uint8_t> rx(size, 0);
+  world.fabric().nic(0, 0).inject_fault(fail_stop_at(0));
+
+  auto recv = world.engine(1).irecv(0, 2, rx.data(), size);
+  auto send = world.engine(0).isend(1, 2, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST(FaultInjection, ZeroByteMessageSurvivesFailStop) {
+  core::World world(paper_testbed("aggregate-fastest"));
+  world.fabric().nic(0, 0).inject_fault(fail_stop_at(0));
+  auto recv = world.engine(1).irecv(0, 3, nullptr, 0);
+  auto send = world.engine(0).isend(1, 3, nullptr, 0);
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_TRUE(recv->done());
+  EXPECT_EQ(recv->bytes_received, 0u);
+}
+
+// -- quarantine --------------------------------------------------------------
+
+TEST(FaultInjection, QuarantinedRailSkippedByStrategy) {
+  core::World world(paper_testbed("hetero-split"));
+  const std::size_t size = 2_MiB;
+  const auto tx = test::make_pattern(size, 9);
+  std::vector<std::uint8_t> rx(size, 0);
+  world.fabric().nic(0, 0).inject_fault(fail_stop_at(usec(10)));
+
+  // First transfer trips the fault and quarantines rail 0.
+  auto recv = world.engine(1).irecv(0, 4, rx.data(), size);
+  auto send = world.engine(0).isend(1, 4, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  ASSERT_TRUE(world.engine(0).rail_quarantined(0));
+
+  // Subsequent planning must not touch rail 0 at all.
+  world.engine(0).reset_stats();
+  std::fill(rx.begin(), rx.end(), 0);
+  auto recv2 = world.engine(1).irecv(0, 5, rx.data(), size);
+  auto send2 = world.engine(0).isend(1, 5, tx.data(), size);
+  world.wait(recv2);
+  world.wait(send2);
+  EXPECT_EQ(rx, tx);
+  const auto& stats = world.engine(0).stats();
+  ASSERT_EQ(stats.payload_bytes_per_rail.size(), 2u);
+  EXPECT_EQ(stats.payload_bytes_per_rail[0], 0u);
+  EXPECT_EQ(stats.payload_bytes_per_rail[1], size);
+  EXPECT_EQ(stats.tx_errors, 0u);  // nothing was offered to the dead rail
+}
+
+TEST(FaultInjection, FlapRecoversAndReprobeLiftsQuarantine) {
+  core::World world(paper_testbed("hetero-split"));
+  const std::size_t size = 2_MiB;
+  const auto tx = test::make_pattern(size, 10);
+  std::vector<std::uint8_t> rx(size, 0);
+
+  fabric::FaultSpec flap;
+  flap.kind = fabric::FaultKind::kFlap;
+  flap.at = usec(10);
+  flap.duration = usec(200);
+  world.fabric().nic(0, 0).inject_fault(flap);
+
+  auto recv = world.engine(1).irecv(0, 6, rx.data(), size);
+  auto send = world.engine(0).isend(1, 6, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_EQ(rx, tx);
+  ASSERT_GE(world.engine(0).stats().quarantines, 1u);
+
+  // Once the flap window passes, the scheduled re-probe finds the link up
+  // and lifts the quarantine; the probe chain then stops, so run_all drains.
+  world.fabric().events().run_all();
+  EXPECT_FALSE(world.engine(0).rail_quarantined(0));
+  EXPECT_GE(world.engine(0).stats().reprobe_successes, 1u);
+}
+
+TEST(FaultInjection, FailStopProbeChainTerminates) {
+  // A permanently dead rail must not keep the event queue alive forever:
+  // the re-probe backoff saturates and gives up, leaving the rail
+  // quarantined. (If this regresses, run_all() here never returns.)
+  core::World world(paper_testbed("hetero-split"));
+  const std::size_t size = 1_MiB;
+  const auto tx = test::make_pattern(size, 11);
+  std::vector<std::uint8_t> rx(size, 0);
+  world.fabric().nic(0, 0).inject_fault(fail_stop_at(usec(10)));
+
+  auto recv = world.engine(1).irecv(0, 7, rx.data(), size);
+  auto send = world.engine(0).isend(1, 7, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  world.fabric().events().run_all();
+  EXPECT_TRUE(world.engine(0).rail_quarantined(0));
+  EXPECT_GE(world.engine(0).stats().reprobes, 1u);
+  EXPECT_EQ(world.engine(0).stats().reprobe_successes, 0u);
+}
+
+// -- stragglers (degraded rails, no drops) ----------------------------------
+
+TEST(FaultInjection, DegradedRailTriggersTimeoutAndReceiverDedupes) {
+  core::World world(paper_testbed("hetero-split"));
+  const std::size_t size = 4_MiB;
+  const auto tx = test::make_pattern(size, 12);
+  std::vector<std::uint8_t> rx(size, 0);
+
+  // Rail 0 silently runs 50x slower than its sampled profile: chunks become
+  // stragglers, the predicted-completion timeout fires, and the range is
+  // re-split. The original chunk still arrives (degrade never drops), so the
+  // receiver must de-duplicate.
+  fabric::FaultSpec degrade;
+  degrade.kind = fabric::FaultKind::kDegrade;
+  degrade.factor = 50.0;
+  world.fabric().nic(0, 0).inject_fault(degrade);
+
+  auto recv = world.engine(1).irecv(0, 8, rx.data(), size);
+  auto send = world.engine(0).isend(1, 8, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  // Let the straggling original chunk land (long after completion).
+  world.fabric().events().run_all();
+
+  EXPECT_EQ(rx, tx);
+  EXPECT_EQ(world.fabric().nic(0, 0).segments_dropped(), 0u);
+  EXPECT_GE(world.engine(0).stats().chunk_timeouts, 1u);
+  EXPECT_GE(world.engine(0).stats().failovers, 1u);
+  // Exactly as many duplicate bytes as the straggler carried; at least the
+  // counter must have seen it.
+  EXPECT_GE(world.engine(1).stats().duplicate_chunks, 1u);
+  EXPECT_EQ(recv->bytes_received, size);
+}
+
+TEST(FaultInjection, ElevatedLatencyDeliversWithoutLoss) {
+  core::World world(paper_testbed("hetero-split"));
+  const std::size_t size = 1_MiB;
+  const auto tx = test::make_pattern(size, 13);
+  std::vector<std::uint8_t> rx(size, 0);
+
+  fabric::FaultSpec lat;
+  lat.kind = fabric::FaultKind::kLatency;
+  lat.extra_latency = usec(80);
+  world.fabric().nic(0, 0).inject_fault(lat);
+
+  auto recv = world.engine(1).irecv(0, 9, rx.data(), size);
+  auto send = world.engine(0).isend(1, 9, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_EQ(rx, tx);
+  EXPECT_EQ(world.fabric().nic(0, 0).segments_dropped(), 0u);
+}
+
+// -- failover disabled -------------------------------------------------------
+
+TEST(FaultInjection, DisabledFailoverStillCountsErrors) {
+  core::WorldConfig cfg = paper_testbed("hetero-split");
+  cfg.engine.failover.enabled = false;
+  core::World world(std::move(cfg));
+  const std::size_t size = 2_MiB;
+  const auto tx = test::make_pattern(size, 14);
+  std::vector<std::uint8_t> rx(size, 0);
+  world.fabric().nic(0, 0).inject_fault(fail_stop_at(usec(20)));
+
+  auto recv = world.engine(1).irecv(0, 10, rx.data(), size);
+  auto send = world.engine(0).isend(1, 10, tx.data(), size);
+  world.fabric().events().run_all();
+
+  // Without failover the dropped bytes never arrive — but the engine must
+  // not crash, and the error is still visible in the stats.
+  EXPECT_FALSE(recv->done());
+  EXPECT_GE(world.engine(0).stats().tx_errors, 1u);
+  EXPECT_EQ(world.engine(0).stats().failovers, 0u);
+  EXPECT_FALSE(world.engine(0).rail_quarantined(0));
+}
+
+// -- telemetry ---------------------------------------------------------------
+
+TEST(FaultInjection, TelemetryCountersMatchEngineStats) {
+  core::World world(paper_testbed("hetero-split"));
+  telemetry::MetricsRegistry registry;
+  world.engine(0).set_metrics(&registry);
+
+  const std::size_t size = 4_MiB;
+  const auto tx = test::make_pattern(size, 15);
+  std::vector<std::uint8_t> rx(size, 0);
+  world.fabric().nic(0, 0).inject_fault(fail_stop_at(usec(20)));
+
+  auto recv = world.engine(1).irecv(0, 11, rx.data(), size);
+  auto send = world.engine(0).isend(1, 11, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_EQ(rx, tx);
+
+  const auto& stats = world.engine(0).stats();
+  const auto counter = [&](const char* name) {
+    const telemetry::Counter* c = registry.find_counter(name);
+    return c != nullptr ? c->value() : ~0ull;
+  };
+  EXPECT_EQ(counter("engine.tx_errors"), stats.tx_errors);
+  EXPECT_EQ(counter("engine.failovers"), stats.failovers);
+  EXPECT_EQ(counter("engine.failover_retries"), stats.retries);
+  EXPECT_EQ(counter("engine.quarantines"), stats.quarantines);
+  EXPECT_EQ(counter("engine.chunk_timeouts"), stats.chunk_timeouts);
+  EXPECT_GE(stats.tx_errors, 1u);
+  EXPECT_GE(stats.failovers, 1u);
+
+  // Per-rail health gauges mirror the quarantine state.
+  const telemetry::Gauge* h0 = registry.find_gauge("engine.rail0.healthy");
+  const telemetry::Gauge* h1 = registry.find_gauge("engine.rail1.healthy");
+  ASSERT_NE(h0, nullptr);
+  ASSERT_NE(h1, nullptr);
+  EXPECT_EQ(h0->value(), 0);
+  EXPECT_EQ(h1->value(), 1);
+
+  world.engine(0).set_metrics(nullptr);
+}
+
+// -- NIC-level fault mechanics ----------------------------------------------
+
+TEST(FaultInjection, FlapWindowOnlyDropsOverlappingFlights) {
+  // A flap covers [at, at + duration); only flights overlapping the window
+  // are dropped. Flights wholly before or after it are untouched.
+  core::World world(paper_testbed("single-rail:0"));
+  auto& nic = world.fabric().nic(0, 0);
+  fabric::FaultSpec flap;
+  flap.kind = fabric::FaultKind::kFlap;
+  flap.at = usec(50);
+  flap.duration = usec(30);
+  nic.inject_fault(flap);
+
+  EXPECT_TRUE(nic.link_up(usec(49)));
+  EXPECT_FALSE(nic.link_up(usec(50)));
+  EXPECT_FALSE(nic.link_up(usec(79)));
+  EXPECT_TRUE(nic.link_up(usec(81)));
+  EXPECT_FALSE(nic.down_overlaps(usec(0), usec(49)));   // before the window
+  EXPECT_TRUE(nic.down_overlaps(usec(40), usec(60)));   // straddles the start
+  EXPECT_TRUE(nic.down_overlaps(usec(60), usec(70)));   // inside
+  EXPECT_TRUE(nic.down_overlaps(usec(10), usec(200)));  // spans the window
+  EXPECT_FALSE(nic.down_overlaps(usec(81), usec(90)));  // after the window
+
+  // Traffic before the window is untouched.
+  const std::size_t size = 512;
+  const auto tx = test::make_pattern(size, 16);
+  std::vector<std::uint8_t> rx(size, 0);
+  auto recv = world.engine(1).irecv(0, 12, rx.data(), size);
+  auto send = world.engine(0).isend(1, 12, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_LT(recv->complete_time, usec(50));
+  EXPECT_EQ(nic.segments_dropped(), 0u);
+  EXPECT_EQ(rx, tx);
+}
+
+TEST(FaultInjection, ClearFaultsRestoresHealth) {
+  core::World world(paper_testbed("single-rail:0"));
+  auto& nic = world.fabric().nic(0, 0);
+  nic.inject_fault(fail_stop_at(0));
+  EXPECT_FALSE(nic.link_up(usec(1)));
+  nic.clear_faults();
+  EXPECT_TRUE(nic.link_up(usec(1)));
+}
+
+}  // namespace
+}  // namespace rails::core

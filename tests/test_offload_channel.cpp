@@ -69,6 +69,51 @@ TEST(OffloadChannel, LargeMessageSplitsAcrossWorkers) {
   EXPECT_EQ(per_worker[1], 1u);
 }
 
+TEST(OffloadChannel, DisabledRailSkippedBySplit) {
+  OffloadChannel channel({2, 2, 4096, 256});
+  EXPECT_TRUE(channel.rail_enabled(0));
+  EXPECT_TRUE(channel.rail_enabled(1));
+  channel.set_rail_enabled(1, false);
+  EXPECT_FALSE(channel.rail_enabled(1));
+
+  Inbox inbox;
+  channel.start(inbox.handler());
+  const auto tx = test::make_pattern(64u * 1024u, 5);
+  channel.send(1, tx.data(), tx.size())->wait();
+  ASSERT_TRUE(inbox.wait_for(1));
+
+  // One usable rail left: the message stays whole instead of splitting.
+  auto per_worker = channel.chunks_per_worker();
+  EXPECT_EQ(per_worker[0] + per_worker[1], 1u);
+
+  // Re-enabling restores the two-chunk split.
+  channel.set_rail_enabled(1, true);
+  channel.send(2, tx.data(), tx.size())->wait();
+  ASSERT_TRUE(inbox.wait_for(2));
+  per_worker = channel.chunks_per_worker();
+  EXPECT_EQ(per_worker[0] + per_worker[1], 3u);
+  channel.stop();
+  EXPECT_EQ(inbox.messages[0].second, tx);
+  EXPECT_EQ(inbox.messages[1].second, tx);
+}
+
+TEST(OffloadChannel, AllRailsDisabledFallsBackToAll) {
+  OffloadChannel channel({2, 2, 4096, 256});
+  channel.set_rail_enabled(0, false);
+  channel.set_rail_enabled(1, false);
+
+  Inbox inbox;
+  channel.start(inbox.handler());
+  const auto tx = test::make_pattern(64u * 1024u, 6);
+  channel.send(3, tx.data(), tx.size())->wait();
+  ASSERT_TRUE(inbox.wait_for(1));
+  channel.stop();
+  // Refusing to send is never better than trying: the split uses all rails.
+  const auto per_worker = channel.chunks_per_worker();
+  EXPECT_EQ(per_worker[0] + per_worker[1], 2u);
+  EXPECT_EQ(inbox.messages[0].second, tx);
+}
+
 TEST(OffloadChannel, ZeroByteMessage) {
   OffloadChannel channel({1, 1, 4096, 64});
   Inbox inbox;

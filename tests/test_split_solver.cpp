@@ -29,6 +29,26 @@ TEST(ModelCost, InverseMatchesDuration) {
   }
 }
 
+TEST(ModelCost, ZeroOrNegativeBudgetFitsNothing) {
+  // Regression: with a (degenerate) zero-latency model, a zero budget used
+  // to send the doubling search all the way to its ceiling and report ~1 TiB
+  // as "fitting" in no time at all.
+  AffineFixture f(0.0, 1e15);
+  EXPECT_EQ(f.cost.max_bytes_within(0), 0u);
+  EXPECT_EQ(f.cost.max_bytes_within(-1), 0u);
+  EXPECT_EQ(f.cost.max_bytes_within(usec(-5.0)), 0u);
+  AffineFixture g(5.0, 1000.0);
+  EXPECT_EQ(g.cost.max_bytes_within(0), 0u);
+  EXPECT_EQ(g.cost.max_bytes_within(usec(4.9)), 0u);  // below the latency
+}
+
+TEST(ModelCost, SearchClampsAtCeilingInsteadOfOverflowing) {
+  // A near-infinite-bandwidth rail: everything "fits", so the search must
+  // stop at its documented 1 TiB ceiling rather than doubling forever.
+  AffineFixture f(0.0, 1e15);
+  EXPECT_EQ(f.cost.max_bytes_within(usec(1.0)), std::size_t{1} << 40);
+}
+
 TEST(Dichotomy, EqualRailsSplitInHalf) {
   AffineFixture a(2.0, 1000.0);
   AffineFixture b(2.0, 1000.0);
@@ -171,6 +191,43 @@ TEST(EqualFinish, SingleRailDegenerate) {
   ASSERT_EQ(result.chunks.size(), 1u);
   EXPECT_EQ(result.chunks[0].bytes, 1_MiB);
   EXPECT_EQ(result.makespan, a.cost.duration(1_MiB));
+}
+
+TEST(EqualFinish, SingleSurvivorSplitHasZeroImbalance) {
+  // The failover path re-splits a lost range over the survivors; with one
+  // survivor that is a single chunk, and imbalance must read 0.
+  AffineFixture a(1.0, 500.0);
+  const std::vector<SolverRail> rails = {{3, &a.cost, usec(2.0)}};
+  const auto result = solve_equal_finish(rails, 256_KiB);
+  ASSERT_EQ(result.chunks.size(), 1u);
+  EXPECT_EQ(result.chunks[0].rail, 3u);
+  EXPECT_EQ(result.imbalance, 0);
+}
+
+TEST(EqualFinish, PrunedToOneRailReportsZeroImbalance) {
+  // Regression: imbalance is a cross-rail quantity. When every byte lands on
+  // one rail (here because the other rail is hopelessly busy), the result
+  // must not report the makespan-vs-nothing difference as imbalance.
+  AffineFixture fast(1.0, 1000.0);
+  AffineFixture busy(1.0, 1000.0);
+  const std::vector<SolverRail> rails = {
+      {0, &fast.cost, 0},
+      {1, &busy.cost, usec(100000.0)},  // busy far beyond the transfer time
+  };
+  const auto result = solve_equal_finish(rails, 64_KiB);
+  ASSERT_EQ(result.chunks.size(), 1u);
+  EXPECT_EQ(result.chunks[0].rail, 0u);
+  EXPECT_EQ(result.imbalance, 0);
+}
+
+TEST(Dichotomy, SameRailTwiceReportsZeroImbalance) {
+  // Two solver entries can alias one physical rail; the chunks then finish
+  // sequentially on that rail and "imbalance" between them is meaningless.
+  AffineFixture a(2.0, 1000.0);
+  const SolverRail ra{0, &a.cost, 0};
+  const SolverRail rb{0, &a.cost, 0};
+  const auto result = dichotomy_split(ra, rb, 1_MiB);
+  EXPECT_EQ(result.imbalance, 0);
 }
 
 TEST(EqualFinish, FourRailAggregationApproachesSum) {

@@ -41,8 +41,11 @@ int usage() {
                "                         one-way latency per strategy at one size\n"
                "  gantt [--size N]       trace one transfer, render NIC lanes\n"
                "  metrics [--size N] [--strategies a,b,c] [--json]\n"
+               "          [--fail-rail R] [--fail-at-us U]\n"
                "                         run a mixed workload per strategy; print\n"
-               "                         counters, latency histograms, prediction error\n"
+               "                         counters, latency histograms, prediction error;\n"
+               "                         --fail-rail injects a fail-stop on node 0's\n"
+               "                         rail R (at U us) to exercise engine failover\n"
                "  trace --chrome FILE [--size N]\n"
                "                         trace a mixed workload, write Chrome-trace\n"
                "                         JSON loadable in Perfetto / about:tracing\n"
@@ -188,16 +191,31 @@ void run_mixed_workload(core::World& world, std::size_t size) {
 }
 
 int cmd_metrics(const core::WorldConfig& base, std::size_t size,
-                const std::vector<std::string>& strategies, bool json) {
+                const std::vector<std::string>& strategies, bool json, int fail_rail,
+                double fail_at_us) {
   for (const auto& name : strategies) {
     core::WorldConfig cfg = base;
     cfg.strategy = name;
     const std::size_t rail_count = cfg.fabric.rails.size();
+    if (fail_rail >= 0 && static_cast<std::size_t>(fail_rail) >= rail_count) {
+      std::fprintf(stderr, "railsctl metrics: --fail-rail %d out of range (%zu rails)\n",
+                   fail_rail, rail_count);
+      return 2;
+    }
     core::World world(std::move(cfg));
     telemetry::MetricsRegistry registry;
     telemetry::PredictionTracker predictions(rail_count);
     world.engine(0).set_metrics(&registry);
     world.engine(0).set_prediction_tracker(&predictions);
+
+    if (fail_rail >= 0) {
+      // Fail-stop node 0's NIC on that rail mid-workload so the failover /
+      // quarantine counters light up.
+      fabric::FaultSpec fault;
+      fault.kind = fabric::FaultKind::kFailStop;
+      fault.at = usec(fail_at_us);
+      world.fabric().nic(0, static_cast<RailId>(fail_rail)).inject_fault(fault);
+    }
 
     run_mixed_workload(world, size);
 
@@ -305,7 +323,9 @@ int main(int argc, char** argv) {
     const std::size_t size = std::stoul(opt(argc, argv, "--size", "4194304"));
     const auto strategies =
         split_csv(opt(argc, argv, "--strategies", "multicore-hetero-split"));
-    return cmd_metrics(cfg, size, strategies, has_flag(argc, argv, "--json"));
+    return cmd_metrics(cfg, size, strategies, has_flag(argc, argv, "--json"),
+                       std::stoi(opt(argc, argv, "--fail-rail", "-1")),
+                       std::stod(opt(argc, argv, "--fail-at-us", "5")));
   }
   if (cmd == "trace") {
     return cmd_trace(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
