@@ -135,6 +135,47 @@ WorldConfig parse_world_config(std::istream& is) {
       double us = 0;
       ls >> us;
       cfg.engine.failover.max_quarantine = usec(us);
+    } else if (directive == "recalibration") {
+      int on = 0;
+      ls >> on;
+      cfg.engine.recalibration.enabled = on != 0;
+    } else if (directive == "recal_alpha") {
+      ls >> cfg.engine.recalibration.ewma_alpha;
+      if (cfg.engine.recalibration.ewma_alpha <= 0.0 ||
+          cfg.engine.recalibration.ewma_alpha > 1.0) {
+        fail(lineno, "recal_alpha must be in (0, 1]");
+      }
+    } else if (directive == "recal_window") {
+      if (!(ls >> cfg.engine.recalibration.window) ||
+          cfg.engine.recalibration.window < 1) {
+        fail(lineno, "recal_window needs a positive integer");
+      }
+    } else if (directive == "recal_min_samples") {
+      if (!(ls >> cfg.engine.recalibration.min_samples) ||
+          cfg.engine.recalibration.min_samples < 1) {
+        fail(lineno, "recal_min_samples needs a positive integer");
+      }
+    } else if (directive == "recal_drift_threshold") {
+      ls >> cfg.engine.recalibration.drift_threshold;
+      if (cfg.engine.recalibration.drift_threshold <= 0.0) {
+        fail(lineno, "recal_drift_threshold must be positive");
+      }
+    } else if (directive == "recal_recover_threshold") {
+      ls >> cfg.engine.recalibration.recover_threshold;
+      if (cfg.engine.recalibration.recover_threshold <= 0.0) {
+        fail(lineno, "recal_recover_threshold must be positive");
+      }
+    } else if (directive == "recal_suspect_penalty") {
+      ls >> cfg.engine.recalibration.suspect_penalty;
+      if (cfg.engine.recalibration.suspect_penalty < 1.0) {
+        fail(lineno, "recal_suspect_penalty must be >= 1");
+      }
+    } else if (directive == "recal_resample_budget") {
+      ls >> cfg.engine.recalibration.resample_budget;
+    } else if (directive == "recal_resample_interval_us") {
+      double us = 0;
+      ls >> us;
+      cfg.engine.recalibration.resample_interval = usec(us);
     } else if (directive == "rail") {
       std::string kind;
       ls >> kind;
@@ -181,6 +222,16 @@ void save_world_config(const WorldConfig& cfg, std::ostream& os) {
   os << "quarantine_us " << to_usec(cfg.engine.failover.quarantine) << "\n";
   os << "quarantine_backoff " << cfg.engine.failover.quarantine_backoff << "\n";
   os << "quarantine_max_us " << to_usec(cfg.engine.failover.max_quarantine) << "\n";
+  os << "recalibration " << (cfg.engine.recalibration.enabled ? 1 : 0) << "\n";
+  os << "recal_alpha " << cfg.engine.recalibration.ewma_alpha << "\n";
+  os << "recal_window " << cfg.engine.recalibration.window << "\n";
+  os << "recal_min_samples " << cfg.engine.recalibration.min_samples << "\n";
+  os << "recal_drift_threshold " << cfg.engine.recalibration.drift_threshold << "\n";
+  os << "recal_recover_threshold " << cfg.engine.recalibration.recover_threshold << "\n";
+  os << "recal_suspect_penalty " << cfg.engine.recalibration.suspect_penalty << "\n";
+  os << "recal_resample_budget " << cfg.engine.recalibration.resample_budget << "\n";
+  os << "recal_resample_interval_us "
+     << to_usec(cfg.engine.recalibration.resample_interval) << "\n";
   for (const auto& r : cfg.fabric.rails) {
     os << "rail custom name=" << r.name << " post_us=" << r.post_us
        << " wire_latency_us=" << r.wire_latency_us << " pio_bw=" << r.pio_bw_mbps

@@ -39,6 +39,8 @@ Engine::Engine(fabric::Fabric* fabric, NodeId self, const sampling::Estimator* e
   stats_.payload_bytes_per_rail.assign(fabric_->rail_count(), 0);
   rail_health_.assign(fabric_->rail_count(), RailHealth{});
   rail_usable_.assign(fabric_->rail_count(), 1);
+  trust_penalty_.assign(fabric_->rail_count(), 1.0);
+  resample_armed_.assign(fabric_->rail_count(), 0);
   fabric_->set_rx_handler(self_, [this](fabric::Segment&& seg) { on_segment(std::move(seg)); });
   // Completion-queue hooks on this node's own NICs: successful deliveries
   // retire live chunks, drops enter the failover path.
@@ -57,6 +59,68 @@ void Engine::set_strategy(std::unique_ptr<Strategy> strategy) {
 void Engine::set_metrics(telemetry::MetricsRegistry* registry) {
   metrics_.attach(registry, fabric_->rail_count());
   if (strategy_ != nullptr) metrics_.set_strategy_name(strategy_->name());
+}
+
+void Engine::set_recalibrator(sampling::Recalibrator* recal) {
+  if (recal != nullptr) {
+    RAILS_CHECK_MSG(recal->rail_count() == nics_.size(),
+                    "recalibrator and fabric disagree on the rail count");
+  }
+  recal_ = recal;
+}
+
+void Engine::force_recalibrate(RailId rail) {
+  if (recal_ == nullptr) return;
+  RAILS_CHECK(rail < nics_.size());
+  recal_->force_resample(rail);
+  schedule_resample(rail);
+}
+
+void Engine::observe_completion(RailId rail, SimDuration plan, SimDuration model,
+                                SimDuration actual) {
+  if (predictions_ != nullptr) predictions_->record(rail, plan, actual);
+  if (recal_ == nullptr) return;
+  const auto out = recal_->observe(rail, model, actual, fabric_->now());
+  if (out.scale_corrected) {
+    ++stats_.recal_corrections;
+    metrics_.on_recal_correction(rail, recal_->scale(rail));
+  }
+  if (out.demoted) ++stats_.trust_demotions;
+  if (out.promoted) ++stats_.trust_promotions;
+  if (out.state_changed)
+    metrics_.on_trust_change(rail, static_cast<int>(out.state), out.demoted);
+  metrics_.on_drift_sample(rail, recal_->drift_score(rail));
+  if (out.resample_requested) schedule_resample(rail);
+}
+
+void Engine::schedule_resample(RailId rail) {
+  if (resample_armed_[rail] != 0) return;
+  resample_armed_[rail] = 1;
+  // The detector rate-limits sweeps; arm the event no earlier than the next
+  // slot so a hot rail does not spin the queue.
+  const SimTime when = std::max(fabric_->now(), recal_->earliest_resample(rail));
+  fabric_->events().at(when, [this, rail] {
+    resample_armed_[rail] = 0;
+    run_resample(rail);
+  });
+}
+
+void Engine::run_resample(RailId rail) {
+  if (recal_ == nullptr) return;
+  const SimTime now = fabric_->now();
+  // Several engines share the detector; whoever gets here first (and passes
+  // the budget/interval gate) runs the sweep, the rest find it not due.
+  if (!recal_->resample_due(rail, now)) return;
+  recal_->begin_resample(rail, now);
+  // The probe burst is not free: charge the scheduler core.
+  fabric_->cores(self_).occupy(config_.scheduler_core, now,
+                               config_.recalibration.resample_host_cost);
+  sampling::RailProfile fresh = sampling::resample_rail_via_preview(
+      *nics_[rail], now, config_.recalibration.resample_sampler);
+  recal_->complete_resample(rail, std::move(fresh), now);
+  ++stats_.recal_resamples;
+  metrics_.on_resample(rail, recal_->scale(rail));
+  metrics_.on_trust_gauge(rail, static_cast<int>(recal_->trust(rail)));
 }
 
 Strategy& Engine::strategy() {
@@ -103,6 +167,18 @@ StrategyContext Engine::make_context() {
   }
   if (!any_usable) rail_usable_.assign(nics_.size(), 1);
   ctx.usable = std::span<const std::uint8_t>(rail_usable_.data(), rail_usable_.size());
+  // Trust layer: SUSPECT rails carry a cost penalty; an UNTRUSTED (or
+  // mid-resample) rail that is still usable compromises the solver's inputs
+  // and pushes knowledge-based strategies to their iso fallback.
+  if (recal_ != nullptr) {
+    bool compromised = false;
+    for (RailId r = 0; r < nics_.size(); ++r) {
+      trust_penalty_[r] = recal_->cost_penalty(r);
+      compromised = compromised || (rail_usable_[r] != 0 && recal_->compromised(r));
+    }
+    ctx.trust_penalty = std::span<const double>(trust_penalty_.data(), trust_penalty_.size());
+    ctx.trust_compromised = compromised;
+  }
   return ctx;
 }
 
@@ -337,7 +413,7 @@ void Engine::post_emission(const EagerEmission& emission) {
   const SimTime decision_now = fabric_->now();
   const std::size_t framed_bytes = seg.payload.size();
   SimTime predicted_end = 0;
-  if (predictions_ != nullptr) {
+  if (observing()) {
     const sampling::RailState state{emission.rail, nics_[emission.rail]->busy_until()};
     predicted_end = estimator_->completion(state, decision_now + delay, framed_bytes,
                                            fabric::Protocol::kEager);
@@ -345,9 +421,9 @@ void Engine::post_emission(const EagerEmission& emission) {
 
   const auto times = post_segment(emission.rail, std::move(seg), core, delay);
   metrics_.on_eager_emit(emission.rail, framed_bytes, emission.offload_core.has_value());
-  if (predictions_ != nullptr) {
-    predictions_->record(emission.rail, predicted_end - decision_now,
-                         times.nic_end - decision_now);
+  if (observing()) {
+    observe_completion(emission.rail, predicted_end - decision_now,
+                       times.nic_end - decision_now);
   }
   if (emission.offload_core) {
     trace_event(trace::EventKind::kOffloadSignal, emission.pieces.front().send->id,
@@ -428,13 +504,16 @@ void Engine::stream_chunks(SendRequest& send) {
     // Besides feeding the PredictionTracker, this is what the chunk timeout
     // is derived from (predicted completion times the slack factor).
     SimDuration predicted = 0;
-    if (i < split.finish_times.size()) {
-      predicted = split.finish_times[i];
-    } else {
+    {
       const sampling::RailState state{chunk.rail, nics_[chunk.rail]->busy_until()};
       predicted =
           estimator_->chunk_completion(state, decision_now, chunk.bytes) - decision_now;
     }
+    // The raw estimator view of the same chunk (what the drift detector
+    // compares against the fabric) — identical unless the solver's plan
+    // carried a trust penalty or saw later ready offsets.
+    const SimDuration model_predicted = predicted;
+    if (i < split.finish_times.size()) predicted = split.finish_times[i];
     fabric::Segment data;
     data.kind = fabric::SegKind::kData;
     data.dst = send.dst;
@@ -452,9 +531,8 @@ void Engine::stream_chunks(SendRequest& send) {
       metrics_.on_queueing(times.host_start - send.submit_time);
       first_chunk = false;
     }
-    if (predictions_ != nullptr) {
-      predictions_->record(chunk.rail, predicted, times.nic_end - decision_now);
-    }
+    observe_completion(chunk.rail, predicted, model_predicted,
+                       times.nic_end - decision_now);
     send.bytes_posted += chunk.bytes;
     track_chunk(send.id, chunk.offset, chunk.bytes, chunk.rail, /*attempt=*/0,
                 decision_now, predicted);
@@ -846,7 +924,7 @@ void Engine::post_data_chunk(SendRequest& send, RailId rail, std::uint64_t offse
   ++send.chunk_count;
   // Retransmissions do not advance bytes_posted: it tracks distinct message
   // bytes handed to the NICs, and these bytes were already counted.
-  if (predictions_ != nullptr) predictions_->record(rail, predicted, times.nic_end - now);
+  observe_completion(rail, predicted, times.nic_end - now);
   track_chunk(send.id, offset, bytes, rail, attempt, now, predicted);
 }
 

@@ -51,6 +51,12 @@ struct EngineStats {
   std::uint64_t reprobes = 0;           ///< quarantine re-probe attempts
   std::uint64_t reprobe_successes = 0;  ///< re-probes that lifted a quarantine
   std::uint64_t duplicate_chunks = 0;   ///< receiver-side duplicate DATA chunks
+
+  // -- recalibration (docs/CALIBRATION.md) -----------------------------
+  std::uint64_t recal_corrections = 0;  ///< profile scale corrections applied
+  std::uint64_t recal_resamples = 0;    ///< background re-sampling sweeps run
+  std::uint64_t trust_demotions = 0;    ///< trust-state demotions observed
+  std::uint64_t trust_promotions = 0;   ///< trust-state promotions observed
 };
 
 class Engine {
@@ -111,6 +117,15 @@ class Engine {
   void set_prediction_tracker(telemetry::PredictionTracker* tracker) {
     predictions_ = tracker;
   }
+
+  /// Attaches the shared drift detector (nullptr detaches; same contract as
+  /// set_tracer). Every emission/chunk completion is fed to it, and the
+  /// engine arms background re-sampling sweeps when the detector asks.
+  void set_recalibrator(sampling::Recalibrator* recal);
+
+  /// Requests an immediate background re-sampling sweep of `rail`
+  /// (railsctl --force-recal). No-op without an attached recalibrator.
+  void force_recalibrate(RailId rail);
 
   /// Number of sends still sitting in the pack list (tests/diagnostics).
   std::size_t pending_sends() const { return pending_eager_.size(); }
@@ -199,6 +214,24 @@ class Engine {
   void quarantine_rail(RailId rail);
   void schedule_reprobe(RailId rail);
   void reprobe_rail(RailId rail);
+
+  // -- recalibration -----------------------------------------------------
+  /// Feeds one completed transfer into the tracker and the drift detector,
+  /// turning the detector's verdict into stats/metrics/sweeps. `plan` is
+  /// what the scheduler promised (tracker, timeouts); `model` is the raw
+  /// estimator prediction — the drift detector must see the latter, because
+  /// the plan bakes in the trust penalty of a SUSPECT rail and feeding that
+  /// back would make the correction chase the penalty instead of the
+  /// network.
+  void observe_completion(RailId rail, SimDuration plan, SimDuration model,
+                          SimDuration actual);
+  void observe_completion(RailId rail, SimDuration predicted, SimDuration actual) {
+    observe_completion(rail, predicted, predicted, actual);
+  }
+  /// True when some attached observer wants (predicted, actual) pairs.
+  bool observing() const { return predictions_ != nullptr || recal_ != nullptr; }
+  void schedule_resample(RailId rail);
+  void run_resample(RailId rail);
   /// Best usable rail for re-posting a self-contained segment.
   RailId repost_rail(const fabric::Segment& seg) const;
 
@@ -234,6 +267,9 @@ class Engine {
   trace::Tracer* tracer_ = nullptr;
   telemetry::EngineMetrics metrics_;
   telemetry::PredictionTracker* predictions_ = nullptr;
+  sampling::Recalibrator* recal_ = nullptr;
+  std::vector<double> trust_penalty_;      ///< per-rail penalties for contexts
+  std::vector<std::uint8_t> resample_armed_;  ///< dedups sweep events per rail
 };
 
 }  // namespace rails::core

@@ -13,7 +13,9 @@ namespace {
 
 /// Builds the solver inputs for one protocol table, busy offsets included.
 /// Quarantined rails are excluded — the engine guarantees at least one rail
-/// stays usable (docs/FAULTS.md).
+/// stays usable (docs/FAULTS.md). A SUSPECT rail's trust penalty inflates
+/// its cost curve so the solver hands it proportionally smaller chunks
+/// (docs/CALIBRATION.md).
 std::vector<strategy::SolverRail> solver_rails(
     const StrategyContext& ctx, std::vector<strategy::ProfileCost>& costs,
     const sampling::PerfProfile& (*table)(const sampling::RailProfile&)) {
@@ -22,7 +24,7 @@ std::vector<strategy::SolverRail> solver_rails(
   std::vector<strategy::SolverRail> rails;
   rails.reserve(ctx.rail_count());
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
-    costs.emplace_back(&table(ctx.estimator->profile(r)));
+    costs.emplace_back(&table(ctx.estimator->profile(r)), ctx.rail_trust_penalty(r));
   }
   for (RailId r = 0; r < ctx.rail_count(); ++r) {
     if (!ctx.rail_usable(r)) continue;
@@ -293,6 +295,14 @@ strategy::SplitResult FixedRatioSplit::plan_rendezvous(const StrategyContext& ct
 
 strategy::SplitResult HeteroSplit::plan_rendezvous(const StrategyContext& ctx,
                                                    std::size_t len) {
+  if (ctx.trust_compromised) {
+    // Some usable rail's profile is UNTRUSTED (or mid-resample): feeding the
+    // equal-finish solver numbers known to be wrong is worse than splitting
+    // blind, so fall back to knowledge-free iso weighting until the
+    // recalibration layer restores trust.
+    IsoSplit iso;
+    return iso.plan_rendezvous(ctx, len);
+  }
   std::vector<strategy::ProfileCost> costs;
   const auto rails = solver_rails(ctx, costs, rdv_chunk_table);
   return strategy::solve_equal_finish(rails, len);

@@ -24,6 +24,7 @@
 #include "fabric/nic.hpp"
 #include "fabric/sim_cores.hpp"
 #include "sampling/estimator.hpp"
+#include "sampling/recalibration.hpp"
 #include "strategy/offload_model.hpp"
 #include "strategy/split_solver.hpp"
 
@@ -64,6 +65,8 @@ struct EngineConfig {
   double host_copy_mbps = 2500.0;
   /// Timeout/retry/quarantine behaviour on rail faults.
   FailoverConfig failover;
+  /// Online drift detection / adaptive recalibration (docs/CALIBRATION.md).
+  sampling::RecalibrationConfig recalibration;
 };
 
 /// Everything a strategy may inspect when interrogated.
@@ -81,6 +84,15 @@ struct StrategyContext {
   /// one usable rail (an all-quarantined node falls back to all-usable).
   std::span<const std::uint8_t> usable;
 
+  /// Per-rail cost multipliers (≥ 1) from the recalibration trust layer
+  /// (empty = every rail fully trusted). A SUSPECT rail's predictions are
+  /// inflated by its penalty so the solver hands it smaller chunks.
+  std::span<const double> trust_penalty;
+  /// Set when some *usable* rail is UNTRUSTED or mid-resample: its numbers
+  /// cannot feed the solver, so knowledge-based strategies fall back to
+  /// knowledge-free iso weighting until trust is re-earned.
+  bool trust_compromised = false;
+
   std::uint32_t rail_count() const { return static_cast<std::uint32_t>(nics.size()); }
   SimTime rail_busy_until(RailId rail) const { return nics[rail]->busy_until(); }
   SimDuration rail_ready_offset(RailId rail) const {
@@ -88,6 +100,9 @@ struct StrategyContext {
     return b > now ? b - now : 0;
   }
   bool rail_usable(RailId rail) const { return usable.empty() || usable[rail] != 0; }
+  double rail_trust_penalty(RailId rail) const {
+    return trust_penalty.empty() ? 1.0 : trust_penalty[rail];
+  }
 };
 
 /// One piece of one application message inside an eager emission.

@@ -19,10 +19,15 @@ World::World(WorldConfig config)
                       config_.profile_override.size() == config_.fabric.rails.size(),
                   "profile override must cover every rail");
   fabric_ = std::make_unique<fabric::Fabric>(config_.fabric);
+  if (config_.engine.recalibration.enabled) {
+    recalibrator_ = std::make_unique<sampling::Recalibrator>(&estimator_,
+                                                             config_.engine.recalibration);
+  }
   engines_.reserve(fabric_->node_count());
   for (NodeId n = 0; n < fabric_->node_count(); ++n) {
     engines_.push_back(std::make_unique<Engine>(fabric_.get(), n, &estimator_,
                                                 config_.engine));
+    if (recalibrator_ != nullptr) engines_.back()->set_recalibrator(recalibrator_.get());
   }
   set_strategy(config_.strategy);
 }

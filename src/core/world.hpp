@@ -38,6 +38,10 @@ class World {
   fabric::Fabric& fabric() { return *fabric_; }
   Engine& engine(NodeId node);
   const sampling::Estimator& estimator() const { return estimator_; }
+  /// The shared drift detector; nullptr unless `engine.recalibration.enabled`
+  /// was set at construction. Shared across engines like the estimator: the
+  /// profiles describe the same hardware on both ends.
+  sampling::Recalibrator* recalibrator() { return recalibrator_.get(); }
   SimTime now() const { return fabric_->now(); }
 
   /// Installs a fresh strategy instance (by factory name) on every engine.
@@ -66,6 +70,7 @@ class World {
  private:
   WorldConfig config_;
   sampling::Estimator estimator_;
+  std::unique_ptr<sampling::Recalibrator> recalibrator_;
   std::unique_ptr<fabric::Fabric> fabric_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<std::uint8_t> tx_buf_;

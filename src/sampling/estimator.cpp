@@ -1,14 +1,56 @@
 #include "sampling/estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
 namespace rails::sampling {
 
+namespace {
+
+PerfProfile scaled_table(const PerfProfile& base, double scale) {
+  std::vector<SamplePoint> pts = base.points();
+  for (auto& p : pts)
+    p.duration = static_cast<SimDuration>(
+        std::llround(static_cast<double>(p.duration) * scale));
+  return PerfProfile(std::move(pts));
+}
+
+}  // namespace
+
 const RailProfile& Estimator::profile(RailId rail) const {
   RAILS_CHECK(rail < profiles_.size());
   return profiles_[rail];
+}
+
+const RailProfile& Estimator::base_profile(RailId rail) const {
+  RAILS_CHECK(rail < base_.size());
+  return base_[rail];
+}
+
+void Estimator::set_profile_scale(RailId rail, double scale) {
+  RAILS_CHECK(rail < profiles_.size());
+  RAILS_CHECK_MSG(scale > 0.0, "profile scale must be positive");
+  const RailProfile& base = base_[rail];
+  RailProfile& rp = profiles_[rail];
+  rp.eager = scaled_table(base.eager, scale);
+  rp.eager_host = scaled_table(base.eager_host, scale);
+  rp.rendezvous = scaled_table(base.rendezvous, scale);
+  rp.rdv_chunk = scaled_table(base.rdv_chunk, scale);
+  scales_[rail] = scale;
+}
+
+double Estimator::profile_scale(RailId rail) const {
+  RAILS_CHECK(rail < scales_.size());
+  return scales_[rail];
+}
+
+void Estimator::replace_profile(RailId rail, RailProfile fresh) {
+  RAILS_CHECK(rail < profiles_.size());
+  base_[rail] = std::move(fresh);
+  profiles_[rail] = base_[rail];
+  scales_[rail] = 1.0;
 }
 
 fabric::Protocol Estimator::protocol_for(RailId rail, std::size_t size) const {

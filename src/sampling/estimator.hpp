@@ -24,10 +24,26 @@ struct RailState {
 class Estimator {
  public:
   Estimator() = default;
-  explicit Estimator(std::vector<RailProfile> profiles) : profiles_(std::move(profiles)) {}
+  explicit Estimator(std::vector<RailProfile> profiles)
+      : profiles_(profiles), base_(std::move(profiles)), scales_(profiles_.size(), 1.0) {}
 
   std::size_t rail_count() const { return profiles_.size(); }
   const RailProfile& profile(RailId rail) const;
+
+  /// Pristine profile as sampled/loaded, before any runtime scale correction.
+  const RailProfile& base_profile(RailId rail) const;
+
+  /// Multiplicative correction applied to every duration of `rail`'s tables.
+  /// The scale always multiplies the *pristine* base, so repeated corrections
+  /// replace each other instead of compounding. Sizes, `rdv_threshold` and
+  /// `max_eager` are left untouched: a uniform slowdown does not move the
+  /// eager/rendezvous crossover, and the engine's cached threshold stays valid.
+  void set_profile_scale(RailId rail, double scale);
+  double profile_scale(RailId rail) const;
+
+  /// Installs a freshly re-sampled profile as the new pristine base
+  /// (scale resets to 1).
+  void replace_profile(RailId rail, RailProfile fresh);
 
   /// Protocol the engine should use on `rail` for a message of `size`.
   /// A message exactly at the rail's threshold stays eager (the switch is
@@ -68,7 +84,9 @@ class Estimator {
 
  private:
   const PerfProfile& table(RailId rail, fabric::Protocol proto) const;
-  std::vector<RailProfile> profiles_;
+  std::vector<RailProfile> profiles_;  ///< what every query reads: base × scale
+  std::vector<RailProfile> base_;      ///< pristine tables, never scaled
+  std::vector<double> scales_;
 };
 
 }  // namespace rails::sampling

@@ -25,17 +25,26 @@ class RailCost {
   virtual std::size_t max_bytes_within(SimDuration budget) const = 0;
 };
 
-/// Adapts a sampled profile (the production path).
+/// Adapts a sampled profile (the production path). `cost_scale` inflates the
+/// curve without touching the profile — how the recalibration layer makes a
+/// SUSPECT rail look slightly slower to the solver than its (possibly still
+/// drifting) tables claim, so it receives proportionally smaller chunks.
 class ProfileCost final : public RailCost {
  public:
-  explicit ProfileCost(const sampling::PerfProfile* profile) : profile_(profile) {}
-  SimDuration duration(std::size_t bytes) const override { return profile_->estimate(bytes); }
+  explicit ProfileCost(const sampling::PerfProfile* profile, double cost_scale = 1.0)
+      : profile_(profile), cost_scale_(cost_scale) {}
+  SimDuration duration(std::size_t bytes) const override {
+    return static_cast<SimDuration>(static_cast<double>(profile_->estimate(bytes)) *
+                                    cost_scale_);
+  }
   std::size_t max_bytes_within(SimDuration budget) const override {
-    return profile_->max_bytes_within(budget);
+    return profile_->max_bytes_within(
+        static_cast<SimDuration>(static_cast<double>(budget) / cost_scale_));
   }
 
  private:
   const sampling::PerfProfile* profile_;
+  double cost_scale_ = 1.0;
 };
 
 /// Adapts an analytic model (tests, what-if analyses).

@@ -24,6 +24,9 @@ class EngineMetrics {
     per_rail_bytes_.clear();
     per_rail_chunks_.clear();
     per_rail_healthy_.clear();
+    per_rail_trust_.clear();
+    per_rail_scale_.clear();
+    per_rail_drift_.clear();
     if (registry_ == nullptr) return;
     submits_ = registry_->counter("engine.sends");
     recv_posts_ = registry_->counter("engine.recvs");
@@ -48,15 +51,28 @@ class EngineMetrics {
     reprobes_ = registry_->counter("engine.reprobes");
     reprobe_successes_ = registry_->counter("engine.reprobe_successes");
     duplicate_chunks_ = registry_->counter("engine.duplicate_chunks");
+    recal_corrections_ = registry_->counter("engine.recal.corrections");
+    recal_resamples_ = registry_->counter("engine.recal.resamples");
+    trust_demotions_ = registry_->counter("engine.recal.demotions");
+    trust_promotions_ = registry_->counter("engine.recal.promotions");
     per_rail_bytes_.reserve(rail_count);
     per_rail_chunks_.reserve(rail_count);
     per_rail_healthy_.reserve(rail_count);
+    per_rail_trust_.reserve(rail_count);
+    per_rail_scale_.reserve(rail_count);
+    per_rail_drift_.reserve(rail_count);
     for (std::size_t r = 0; r < rail_count; ++r) {
       const std::string prefix = "engine.rail" + std::to_string(r);
       per_rail_bytes_.push_back(registry_->counter(prefix + ".payload_bytes"));
       per_rail_chunks_.push_back(registry_->counter(prefix + ".segments"));
       per_rail_healthy_.push_back(registry_->gauge(prefix + ".healthy"));
       per_rail_healthy_.back()->set(1);
+      per_rail_trust_.push_back(registry_->gauge(prefix + ".trust"));
+      per_rail_trust_.back()->set(0);  // TRUSTED
+      per_rail_scale_.push_back(registry_->gauge(prefix + ".profile_scale_x1000"));
+      per_rail_scale_.back()->set(1000);
+      per_rail_drift_.push_back(registry_->gauge(prefix + ".drift_x1000"));
+      per_rail_drift_.back()->set(0);
     }
   }
 
@@ -183,6 +199,40 @@ class EngineMetrics {
     duplicate_chunks_->inc();
   }
 
+  // -- recalibration hooks (docs/CALIBRATION.md) -----------------------------
+
+  /// A multiplicative scale correction was written into the rail's profile.
+  void on_recal_correction(RailId rail, double scale) {
+    if (registry_ == nullptr) return;
+    recal_corrections_->inc();
+    if (rail < per_rail_scale_.size())
+      per_rail_scale_[rail]->set(static_cast<std::int64_t>(scale * 1000.0));
+  }
+  /// The rail's trust state changed (gauge encodes TrustState 0..3).
+  void on_trust_change(RailId rail, int state, bool demoted) {
+    if (registry_ == nullptr) return;
+    (demoted ? trust_demotions_ : trust_promotions_)->inc();
+    if (rail < per_rail_trust_.size()) per_rail_trust_[rail]->set(state);
+  }
+  /// Gauge-only refresh (transitional states that are neither verdict).
+  void on_trust_gauge(RailId rail, int state) {
+    if (registry_ == nullptr) return;
+    if (rail < per_rail_trust_.size()) per_rail_trust_[rail]->set(state);
+  }
+  /// One drift-detector update (|EWMA bias|, scaled by 1000 for the gauge).
+  void on_drift_sample(RailId rail, double drift) {
+    if (registry_ == nullptr) return;
+    if (rail < per_rail_drift_.size())
+      per_rail_drift_[rail]->set(static_cast<std::int64_t>(drift * 1000.0));
+  }
+  /// A background re-sampling sweep installed a fresh profile.
+  void on_resample(RailId rail, double scale) {
+    if (registry_ == nullptr) return;
+    recal_resamples_->inc();
+    if (rail < per_rail_scale_.size())
+      per_rail_scale_[rail]->set(static_cast<std::int64_t>(scale * 1000.0));
+  }
+
  private:
   MetricsRegistry* registry_ = nullptr;
   std::string strategy_name_;
@@ -211,9 +261,16 @@ class EngineMetrics {
   Counter* reprobes_ = nullptr;
   Counter* reprobe_successes_ = nullptr;
   Counter* duplicate_chunks_ = nullptr;
+  Counter* recal_corrections_ = nullptr;
+  Counter* recal_resamples_ = nullptr;
+  Counter* trust_demotions_ = nullptr;
+  Counter* trust_promotions_ = nullptr;
   std::vector<Counter*> per_rail_bytes_;
   std::vector<Counter*> per_rail_chunks_;
   std::vector<Gauge*> per_rail_healthy_;
+  std::vector<Gauge*> per_rail_trust_;
+  std::vector<Gauge*> per_rail_scale_;
+  std::vector<Gauge*> per_rail_drift_;
 };
 
 }  // namespace rails::telemetry

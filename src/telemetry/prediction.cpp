@@ -1,5 +1,6 @@
 #include "telemetry/prediction.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -8,8 +9,62 @@
 
 namespace rails::telemetry {
 
-PredictionTracker::PredictionTracker(std::size_t rail_count) : rails_(rail_count) {
+namespace {
+// Mixed into per-rail reservoir seeds so rails draw distinct (but fixed,
+// deterministic) replacement streams.
+constexpr std::uint64_t kReservoirSeed = 0x5eedca11b8a7e5ULL;
+}  // namespace
+
+void BoundedReservoir::add(double x) {
+  ++seen_;
+  if (samples_.size() < cap_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: the new sample replaces a uniformly chosen slot with
+  // probability cap/seen, so every sample ever offered is stored with equal
+  // probability.
+  const std::uint64_t j = rng_.below(seen_);
+  if (j < samples_.size()) {
+    samples_[j] = x;
+    sorted_ = false;
+  }
+}
+
+double BoundedReservoir::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(rank + 0.5);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+PredictionTracker::PredictionTracker(std::size_t rail_count, std::size_t reservoir_cap,
+                                     std::size_t recent_window)
+    : reservoir_cap_(reservoir_cap), recent_window_(recent_window) {
   RAILS_CHECK(rail_count >= 1);
+  RAILS_CHECK(reservoir_cap >= 1 && recent_window >= 1);
+  rails_.reserve(rail_count);
+  for (std::size_t r = 0; r < rail_count; ++r) {
+    rails_.emplace_back(reservoir_cap, kReservoirSeed ^ (r * 0x9e3779b97f4a7c15ULL),
+                        recent_window);
+  }
+}
+
+void PredictionTracker::push_recent(PerRail& pr, double rel, double bias) {
+  if (pr.recent_rel.size() < recent_window_) {
+    pr.recent_rel.push_back(rel);
+    pr.recent_bias.push_back(bias);
+    return;
+  }
+  pr.recent_rel[pr.recent_pos] = rel;
+  pr.recent_bias[pr.recent_pos] = bias;
+  pr.recent_pos = (pr.recent_pos + 1) % recent_window_;
 }
 
 void PredictionTracker::record(RailId rail, SimDuration predicted, SimDuration actual) {
@@ -23,11 +78,17 @@ void PredictionTracker::record(RailId rail, SimDuration predicted, SimDuration a
   pr.bias.add(signed_err);
   pr.abs_error_ns.add(std::abs(static_cast<double>(actual - predicted)));
   pr.rel_samples.add(rel);
+  push_recent(pr, rel, signed_err);
 }
 
 std::size_t PredictionTracker::samples(RailId rail) const {
   RAILS_CHECK(rail < rails_.size());
   return rails_[rail].rel_error.count();
+}
+
+std::size_t PredictionTracker::reservoir_size(RailId rail) const {
+  RAILS_CHECK(rail < rails_.size());
+  return rails_[rail].rel_samples.size();
 }
 
 std::size_t PredictionTracker::total_samples() const {
@@ -50,6 +111,25 @@ PredictionTracker::RailAccuracy PredictionTracker::accuracy(RailId rail) const {
   return out;
 }
 
+PredictionTracker::RecentAccuracy PredictionTracker::recent_accuracy(RailId rail) const {
+  RAILS_CHECK(rail < rails_.size());
+  const PerRail& pr = rails_[rail];
+  RecentAccuracy out;
+  out.samples = pr.recent_rel.size();
+  if (out.samples == 0) return out;
+  double rel_sum = 0, bias_sum = 0;
+  for (const double v : pr.recent_rel) rel_sum += v;
+  for (const double v : pr.recent_bias) bias_sum += v;
+  out.mean_rel_error = rel_sum / static_cast<double>(out.samples);
+  out.mean_bias = bias_sum / static_cast<double>(out.samples);
+  std::vector<double> sorted(pr.recent_rel);
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      0.95 * static_cast<double>(sorted.size() - 1) + 0.5);
+  out.p95_rel_error = sorted[std::min(idx, sorted.size() - 1)];
+  return out;
+}
+
 void PredictionTracker::merge(const PredictionTracker& other) {
   RAILS_CHECK_MSG(rails_.size() == other.rails_.size(),
                   "prediction trackers disagree on the rail count");
@@ -59,6 +139,14 @@ void PredictionTracker::merge(const PredictionTracker& other) {
     rails_[r].abs_error_ns.merge(other.rails_[r].abs_error_ns);
     for (const double s : other.rails_[r].rel_samples.samples()) {
       rails_[r].rel_samples.add(s);
+    }
+    // Replay the other side's recent window in chronological order so the
+    // merged window ends with its newest residuals.
+    const PerRail& opr = other.rails_[r];
+    const std::size_t n = opr.recent_rel.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = n < other.recent_window_ ? i : (opr.recent_pos + i) % n;
+      push_recent(rails_[r], opr.recent_rel[idx], opr.recent_bias[idx]);
     }
   }
 }

@@ -1,5 +1,6 @@
 #include "threaded/offload_channel.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -43,12 +44,16 @@ OffloadChannel::OffloadChannel(OffloadChannelConfig config)
       sender_pool_(config.workers),
       receiver_pool_(1),
       worker_chunks_(config.workers),
-      rail_enabled_(config.rails) {
+      rail_bytes_(config.rails),
+      rail_enabled_(config.rails),
+      rail_weight_milli_(config.rails) {
   RAILS_CHECK(config_.rails >= 1 && config_.workers >= 1);
   rings_.reserve(config_.rails);
   for (unsigned r = 0; r < config_.rails; ++r) {
     rings_.push_back(std::make_unique<SpscQueue<WireChunk>>(config_.ring_depth));
     rail_enabled_[r].store(1, std::memory_order_relaxed);
+    rail_weight_milli_[r].store(1000, std::memory_order_relaxed);
+    rail_bytes_[r].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -93,23 +98,49 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
     for (unsigned r = 0; r < config_.rails; ++r) usable.push_back(r);
   }
 
-  // The "split ratio computation" of Fig. 7 — homogeneous rails here, so the
-  // chunks are equal; the point is the parallel submission.
+  // The "split ratio computation" of Fig. 7 — homogeneous rails, so equal
+  // chunks by default; a down-weighted (SUSPECT) rail receives a
+  // proportionally smaller share of each send.
   unsigned chunks = 1;
   if (len >= config_.min_split) {
     chunks = std::min(static_cast<unsigned>(usable.size()), config_.workers);
   }
-  const std::size_t per_chunk = (len + chunks - 1) / std::max(1u, chunks);
+  std::vector<unsigned> chunk_rail(chunks);
+  std::vector<double> weight(chunks);
+  double weight_sum = 0;
+  for (unsigned c = 0; c < chunks; ++c) {
+    chunk_rail[c] = usable[c % usable.size()];
+    weight[c] = static_cast<double>(
+                    rail_weight_milli_[chunk_rail[c]].load(std::memory_order_relaxed)) /
+                1000.0;
+    weight_sum += weight[c];
+  }
+  if (weight_sum <= 0) {
+    // Every targeted rail weighted to zero: equal split beats refusing.
+    weight.assign(chunks, 1.0);
+    weight_sum = chunks;
+  }
+  std::vector<std::size_t> chunk_bytes(chunks);
+  std::size_t assigned = 0;
+  for (unsigned c = 0; c + 1 < chunks; ++c) {
+    chunk_bytes[c] = static_cast<std::size_t>(static_cast<double>(len) * weight[c] /
+                                              weight_sum);
+    assigned += chunk_bytes[c];
+  }
+  chunk_bytes[chunks - 1] = len - assigned;
 
   auto ticket = std::shared_ptr<SendTicket>(new SendTicket(chunks));
   // "Requests registration": one tasklet per chunk, each signalled to its
   // own worker core, which performs the copy (the PIO) and the rail
   // submission. The caller returns to computing immediately.
+  std::size_t next_offset = 0;
   for (unsigned c = 0; c < chunks; ++c) {
-    const std::size_t offset = static_cast<std::size_t>(c) * per_chunk;
-    const std::size_t n = std::min(per_chunk, len - std::min(len, offset));
+    const std::size_t offset = next_offset;
+    const std::size_t n = chunk_bytes[c];
+    next_offset += n;
     const unsigned worker = c % config_.workers;
-    const unsigned rail = usable[c % usable.size()];
+    const unsigned rail = chunk_rail[c];
+    rail_bytes_[rail].fetch_add(n, std::memory_order_relaxed);
     // Timestamp the signal only when a histogram is attached — the detached
     // hot path must not pay for a clock read.
     const auto signalled = m_signal_delay_ != nullptr
@@ -204,10 +235,32 @@ bool OffloadChannel::rail_enabled(unsigned rail) const {
   return rail_enabled_[rail].load(std::memory_order_relaxed) != 0;
 }
 
+void OffloadChannel::set_rail_weight(unsigned rail, double weight) {
+  RAILS_CHECK(rail < config_.rails);
+  const double clamped = std::min(1.0, std::max(0.0, weight));
+  rail_weight_milli_[rail].store(static_cast<std::uint32_t>(clamped * 1000.0),
+                                 std::memory_order_relaxed);
+}
+
+double OffloadChannel::rail_weight(unsigned rail) const {
+  RAILS_CHECK(rail < config_.rails);
+  return static_cast<double>(rail_weight_milli_[rail].load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
 std::vector<std::uint64_t> OffloadChannel::chunks_per_worker() const {
   std::vector<std::uint64_t> out;
   out.reserve(worker_chunks_.size());
   for (const auto& counter : worker_chunks_) {
+    out.push_back(counter.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> OffloadChannel::bytes_per_rail() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(rail_bytes_.size());
+  for (const auto& counter : rail_bytes_) {
     out.push_back(counter.load(std::memory_order_relaxed));
   }
   return out;

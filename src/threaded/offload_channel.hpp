@@ -102,8 +102,20 @@ class OffloadChannel {
   void set_rail_enabled(unsigned rail, bool enabled);
   bool rail_enabled(unsigned rail) const;
 
+  /// Down-weights a rail for future sends — the real-thread analogue of the
+  /// recalibration layer's trust penalty, propagated exactly like
+  /// set_rail_enabled. The Fig. 7 split hands each rail bytes proportional
+  /// to its weight in [0, 1] (1 = full share, the default; 0 = no payload
+  /// while still enabled). Safe to call concurrently with send().
+  void set_rail_weight(unsigned rail, double weight);
+  double rail_weight(unsigned rail) const;
+
   /// Chunks submitted by each worker (tests verify the spread).
   std::vector<std::uint64_t> chunks_per_worker() const;
+
+  /// Payload bytes assigned to each rail by the split (tests verify the
+  /// weighted spread).
+  std::vector<std::uint64_t> bytes_per_rail() const;
 
   /// Attaches a metrics registry (nullptr detaches). Must be called before
   /// start(): "offload.sends" / "offload.chunks" counters, an
@@ -129,7 +141,9 @@ class OffloadChannel {
   std::vector<std::unique_ptr<SpscQueue<WireChunk>>> rings_;
   std::vector<std::unique_ptr<progress::EventSource>> sources_;
   std::vector<std::atomic<std::uint64_t>> worker_chunks_;
+  std::vector<std::atomic<std::uint64_t>> rail_bytes_;
   std::vector<std::atomic<std::uint8_t>> rail_enabled_;
+  std::vector<std::atomic<std::uint32_t>> rail_weight_milli_;  ///< weight × 1000
 
   RecvHandler handler_;
   std::mutex reassembly_mutex_;

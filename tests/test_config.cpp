@@ -76,6 +76,46 @@ rail preset gige-tcp
                    cfg.fabric.rails[1].rdv_handshake_us);
 }
 
+TEST(ClusterConfig, RecalibrationDirectivesRoundTrip) {
+  std::istringstream is(R"(
+nodes 2
+recalibration 1
+recal_alpha 0.5
+recal_window 48
+recal_min_samples 9
+recal_drift_threshold 0.3
+recal_recover_threshold 0.05
+recal_suspect_penalty 1.5
+recal_resample_budget 3
+recal_resample_interval_us 750
+rail preset myri10g
+rail preset qsnet2
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_TRUE(cfg.engine.recalibration.enabled);
+  EXPECT_DOUBLE_EQ(cfg.engine.recalibration.ewma_alpha, 0.5);
+  EXPECT_EQ(cfg.engine.recalibration.window, 48u);
+  EXPECT_EQ(cfg.engine.recalibration.min_samples, 9u);
+  EXPECT_DOUBLE_EQ(cfg.engine.recalibration.drift_threshold, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.engine.recalibration.recover_threshold, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.engine.recalibration.suspect_penalty, 1.5);
+  EXPECT_EQ(cfg.engine.recalibration.resample_budget, 3u);
+  EXPECT_EQ(cfg.engine.recalibration.resample_interval, usec(750.0));
+
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_TRUE(again.engine.recalibration.enabled);
+  EXPECT_DOUBLE_EQ(again.engine.recalibration.ewma_alpha, 0.5);
+  EXPECT_EQ(again.engine.recalibration.window, 48u);
+  EXPECT_EQ(again.engine.recalibration.min_samples, 9u);
+  EXPECT_DOUBLE_EQ(again.engine.recalibration.drift_threshold, 0.3);
+  EXPECT_DOUBLE_EQ(again.engine.recalibration.recover_threshold, 0.05);
+  EXPECT_DOUBLE_EQ(again.engine.recalibration.suspect_penalty, 1.5);
+  EXPECT_EQ(again.engine.recalibration.resample_budget, 3u);
+  EXPECT_EQ(again.engine.recalibration.resample_interval, usec(750.0));
+}
+
 TEST(ClusterConfig, ConfigBuildsWorkingWorld) {
   std::istringstream is(R"(
 nodes 2
@@ -104,6 +144,12 @@ TEST(ClusterConfigDeath, UnknownPreset) {
 TEST(ClusterConfigDeath, NoRails) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   std::istringstream is("nodes 2\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, RecalAlphaOutOfRange) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("recal_alpha 1.5\nrail preset myri10g\n");
   EXPECT_DEATH(parse_world_config(is), "malformed");
 }
 

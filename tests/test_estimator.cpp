@@ -107,5 +107,70 @@ TEST_F(EstimatorTest, EagerHostTimeBelowTotal) {
   }
 }
 
+// -- scaled profiles (runtime recalibration) --------------------------------
+
+TEST_F(EstimatorTest, ScaledProfileKeepsDeadlineEdgeCases) {
+  auto est = make();
+  est.set_profile_scale(0, 3.0);
+  // A deadline at or before the rail's ready time still yields zero bytes —
+  // scaling the duration tables must not open a negative budget.
+  const RailState busy{0, usec(100.0)};
+  EXPECT_EQ(est.max_chunk_by(busy, 0, usec(50.0), fabric::Protocol::kRendezvous), 0u);
+  EXPECT_EQ(est.max_chunk_by(busy, 0, usec(100.0), fabric::Protocol::kRendezvous), 0u);
+  // And with a real budget, the 3x-slower rail fits fewer bytes.
+  Estimator pristine = make();
+  const std::size_t scaled =
+      est.max_chunk_by({0, 0}, 0, usec(1000.0), fabric::Protocol::kRendezvous);
+  const std::size_t base =
+      pristine.max_chunk_by({0, 0}, 0, usec(1000.0), fabric::Protocol::kRendezvous);
+  EXPECT_GT(scaled, 0u);
+  EXPECT_LT(scaled, base);
+}
+
+TEST_F(EstimatorTest, ScaleCorrectionPreservesChunkMonotonicity) {
+  auto est = make();
+  est.set_profile_scale(0, 3.0);
+  SimDuration prev = 0;
+  for (std::size_t s = 4_KiB; s <= 2_MiB; s <<= 1) {
+    const SimDuration d = est.chunk_duration(0, s);
+    EXPECT_GT(d, prev) << "size " << s;
+    prev = d;
+  }
+  // The scaled curve tracks 3x the pristine one across the range.
+  const auto pristine = make();
+  for (std::size_t s = 64_KiB; s <= 2_MiB; s <<= 1) {
+    const auto scaled = static_cast<double>(est.chunk_duration(0, s));
+    const auto base = static_cast<double>(pristine.chunk_duration(0, s));
+    EXPECT_NEAR(scaled, 3.0 * base, 0.02 * 3.0 * base) << "size " << s;
+  }
+}
+
+TEST_F(EstimatorTest, RescalingOneRailLeavesThresholdsStable) {
+  auto est = make();
+  const std::size_t engine_th = est.engine_rdv_threshold();
+  const std::size_t rail_th = est.profile(0).rdv_threshold;
+  est.set_profile_scale(0, 4.0);
+  // Scale corrections stretch durations uniformly; the eager/rendezvous
+  // switch points are sizes and must not move (no protocol flapping while
+  // SUSPECT).
+  EXPECT_EQ(est.profile(0).rdv_threshold, rail_th);
+  EXPECT_EQ(est.engine_rdv_threshold(), engine_th);
+  EXPECT_EQ(est.protocol_for(0, 64), fabric::Protocol::kEager);
+  EXPECT_EQ(est.protocol_for(0, 1_MiB), fabric::Protocol::kRendezvous);
+}
+
+TEST_F(EstimatorTest, ReplaceProfileResetsScaleToIdentity) {
+  auto est = make();
+  est.set_profile_scale(0, 2.5);
+  EXPECT_DOUBLE_EQ(est.profile_scale(0), 2.5);
+  RailProfile fresh = est.base_profile(0);
+  const SimDuration fresh_estimate = fresh.rdv_chunk.estimate(1_MiB);
+  est.replace_profile(0, std::move(fresh));
+  EXPECT_DOUBLE_EQ(est.profile_scale(0), 1.0);
+  EXPECT_EQ(est.profile(0).rdv_chunk.estimate(1_MiB), fresh_estimate);
+  // The other rail's scale is untouched.
+  EXPECT_DOUBLE_EQ(est.profile_scale(1), 1.0);
+}
+
 }  // namespace
 }  // namespace rails::sampling

@@ -114,6 +114,53 @@ TEST(OffloadChannel, AllRailsDisabledFallsBackToAll) {
   EXPECT_EQ(inbox.messages[0].second, tx);
 }
 
+TEST(OffloadChannel, DefaultWeightsSplitBytesEqually) {
+  OffloadChannel channel({2, 2, 4096, 256});
+  EXPECT_DOUBLE_EQ(channel.rail_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(channel.rail_weight(1), 1.0);
+
+  Inbox inbox;
+  channel.start(inbox.handler());
+  const auto tx = test::make_pattern(64u * 1024u, 10);
+  for (int i = 0; i < 8; ++i) {
+    channel.send(static_cast<Tag>(i), tx.data(), tx.size())->wait();
+  }
+  ASSERT_TRUE(inbox.wait_for(8));
+  channel.stop();
+  const auto bytes = channel.bytes_per_rail();
+  EXPECT_EQ(bytes[0], bytes[1]);
+  EXPECT_EQ(bytes[0] + bytes[1], 8u * tx.size());
+}
+
+TEST(OffloadChannel, DownWeightedRailGetsProportionallyFewerBytes) {
+  OffloadChannel channel({2, 2, 4096, 256});
+  channel.set_rail_weight(0, 0.25);  // the trust penalty analogue: rail 0 SUSPECT
+  EXPECT_DOUBLE_EQ(channel.rail_weight(0), 0.25);
+
+  Inbox inbox;
+  channel.start(inbox.handler());
+  const auto tx = test::make_pattern(64u * 1024u, 11);
+  for (int i = 0; i < 8; ++i) {
+    channel.send(static_cast<Tag>(i), tx.data(), tx.size())->wait();
+  }
+  ASSERT_TRUE(inbox.wait_for(8));
+  channel.stop();
+  const auto bytes = channel.bytes_per_rail();
+  // weight 0.25 vs 1.0: rail 0 carries 1/5 of the payload, rail 1 carries 4/5.
+  EXPECT_EQ(bytes[0] + bytes[1], 8u * tx.size());
+  const double share =
+      static_cast<double>(bytes[0]) / static_cast<double>(bytes[0] + bytes[1]);
+  EXPECT_NEAR(share, 0.2, 0.01);
+  // Every message still reassembles intact.
+  for (const auto& [tag, payload] : inbox.messages) EXPECT_EQ(payload, tx);
+
+  // Weights clamp to [0, 1] and can be restored at runtime.
+  channel.set_rail_weight(0, 7.5);
+  EXPECT_DOUBLE_EQ(channel.rail_weight(0), 1.0);
+  channel.set_rail_weight(0, -2.0);
+  EXPECT_DOUBLE_EQ(channel.rail_weight(0), 0.0);
+}
+
 TEST(OffloadChannel, ZeroByteMessage) {
   OffloadChannel channel({1, 1, 4096, 64});
   Inbox inbox;

@@ -1,0 +1,406 @@
+// Online profile drift detection and adaptive recalibration.
+//
+// Unit level: the trust state machine (demotion, correction, hysteresis,
+// escalation, the re-sampling protocol) driven with hand-fed residuals.
+// Strategy level: trust penalties and the iso fallback through a hand-built
+// StrategyContext. System level: a degrade fault on a live World fires the
+// detector, and a background sweep restores near-fresh bandwidth where a
+// disabled run reproduces the stale decay.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/world.hpp"
+#include "fabric/fault.hpp"
+#include "fabric/presets.hpp"
+#include "sampling/recalibration.hpp"
+
+namespace rails::core {
+namespace {
+
+using sampling::RecalibrationConfig;
+using sampling::Recalibrator;
+using sampling::TrustState;
+
+sampling::Estimator make_estimator() {
+  return sampling::Estimator(
+      sampling::sample_rails({fabric::myri10g(), fabric::qsnet2()}, {}));
+}
+
+/// Small-window config so unit tests converge in a handful of residuals.
+RecalibrationConfig unit_config() {
+  RecalibrationConfig cfg;
+  cfg.enabled = true;
+  cfg.min_samples = 3;
+  cfg.drift_patience = 3;
+  cfg.recover_patience = 3;
+  cfg.window = 8;
+  cfg.correction_holdoff = 0;
+  return cfg;
+}
+
+/// Feeds `n` residuals with a fixed signed relative bias; `now` advances
+/// 1 ms per observation so holdoffs and rate limits are never the variable
+/// under test unless a case wants them to be.
+Recalibrator::Outcome feed(Recalibrator& recal, RailId rail, double bias, int n,
+                           SimTime& now) {
+  Recalibrator::Outcome last;
+  for (int i = 0; i < n; ++i) {
+    const SimDuration actual = 30'000;
+    const auto predicted = static_cast<SimDuration>(
+        static_cast<double>(actual) * (1.0 - bias));
+    last = recal.observe(rail, predicted, actual, now);
+    now += 1'000'000;
+  }
+  return last;
+}
+
+TEST(Recalibration, StartsTrustedWithIdentityScale) {
+  auto est = make_estimator();
+  Recalibrator recal(&est, unit_config());
+  ASSERT_EQ(recal.rail_count(), 2u);
+  for (RailId r = 0; r < 2; ++r) {
+    EXPECT_EQ(recal.trust(r), TrustState::kTrusted);
+    EXPECT_FALSE(recal.compromised(r));
+    EXPECT_DOUBLE_EQ(recal.cost_penalty(r), 1.0);
+    EXPECT_DOUBLE_EQ(recal.scale(r), 1.0);
+    EXPECT_DOUBLE_EQ(recal.drift_score(r), 0.0);
+  }
+  EXPECT_STREQ(to_string(TrustState::kTrusted), "TRUSTED");
+  EXPECT_STREQ(to_string(TrustState::kSuspect), "SUSPECT");
+  EXPECT_STREQ(to_string(TrustState::kUntrusted), "UNTRUSTED");
+  EXPECT_STREQ(to_string(TrustState::kResampling), "RESAMPLING");
+}
+
+TEST(Recalibration, DisabledConfigObservesWithoutVerdicts) {
+  auto est = make_estimator();
+  RecalibrationConfig cfg = unit_config();
+  cfg.enabled = false;
+  Recalibrator recal(&est, cfg);
+  SimTime now = 0;
+  feed(recal, 0, 0.75, 40, now);
+  EXPECT_EQ(recal.trust(0), TrustState::kTrusted);
+  EXPECT_EQ(recal.stats().corrections, 0u);
+  EXPECT_EQ(recal.stats().demotions, 0u);
+}
+
+TEST(Recalibration, SustainedDriftDemotesAndScaleCorrects) {
+  auto est = make_estimator();
+  Recalibrator recal(&est, unit_config());
+  const SimDuration pristine = est.profile(0).rdv_chunk.estimate(1_MiB);
+
+  // actual = 3x predicted: bias 2/3, well past the drift threshold.
+  SimTime now = 0;
+  feed(recal, 0, 2.0 / 3.0, 8, now);
+
+  EXPECT_EQ(recal.trust(0), TrustState::kSuspect);
+  EXPECT_EQ(recal.stats().demotions, 1u);
+  EXPECT_EQ(recal.stats().corrections, 1u);
+  // scale = 1 / (1 - 2/3) = 3: the corrected tables predict 3x the time.
+  EXPECT_NEAR(recal.scale(0), 3.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(est.profile(0).rdv_chunk.estimate(1_MiB)),
+              3.0 * static_cast<double>(pristine), 0.05 * 3.0 * static_cast<double>(pristine));
+  // The untouched rail is unaffected.
+  EXPECT_EQ(recal.trust(1), TrustState::kTrusted);
+  EXPECT_DOUBLE_EQ(recal.scale(1), 1.0);
+}
+
+TEST(Recalibration, InBandResidualsPromoteBackToTrusted) {
+  auto est = make_estimator();
+  Recalibrator recal(&est, unit_config());
+  SimTime now = 0;
+  feed(recal, 0, 2.0 / 3.0, 8, now);
+  ASSERT_EQ(recal.trust(0), TrustState::kSuspect);
+  EXPECT_DOUBLE_EQ(recal.cost_penalty(0), unit_config().suspect_penalty);
+
+  // Corrected predictions now land on target: bias 0 re-earns trust.
+  feed(recal, 0, 0.0, 10, now);
+  EXPECT_EQ(recal.trust(0), TrustState::kTrusted);
+  EXPECT_GE(recal.stats().promotions, 1u);
+  EXPECT_DOUBLE_EQ(recal.cost_penalty(0), 1.0);
+  EXPECT_LT(recal.drift_score(0), unit_config().recover_threshold);
+}
+
+TEST(Recalibration, DeadBandResidualsNeverFlipTheState) {
+  auto est = make_estimator();
+  Recalibrator recal(&est, unit_config());
+  // 0.18 sits between recover (0.10) and drift (0.25): pure hysteresis.
+  SimTime now = 0;
+  feed(recal, 0, 0.18, 60, now);
+  EXPECT_EQ(recal.trust(0), TrustState::kTrusted);
+  EXPECT_EQ(recal.stats().demotions, 0u);
+  EXPECT_EQ(recal.stats().corrections, 0u);
+}
+
+TEST(Recalibration, TransientFlapsNeverReachPatience) {
+  auto est = make_estimator();
+  RecalibrationConfig cfg = unit_config();
+  cfg.ewma_alpha = 1.0;  // ewma == latest bias: the flap hits the detector raw
+  Recalibrator recal(&est, cfg);
+  // Two drifting residuals, then one clean one, repeatedly: the drift streak
+  // resets before the patience of 3 is ever met.
+  SimTime now = 0;
+  for (int round = 0; round < 20; ++round) {
+    feed(recal, 0, 0.6, 2, now);
+    feed(recal, 0, 0.0, 1, now);
+  }
+  EXPECT_EQ(recal.trust(0), TrustState::kTrusted);
+  EXPECT_EQ(recal.stats().demotions, 0u);
+}
+
+TEST(Recalibration, PersistentDriftEscalatesToUntrustedAndRequestsSweep) {
+  auto est = make_estimator();
+  Recalibrator recal(&est, unit_config());  // max_corrections = 2
+  // The bias survives every correction (as if the curve's shape changed, not
+  // its scale — the unit test controls the residuals directly).
+  SimTime now = 0;
+  Recalibrator::Outcome last;
+  for (int i = 0; i < 40 && recal.trust(0) != TrustState::kUntrusted; ++i) {
+    last = feed(recal, 0, 2.0 / 3.0, 1, now);
+  }
+  EXPECT_EQ(recal.trust(0), TrustState::kUntrusted);
+  EXPECT_TRUE(last.resample_requested);
+  EXPECT_TRUE(recal.compromised(0));
+  EXPECT_EQ(recal.stats().corrections, 2u);
+  EXPECT_GE(recal.stats().demotions, 2u);  // TRUSTED->SUSPECT, SUSPECT->UNTRUSTED
+  EXPECT_TRUE(recal.resample_due(0, now));
+}
+
+TEST(Recalibration, ResampleProtocolRateLimitsAndSpendsBudget) {
+  auto est = make_estimator();
+  RecalibrationConfig cfg = unit_config();
+  cfg.resample_budget = 2;
+  Recalibrator recal(&est, cfg);
+  const sampling::RailProfile fresh = est.profile(0);
+
+  recal.force_resample(0);
+  EXPECT_TRUE(recal.resample_due(0, 0));
+  EXPECT_EQ(recal.earliest_resample(0), 0);
+
+  recal.begin_resample(0, 0);
+  EXPECT_EQ(recal.trust(0), TrustState::kResampling);
+  EXPECT_TRUE(recal.compromised(0));
+  EXPECT_EQ(recal.resample_budget_left(), 1u);
+  EXPECT_FALSE(recal.resample_due(0, 0));  // sweep already in flight
+
+  recal.complete_resample(0, fresh, 0);
+  EXPECT_EQ(recal.trust(0), TrustState::kSuspect);  // trust is re-earned
+  EXPECT_EQ(recal.stats().resamples, 1u);
+
+  // Wanting another sweep immediately is rate-limited by the interval...
+  recal.force_resample(0);
+  EXPECT_FALSE(recal.resample_due(0, 0));
+  EXPECT_EQ(recal.earliest_resample(0), cfg.resample_interval);
+  // ...and due again once the interval has passed.
+  EXPECT_TRUE(recal.resample_due(0, cfg.resample_interval));
+
+  // Spending the last budget slot closes the protocol for good.
+  recal.begin_resample(0, cfg.resample_interval);
+  recal.complete_resample(0, fresh, cfg.resample_interval);
+  EXPECT_EQ(recal.resample_budget_left(), 0u);
+  recal.force_resample(0);
+  EXPECT_FALSE(recal.resample_due(0, 10 * cfg.resample_interval));
+}
+
+TEST(Recalibration, CompleteResampleInstallsFreshBaseAndResetsScale) {
+  auto est = make_estimator();
+  Recalibrator recal(&est, unit_config());
+  SimTime now = 0;
+  feed(recal, 0, 2.0 / 3.0, 8, now);  // corrected: scale ~3
+  ASSERT_GT(recal.scale(0), 2.0);
+
+  sampling::RailProfile fresh = est.base_profile(0);
+  const SimDuration fresh_estimate = fresh.rdv_chunk.estimate(1_MiB);
+  recal.force_resample(0);
+  recal.begin_resample(0, now);
+  recal.complete_resample(0, fresh, now);
+
+  EXPECT_DOUBLE_EQ(recal.scale(0), 1.0);
+  EXPECT_EQ(est.profile(0).rdv_chunk.estimate(1_MiB), fresh_estimate);
+  EXPECT_EQ(recal.trust(0), TrustState::kSuspect);
+}
+
+TEST(Recalibration, StatusLineNamesTheState) {
+  auto est = make_estimator();
+  Recalibrator recal(&est, unit_config());
+  SimTime now = 0;
+  feed(recal, 0, 2.0 / 3.0, 8, now);
+  const std::string line = recal.status(0);
+  EXPECT_NE(line.find("SUSPECT"), std::string::npos);
+  EXPECT_NE(line.find("corrections 1"), std::string::npos);
+  EXPECT_NE(recal.status(1).find("TRUSTED"), std::string::npos);
+}
+
+// -- strategy consumption of trust ------------------------------------------
+
+/// DecisionHarness-style fixture: a real World provides estimator and NIC
+/// state; trust inputs are injected by hand.
+class TrustDecisionTest : public ::testing::Test {
+ protected:
+  TrustDecisionTest() : world_(paper_testbed("hetero-split")) {}
+
+  StrategyContext ctx() {
+    StrategyContext c;
+    c.now = world_.fabric().now();
+    c.estimator = &world_.estimator();
+    nics_ = {&world_.fabric().nic(0, 0), &world_.fabric().nic(0, 1)};
+    c.nics = std::span<fabric::SimNic* const>(nics_.data(), nics_.size());
+    c.cores = &world_.fabric().cores(0);
+    c.config = &world_.engine(0).config();
+    c.trust_penalty = std::span<const double>(penalty_.data(), penalty_.size());
+    c.trust_compromised = compromised_;
+    return c;
+  }
+
+  core::World world_;
+  std::vector<fabric::SimNic*> nics_;
+  std::vector<double> penalty_ = {1.0, 1.0};
+  bool compromised_ = false;
+};
+
+TEST_F(TrustDecisionTest, CompromisedTrustForcesIsoFallback) {
+  HeteroSplit hetero;
+  IsoSplit iso;
+  const auto knowing = hetero.plan_rendezvous(ctx(), 4_MiB);
+  compromised_ = true;
+  const auto fallback = hetero.plan_rendezvous(ctx(), 4_MiB);
+  const auto iso_plan = iso.plan_rendezvous(ctx(), 4_MiB);
+
+  // With trusted knowledge the split is skewed; compromised, it degrades to
+  // exactly the knowledge-free iso plan.
+  ASSERT_EQ(knowing.chunks.size(), 2u);
+  EXPECT_NE(knowing.chunks[0].bytes, knowing.chunks[1].bytes);
+  ASSERT_EQ(fallback.chunks.size(), iso_plan.chunks.size());
+  for (std::size_t i = 0; i < fallback.chunks.size(); ++i) {
+    EXPECT_EQ(fallback.chunks[i].rail, iso_plan.chunks[i].rail);
+    EXPECT_EQ(fallback.chunks[i].bytes, iso_plan.chunks[i].bytes);
+  }
+}
+
+TEST_F(TrustDecisionTest, SuspectPenaltyShiftsBytesOffTheRail) {
+  HeteroSplit hetero;
+  const auto trusted = hetero.plan_rendezvous(ctx(), 4_MiB);
+  penalty_ = {4.0, 1.0};  // rail 0 SUSPECT with an exaggerated penalty
+  const auto penalized = hetero.plan_rendezvous(ctx(), 4_MiB);
+
+  ASSERT_EQ(trusted.chunks.size(), 2u);
+  ASSERT_EQ(penalized.chunks.size(), 2u);
+  std::size_t trusted_r0 = 0, penalized_r0 = 0;
+  for (const auto& c : trusted.chunks) {
+    if (c.rail == 0) trusted_r0 += c.bytes;
+  }
+  for (const auto& c : penalized.chunks) {
+    if (c.rail == 0) penalized_r0 += c.bytes;
+  }
+  EXPECT_LT(penalized_r0, trusted_r0);
+}
+
+// -- system level -----------------------------------------------------------
+
+/// Profiles matching a Myri-10G rail that is `scale` times slower (what a
+/// full re-sample on the degraded network would return).
+std::vector<sampling::RailProfile> degraded_profiles(double scale) {
+  fabric::NetworkModelParams myri = fabric::myri10g();
+  myri.pio_bw_mbps /= scale;
+  myri.pio_bw_large_mbps /= scale;
+  myri.dma_bw_mbps /= scale;
+  myri.post_us *= scale;
+  myri.wire_latency_us *= scale;
+  myri.rdv_handshake_us *= scale;
+  myri.dma_setup_us *= scale;
+  myri.per_packet_us *= scale;
+  return sampling::sample_rails({myri, fabric::qsnet2()}, {});
+}
+
+TEST(RecalibrationWorld, DegradeFaultFiresDriftDetection) {
+  WorldConfig cfg = paper_testbed("hetero-split");
+  cfg.engine.recalibration.enabled = true;
+  World world(cfg);
+  fabric::FaultSpec slow;
+  slow.kind = fabric::FaultKind::kDegrade;
+  slow.at = 0;
+  slow.duration = 0;  // forever
+  slow.factor = 3.0;
+  world.fabric().nic(0, 0).inject_fault(slow);
+
+  for (int i = 0; i < 15; ++i) world.measure_one_way(4_MiB);
+
+  const auto& stats = world.engine(0).stats();
+  EXPECT_GE(stats.trust_demotions, 1u);
+  EXPECT_GE(stats.recal_corrections, 1u);
+  ASSERT_NE(world.recalibrator(), nullptr);
+  // A 3x degrade should correct to roughly a 3x scale.
+  EXPECT_GT(world.recalibrator()->scale(0), 2.0);
+  EXPECT_LT(world.recalibrator()->scale(0), 5.0);
+  // The healthy rail keeps its identity scale and its trust.
+  EXPECT_DOUBLE_EQ(world.recalibrator()->scale(1), 1.0);
+  EXPECT_EQ(world.recalibrator()->trust(1), TrustState::kTrusted);
+}
+
+TEST(RecalibrationWorld, AdaptiveRunRecoversWhereDisabledRunDecays) {
+  const auto pristine =
+      sampling::sample_rails({fabric::myri10g(), fabric::qsnet2()}, {});
+  const double kScale = 4.0;
+
+  // Fresh optimum: profiles that already describe the degraded network.
+  auto fresh_bw = [&] {
+    WorldConfig cfg = paper_testbed("hetero-split");
+    cfg.profile_override = degraded_profiles(kScale);
+    World world(cfg);
+    world.fabric().nic(0, 0).set_perf_scale(kScale);
+    world.fabric().nic(1, 0).set_perf_scale(kScale);
+    return mbps(4_MiB, world.measure_one_way(4_MiB));
+  }();
+
+  // Stale knowledge with recalibration off: today's decay.
+  auto stale_bw = [&] {
+    WorldConfig cfg = paper_testbed("hetero-split");
+    cfg.profile_override = pristine;
+    World world(cfg);
+    world.fabric().nic(0, 0).set_perf_scale(kScale);
+    world.fabric().nic(1, 0).set_perf_scale(kScale);
+    for (int i = 0; i < 10; ++i) world.measure_one_way(4_MiB);
+    return mbps(4_MiB, world.measure_one_way(4_MiB));
+  }();
+
+  // Stale knowledge with the recalibrator on, including a forced background
+  // sweep so the full resample path (not just scale correction) runs.
+  WorldConfig cfg = paper_testbed("hetero-split");
+  cfg.profile_override = pristine;
+  cfg.engine.recalibration.enabled = true;
+  World world(cfg);
+  world.fabric().nic(0, 0).set_perf_scale(kScale);
+  world.fabric().nic(1, 0).set_perf_scale(kScale);
+  for (int i = 0; i < 2; ++i) world.measure_one_way(4_MiB);
+  world.engine(0).force_recalibrate(0);
+  for (int i = 0; i < 28; ++i) world.measure_one_way(4_MiB);
+  const double adaptive_bw = mbps(4_MiB, world.measure_one_way(4_MiB));
+
+  EXPECT_GE(world.engine(0).stats().recal_resamples, 1u);
+  EXPECT_GE(adaptive_bw, 0.9 * fresh_bw);
+  EXPECT_LT(stale_bw, 0.9 * fresh_bw);  // the decay the adaptive run escapes
+}
+
+TEST(RecalibrationWorld, PreviewResampleSeesTheLivePerfScale) {
+  World world(paper_testbed("hetero-split"));
+  const sampling::RailProfile& pristine = world.estimator().profile(0);
+  world.fabric().nic(0, 0).set_perf_scale(2.0);
+
+  sampling::SamplerConfig sweep;
+  sweep.min_size = 1024;
+  sweep.max_size = 2_MiB;
+  const sampling::RailProfile rp = sampling::resample_rail_via_preview(
+      world.fabric().nic(0, 0), world.now(), sweep);
+
+  EXPECT_EQ(rp.name, pristine.name);
+  const auto measured = static_cast<double>(rp.rdv_chunk.estimate(1_MiB));
+  const auto base = static_cast<double>(pristine.rdv_chunk.estimate(1_MiB));
+  EXPECT_NEAR(measured, 2.0 * base, 0.1 * 2.0 * base);
+  // Eager previews scale too, and the threshold stays a sane size.
+  EXPECT_GT(rp.eager.estimate(16_KiB), pristine.eager.estimate(16_KiB));
+  EXPECT_GT(rp.rdv_threshold, 0u);
+  EXPECT_LE(rp.rdv_threshold, rp.max_eager);
+}
+
+}  // namespace
+}  // namespace rails::core

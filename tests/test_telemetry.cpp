@@ -262,6 +262,55 @@ TEST(PredictionTracker, MergeAndBounds) {
   EXPECT_NE(os.str().find("rail"), std::string::npos);
 }
 
+TEST(PredictionTracker, ReservoirBoundsMemoryWithExactPercentilesBelowCap) {
+  PredictionTracker tracker(1, /*reservoir_cap=*/64, /*recent_window=*/16);
+  EXPECT_EQ(tracker.reservoir_capacity(), 64u);
+  EXPECT_EQ(tracker.recent_window(), 16u);
+
+  // Below the cap every sample is stored, so the percentile is exact.
+  for (int i = 1; i <= 50; ++i) {
+    tracker.record(0, 1000 - 10 * i, 1000);  // rel error i%
+  }
+  EXPECT_EQ(tracker.reservoir_size(0), 50u);
+  EXPECT_NEAR(tracker.accuracy(0).p95_rel_error, 0.48, 0.015);
+
+  // Past the cap the store stays bounded while the lifetime count grows.
+  for (int i = 0; i < 10'000; ++i) tracker.record(0, 900, 1000);
+  EXPECT_EQ(tracker.reservoir_size(0), 64u);
+  EXPECT_EQ(tracker.samples(0), 10'050u);
+  // The reservoir is dominated by the 10% regime by now.
+  EXPECT_NEAR(tracker.accuracy(0).p95_rel_error, 0.1, 0.4);
+}
+
+TEST(PredictionTracker, RecentAccuracySeesARegimeChange) {
+  PredictionTracker tracker(1, 4096, /*recent_window=*/32);
+  // A long perfect history...
+  for (int i = 0; i < 500; ++i) tracker.record(0, 1000, 1000);
+  // ...then the rail degrades: the last window is 50% optimistic.
+  for (int i = 0; i < 32; ++i) tracker.record(0, 500, 1000);
+
+  const auto lifetime = tracker.accuracy(0);
+  const auto recent = tracker.recent_accuracy(0);
+  EXPECT_EQ(recent.samples, 32u);
+  EXPECT_NEAR(recent.mean_rel_error, 0.5, 1e-9);
+  EXPECT_NEAR(recent.mean_bias, 0.5, 1e-9);
+  EXPECT_NEAR(recent.p95_rel_error, 0.5, 1e-9);
+  // The lifetime mean barely moved: this is why the drift detector reads
+  // the recent view, not the lifetime stats.
+  EXPECT_LT(lifetime.mean_rel_error, 0.05);
+  EXPECT_GT(recent.mean_rel_error, 10 * lifetime.mean_rel_error);
+}
+
+TEST(PredictionTracker, MergeReplaysRecentWindowChronologically) {
+  PredictionTracker a(1, 64, /*recent_window=*/8);
+  PredictionTracker b(1, 64, /*recent_window=*/8);
+  for (int i = 0; i < 20; ++i) b.record(0, 1000, 1000);  // wraps b's ring
+  for (int i = 0; i < 8; ++i) b.record(0, 750, 1000);    // newest regime: 25%
+  a.merge(b);
+  // The merged window must end with b's newest residuals.
+  EXPECT_NEAR(a.recent_accuracy(0).mean_rel_error, 0.25, 1e-9);
+}
+
 // -- EngineMetrics sink ------------------------------------------------------
 
 TEST(EngineMetrics, DetachedHooksDoNotAllocate) {

@@ -42,10 +42,17 @@ int usage() {
                "  gantt [--size N]       trace one transfer, render NIC lanes\n"
                "  metrics [--size N] [--strategies a,b,c] [--json]\n"
                "          [--fail-rail R] [--fail-at-us U]\n"
+               "          [--recal] [--degrade-rail R] [--degrade-factor F]\n"
+               "          [--force-recal R]\n"
                "                         run a mixed workload per strategy; print\n"
                "                         counters, latency histograms, prediction error;\n"
                "                         --fail-rail injects a fail-stop on node 0's\n"
-               "                         rail R (at U us) to exercise engine failover\n"
+               "                         rail R (at U us) to exercise engine failover;\n"
+               "                         --recal enables online recalibration and\n"
+               "                         repeats the workload, printing per-rail trust;\n"
+               "                         --degrade-rail slows node 0's rail R by F\n"
+               "                         (default 3x) so drift detection has a target;\n"
+               "                         --force-recal queues a re-sampling sweep on R\n"
                "  trace --chrome FILE [--size N]\n"
                "                         trace a mixed workload, write Chrome-trace\n"
                "                         JSON loadable in Perfetto / about:tracing\n"
@@ -192,14 +199,28 @@ void run_mixed_workload(core::World& world, std::size_t size) {
 
 int cmd_metrics(const core::WorldConfig& base, std::size_t size,
                 const std::vector<std::string>& strategies, bool json, int fail_rail,
-                double fail_at_us) {
+                double fail_at_us, bool recal, int degrade_rail, double degrade_factor,
+                int force_recal) {
   for (const auto& name : strategies) {
     core::WorldConfig cfg = base;
     cfg.strategy = name;
+    if (recal) cfg.engine.recalibration.enabled = true;
     const std::size_t rail_count = cfg.fabric.rails.size();
     if (fail_rail >= 0 && static_cast<std::size_t>(fail_rail) >= rail_count) {
       std::fprintf(stderr, "railsctl metrics: --fail-rail %d out of range (%zu rails)\n",
                    fail_rail, rail_count);
+      return 2;
+    }
+    if (degrade_rail >= 0 && static_cast<std::size_t>(degrade_rail) >= rail_count) {
+      std::fprintf(stderr,
+                   "railsctl metrics: --degrade-rail %d out of range (%zu rails)\n",
+                   degrade_rail, rail_count);
+      return 2;
+    }
+    if (force_recal >= 0 &&
+        (static_cast<std::size_t>(force_recal) >= rail_count || !recal)) {
+      std::fprintf(stderr,
+                   "railsctl metrics: --force-recal needs --recal and a valid rail\n");
       return 2;
     }
     core::World world(std::move(cfg));
@@ -216,8 +237,27 @@ int cmd_metrics(const core::WorldConfig& base, std::size_t size,
       fault.at = usec(fail_at_us);
       world.fabric().nic(0, static_cast<RailId>(fail_rail)).inject_fault(fault);
     }
+    if (degrade_rail >= 0) {
+      // Slow that rail forever, starting immediately — the drift detector's
+      // bread and butter: predictions stay pristine, deliveries do not.
+      fabric::FaultSpec fault;
+      fault.kind = fabric::FaultKind::kDegrade;
+      fault.at = 0;
+      fault.duration = 0;  // forever
+      fault.factor = degrade_factor;
+      world.fabric().nic(0, static_cast<RailId>(degrade_rail)).inject_fault(fault);
+    }
 
-    run_mixed_workload(world, size);
+    // With recalibration on, one workload rarely produces enough residuals
+    // to cross min_samples — repeat it so trust states have time to move.
+    const int rounds = recal ? 10 : 1;
+    for (int round = 0; round < rounds; ++round) {
+      run_mixed_workload(world, size);
+      if (round == 0 && force_recal >= 0) {
+        // Queued now, drained by the next round's event loop.
+        world.engine(0).force_recalibrate(static_cast<RailId>(force_recal));
+      }
+    }
 
     world.engine(0).set_metrics(nullptr);
     world.engine(0).set_prediction_tracker(nullptr);
@@ -231,6 +271,12 @@ int cmd_metrics(const core::WorldConfig& base, std::size_t size,
                 rail_count, size);
     registry.dump_text(std::cout);
     predictions.dump(std::cout);
+    if (recal && world.recalibrator() != nullptr) {
+      std::printf("per-rail trust:\n");
+      for (std::size_t r = 0; r < rail_count; ++r) {
+        std::printf("  %s\n", world.recalibrator()->status(static_cast<RailId>(r)).c_str());
+      }
+    }
     std::printf("\n");
   }
   return 0;
@@ -325,7 +371,11 @@ int main(int argc, char** argv) {
         split_csv(opt(argc, argv, "--strategies", "multicore-hetero-split"));
     return cmd_metrics(cfg, size, strategies, has_flag(argc, argv, "--json"),
                        std::stoi(opt(argc, argv, "--fail-rail", "-1")),
-                       std::stod(opt(argc, argv, "--fail-at-us", "5")));
+                       std::stod(opt(argc, argv, "--fail-at-us", "5")),
+                       has_flag(argc, argv, "--recal"),
+                       std::stoi(opt(argc, argv, "--degrade-rail", "-1")),
+                       std::stod(opt(argc, argv, "--degrade-factor", "3")),
+                       std::stoi(opt(argc, argv, "--force-recal", "-1")));
   }
   if (cmd == "trace") {
     return cmd_trace(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
