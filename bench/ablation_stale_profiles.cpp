@@ -25,28 +25,48 @@
 #include "bench_support/table.hpp"
 #include "core/world.hpp"
 #include "fabric/presets.hpp"
+#include "trace/spans.hpp"
+#include "trace/tracer.hpp"
 
 using namespace rails;
 
 namespace {
 
+struct RunResult {
+  double mbps = 0;
+  double skew_us = 0;  ///< chunk finish-skew: how badly staleness breaks equal-finish
+};
+
+/// Mean finish-skew over the spans reconstructed from `tracer`, in us.
+double mean_skew_us(const trace::Tracer& tracer) {
+  const trace::SpanAnalysis analysis = trace::analyze_spans(tracer);
+  if (analysis.skew_samples.empty()) return 0;
+  double sum = 0;
+  for (const SimDuration s : analysis.skew_samples) sum += to_usec(s);
+  return sum / static_cast<double>(analysis.skew_samples.size());
+}
+
 /// 4 MiB one-way bandwidth with the Myri-10G rail degraded by `scale` on
 /// both nodes, under the given strategy/profiles.
-double run(const char* strategy, double scale,
-           const std::vector<sampling::RailProfile>& profiles) {
+RunResult run(const char* strategy, double scale,
+              const std::vector<sampling::RailProfile>& profiles) {
   core::WorldConfig cfg = core::paper_testbed(strategy);
   cfg.profile_override = profiles;
   core::World world(cfg);
   world.fabric().nic(0, 0).set_perf_scale(scale);
   world.fabric().nic(1, 0).set_perf_scale(scale);
+  trace::Tracer tracer;
+  world.engine(0).set_tracer(&tracer);
   const SimDuration t = world.measure_one_way(4_MiB);
-  return mbps(4_MiB, t);
+  world.fabric().events().run_all();  // let the FIN land so the span completes
+  world.engine(0).set_tracer(nullptr);
+  return {mbps(4_MiB, t), mean_skew_us(tracer)};
 }
 
 /// Same degraded network, stale profiles, but with the recalibration layer
 /// switched on: warm-up transfers feed the drift detector until the rail's
 /// tables have been corrected, then the steady-state bandwidth is measured.
-double run_adaptive(double scale, const std::vector<sampling::RailProfile>& pristine) {
+RunResult run_adaptive(double scale, const std::vector<sampling::RailProfile>& pristine) {
   core::WorldConfig cfg = core::paper_testbed("hetero-split");
   cfg.profile_override = pristine;
   cfg.engine.recalibration.enabled = true;
@@ -56,8 +76,12 @@ double run_adaptive(double scale, const std::vector<sampling::RailProfile>& pris
   // Enough transfers for demote -> correct -> re-promote (each 4 MiB
   // hetero-split transfer yields ~1 residual per rail).
   for (int i = 0; i < 30; ++i) world.measure_one_way(4_MiB);
+  trace::Tracer tracer;  // skew of the steady-state transfer only
+  world.engine(0).set_tracer(&tracer);
   const SimDuration t = world.measure_one_way(4_MiB);
-  return mbps(4_MiB, t);
+  world.fabric().events().run_all();  // let the FIN land so the span completes
+  world.engine(0).set_tracer(nullptr);
+  return {mbps(4_MiB, t), mean_skew_us(tracer)};
 }
 
 /// Profiles matching a Myri-10G rail that is `scale` times slower.
@@ -82,31 +106,37 @@ int main(int argc, char** argv) {
       {fabric::myri10g(), fabric::qsnet2()}, {});
 
   bench::SeriesTable table(
-      "A5 — Myri-10G degraded at runtime: 4 MiB bandwidth (MB/s)",
+      "A5 — Myri-10G degraded at runtime: 4 MiB bandwidth (MB/s) + finish-skew",
       "degradation",
-      {"hetero (stale)", "hetero (re-sampled)", "hetero (adaptive)", "iso-split"});
+      {"hetero (stale)", "hetero (re-sampled)", "hetero (adaptive)", "iso-split",
+       "stale skew (us)", "fresh skew (us)"});
 
   double stale_at_4 = 0.0;
   double fresh_at_4 = 0.0;
   double adaptive_at_4 = 0.0;
   double iso_at_4 = 0.0;
+  double stale_skew_at_4 = 0.0;
+  double fresh_skew_at_4 = 0.0;
   bool fresh_never_worse = true;
   const std::vector<double> scales =
       quick ? std::vector<double>{1.0, 4.0}
             : std::vector<double>{1.0, 1.5, 2.0, 3.0, 4.0};
   for (double scale : scales) {
-    const double stale = run("hetero-split", scale, pristine);
-    const double fresh = run("hetero-split", scale, degraded_profiles(scale));
-    const double adaptive = run_adaptive(scale, pristine);
-    const double iso = run("iso-split", scale, pristine);
+    const RunResult stale = run("hetero-split", scale, pristine);
+    const RunResult fresh = run("hetero-split", scale, degraded_profiles(scale));
+    const RunResult adaptive = run_adaptive(scale, pristine);
+    const RunResult iso = run("iso-split", scale, pristine);
     table.add_row("x" + std::to_string(scale).substr(0, 3),
-                  {stale, fresh, adaptive, iso});
-    if (fresh < stale * 0.999) fresh_never_worse = false;
+                  {stale.mbps, fresh.mbps, adaptive.mbps, iso.mbps, stale.skew_us,
+                   fresh.skew_us});
+    if (fresh.mbps < stale.mbps * 0.999) fresh_never_worse = false;
     if (scale == 4.0) {
-      stale_at_4 = stale;
-      fresh_at_4 = fresh;
-      adaptive_at_4 = adaptive;
-      iso_at_4 = iso;
+      stale_at_4 = stale.mbps;
+      fresh_at_4 = fresh.mbps;
+      adaptive_at_4 = adaptive.mbps;
+      iso_at_4 = iso.mbps;
+      stale_skew_at_4 = stale.skew_us;
+      fresh_skew_at_4 = fresh.skew_us;
     }
   }
   table.print(std::cout, 0);
@@ -124,5 +154,9 @@ int main(int argc, char** argv) {
                      adaptive_at_4 >= fresh_at_4 * 0.9);
   bench::shape_check(std::cout, "adaptive clearly beats the stale split at 4x",
                      adaptive_at_4 > stale_at_4 * 1.05);
+  bench::shape_check(std::cout,
+                     "stale profiles break equal-finish: skew at 4x exceeds the "
+                     "re-sampled split's",
+                     stale_skew_at_4 > fresh_skew_at_4);
   return bench::shape_failures();
 }

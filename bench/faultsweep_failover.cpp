@@ -24,6 +24,8 @@
 #include "common/rng.hpp"
 #include "core/world.hpp"
 #include "fabric/fault.hpp"
+#include "trace/spans.hpp"
+#include "trace/tracer.hpp"
 
 using namespace rails;
 
@@ -37,6 +39,7 @@ struct SweepResult {
   double failovers = 0;
   double retries = 0;
   double quarantines = 0;
+  double mean_skew_us = 0;  ///< mean chunk finish-skew (equal-finish property)
   bool all_intact = true;
 };
 
@@ -45,6 +48,8 @@ SweepResult run_sweep(double fault_rate) {
   Xoshiro256 rng(0xFA17);  // same fault schedule for every rate
   std::vector<std::uint8_t> tx(kSize, 0x3C);
   std::vector<std::uint8_t> rx(kSize);
+  trace::Tracer tracer;  // spans measure how far faults push finishes apart
+  world.engine(0).set_tracer(&tracer);
 
   SweepResult res;
   double total_us = 0;
@@ -75,11 +80,17 @@ SweepResult run_sweep(double fault_rate) {
     total_us += to_usec(world.now() - begin);
     if (rx != tx) res.all_intact = false;
   }
+  world.engine(0).set_tracer(nullptr);
   const auto& stats = world.engine(0).stats();
   res.mean_us = total_us / g_transfers;
   res.failovers = static_cast<double>(stats.failovers);
   res.retries = static_cast<double>(stats.retries);
   res.quarantines = static_cast<double>(stats.quarantines);
+  const trace::SpanAnalysis analysis = trace::analyze_spans(tracer);
+  for (const SimDuration s : analysis.skew_samples) res.mean_skew_us += to_usec(s);
+  if (!analysis.skew_samples.empty()) {
+    res.mean_skew_us /= static_cast<double>(analysis.skew_samples.size());
+  }
   return res;
 }
 
@@ -115,9 +126,11 @@ int main(int argc, char** argv) {
                 g_transfers);
   bench::SeriesTable table(
       title, "fault rate",
-      {"mean (us)", "inflation (x)", "failovers", "retries", "quarantines"});
+      {"mean (us)", "inflation (x)", "failovers", "retries", "quarantines",
+       "skew (us)"});
 
   double baseline_us = 0;
+  double baseline_skew_us = 0;
   double worst_inflation = 0;
   bool all_intact = true;
   const std::vector<double> rates =
@@ -125,14 +138,17 @@ int main(int argc, char** argv) {
             : std::vector<double>{0.0, 0.01, 0.05, 0.1};
   for (const double rate : rates) {
     const SweepResult r = run_sweep(rate);
-    if (rate == 0.0) baseline_us = r.mean_us;
+    if (rate == 0.0) {
+      baseline_us = r.mean_us;
+      baseline_skew_us = r.mean_skew_us;
+    }
     const double inflation = baseline_us > 0 ? r.mean_us / baseline_us : 0;
     worst_inflation = std::max(worst_inflation, inflation);
     all_intact = all_intact && r.all_intact;
     char label[32];
     std::snprintf(label, sizeof(label), "%.2f", rate);
     table.add_row(label, {r.mean_us, inflation, r.failovers, r.retries,
-                          r.quarantines});
+                          r.quarantines, r.mean_skew_us});
   }
   table.print(std::cout, 2);
 
@@ -150,5 +166,9 @@ int main(int argc, char** argv) {
   bench::shape_check(std::cout,
                      "fail-stop mid-transfer completes via the surviving rail",
                      failstop_ok);
+  bench::shape_check(std::cout,
+                     "fault-free transfers keep the equal-finish property "
+                     "(skew < 25% of completion)",
+                     baseline_us > 0 && baseline_skew_us < baseline_us * 0.25);
   return bench::shape_failures() == 0 ? 0 : 1;
 }

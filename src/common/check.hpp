@@ -4,21 +4,51 @@
 // a transfer is pending, a chunk plan that does not cover the message) is far
 // more expensive to debug than an immediate abort, so checks stay enabled in
 // release builds.
+//
+// A process-wide failure hook can be installed to run once, after the
+// diagnostic is printed and before abort(): the flight recorder uses it to
+// dump a postmortem bundle so a CHECK death leaves evidence, not just a core.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace rails::detail {
 
+/// Invoked on CHECK failure with (condition, file, line, message).
+using CheckFailureHook = void (*)(const char* cond, const char* file, int line,
+                                  const char* msg);
+
+inline std::atomic<CheckFailureHook>& check_failure_hook() {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+
 [[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
                                       const char* msg) {
   std::fprintf(stderr, "RAILS_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
                msg[0] ? " — " : "", msg);
+  // Claim the hook exactly once so a CHECK failing inside the hook itself
+  // cannot recurse.
+  if (CheckFailureHook hook = check_failure_hook().exchange(
+          nullptr, std::memory_order_acq_rel)) {
+    hook(cond, file, line, msg);
+  }
   std::abort();
 }
 
 }  // namespace rails::detail
+
+namespace rails {
+
+/// Installs `hook` to run once on the next CHECK failure (before abort).
+/// Passing nullptr uninstalls. Returns the previously installed hook.
+inline detail::CheckFailureHook set_check_failure_hook(detail::CheckFailureHook hook) {
+  return detail::check_failure_hook().exchange(hook, std::memory_order_acq_rel);
+}
+
+}  // namespace rails
 
 #define RAILS_CHECK(cond)                                                \
   do {                                                                   \

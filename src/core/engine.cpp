@@ -1,7 +1,9 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <ostream>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -69,6 +71,59 @@ void Engine::set_recalibrator(sampling::Recalibrator* recal) {
   recal_ = recal;
 }
 
+void Engine::set_flight_recorder(trace::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (flight_ != nullptr) {
+    flight_->set_state_writer([this](std::ostream& os) { write_state_json(os); });
+  }
+}
+
+void Engine::write_state_json(std::ostream& os) const {
+  os << "{\"node\":" << self_ << ",\"strategy\":\""
+     << (strategy_ != nullptr ? strategy_->name() : "(none)") << '"'
+     << ",\"rdv_threshold\":" << rdv_threshold_ << ",\"rails\":[";
+  for (RailId r = 0; r < nics_.size(); ++r) {
+    if (r != 0) os << ',';
+    os << "{\"rail\":" << r << ",\"quarantined\":"
+       << (rail_health_[r].quarantined ? "true" : "false");
+    if (rail_health_[r].quarantined) {
+      os << ",\"until_us\":" << to_usec(rail_health_[r].until);
+    }
+    if (recal_ != nullptr) {
+      os << ",\"trust\":\"" << sampling::to_string(recal_->trust(r)) << '"'
+         << ",\"scale\":" << recal_->scale(r)
+         << ",\"drift\":" << recal_->drift_score(r);
+    }
+    os << '}';
+  }
+  os << "],\"config\":{\"failover_enabled\":"
+     << (config_.failover.enabled ? "true" : "false")
+     << ",\"timeout_slack\":" << config_.failover.timeout_slack
+     << ",\"max_attempts\":" << config_.failover.max_attempts
+     << ",\"quarantine_us\":" << to_usec(config_.failover.quarantine)
+     << ",\"recal_attached\":" << (recal_ != nullptr ? "true" : "false") << "}}";
+}
+
+void Engine::flight(trace::FlightKind kind, RailId rail, std::uint64_t msg_id,
+                    std::int64_t a, std::int64_t b) {
+  if (flight_ == nullptr) return;
+  trace::FlightRecord r;
+  r.time = fabric_->now();
+  r.kind = kind;
+  r.node = self_;
+  r.rail = rail;
+  r.msg_id = msg_id;
+  r.a = a;
+  r.b = b;
+  flight_->record(r);
+  metrics_.on_flight_evictions(flight_->evictions());
+}
+
+void Engine::flight_trigger(const char* reason, const std::string& detail) {
+  if (flight_ == nullptr) return;
+  flight_->trigger(reason, detail, fabric_->now());
+}
+
 void Engine::force_recalibrate(RailId rail) {
   if (recal_ == nullptr) return;
   RAILS_CHECK(rail < nics_.size());
@@ -84,9 +139,23 @@ void Engine::observe_completion(RailId rail, SimDuration plan, SimDuration model
   if (out.scale_corrected) {
     ++stats_.recal_corrections;
     metrics_.on_recal_correction(rail, recal_->scale(rail));
+    flight(trace::FlightKind::kScaleCorrection, rail, 0,
+           static_cast<std::int64_t>(recal_->scale(rail) * 1000.0));
   }
-  if (out.demoted) ++stats_.trust_demotions;
-  if (out.promoted) ++stats_.trust_promotions;
+  if (out.demoted) {
+    ++stats_.trust_demotions;
+    flight(trace::FlightKind::kTrustDemotion, rail, 0,
+           static_cast<std::int64_t>(out.state));
+    char detail[128];
+    std::snprintf(detail, sizeof(detail), "rail %u trust demoted to %s", rail,
+                  sampling::to_string(out.state));
+    flight_trigger("trust-demotion", detail);
+  }
+  if (out.promoted) {
+    ++stats_.trust_promotions;
+    flight(trace::FlightKind::kTrustPromotion, rail, 0,
+           static_cast<std::int64_t>(out.state));
+  }
   if (out.state_changed)
     metrics_.on_trust_change(rail, static_cast<int>(out.state), out.demoted);
   metrics_.on_drift_sample(rail, recal_->drift_score(rail));
@@ -121,6 +190,8 @@ void Engine::run_resample(RailId rail) {
   ++stats_.recal_resamples;
   metrics_.on_resample(rail, recal_->scale(rail));
   metrics_.on_trust_gauge(rail, static_cast<int>(recal_->trust(rail)));
+  flight(trace::FlightKind::kResample, rail, 0,
+         static_cast<std::int64_t>(recal_->scale(rail) * 1000.0));
 }
 
 Strategy& Engine::strategy() {
@@ -131,6 +202,34 @@ Strategy& Engine::strategy() {
 void Engine::trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag,
                          RailId rail, CoreId core, std::size_t bytes, SimTime time,
                          SimTime nic_end) {
+  // Data-plane events are mirrored into the always-on flight recorder so a
+  // postmortem window exists even when no Tracer is attached.
+  if (flight_ != nullptr) {
+    bool mirror = true;
+    trace::FlightKind fk = trace::FlightKind::kSubmit;
+    switch (kind) {
+      case trace::EventKind::kSubmit: fk = trace::FlightKind::kSubmit; break;
+      case trace::EventKind::kEagerEmit: fk = trace::FlightKind::kEagerEmit; break;
+      case trace::EventKind::kChunkPosted: fk = trace::FlightKind::kChunkPosted; break;
+      case trace::EventKind::kSendComplete: fk = trace::FlightKind::kSendComplete; break;
+      case trace::EventKind::kRecvComplete: fk = trace::FlightKind::kRecvComplete; break;
+      case trace::EventKind::kOffloadSignal: fk = trace::FlightKind::kOffloadSignal; break;
+      case trace::EventKind::kFailover: fk = trace::FlightKind::kFailover; break;
+      default: mirror = false; break;
+    }
+    if (mirror) {
+      trace::FlightRecord r;
+      r.time = time;
+      r.kind = fk;
+      r.node = self_;
+      r.rail = rail;
+      r.msg_id = msg_id;
+      r.a = static_cast<std::int64_t>(bytes);
+      r.b = nic_end;
+      flight_->record(r);
+      metrics_.on_flight_evictions(flight_->evictions());
+    }
+  }
   if (tracer_ == nullptr) return;
   trace::TraceEvent event;
   event.time = time;
@@ -143,6 +242,7 @@ void Engine::trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag,
   event.bytes = bytes;
   event.nic_end = nic_end;
   tracer_->record(event);
+  metrics_.on_trace_dropped(tracer_->dropped());
 }
 
 void Engine::reset_stats() {
@@ -754,6 +854,8 @@ void Engine::on_tx_complete(const fabric::Segment& seg) {
 void Engine::on_tx_error(fabric::Segment&& seg) {
   ++stats_.tx_errors;
   metrics_.on_tx_error();
+  flight(trace::FlightKind::kTxError, seg.rail, seg.msg_id,
+         static_cast<std::int64_t>(seg.payload.size()), seg.attempt);
   if (!config_.failover.enabled) return;
   quarantine_rail(seg.rail);
 
@@ -839,6 +941,8 @@ void Engine::on_chunk_timeout(std::uint64_t msg_id, std::uint64_t offset, std::s
   if (entry == lc->second.end() || entry->second != attempt) return;  // retired/superseded
   ++stats_.chunk_timeouts;
   metrics_.on_chunk_timeout();
+  flight(trace::FlightKind::kChunkTimeout, rail, msg_id,
+         static_cast<std::int64_t>(bytes), attempt);
   quarantine_rail(rail);
   failover_chunk(*it->second, offset, bytes, rail, attempt);
 }
@@ -856,6 +960,15 @@ void Engine::failover_chunk(SendRequest& send, std::uint64_t offset, std::size_t
   metrics_.on_failover();
   trace_event(trace::EventKind::kFailover, send.id, send.tag, failed_rail,
               config_.scheduler_core, bytes, fabric_->now());
+  {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "msg %llu: %zu B at offset %llu re-split off rail %u "
+                  "(attempt %u)",
+                  static_cast<unsigned long long>(send.id), bytes,
+                  static_cast<unsigned long long>(offset), failed_rail, attempt);
+    flight_trigger("failover", detail);
+  }
 
   if (attempt + 1u >= config_.failover.max_attempts) {
     ++stats_.failover_exhausted;
@@ -941,6 +1054,15 @@ void Engine::quarantine_rail(RailId rail) {
   h.until = now + h.window;
   ++stats_.quarantines;
   metrics_.on_quarantine(rail);
+  flight(trace::FlightKind::kQuarantine, rail, 0,
+         static_cast<std::int64_t>(to_usec(h.window)));
+  {
+    char detail[128];
+    std::snprintf(detail, sizeof(detail),
+                  "rail %u quarantined for %.1f us (backoff window)", rail,
+                  to_usec(h.window));
+    flight_trigger("quarantine", detail);
+  }
   schedule_reprobe(rail);
 }
 
@@ -960,6 +1082,7 @@ void Engine::reprobe_rail(RailId rail) {
   ++stats_.reprobes;
   const bool up = nics_[rail]->link_up(now);
   metrics_.on_reprobe(rail, up);
+  flight(trace::FlightKind::kReprobe, rail, 0, up ? 1 : 0);
   if (up) {
     ++stats_.reprobe_successes;
     h.quarantined = false;

@@ -25,6 +25,7 @@
 #include "fabric/fabric.hpp"
 #include "telemetry/engine_metrics.hpp"
 #include "telemetry/prediction.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/tracer.hpp"
 
 namespace rails::core {
@@ -104,6 +105,19 @@ class Engine {
   /// Attaches an execution tracer (nullptr detaches). The tracer must
   /// outlive the engine or be detached first.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches the always-on flight recorder (nullptr detaches; same
+  /// lifetime contract as set_tracer). Data-plane events and control-plane
+  /// transitions are mirrored into its lock-free ring, and failover /
+  /// quarantine / trust-demotion events trigger postmortem bundles. Also
+  /// installs this engine as the recorder's state writer, so bundles carry
+  /// the per-rail health/trust/scale view and the failover config.
+  void set_flight_recorder(trace::FlightRecorder* recorder);
+
+  /// Writes one JSON object describing the engine's live control-plane
+  /// state (per-rail quarantine/trust/scale, key config knobs) — embedded
+  /// in postmortem bundles, also handy for diagnostics.
+  void write_state_json(std::ostream& os) const;
 
   /// Attaches a metrics registry (nullptr detaches). Handles are resolved
   /// once here; afterwards the hot path touches only relaxed atomics, and a
@@ -238,6 +252,13 @@ class Engine {
   void trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag, RailId rail,
                    CoreId core, std::size_t bytes, SimTime time, SimTime nic_end = 0);
 
+  /// Appends one control-plane record to the flight recorder (no-op when
+  /// detached) and refreshes the eviction gauge.
+  void flight(trace::FlightKind kind, RailId rail, std::uint64_t msg_id,
+              std::int64_t a = 0, std::int64_t b = 0);
+  /// Requests a postmortem bundle dump (no-op when detached/rate-limited).
+  void flight_trigger(const char* reason, const std::string& detail);
+
   fabric::Fabric* fabric_;
   NodeId self_;
   const sampling::Estimator* estimator_;
@@ -265,6 +286,7 @@ class Engine {
 
   EngineStats stats_;
   trace::Tracer* tracer_ = nullptr;
+  trace::FlightRecorder* flight_ = nullptr;
   telemetry::EngineMetrics metrics_;
   telemetry::PredictionTracker* predictions_ = nullptr;
   sampling::Recalibrator* recal_ = nullptr;

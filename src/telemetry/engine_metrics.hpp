@@ -55,6 +55,8 @@ class EngineMetrics {
     recal_resamples_ = registry_->counter("engine.recal.resamples");
     trust_demotions_ = registry_->counter("engine.recal.demotions");
     trust_promotions_ = registry_->counter("engine.recal.promotions");
+    trace_dropped_ = registry_->gauge("engine.trace_dropped");
+    flight_evictions_ = registry_->gauge("engine.flight_evictions");
     per_rail_bytes_.reserve(rail_count);
     per_rail_chunks_.reserve(rail_count);
     per_rail_healthy_.reserve(rail_count);
@@ -225,6 +227,21 @@ class EngineMetrics {
     if (rail < per_rail_drift_.size())
       per_rail_drift_[rail]->set(static_cast<std::int64_t>(drift * 1000.0));
   }
+  // -- bounded-buffer loss gauges (docs/OBSERVABILITY.md) --------------------
+
+  /// Events evicted from a bounded Tracer ring so far (0 = lossless). A
+  /// nonzero value means span reconstruction may report messages incomplete.
+  void on_trace_dropped(std::uint64_t dropped) {
+    if (registry_ == nullptr) return;
+    trace_dropped_->set(static_cast<std::int64_t>(dropped));
+  }
+  /// Records evicted from the flight recorder's ring (expected to grow on
+  /// long runs; the postmortem window is the last N, by design).
+  void on_flight_evictions(std::uint64_t evictions) {
+    if (registry_ == nullptr) return;
+    flight_evictions_->set(static_cast<std::int64_t>(evictions));
+  }
+
   /// A background re-sampling sweep installed a fresh profile.
   void on_resample(RailId rail, double scale) {
     if (registry_ == nullptr) return;
@@ -265,6 +282,8 @@ class EngineMetrics {
   Counter* recal_resamples_ = nullptr;
   Counter* trust_demotions_ = nullptr;
   Counter* trust_promotions_ = nullptr;
+  Gauge* trace_dropped_ = nullptr;
+  Gauge* flight_evictions_ = nullptr;
   std::vector<Counter*> per_rail_bytes_;
   std::vector<Counter*> per_rail_chunks_;
   std::vector<Gauge*> per_rail_healthy_;

@@ -172,4 +172,21 @@ void PredictionTracker::dump(std::ostream& os) const {
   }
 }
 
+void PredictionTracker::dump_json(std::ostream& os) const {
+  os << '{';
+  char buf[256];
+  for (std::size_t r = 0; r < rails_.size(); ++r) {
+    const RailAccuracy a = accuracy(static_cast<RailId>(r));
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"rail%zu\":{\"samples\":%zu,\"mean_rel_error\":%.6f,"
+                  "\"p95_rel_error\":%.6f,\"max_rel_error\":%.6f,"
+                  "\"mean_bias\":%.6f,\"mean_abs_error_us\":%.3f}",
+                  r == 0 ? "" : ",", r, a.samples, a.mean_rel_error,
+                  a.p95_rel_error, a.max_rel_error, a.mean_bias,
+                  a.mean_abs_error_us);
+    os << buf;
+  }
+  os << '}';
+}
+
 }  // namespace rails::telemetry

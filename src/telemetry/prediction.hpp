@@ -95,6 +95,11 @@ class PredictionTracker {
   /// Table view, one row per rail.
   void dump(std::ostream& os) const;
 
+  /// Machine-readable snapshot, one object per rail:
+  ///   {"rail0":{"samples":N,"mean_rel_error":...,"p95_rel_error":...,
+  ///             "max_rel_error":...,"mean_bias":...,"mean_abs_error_us":...},...}
+  void dump_json(std::ostream& os) const;
+
  private:
   struct PerRail {
     explicit PerRail(std::size_t cap, std::uint64_t seed, std::size_t window)

@@ -172,6 +172,16 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
                         m_chunks_->inc();
                         m_ring_hwm_->update_max(rings_[rail]->size());
                       }
+                      if (flight_ != nullptr) {
+                        trace::FlightRecord rec;
+                        rec.time = flight_now();
+                        rec.kind = trace::FlightKind::kOffloadPush;
+                        rec.rail = static_cast<RailId>(rail);
+                        rec.msg_id = msg_id;
+                        rec.a = static_cast<std::int64_t>(n);
+                        rec.b = worker;
+                        flight_->record(rec);
+                      }
                       worker_chunks_[worker].fetch_add(1, std::memory_order_relaxed);
                       ticket->remaining_.fetch_sub(1, std::memory_order_acq_rel);
                     },
@@ -223,6 +233,31 @@ void OffloadChannel::set_metrics(telemetry::MetricsRegistry* registry) {
   m_chunks_ = registry->counter("offload.chunks");
   m_ring_hwm_ = registry->gauge("offload.ring_hwm");
   m_signal_delay_ = registry->histogram("offload.signal_delay_ns");
+}
+
+void OffloadChannel::set_flight_recorder(trace::FlightRecorder* recorder) {
+  RAILS_CHECK_MSG(!running_.load(std::memory_order_acquire),
+                  "attach/detach the flight recorder before start()");
+  flight_ = recorder;
+  flight_epoch_.store(-1, std::memory_order_relaxed);
+}
+
+SimTime OffloadChannel::flight_now() {
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count();
+  std::int64_t epoch = flight_epoch_.load(std::memory_order_relaxed);
+  if (epoch < 0) {
+    // First record wins the race to define t=0; losers reuse its epoch.
+    std::int64_t expected = -1;
+    if (!flight_epoch_.compare_exchange_strong(expected, wall,
+                                               std::memory_order_acq_rel)) {
+      epoch = expected;
+    } else {
+      epoch = wall;
+    }
+  }
+  return static_cast<SimTime>(wall - epoch);
 }
 
 void OffloadChannel::set_rail_enabled(unsigned rail, bool enabled) {

@@ -36,6 +36,7 @@
 #include "progress/progress_engine.hpp"
 #include "rt/worker_pool.hpp"
 #include "telemetry/metrics.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace rails::threaded {
 
@@ -125,6 +126,14 @@ class OffloadChannel {
   /// ("rt.*") and the progression engine ("progress.*").
   void set_metrics(telemetry::MetricsRegistry* registry);
 
+  /// Attaches the always-on flight recorder (nullptr detaches). Must be
+  /// called before start(). Worker tasklets append one kOffloadPush record
+  /// per chunk from their own threads — real concurrent producers, which is
+  /// exactly what the recorder's lock-free ring exists for. Timestamps are
+  /// wall-clock nanoseconds since the first record (this channel has no
+  /// virtual clock).
+  void set_flight_recorder(trace::FlightRecorder* recorder);
+
  private:
   struct Reassembly {
     std::vector<std::uint8_t> buffer;
@@ -133,6 +142,8 @@ class OffloadChannel {
   };
 
   void pump_rail(unsigned rail, WireChunk&& chunk);
+  /// Wall-clock ns relative to the first flight record (thread-safe).
+  SimTime flight_now();
 
   OffloadChannelConfig config_;
   rt::WorkerPool sender_pool_;
@@ -155,6 +166,8 @@ class OffloadChannel {
   telemetry::Counter* m_chunks_ = nullptr;
   telemetry::Gauge* m_ring_hwm_ = nullptr;
   telemetry::Histogram* m_signal_delay_ = nullptr;
+  trace::FlightRecorder* flight_ = nullptr;
+  std::atomic<std::int64_t> flight_epoch_{-1};  ///< wall-clock ns of first record
 };
 
 }  // namespace rails::threaded

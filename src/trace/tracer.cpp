@@ -24,7 +24,25 @@ const char* to_string(EventKind kind) {
   return "?";
 }
 
+ChromeTraceSink::ChromeTraceSink(std::ostream& os) : os_(os) {
+  os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+void ChromeTraceSink::emit(const char* record) {
+  RAILS_CHECK_MSG(!closed_, "emit() on a closed ChromeTraceSink");
+  if (!first_) os_ << ',';
+  first_ = false;
+  os_ << record;
+}
+
+void ChromeTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  os_ << "]}";
+}
+
 void Tracer::record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (max_events_ != 0 && events_.size() == max_events_) {
     events_[ring_pos_] = event;
     ring_pos_ = (ring_pos_ + 1) % max_events_;
@@ -34,7 +52,25 @@ void Tracer::record(const TraceEvent& event) {
   events_.push_back(event);
 }
 
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  ring_pos_ = 0;
+  dropped_ = 0;
+}
+
 std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(events_.size());
   for_each([&](const TraceEvent& e) { out.push_back(e); });
@@ -42,6 +78,7 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 }
 
 std::vector<TraceEvent> Tracer::of_kind(EventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   for_each([&](const TraceEvent& e) {
     if (e.kind == kind) out.push_back(e);
@@ -50,6 +87,7 @@ std::vector<TraceEvent> Tracer::of_kind(EventKind kind) const {
 }
 
 std::optional<MessageTimeline> Tracer::message(NodeId node, std::uint64_t msg_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   MessageTimeline tl;
   tl.msg_id = msg_id;
   bool seen = false;
@@ -83,6 +121,7 @@ std::optional<MessageTimeline> Tracer::message(NodeId node, std::uint64_t msg_id
 }
 
 std::vector<std::uint64_t> Tracer::bytes_per_rail() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::uint64_t> out;
   for_each([&](const TraceEvent& e) {
     if (e.kind != EventKind::kEagerEmit && e.kind != EventKind::kChunkPosted) return;
@@ -93,6 +132,7 @@ std::vector<std::uint64_t> Tracer::bytes_per_rail() const {
 }
 
 std::vector<SimDuration> Tracer::rail_busy_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SimDuration> out;
   for_each([&](const TraceEvent& e) {
     if (e.kind != EventKind::kEagerEmit && e.kind != EventKind::kChunkPosted) return;
@@ -103,6 +143,7 @@ std::vector<SimDuration> Tracer::rail_busy_time() const {
 }
 
 void Tracer::dump_csv(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
   os << "time_ns,node,kind,msg_id,tag,rail,core,bytes,nic_end_ns\n";
   for_each([&](const TraceEvent& e) {
     os << e.time << ',' << e.node << ',' << to_string(e.kind) << ',' << e.msg_id << ','
@@ -112,17 +153,17 @@ void Tracer::dump_csv(std::ostream& os) const {
 }
 
 void Tracer::dump_chrome_trace(std::ostream& os) const {
-  // Chrome-trace JSON array format: timestamps/durations in microseconds.
+  ChromeTraceSink sink(os);
+  dump_chrome_trace_events(sink);
+  sink.close();
+}
+
+void Tracer::dump_chrome_trace_events(ChromeTraceSink& sink) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Chrome-trace JSON records: timestamps/durations in microseconds.
   // pid = node, tid = rail, so Perfetto renders one lane per (node, rail) —
   // the same layout as render_gantt, but zoomable and with args attached.
   char buf[256];
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
-  auto emit = [&](const char* s) {
-    if (!first) os << ',';
-    first = false;
-    os << s;
-  };
 
   // Name the tracks: one process record per node, one thread record per
   // (node, rail) pair seen in the trace.
@@ -142,14 +183,14 @@ void Tracer::dump_chrome_trace(std::ostream& os) const {
                   "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
                   "\"args\":{\"name\":\"node %u\"}}",
                   node, node);
-    emit(buf);
+    sink.emit(buf);
   }
   for (const auto& [node, rail] : tracks) {
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
                   "\"args\":{\"name\":\"rail %u\"}}",
                   node, rail, rail);
-    emit(buf);
+    sink.emit(buf);
   }
 
   for_each([&](const TraceEvent& e) {
@@ -170,13 +211,13 @@ void Tracer::dump_chrome_trace(std::ostream& os) const {
                     to_string(e.kind), ts, e.node, e.rail,
                     static_cast<unsigned long long>(e.msg_id), e.bytes);
     }
-    emit(buf);
+    sink.emit(buf);
   });
-  os << "]}";
 }
 
 void Tracer::render_gantt(std::ostream& os, unsigned width) const {
   RAILS_CHECK(width >= 8);
+  std::lock_guard<std::mutex> lock(mu_);
   SimTime begin = kSimTimeNever;
   SimTime end = 0;
   std::size_t rails = 0;

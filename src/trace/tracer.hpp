@@ -12,10 +12,17 @@
 // Tracer{max_events} bounds memory with a ring buffer — once full, each new
 // event overwrites the oldest and dropped() counts the evictions, so long
 // benchmark runs keep the most recent window instead of exhausting memory.
+//
+// Thread safety: record() and every query are serialised on an internal
+// mutex, so offload workers may emit concurrently with the scheduler core.
+// The lock is uncontended in the single-threaded DES configurations and a
+// handful of nanoseconds when it is not; the flight recorder (see
+// flight_recorder.hpp) is the lock-free path for truly hot producers.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,6 +83,29 @@ struct MessageTimeline {
   }
 };
 
+/// Incremental Chrome-trace JSON writer. Opens the trace envelope on
+/// construction; each emit() appends one complete record object (no
+/// trailing comma — the sink manages separators); close() writes the
+/// closing brackets. Lets several producers (raw tracer events, span
+/// overlays) share a single valid trace file.
+class ChromeTraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& os);
+  ~ChromeTraceSink() { close(); }
+  ChromeTraceSink(const ChromeTraceSink&) = delete;
+  ChromeTraceSink& operator=(const ChromeTraceSink&) = delete;
+
+  /// Appends one JSON record object (e.g. `{"name":...,"ph":"X",...}`).
+  void emit(const char* record);
+  /// Idempotent; also invoked by the destructor.
+  void close();
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
 class Tracer {
  public:
   Tracer() = default;
@@ -84,22 +114,15 @@ class Tracer {
 
   void record(const TraceEvent& event);
 
-  bool empty() const { return events_.empty(); }
-  std::size_t size() const { return events_.size(); }
+  bool empty() const { return size() == 0; }
+  std::size_t size() const;
   /// Ring capacity; 0 means unbounded.
   std::size_t capacity() const { return max_events_; }
   /// Events evicted from a bounded tracer since the last clear().
-  std::uint64_t dropped() const { return dropped_; }
-  /// Raw storage. In record order until the ring wraps; use snapshot() for
-  /// guaranteed chronological (oldest-first) order.
-  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const;
   /// Copy of the retained events, oldest first.
   std::vector<TraceEvent> snapshot() const;
-  void clear() {
-    events_.clear();
-    ring_pos_ = 0;
-    dropped_ = 0;
-  }
+  void clear();
 
   /// Events of one kind, oldest first.
   std::vector<TraceEvent> of_kind(EventKind kind) const;
@@ -123,11 +146,15 @@ class Tracer {
   /// Timestamps are virtual microseconds.
   void dump_chrome_trace(std::ostream& os) const;
 
+  /// Same records, but onto a caller-owned sink so additional record
+  /// streams (span overlays, flow arrows) can share the trace file.
+  void dump_chrome_trace_events(ChromeTraceSink& sink) const;
+
   /// ASCII per-rail Gantt chart of NIC activity, `width` columns wide.
   void render_gantt(std::ostream& os, unsigned width = 72) const;
 
  private:
-  /// Invokes `fn` on every retained event, oldest first.
+  /// Invokes `fn` on every retained event, oldest first. Caller holds mu_.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     if (dropped_ == 0) {
@@ -138,6 +165,7 @@ class Tracer {
     for (std::size_t i = 0; i < n; ++i) fn(events_[(ring_pos_ + i) % n]);
   }
 
+  mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::size_t max_events_ = 0;  ///< 0 = unbounded
   std::size_t ring_pos_ = 0;    ///< next overwrite slot once full

@@ -1,0 +1,278 @@
+// Flight recorder: lock-free ring semantics, postmortem bundle round trip,
+// rate limiting, the CHECK-failure hook, and — under TSan in CI — genuinely
+// concurrent producers on worker-pool threads (the *Concurrent* tests).
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/world.hpp"
+#include "fabric/fault.hpp"
+#include "rt/worker_pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "threaded/offload_channel.hpp"
+#include "trace/flight_recorder.hpp"
+
+namespace rails {
+namespace {
+
+trace::FlightRecord rec(SimTime t, std::uint64_t msg, std::int64_t a = 0,
+                        std::int64_t b = 0) {
+  trace::FlightRecord r;
+  r.time = t;
+  r.kind = trace::FlightKind::kSubmit;
+  r.msg_id = msg;
+  r.a = a;
+  r.b = b;
+  return r;
+}
+
+TEST(FlightRecorder, RingWrapsAndCountsEvictions) {
+  trace::FlightRecorder fr(8);
+  EXPECT_EQ(fr.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 20; ++i) fr.record(rec(usec(i), i));
+  EXPECT_EQ(fr.total_recorded(), 20u);
+  EXPECT_EQ(fr.evictions(), 12u);
+  EXPECT_EQ(fr.last_time(), usec(19));
+
+  const auto window = fr.snapshot();
+  ASSERT_EQ(window.size(), 8u);
+  // Oldest first, and only the most recent window survives the wrap.
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i].msg_id, 12 + i);
+  }
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  trace::FlightRecorder fr(100);
+  EXPECT_EQ(fr.capacity(), 128u);
+}
+
+// Worker-pool producers hammer the ring while the main thread snapshots.
+// Records are self-checking (a == b == msg_id), so a torn read would be
+// visible; the seqlock must instead skip in-flight slots. TSan CI runs this.
+TEST(FlightRecorder, ConcurrentProducersNeverTearRecords) {
+  trace::FlightRecorder fr(64);
+  constexpr int kWorkers = 4;
+  constexpr int kPerWorker = 5000;
+  rt::WorkerPool pool(kWorkers);
+  std::atomic<int> done{0};
+  for (int w = 0; w < kWorkers; ++w) {
+    pool.submit_to(w, rt::Tasklet(
+                          [&fr, &done, w] {
+                            for (int i = 0; i < kPerWorker; ++i) {
+                              const std::uint64_t v =
+                                  static_cast<std::uint64_t>(w) * kPerWorker + i;
+                              fr.record(rec(static_cast<SimTime>(v), v,
+                                            static_cast<std::int64_t>(v),
+                                            static_cast<std::int64_t>(v)));
+                            }
+                            done.fetch_add(1, std::memory_order_release);
+                          },
+                          rt::TaskPriority::kTasklet));
+  }
+  while (done.load(std::memory_order_acquire) < kWorkers) {
+    for (const trace::FlightRecord& r : fr.snapshot()) {
+      EXPECT_EQ(r.a, static_cast<std::int64_t>(r.msg_id));
+      EXPECT_EQ(r.b, static_cast<std::int64_t>(r.msg_id));
+    }
+  }
+  pool.drain();
+  EXPECT_EQ(fr.total_recorded(),
+            static_cast<std::uint64_t>(kWorkers) * kPerWorker);
+  const auto window = fr.snapshot();
+  EXPECT_EQ(window.size(), fr.capacity());
+  for (const trace::FlightRecord& r : window) {
+    EXPECT_EQ(r.a, static_cast<std::int64_t>(r.msg_id));
+  }
+}
+
+// The real-thread wiring: offload workers append kOffloadPush records from
+// their own tasklets while sends race each other. TSan CI runs this too.
+TEST(FlightRecorder, ConcurrentOffloadChannelProducers) {
+  trace::FlightRecorder fr(256);
+  threaded::OffloadChannelConfig config;
+  config.rails = 2;
+  config.workers = 2;
+  threaded::OffloadChannel channel(config);
+  channel.set_flight_recorder(&fr);
+  std::atomic<int> received{0};
+  channel.start([&received](Tag, std::vector<std::uint8_t>&&) {
+    received.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr int kSends = 16;
+  std::vector<std::uint8_t> data(64 << 10, 0xAB);
+  std::vector<std::shared_ptr<threaded::SendTicket>> tickets;
+  for (int i = 0; i < kSends; ++i) {
+    tickets.push_back(channel.send(7, data.data(), data.size()));
+  }
+  for (const auto& t : tickets) t->wait();
+  while (received.load(std::memory_order_relaxed) < kSends) {
+    std::this_thread::yield();
+  }
+  channel.stop();
+
+  // 64 KiB over 2 rails/2 workers splits into 2 chunks per send.
+  EXPECT_EQ(fr.total_recorded(), static_cast<std::uint64_t>(kSends) * 2);
+  unsigned pushes = 0;
+  for (const trace::FlightRecord& r : fr.snapshot()) {
+    ASSERT_EQ(r.kind, trace::FlightKind::kOffloadPush);
+    EXPECT_LT(r.rail, 2u);
+    EXPECT_GT(r.a, 0);   // chunk bytes
+    EXPECT_GE(r.time, 0);  // wall-clock ns since the first record
+    ++pushes;
+  }
+  EXPECT_EQ(pushes, static_cast<unsigned>(kSends) * 2);
+}
+
+TEST(FlightRecorder, BundleRoundTripsThroughRenderer) {
+  trace::FlightRecorder fr(32);
+  telemetry::MetricsRegistry registry;
+  registry.counter("engine.failovers")->inc();
+  fr.set_metrics(&registry);
+  fr.set_state_writer([](std::ostream& os) {
+    os << "{\"node\":0,\"rails\":[{\"rail\":0,\"quarantined\":false}]}";
+  });
+  for (int i = 0; i < 5; ++i) fr.record(rec(usec(i * 10), i, 512));
+
+  std::stringstream bundle;
+  fr.write_bundle(bundle, "failover", "msg 3 re-split off rail 1", usec(40));
+
+  std::ostringstream rendered;
+  ASSERT_TRUE(trace::FlightRecorder::render_postmortem(bundle, rendered));
+  const std::string out = rendered.str();
+  EXPECT_NE(out.find("reason: failover"), std::string::npos);
+  EXPECT_NE(out.find("msg 3 re-split off rail 1"), std::string::npos);
+  EXPECT_NE(out.find("submit"), std::string::npos);          // event kinds
+  EXPECT_NE(out.find("engine.failovers"), std::string::npos);  // metrics
+  EXPECT_NE(out.find("quarantined"), std::string::npos);       // state
+}
+
+TEST(FlightRecorder, RendererRejectsNonBundles) {
+  std::istringstream garbage("this is not a bundle");
+  std::ostringstream out;
+  EXPECT_FALSE(trace::FlightRecorder::render_postmortem(garbage, out));
+
+  std::istringstream wrong_shape("{\"hello\":1}");
+  std::ostringstream out2;
+  EXPECT_FALSE(trace::FlightRecorder::render_postmortem(wrong_shape, out2));
+}
+
+TEST(FlightRecorder, TriggerWritesFileAndRateLimits) {
+  const std::string dir = ::testing::TempDir();
+  trace::FlightRecorder fr(32);
+  fr.set_output(dir, "fr-test");
+  fr.set_rate_limit(1, 0);  // one bundle, ever
+  fr.record(rec(usec(1), 1));
+
+  const std::string path = fr.trigger("quarantine", "rail 0 out", usec(2));
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(fr.bundles_written(), 1u);
+  EXPECT_EQ(fr.last_bundle_path(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream rendered;
+  EXPECT_TRUE(trace::FlightRecorder::render_postmortem(in, rendered));
+  EXPECT_NE(rendered.str().find("rail 0 out"), std::string::npos);
+
+  // Rate limited: the second trigger records a kTrigger event but writes
+  // nothing.
+  EXPECT_TRUE(fr.trigger("quarantine", "again", usec(3)).empty());
+  EXPECT_EQ(fr.bundles_written(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, TriggerWithoutOutputDirWritesNothing) {
+  trace::FlightRecorder fr(8);
+  fr.record(rec(usec(1), 1));
+  EXPECT_TRUE(fr.trigger("failover", "no dir configured", usec(2)).empty());
+  EXPECT_EQ(fr.bundles_written(), 0u);
+  // The attempt itself is still on the record.
+  const auto window = fr.snapshot();
+  ASSERT_FALSE(window.empty());
+  EXPECT_EQ(window.back().kind, trace::FlightKind::kTrigger);
+}
+
+// The acceptance path: an injected rail fault must leave behind a bundle
+// that `railsctl postmortem` (the same renderer) parses and renders.
+TEST(FlightRecorder, EngineFailoverProducesRenderablePostmortem) {
+  const std::string dir = ::testing::TempDir();
+  core::World world(core::paper_testbed("hetero-split"));
+  telemetry::MetricsRegistry registry;
+  trace::FlightRecorder fr;
+  fr.set_output(dir, "fr-failover");
+  fr.set_metrics(&registry);
+  world.engine(0).set_metrics(&registry);
+  world.engine(0).set_flight_recorder(&fr);
+
+  fabric::FaultSpec dead;
+  dead.kind = fabric::FaultKind::kFailStop;
+  dead.at = usec(20);
+  world.fabric().nic(0, 0).inject_fault(dead);
+
+  const std::size_t size = 4 << 20;
+  std::vector<std::uint8_t> tx(size, 0x7E);
+  std::vector<std::uint8_t> rx(size);
+  auto recv = world.engine(1).irecv(0, 5, rx.data(), size);
+  auto send = world.engine(0).isend(1, 5, tx.data(), size);
+  world.wait(recv);
+  world.wait(send);
+  EXPECT_EQ(rx, tx);
+
+  ASSERT_GE(fr.bundles_written(), 1u);
+  std::ifstream in(fr.last_bundle_path());
+  ASSERT_TRUE(in.good());
+  std::ostringstream rendered;
+  ASSERT_TRUE(trace::FlightRecorder::render_postmortem(in, rendered));
+  const std::string out = rendered.str();
+  // The bundle autopsy names the failure and carries the engine state.
+  EXPECT_TRUE(out.find("failover") != std::string::npos ||
+              out.find("quarantine") != std::string::npos)
+      << out;
+  EXPECT_NE(out.find("tx-error"), std::string::npos);
+  EXPECT_NE(out.find("engine state at dump"), std::string::npos);
+
+  world.engine(0).set_flight_recorder(nullptr);
+  world.engine(0).set_metrics(nullptr);
+  std::remove(fr.last_bundle_path().c_str());
+}
+
+using FlightRecorderDeathTest = ::testing::Test;
+
+TEST(FlightRecorderDeathTest, CheckFailureDumpsOneFinalBundle) {
+  const std::string dir = ::testing::TempDir();
+  const std::string marker = dir + "/fr-check-marker";
+  std::remove(marker.c_str());
+  EXPECT_DEATH(
+      {
+        trace::FlightRecorder fr(16);
+        fr.set_output(dir, "fr-check");
+        fr.record(rec(usec(5), 1));
+        fr.install_check_hook();
+        RAILS_CHECK_MSG(false, "deliberate check failure");
+      },
+      "deliberate check failure");
+  // The death ran in a child process; find the bundle it left behind.
+  bool found = false;
+  for (unsigned seq = 0; seq < 16 && !found; ++seq) {
+    const std::string path =
+        dir + "/fr-check-" + std::to_string(seq) + "-check-failure.json";
+    std::ifstream in(path);
+    if (!in.good()) continue;
+    std::ostringstream rendered;
+    found = trace::FlightRecorder::render_postmortem(in, rendered);
+    EXPECT_NE(rendered.str().find("check-failure"), std::string::npos);
+    std::remove(path.c_str());
+  }
+  EXPECT_TRUE(found);
+  trace::FlightRecorder::uninstall_check_hook();
+}
+
+}  // namespace
+}  // namespace rails

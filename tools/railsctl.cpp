@@ -7,6 +7,8 @@
 //   railsctl gantt    <cluster-file> [--size <bytes>]
 //   railsctl metrics  <cluster-file> [--size <bytes>] [--strategies a,b,c]
 //   railsctl trace    <cluster-file> --chrome <out.json> [--size <bytes>]
+//   railsctl spans    <cluster-file> [--size <bytes>] [--fail-rail R]
+//   railsctl postmortem <bundle.json>
 //
 // The cluster file format is documented in src/core/config.hpp; presets:
 // myri10g, qsnet2, ib-ddr, gige-tcp.
@@ -23,6 +25,8 @@
 #include "core/world.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prediction.hpp"
+#include "trace/flight_recorder.hpp"
+#include "trace/spans.hpp"
 #include "trace/tracer.hpp"
 
 using namespace rails;
@@ -31,8 +35,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: railsctl <describe|sample|pingpong|compare|gantt|metrics|trace> "
-               "<cluster-file> [options]\n"
+               "usage: railsctl <describe|sample|pingpong|compare|gantt|metrics|trace|"
+               "spans|postmortem> <cluster-file> [options]\n"
                "  describe               print the parsed configuration\n"
                "  sample [--out DIR]     sample every rail; write profiles to DIR\n"
                "  pingpong [--min N] [--max N] [--iters N]\n"
@@ -56,6 +60,17 @@ int usage() {
                "  trace --chrome FILE [--size N]\n"
                "                         trace a mixed workload, write Chrome-trace\n"
                "                         JSON loadable in Perfetto / about:tracing\n"
+               "  spans [--size N] [--strategy NAME] [--fail-rail R] [--fail-at-us U]\n"
+               "        [--chrome FILE] [--postmortem-dir DIR]\n"
+               "                         run a mixed workload, reconstruct causal\n"
+               "                         spans, print per-message critical-path\n"
+               "                         attribution + finish-skew and measured-TO\n"
+               "                         histograms; --chrome adds span/flow overlays\n"
+               "                         to the trace file; --fail-rail triggers a\n"
+               "                         flight-recorder bundle into DIR (default .)\n"
+               "  postmortem <bundle.json>\n"
+               "                         render a flight-recorder postmortem bundle\n"
+               "                         (takes a bundle file, not a cluster file)\n"
                "  loadsweep [--messages N]\n"
                "                         open-loop latency vs offered load\n"
                "  incast [--senders N] [--size N]\n"
@@ -263,8 +278,14 @@ int cmd_metrics(const core::WorldConfig& base, std::size_t size,
     world.engine(0).set_prediction_tracker(nullptr);
 
     if (json) {
+      // One self-contained object per strategy (line-delimited when several
+      // strategies are requested): counters/gauges/histograms plus the
+      // per-rail prediction-accuracy summary.
+      std::cout << "{\"strategy\":\"" << name << "\",\"metrics\":";
       registry.dump_json(std::cout);
-      std::cout << "\n";
+      std::cout << ",\"predictions\":";
+      predictions.dump_json(std::cout);
+      std::cout << "}\n";
       continue;
     }
     std::printf("=== strategy %s (%zu rails, %zu-byte rendezvous) ===\n", name.c_str(),
@@ -302,6 +323,104 @@ int cmd_trace(core::WorldConfig cfg, std::size_t size, const char* out_path) {
   std::printf("wrote %zu events to %s (open in ui.perfetto.dev or about:tracing)\n",
               tracer.size(), out_path);
   return 0;
+}
+
+/// Workload for `spans`: like the mixed workload, but the medium eager
+/// message is submitted after the small burst has drained so it reaches the
+/// strategy alone — the single-pending-message shape the multicore offload
+/// path (Fig. 7) engages on, giving the TO histogram real samples.
+void run_staged_workload(core::World& world, std::size_t size) {
+  std::vector<std::uint8_t> small(512, 0x11);
+  std::vector<std::uint8_t> medium(24_KiB, 0x22);
+  std::vector<std::uint8_t> large(size, 0x33);
+  std::vector<std::uint8_t> rx_small(8 * 512);
+  std::vector<std::uint8_t> rx_medium(medium.size());
+  std::vector<std::uint8_t> rx_large(large.size());
+
+  std::vector<core::RecvHandle> recvs;
+  std::vector<core::SendHandle> sends;
+  for (int i = 0; i < 8; ++i) {
+    recvs.push_back(world.engine(1).irecv(0, 100 + i, rx_small.data() + i * 512, 512));
+    sends.push_back(world.engine(0).isend(1, 100 + i, small.data(), small.size()));
+  }
+  for (auto& r : recvs) world.wait(r);
+  for (auto& s : sends) world.wait(s);
+
+  auto recv_m = world.engine(1).irecv(0, 200, rx_medium.data(), rx_medium.size());
+  auto send_m = world.engine(0).isend(1, 200, medium.data(), medium.size());
+  world.wait(recv_m);
+  world.wait(send_m);
+
+  auto recv_l = world.engine(1).irecv(0, 300, rx_large.data(), rx_large.size());
+  auto send_l = world.engine(0).isend(1, 300, large.data(), large.size());
+  world.wait(recv_l);
+  world.wait(send_l);
+}
+
+int cmd_spans(core::WorldConfig cfg, std::size_t size, const char* strategy,
+              int fail_rail, double fail_at_us, const char* chrome_path,
+              const char* bundle_dir) {
+  if (strategy != nullptr) cfg.strategy = strategy;
+  const std::size_t rail_count = cfg.fabric.rails.size();
+  if (fail_rail >= 0 && static_cast<std::size_t>(fail_rail) >= rail_count) {
+    std::fprintf(stderr, "railsctl spans: --fail-rail %d out of range (%zu rails)\n",
+                 fail_rail, rail_count);
+    return 2;
+  }
+  core::World world(std::move(cfg));
+  telemetry::MetricsRegistry registry;
+  trace::Tracer tracer;
+  trace::FlightRecorder recorder;
+  recorder.set_output(bundle_dir != nullptr ? bundle_dir : ".");
+  recorder.set_metrics(&registry);
+  world.engine(0).set_metrics(&registry);
+  world.engine(0).set_tracer(&tracer);
+  world.engine(0).set_flight_recorder(&recorder);
+
+  if (fail_rail >= 0) {
+    fabric::FaultSpec fault;
+    fault.kind = fabric::FaultKind::kFailStop;
+    fault.at = usec(fail_at_us);
+    world.fabric().nic(0, static_cast<RailId>(fail_rail)).inject_fault(fault);
+  }
+
+  run_staged_workload(world, size);
+
+  const trace::SpanAnalysis analysis = trace::analyze_spans(tracer);
+  std::printf("strategy %s, %zu rails, %zu-byte rendezvous workload\n",
+              world.engine(0).strategy().name().c_str(), rail_count, size);
+  analysis.dump(std::cout);
+
+  if (chrome_path != nullptr) {
+    std::ofstream out(chrome_path);
+    if (!out) {
+      std::fprintf(stderr, "railsctl spans: cannot open %s for writing\n", chrome_path);
+      return 1;
+    }
+    trace::ChromeTraceSink sink(out);
+    tracer.dump_chrome_trace_events(sink);
+    trace::emit_chrome_spans(sink, analysis);
+    sink.close();
+    std::printf("wrote Chrome trace with span overlays to %s\n", chrome_path);
+  }
+  if (recorder.bundles_written() > 0) {
+    std::printf("flight-recorder bundle: %s (render with `railsctl postmortem`)\n",
+                recorder.last_bundle_path().c_str());
+  }
+
+  world.engine(0).set_flight_recorder(nullptr);
+  world.engine(0).set_tracer(nullptr);
+  world.engine(0).set_metrics(nullptr);
+  return 0;
+}
+
+int cmd_postmortem(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "railsctl postmortem: cannot open %s\n", path);
+    return 1;
+  }
+  return trace::FlightRecorder::render_postmortem(in, std::cout) ? 0 : 1;
 }
 
 int cmd_loadsweep(const core::WorldConfig& base, unsigned messages) {
@@ -345,6 +464,9 @@ int cmd_incast(const core::WorldConfig& base, unsigned senders, std::size_t size
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
+  // postmortem takes a bundle file, not a cluster file — dispatch it before
+  // the config loader gets a chance to choke on JSON.
+  if (cmd == "postmortem") return cmd_postmortem(argv[2]);
   const core::WorldConfig cfg = core::load_world_config(argv[2]);
 
   if (cmd == "describe") return cmd_describe(cfg);
@@ -380,6 +502,14 @@ int main(int argc, char** argv) {
   if (cmd == "trace") {
     return cmd_trace(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
                      opt(argc, argv, "--chrome", nullptr));
+  }
+  if (cmd == "spans") {
+    return cmd_spans(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
+                     opt(argc, argv, "--strategy", nullptr),
+                     std::stoi(opt(argc, argv, "--fail-rail", "-1")),
+                     std::stod(opt(argc, argv, "--fail-at-us", "5")),
+                     opt(argc, argv, "--chrome", nullptr),
+                     opt(argc, argv, "--postmortem-dir", nullptr));
   }
   if (cmd == "loadsweep") {
     return cmd_loadsweep(
