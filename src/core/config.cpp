@@ -68,6 +68,7 @@ WorldConfig parse_world_config(std::istream& is) {
 
   std::string line;
   int lineno = 0;
+  bool qos_classes_declared = false;
   while (std::getline(is, line)) {
     ++lineno;
     const auto hash = line.find('#');
@@ -176,6 +177,51 @@ WorldConfig parse_world_config(std::istream& is) {
       double us = 0;
       ls >> us;
       cfg.engine.recalibration.resample_interval = usec(us);
+    } else if (directive == "qos") {
+      int on = 0;
+      ls >> on;
+      cfg.engine.qos.enabled = on != 0;
+    } else if (directive == "qos_quantum") {
+      if (!(ls >> cfg.engine.qos.quantum) || cfg.engine.qos.quantum == 0) {
+        fail(lineno, "qos_quantum needs a positive byte count");
+      }
+    } else if (directive == "qos_bulk_chunk") {
+      if (!(ls >> cfg.engine.qos.bulk_chunk) || cfg.engine.qos.bulk_chunk == 0) {
+        fail(lineno, "qos_bulk_chunk needs a positive byte count");
+      }
+    } else if (directive == "qos_aging_us") {
+      double us = 0;
+      ls >> us;
+      if (us <= 0) fail(lineno, "qos_aging_us must be positive");
+      cfg.engine.qos.aging = usec(us);
+    } else if (directive == "qos_latency_cutoff") {
+      ls >> cfg.engine.qos.latency_cutoff;
+    } else if (directive == "qos_deadline_downgrade") {
+      int on = 0;
+      ls >> on;
+      cfg.engine.qos.deadline_downgrade = on != 0;
+    } else if (directive == "qos_class") {
+      // First qos_class line replaces the built-in set; classes are indexed
+      // in declaration order.
+      if (!qos_classes_declared) {
+        qos_classes_declared = true;
+        cfg.engine.qos.classes.clear();
+      }
+      qos::ClassSpec spec;
+      for (const auto& [key, value] : parse_kv(ls, lineno)) {
+        if (key == "name") spec.name = value;
+        else if (key == "weight") spec.weight = std::stod(value);
+        else if (key == "strict") spec.strict_priority = value != "0";
+        else if (key == "capacity") spec.queue_capacity = std::stoul(value);
+        else if (key == "high") spec.high_watermark = std::stoul(value);
+        else if (key == "low") spec.low_watermark = std::stoul(value);
+        else if (key == "deadline_us") spec.default_deadline = usec(std::stod(value));
+        else fail(lineno, "unknown qos_class parameter '" + key + "'");
+      }
+      if (spec.name.empty()) fail(lineno, "qos_class needs name=");
+      if (spec.weight <= 0.0) fail(lineno, "qos_class weight must be positive");
+      if (spec.queue_capacity < 1) fail(lineno, "qos_class capacity must be >= 1");
+      cfg.engine.qos.classes.push_back(std::move(spec));
     } else if (directive == "rail") {
       std::string kind;
       ls >> kind;
@@ -232,6 +278,18 @@ void save_world_config(const WorldConfig& cfg, std::ostream& os) {
   os << "recal_resample_budget " << cfg.engine.recalibration.resample_budget << "\n";
   os << "recal_resample_interval_us "
      << to_usec(cfg.engine.recalibration.resample_interval) << "\n";
+  os << "qos " << (cfg.engine.qos.enabled ? 1 : 0) << "\n";
+  os << "qos_quantum " << cfg.engine.qos.quantum << "\n";
+  os << "qos_bulk_chunk " << cfg.engine.qos.bulk_chunk << "\n";
+  os << "qos_aging_us " << to_usec(cfg.engine.qos.aging) << "\n";
+  os << "qos_latency_cutoff " << cfg.engine.qos.latency_cutoff << "\n";
+  os << "qos_deadline_downgrade " << (cfg.engine.qos.deadline_downgrade ? 1 : 0) << "\n";
+  for (const auto& c : cfg.engine.qos.classes) {
+    os << "qos_class name=" << c.name << " weight=" << c.weight
+       << " strict=" << (c.strict_priority ? 1 : 0) << " capacity=" << c.queue_capacity
+       << " high=" << c.high_watermark << " low=" << c.low_watermark
+       << " deadline_us=" << to_usec(c.default_deadline) << "\n";
+  }
   for (const auto& r : cfg.fabric.rails) {
     os << "rail custom name=" << r.name << " post_us=" << r.post_us
        << " wire_latency_us=" << r.wire_latency_us << " pio_bw=" << r.pio_bw_mbps

@@ -38,6 +38,9 @@ Engine::Engine(fabric::Fabric* fabric, NodeId self, const sampling::Estimator* e
   for (RailId r = 0; r < fabric_->rail_count(); ++r) nics_.push_back(&fabric_->nic(self_, r));
   rdv_threshold_ = config_.rdv_threshold_override != 0 ? config_.rdv_threshold_override
                                                        : estimator_->engine_rdv_threshold();
+  if (config_.qos.enabled) {
+    qos_ = std::make_unique<qos::QosArbiter>(config_.qos, rdv_threshold_);
+  }
   stats_.payload_bytes_per_rail.assign(fabric_->rail_count(), 0);
   rail_health_.assign(fabric_->rail_count(), RailHealth{});
   rail_usable_.assign(fabric_->rail_count(), 1);
@@ -61,6 +64,7 @@ void Engine::set_strategy(std::unique_ptr<Strategy> strategy) {
 void Engine::set_metrics(telemetry::MetricsRegistry* registry) {
   metrics_.attach(registry, fabric_->rail_count());
   if (strategy_ != nullptr) metrics_.set_strategy_name(strategy_->name());
+  if (qos_ != nullptr) qos_->attach_metrics(registry);
 }
 
 void Engine::set_recalibrator(sampling::Recalibrator* recal) {
@@ -201,7 +205,7 @@ Strategy& Engine::strategy() {
 
 void Engine::trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag,
                          RailId rail, CoreId core, std::size_t bytes, SimTime time,
-                         SimTime nic_end) {
+                         SimTime nic_end, std::uint32_t cls) {
   // Data-plane events are mirrored into the always-on flight recorder so a
   // postmortem window exists even when no Tracer is attached.
   if (flight_ != nullptr) {
@@ -241,6 +245,7 @@ void Engine::trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag,
   event.core = core;
   event.bytes = bytes;
   event.nic_end = nic_end;
+  event.cls = cls;
   tracer_->record(event);
   metrics_.on_trace_dropped(tracer_->dropped());
 }
@@ -283,6 +288,25 @@ StrategyContext Engine::make_context() {
 }
 
 SendHandle Engine::isend(NodeId dst, Tag tag, const void* data, std::size_t len) {
+  return submit_send(dst, tag, data, len, SendOptions{}, /*bounded=*/false);
+}
+
+SendHandle Engine::isend(NodeId dst, Tag tag, const void* data, std::size_t len,
+                         const SendOptions& opts) {
+  return submit_send(dst, tag, data, len, opts, /*bounded=*/false);
+}
+
+SendHandle Engine::try_isend(NodeId dst, Tag tag, const void* data, std::size_t len) {
+  return submit_send(dst, tag, data, len, SendOptions{}, /*bounded=*/true);
+}
+
+SendHandle Engine::try_isend(NodeId dst, Tag tag, const void* data, std::size_t len,
+                             const SendOptions& opts) {
+  return submit_send(dst, tag, data, len, opts, /*bounded=*/true);
+}
+
+SendHandle Engine::submit_send(NodeId dst, Tag tag, const void* data, std::size_t len,
+                               const SendOptions& opts, bool bounded) {
   RAILS_CHECK_MSG(dst != self_, "self-sends are not routed through the fabric");
   auto send = std::make_shared<SendRequest>();
   send->id = next_msg_id_++;
@@ -291,8 +315,45 @@ SendHandle Engine::isend(NodeId dst, Tag tag, const void* data, std::size_t len)
   send->data = static_cast<const std::uint8_t*>(data);
   send->len = len;
   send->submit_time = fabric_->now();
+
+  if (qos_ != nullptr) {
+    send->qos_class = qos_->resolve(opts.traffic_class, len);
+    // Deadline admission (docs/QOS.md): compare the estimator's earliest
+    // feasible completion against the requested (or class-default) deadline
+    // at submit time — an infeasible send is refused or downgraded here
+    // instead of timing out on the wire.
+    SimTime deadline = opts.deadline;
+    if (deadline == 0) {
+      const SimDuration d = qos_->spec(send->qos_class).default_deadline;
+      if (d > 0) deadline = send->submit_time + d;
+    }
+    if (deadline != 0 && earliest_feasible_completion(len) > deadline) {
+      if (config_.qos.deadline_downgrade) {
+        qos_->note_admission_downgrade(send->qos_class);
+        ++stats_.qos_admission_downgrades;
+        send->qos_class = std::min<std::uint32_t>(
+            qos::kBackground, static_cast<std::uint32_t>(qos_->class_count() - 1));
+        deadline = 0;  // downgraded sends run best-effort
+      } else {
+        qos_->note_admission_reject(send->qos_class);
+        ++stats_.qos_admission_rejects;
+        send->state = SendState::kRejected;
+        return send;
+      }
+    }
+    send->deadline = deadline;
+    // try_send bound: shed load while the class queue is at capacity (only
+    // eager sends occupy the queue; rendezvous is paced by its handshake
+    // and the windowed streamer).
+    if (bounded && len <= rdv_threshold_ && !qos_->has_capacity(send->qos_class)) {
+      qos_->note_rejected_full(send->qos_class);
+      return nullptr;
+    }
+  }
+
   ++stats_.sends;
-  trace_event(trace::EventKind::kSubmit, send->id, tag, 0, 0, len, send->submit_time);
+  trace_event(trace::EventKind::kSubmit, send->id, tag, 0, 0, len, send->submit_time,
+              0, send->qos_class);
   metrics_.on_submit(len > rdv_threshold_);
 
   if (len > rdv_threshold_) {
@@ -301,7 +362,11 @@ SendHandle Engine::isend(NodeId dst, Tag tag, const void* data, std::size_t len)
     start_rendezvous(send);
   } else {
     ++stats_.eager_msgs;
-    pending_eager_.push_back(send);
+    if (qos_ != nullptr) {
+      qos_->enqueue(send->qos_class, send, send->submit_time);
+    } else {
+      pending_eager_.push_back(send);
+    }
     // The application returns immediately; the scheduler runs as a separate
     // activation at the same virtual instant. Deferring to an event lets a
     // burst of submissions issued back-to-back land in the pack list before
@@ -408,7 +473,15 @@ RecvHandle Engine::irecv(NodeId src, Tag tag, void* data, std::size_t capacity) 
 // ---------------------------------------------------------------------------
 
 void Engine::progress() {
-  if (pending_eager_.empty()) return;
+  // With QoS on, the pack list is fed by the arbiter: strict classes and
+  // aged messages first, then one weighted-DRR round. Rounds are paced by
+  // the NIC-idle re-arms below, which is what enforces the weight shares
+  // under saturation.
+  if (qos_ != nullptr) drain_qos();
+  if (pending_eager_.empty()) {
+    if (qos_ != nullptr && qos_->backlog()) schedule_retry();
+    return;
+  }
   RAILS_CHECK_MSG(strategy_ != nullptr, "traffic submitted before a strategy was installed");
   metrics_.on_progress();
 
@@ -438,7 +511,81 @@ void Engine::progress() {
     return s->bytes_posted == s->len;
   });
 
-  if (!pending_eager_.empty()) schedule_retry();
+  if (!pending_eager_.empty() || (qos_ != nullptr && qos_->backlog())) schedule_retry();
+}
+
+void Engine::drain_qos() {
+  qos_->grant(fabric_->now(), [this](SendHandle send) {
+    ++stats_.qos_grants;
+    pending_eager_.push_back(std::move(send));
+  });
+}
+
+SimTime Engine::earliest_feasible_completion(std::size_t len) const {
+  const SimTime now = fabric_->now();
+  if (len <= rdv_threshold_) {
+    // Eager: best busy-aware completion over the usable rails (eq. 1).
+    SimTime best = kSimTimeNever;
+    for (RailId r = 0; r < nics_.size(); ++r) {
+      if (!rail_usable(r)) continue;
+      const sampling::RailState state{r, nics_[r]->busy_until()};
+      best = std::min(best, estimator_->completion(state, now, len,
+                                                   fabric::Protocol::kEager));
+    }
+    if (best != kSimTimeNever) return best;
+    const sampling::RailState state{0, nics_[0]->busy_until()};
+    return estimator_->completion(state, now, len, fabric::Protocol::kEager);
+  }
+
+  // Rendezvous: RTS/CTS round trip on the best rail plus the equal-finish
+  // makespan of the payload across the usable rails, busy offsets included
+  // (the same solver the failover path uses).
+  std::vector<RailId> usable;
+  for (RailId r = 0; r < nics_.size(); ++r) {
+    if (rail_usable(r)) usable.push_back(r);
+  }
+  if (usable.empty()) {
+    for (RailId r = 0; r < nics_.size(); ++r) usable.push_back(r);
+  }
+  std::vector<strategy::ProfileCost> costs;
+  costs.reserve(usable.size());
+  for (RailId r : usable) costs.emplace_back(&estimator_->profile(r).rdv_chunk);
+  std::vector<strategy::SolverRail> rails;
+  rails.reserve(usable.size());
+  for (std::size_t i = 0; i < usable.size(); ++i) {
+    const SimTime busy = nics_[usable[i]]->busy_until();
+    rails.push_back({usable[i], &costs[i], busy > now ? busy - now : 0});
+  }
+  const strategy::SplitResult split =
+      strategy::solve_equal_finish(std::span<const strategy::SolverRail>(rails), len);
+  SimDuration makespan = 0;
+  for (const SimDuration f : split.finish_times) makespan = std::max(makespan, f);
+  if (makespan == 0) {
+    for (const strategy::Chunk& c : split.chunks) {
+      const sampling::RailState state{c.rail, nics_[c.rail]->busy_until()};
+      makespan =
+          std::max(makespan, estimator_->chunk_completion(state, now, c.bytes) - now);
+    }
+  }
+  SimDuration handshake = kSimTimeNever;
+  for (RailId r : usable) {
+    const sampling::RailState state{r, nics_[r]->busy_until()};
+    handshake = std::min(
+        handshake,
+        estimator_->completion(state, now, 0, fabric::Protocol::kEager) - now);
+  }
+  return now + 2 * handshake + makespan;
+}
+
+void Engine::note_qos_completion(const SendRequest& send) {
+  if (qos_ == nullptr) return;
+  const bool had_deadline = send.deadline != 0;
+  const bool hit = had_deadline && send.complete_time <= send.deadline;
+  if (had_deadline) {
+    if (hit) ++stats_.qos_deadline_hits; else ++stats_.qos_deadline_misses;
+  }
+  qos_->note_completion(send.qos_class, had_deadline, hit,
+                        send.complete_time - send.submit_time);
 }
 
 void Engine::schedule_retry() {
@@ -527,11 +674,13 @@ void Engine::post_emission(const EagerEmission& emission) {
   }
   if (emission.offload_core) {
     trace_event(trace::EventKind::kOffloadSignal, emission.pieces.front().send->id,
-                seg_tag, emission.rail, core, 0, fabric_->now());
+                seg_tag, emission.rail, core, 0, fabric_->now(), 0,
+                emission.pieces.front().send->qos_class);
   }
   for (const EagerPiece& piece : emission.pieces) {
     trace_event(trace::EventKind::kEagerEmit, piece.send->id, piece.send->tag,
-                emission.rail, core, piece.len, times.host_start, times.nic_end);
+                emission.rail, core, piece.len, times.host_start, times.nic_end,
+                piece.send->qos_class);
   }
 
   ++stats_.eager_segments;
@@ -551,8 +700,9 @@ void Engine::post_emission(const EagerEmission& emission) {
       send->complete_time = times.host_end;
       if (send->chunk_count > 1) ++stats_.split_eager_msgs;
       trace_event(trace::EventKind::kSendComplete, send->id, send->tag, emission.rail,
-                  0, send->len, send->complete_time);
+                  0, send->len, send->complete_time, 0, send->qos_class);
       metrics_.on_send_complete(send->complete_time - send->submit_time);
+      note_qos_completion(*send);
     }
   }
 }
@@ -568,7 +718,7 @@ void Engine::start_rendezvous(const SendHandle& send) {
   rts.total_len = send->len;
   post_segment(rail, std::move(rts), config_.scheduler_core);
   trace_event(trace::EventKind::kRtsSent, send->id, send->tag, rail, 0, send->len,
-              fabric_->now());
+              fabric_->now(), 0, send->qos_class);
   send->state = SendState::kRtsSent;
   rdv_sends_[send->id] = send;
 }
@@ -579,7 +729,113 @@ void Engine::handle_cts(const fabric::Segment& seg) {
   SendRequest& send = *it->second;
   RAILS_CHECK(send.state == SendState::kRtsSent);
   send.state = SendState::kStreaming;
-  stream_chunks(send);
+  if (qos_ != nullptr && send.len > config_.qos.bulk_chunk) {
+    // Windowed streaming (docs/QOS.md): instead of laying out the whole
+    // message at once, hand the NICs one bulk_chunk per idle rail and come
+    // back when one frees up. Between chunks the scheduler runs first, so
+    // LATENCY-class sends preempt bulk transfers at chunk granularity.
+    qos_streams_[send.id] = QosStream{it->second, 0};
+    pump_qos_streams();
+  } else {
+    stream_chunks(send);
+  }
+}
+
+void Engine::pump_qos_streams() {
+  // Latency preemption point: give the arbiter/strategy first claim on the
+  // rails that just went idle before feeding them more bulk bytes.
+  progress();
+  const SimTime now = fabric_->now();
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = qos_streams_.begin(); it != qos_streams_.end();) {
+      SendRequest& send = *it->second.send;
+      if (send.failed() || it->second.next_offset >= send.len) {
+        it = qos_streams_.erase(it);
+        continue;
+      }
+      // Best idle usable rail for the next chunk; busy rails wait for the
+      // pump re-arm rather than queueing more bulk behind themselves.
+      RailId best = 0;
+      SimTime best_done = kSimTimeNever;
+      bool found = false;
+      for (RailId r = 0; r < nics_.size(); ++r) {
+        if (!rail_usable(r)) continue;
+        if (nics_[r]->busy_until() > now) continue;
+        const sampling::RailState state{r, nics_[r]->busy_until()};
+        const SimTime done =
+            estimator_->chunk_completion(state, now, config_.qos.bulk_chunk);
+        if (!found || done < best_done) {
+          best = r;
+          best_done = done;
+          found = true;
+        }
+      }
+      if (!found) {
+        ++it;
+        continue;
+      }
+      const std::size_t bytes = std::min<std::size_t>(
+          config_.qos.bulk_chunk, send.len - it->second.next_offset);
+      post_stream_chunk(send, best, it->second.next_offset, bytes);
+      it->second.next_offset += bytes;
+      progressed = true;
+      if (it->second.next_offset >= send.len) {
+        it = qos_streams_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!qos_streams_.empty()) arm_qos_pump();
+}
+
+void Engine::arm_qos_pump() {
+  if (qos_pump_armed_) return;
+  qos_pump_armed_ = true;
+  SimTime when = kSimTimeNever;
+  for (RailId r = 0; r < nics_.size(); ++r) {
+    if (!rail_usable(r)) continue;
+    when = std::min(when, nics_[r]->busy_until());
+  }
+  if (when == kSimTimeNever) {
+    for (const auto* nic : nics_) when = std::min(when, nic->busy_until());
+  }
+  fabric_->events().at(std::max(when, fabric_->now() + 1), [this] {
+    qos_pump_armed_ = false;
+    pump_qos_streams();
+  });
+}
+
+void Engine::post_stream_chunk(SendRequest& send, RailId rail, std::uint64_t offset,
+                               std::size_t bytes) {
+  const SimTime now = fabric_->now();
+  const sampling::RailState state{rail, nics_[rail]->busy_until()};
+  const SimDuration predicted = estimator_->chunk_completion(state, now, bytes) - now;
+
+  fabric::Segment data;
+  data.kind = fabric::SegKind::kData;
+  data.dst = send.dst;
+  data.msg_id = send.id;
+  data.tag = send.tag;
+  data.offset = offset;
+  data.total_len = send.len;
+  data.payload.assign(send.data + offset, send.data + offset + bytes);
+  const auto times = post_segment(rail, std::move(data), config_.scheduler_core);
+  trace_event(trace::EventKind::kChunkPosted, send.id, send.tag, rail,
+              config_.scheduler_core, bytes, times.host_start, times.nic_end,
+              send.qos_class);
+  ++stats_.rdv_chunks;
+  ++stats_.qos_stream_chunks;
+  metrics_.on_chunk_posted(rail, bytes);
+  if (send.bytes_posted == 0) {
+    metrics_.on_queueing(times.host_start - send.submit_time);
+  }
+  ++send.chunk_count;
+  send.bytes_posted += bytes;
+  observe_completion(rail, predicted, times.nic_end - now);
+  track_chunk(send.id, offset, bytes, rail, /*attempt=*/0, now, predicted);
 }
 
 void Engine::stream_chunks(SendRequest& send) {
@@ -624,7 +880,8 @@ void Engine::stream_chunks(SendRequest& send) {
     data.payload.assign(send.data + chunk.offset, send.data + chunk.offset + chunk.bytes);
     const auto times = post_segment(chunk.rail, std::move(data), config_.scheduler_core);
     trace_event(trace::EventKind::kChunkPosted, send.id, send.tag, chunk.rail,
-                config_.scheduler_core, chunk.bytes, times.host_start, times.nic_end);
+                config_.scheduler_core, chunk.bytes, times.host_start, times.nic_end,
+                send.qos_class);
     ++stats_.rdv_chunks;
     metrics_.on_chunk_posted(chunk.rail, chunk.bytes);
     if (first_chunk) {
@@ -645,12 +902,14 @@ void Engine::handle_fin(const fabric::Segment& seg) {
   SendRequest& send = *it->second;
   RAILS_CHECK(send.state == SendState::kStreaming);
   live_chunks_.erase(seg.msg_id);  // any armed timeouts are stale now
+  qos_streams_.erase(seg.msg_id);  // a failover retransmit may finish early
   send.state = SendState::kDone;
   send.complete_time = fabric_->now();
   trace_event(trace::EventKind::kSendComplete, send.id, send.tag, 0, 0, send.len,
-              send.complete_time);
+              send.complete_time, 0, send.qos_class);
   metrics_.on_rdv_complete();
   metrics_.on_send_complete(send.complete_time - send.submit_time);
+  note_qos_completion(send);
   rdv_sends_.erase(it);
 }
 
@@ -1087,7 +1346,10 @@ void Engine::reprobe_rail(RailId rail) {
     ++stats_.reprobe_successes;
     h.quarantined = false;
     h.window = 0;  // healthy again: reset the backoff
-    if (!pending_eager_.empty()) arm_progress(now);
+    if (!pending_eager_.empty() || (qos_ != nullptr && qos_->backlog())) {
+      arm_progress(now);
+    }
+    if (!qos_streams_.empty()) arm_qos_pump();
     return;
   }
   if (h.window >= config_.failover.max_quarantine) {

@@ -23,6 +23,7 @@
 #include "core/strategy_iface.hpp"
 #include "core/wire_format.hpp"
 #include "fabric/fabric.hpp"
+#include "qos/arbiter.hpp"
 #include "telemetry/engine_metrics.hpp"
 #include "telemetry/prediction.hpp"
 #include "trace/flight_recorder.hpp"
@@ -58,6 +59,14 @@ struct EngineStats {
   std::uint64_t recal_resamples = 0;    ///< background re-sampling sweeps run
   std::uint64_t trust_demotions = 0;    ///< trust-state demotions observed
   std::uint64_t trust_promotions = 0;   ///< trust-state promotions observed
+
+  // -- traffic-class QoS (docs/QOS.md) ---------------------------------
+  std::uint64_t qos_grants = 0;               ///< sends released by the arbiter
+  std::uint64_t qos_stream_chunks = 0;        ///< windowed bulk chunks posted
+  std::uint64_t qos_admission_rejects = 0;    ///< deadline-infeasible sends refused
+  std::uint64_t qos_admission_downgrades = 0; ///< ... downgraded to BACKGROUND
+  std::uint64_t qos_deadline_hits = 0;        ///< deadline-tagged sends in time
+  std::uint64_t qos_deadline_misses = 0;      ///< ... that completed late
 };
 
 class Engine {
@@ -82,6 +91,30 @@ class Engine {
 
   /// Non-blocking send. The data buffer must stay alive until completion.
   SendHandle isend(NodeId dst, Tag tag, const void* data, std::size_t len);
+
+  /// Per-send QoS attributes (docs/QOS.md). Inert without the subsystem.
+  struct SendOptions {
+    /// Traffic class; kAutoClass = classify by size.
+    std::uint32_t traffic_class = qos::kAutoClass;
+    /// Absolute completion deadline (virtual time); 0 = none. With QoS on,
+    /// a deadline the estimator deems infeasible is rejected (handle state
+    /// kRejected) or downgraded, per QosConfig::deadline_downgrade.
+    SimTime deadline = 0;
+  };
+
+  /// isend with explicit QoS attributes.
+  SendHandle isend(NodeId dst, Tag tag, const void* data, std::size_t len,
+                   const SendOptions& opts);
+
+  /// Backpressured submit: returns nullptr (sheds load) when the resolved
+  /// class's bounded queue is full. Identical to isend otherwise.
+  SendHandle try_isend(NodeId dst, Tag tag, const void* data, std::size_t len);
+  SendHandle try_isend(NodeId dst, Tag tag, const void* data, std::size_t len,
+                       const SendOptions& opts);
+
+  /// The QoS arbiter; nullptr unless config().qos.enabled.
+  qos::QosArbiter* qos() { return qos_.get(); }
+  const qos::QosArbiter* qos() const { return qos_.get(); }
 
   /// One piece of a gathered (iovec) send.
   struct IoSlice {
@@ -182,6 +215,10 @@ class Engine {
   };
 
   StrategyContext make_context();
+  /// Shared isend/try_isend implementation. `bounded` = refuse (nullptr)
+  /// instead of enqueueing past the class queue capacity.
+  SendHandle submit_send(NodeId dst, Tag tag, const void* data, std::size_t len,
+                         const SendOptions& opts, bool bounded);
   void on_segment(fabric::Segment&& seg);
   void handle_eager(const fabric::Segment& seg);
   void handle_rts(const fabric::Segment& seg);
@@ -199,6 +236,26 @@ class Engine {
   void start_rendezvous(const SendHandle& send);
   void accept_rendezvous(NodeId src, std::uint64_t msg_id);
   void stream_chunks(SendRequest& send);
+
+  // -- traffic-class QoS (docs/QOS.md) -----------------------------------
+  /// Asks the arbiter for one grant round and moves the grants into the
+  /// pack list (called at the head of every scheduler activation).
+  void drain_qos();
+  /// Earliest predicted completion of a `len`-byte send submitted now
+  /// (eager: best usable rail; rendezvous: handshake + equal-finish
+  /// makespan across usable rails, busy offsets included). Feeds deadline
+  /// admission.
+  SimTime earliest_feasible_completion(std::size_t len) const;
+  /// Deadline hit/miss bookkeeping on send completion.
+  void note_qos_completion(const SendRequest& send);
+  /// Windowed rendezvous streaming: posts at most one bulk_chunk-sized
+  /// chunk per idle usable rail per sweep, so strict classes grab rail
+  /// slots between chunks, then re-arms at the next NIC-idle time.
+  void pump_qos_streams();
+  void arm_qos_pump();
+  /// Posts one first-transmission DMA chunk of a windowed stream.
+  void post_stream_chunk(SendRequest& send, RailId rail, std::uint64_t offset,
+                         std::size_t bytes);
 
   /// Posts one segment on `rail`; the submitting core is busy for the host
   /// share of the post. `extra_delay` models offload signalling (TO).
@@ -250,7 +307,8 @@ class Engine {
   RailId repost_rail(const fabric::Segment& seg) const;
 
   void trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag, RailId rail,
-                   CoreId core, std::size_t bytes, SimTime time, SimTime nic_end = 0);
+                   CoreId core, std::size_t bytes, SimTime time, SimTime nic_end = 0,
+                   std::uint32_t cls = 0);
 
   /// Appends one control-plane record to the flight recorder (no-op when
   /// detached) and refreshes the eviction gauge.
@@ -278,6 +336,16 @@ class Engine {
 
   std::vector<SendHandle> pending_eager_;          ///< the pack list
   std::map<std::uint64_t, SendHandle> rdv_sends_;  ///< RTS sent, keyed by msg id
+
+  // -- traffic-class QoS (docs/QOS.md) -----------------------------------
+  std::unique_ptr<qos::QosArbiter> qos_;  ///< null when disabled
+  /// One windowed bulk stream: CTS arrived, chunks fed bulk_chunk at a time.
+  struct QosStream {
+    SendHandle send;
+    std::uint64_t next_offset = 0;
+  };
+  std::map<std::uint64_t, QosStream> qos_streams_;  ///< keyed by msg id
+  bool qos_pump_armed_ = false;
   std::vector<RecvHandle> posted_recvs_;           ///< unmatched, FIFO
   std::map<MsgKey, RecvHandle> bound_recvs_;       ///< matched eager receives
   std::map<MsgKey, InboundRdv> inbound_rdv_;       ///< CTS sent, data flowing

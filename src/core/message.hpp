@@ -20,6 +20,7 @@ enum class SendState : std::uint8_t {
   kStreaming, ///< rendezvous: DMA chunks in flight
   kDone,
   kFailed,    ///< failover exhausted every retry attempt; will never complete
+  kRejected,  ///< QoS deadline admission refused the send at submit time
 };
 
 enum class RecvState : std::uint8_t {
@@ -52,8 +53,18 @@ struct SendRequest {
   /// Number of chunks submitted from a remote (offloaded) core.
   unsigned offloaded_chunks = 0;
 
+  /// Traffic class the QoS arbiter resolved at submit (docs/QOS.md);
+  /// 0 when the QoS subsystem is disabled.
+  std::uint32_t qos_class = 0;
+  /// Absolute completion deadline; 0 = none. Admission-checked at submit.
+  SimTime deadline = 0;
+
   bool done() const { return state == SendState::kDone; }
-  bool failed() const { return state == SendState::kFailed; }
+  /// Terminal non-completion: failover exhausted or refused at admission.
+  bool failed() const {
+    return state == SendState::kFailed || state == SendState::kRejected;
+  }
+  bool rejected() const { return state == SendState::kRejected; }
 };
 
 struct RecvRequest {

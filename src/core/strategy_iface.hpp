@@ -23,6 +23,7 @@
 #include "common/types.hpp"
 #include "fabric/nic.hpp"
 #include "fabric/sim_cores.hpp"
+#include "qos/traffic_class.hpp"
 #include "sampling/estimator.hpp"
 #include "sampling/recalibration.hpp"
 #include "strategy/offload_model.hpp"
@@ -67,6 +68,10 @@ struct EngineConfig {
   FailoverConfig failover;
   /// Online drift detection / adaptive recalibration (docs/CALIBRATION.md).
   sampling::RecalibrationConfig recalibration;
+  /// Traffic-class scheduling, deadline admission, backpressure
+  /// (docs/QOS.md). Default-off: a disabled engine is byte-for-byte the
+  /// pre-QoS engine.
+  qos::QosConfig qos;
 };
 
 /// Everything a strategy may inspect when interrogated.

@@ -43,7 +43,8 @@ void World::set_strategy(const std::string& name) {
 
 SimTime World::wait(const SendHandle& send) {
   fabric_->events().run_until([&] { return send->done() || send->failed(); });
-  RAILS_CHECK_MSG(!send->failed(), "send failed: failover exhausted every retry attempt");
+  RAILS_CHECK_MSG(!send->failed(),
+                  "send failed: rejected at admission or failover exhausted");
   RAILS_CHECK_MSG(send->done(), "send cannot complete: event queue drained");
   return send->complete_time;
 }

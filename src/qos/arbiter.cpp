@@ -1,0 +1,296 @@
+#include "qos/arbiter.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace rails::qos {
+
+namespace {
+
+/// Deficit cap: at most this many rounds' worth of credit can be banked
+/// while a class waits for rail slots, bounding the burst it can release.
+constexpr double kDeficitCapRounds = 4.0;
+
+}  // namespace
+
+QosArbiter::QosArbiter(const QosConfig& cfg, std::size_t auto_cutoff)
+    : cfg_(cfg),
+      specs_(cfg.classes.empty() ? builtin_classes() : cfg.classes),
+      cutoff_(cfg.latency_cutoff != 0 ? cfg.latency_cutoff : auto_cutoff) {
+  RAILS_CHECK_MSG(!specs_.empty(), "QoS needs at least one traffic class");
+  RAILS_CHECK_MSG(cfg_.quantum > 0, "QoS quantum must be positive");
+  for (const ClassSpec& spec : specs_) {
+    RAILS_CHECK_MSG(spec.weight > 0.0, "QoS class weight must be positive");
+    RAILS_CHECK_MSG(spec.queue_capacity >= 1, "QoS class queue capacity must be >= 1");
+  }
+  states_.resize(specs_.size());
+}
+
+const ClassSpec& QosArbiter::spec(ClassId cls) const {
+  RAILS_CHECK(cls < specs_.size());
+  return specs_[cls];
+}
+
+ClassId QosArbiter::resolve(ClassId requested, std::size_t len) const {
+  if (requested == kAutoClass) {
+    const ClassId cls = classify(len);
+    // A trimmed-down class table (fewer than the built-in three) folds the
+    // by-size default onto the last class rather than indexing past the end.
+    return std::min<ClassId>(cls, static_cast<ClassId>(specs_.size() - 1));
+  }
+  RAILS_CHECK_MSG(requested < specs_.size(), "send names an unknown traffic class");
+  return requested;
+}
+
+std::size_t QosArbiter::cost(const core::SendHandle& send) {
+  return std::max<std::size_t>(send->len, 1);
+}
+
+std::size_t QosArbiter::high_mark(ClassId cls) const {
+  const ClassSpec& s = specs_[cls];
+  if (s.high_watermark != 0) return s.high_watermark;
+  return std::max<std::size_t>(1, s.queue_capacity * 3 / 4);
+}
+
+std::size_t QosArbiter::low_mark(ClassId cls) const {
+  const ClassSpec& s = specs_[cls];
+  if (s.low_watermark != 0) return s.low_watermark;
+  return s.queue_capacity / 4;
+}
+
+bool QosArbiter::has_capacity(ClassId cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  return states_[cls].queue.size() < specs_[cls].queue_capacity;
+}
+
+void QosArbiter::note_rejected_full(ClassId cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  ClassState& cs = states_[cls];
+  ++cs.counters.rejected_full;
+  if (cs.m_rejected_full != nullptr) cs.m_rejected_full->inc();
+}
+
+void QosArbiter::enqueue(ClassId cls, core::SendHandle send, SimTime now) {
+  bool pause = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RAILS_CHECK(cls < states_.size());
+    ClassState& cs = states_[cls];
+    cs.queue.push_back(Waiting{std::move(send), now});
+    ++cs.counters.enqueued;
+    cs.counters.depth_hwm = std::max(cs.counters.depth_hwm,
+                                     static_cast<std::uint64_t>(cs.queue.size()));
+    if (cs.m_depth != nullptr) {
+      cs.m_depth->set(static_cast<std::int64_t>(cs.queue.size()));
+    }
+    if (!cs.paused && cs.queue.size() >= high_mark(cls)) {
+      cs.paused = true;
+      pause = true;
+    }
+  }
+  // The callback runs unlocked so it may query the arbiter (or submit).
+  if (pause && backpressure_ != nullptr) backpressure_(cls, true);
+}
+
+void QosArbiter::pop_grant(ClassId cls, bool aged,
+                           std::vector<core::SendHandle>& granted) {
+  ClassState& cs = states_[cls];
+  Waiting w = std::move(cs.queue.front());
+  cs.queue.pop_front();
+  ++cs.counters.granted;
+  cs.counters.granted_bytes += w.send->len;
+  if (aged) ++cs.counters.aged_grants;
+  if (cs.m_granted != nullptr) {
+    cs.m_granted->inc();
+    cs.m_granted_bytes->inc(w.send->len);
+    if (aged) cs.m_aged->inc();
+    cs.m_depth->set(static_cast<std::int64_t>(cs.queue.size()));
+  }
+  granted.push_back(std::move(w.send));
+}
+
+void QosArbiter::grant(SimTime now, const GrantSink& sink) {
+  std::vector<core::SendHandle> granted;
+  std::vector<ClassId> resumed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Strict pass: strict-priority classes drain fully; elsewhere only
+    // messages past the aging threshold jump their class's deficit. Queues
+    // are FIFO, so checking the head suffices.
+    for (ClassId cls = 0; cls < states_.size(); ++cls) {
+      ClassState& cs = states_[cls];
+      if (specs_[cls].strict_priority) {
+        while (!cs.queue.empty()) pop_grant(cls, false, granted);
+        continue;
+      }
+      while (!cs.queue.empty() &&
+             now - cs.queue.front().enqueued >= cfg_.aging) {
+        pop_grant(cls, true, granted);
+      }
+    }
+    // DRR pass: credit only classes that were backlogged entering the pass
+    // (classic DRR — an empty class banks nothing).
+    for (ClassId cls = 0; cls < states_.size(); ++cls) {
+      ClassState& cs = states_[cls];
+      if (specs_[cls].strict_priority) continue;
+      if (cs.queue.empty()) {
+        cs.deficit = 0;
+        continue;
+      }
+      const auto credit = static_cast<std::size_t>(
+          specs_[cls].weight * static_cast<double>(cfg_.quantum));
+      const auto cap = static_cast<std::size_t>(
+          kDeficitCapRounds * specs_[cls].weight * static_cast<double>(cfg_.quantum));
+      cs.deficit = std::min(cs.deficit + std::max<std::size_t>(credit, 1), cap);
+      while (!cs.queue.empty() && cost(cs.queue.front().send) <= cs.deficit) {
+        cs.deficit -= cost(cs.queue.front().send);
+        pop_grant(cls, false, granted);
+      }
+      if (cs.queue.empty()) cs.deficit = 0;
+    }
+    for (ClassId cls = 0; cls < states_.size(); ++cls) {
+      ClassState& cs = states_[cls];
+      if (cs.paused && cs.queue.size() <= low_mark(cls)) {
+        cs.paused = false;
+        resumed.push_back(cls);
+      }
+    }
+  }
+  if (backpressure_ != nullptr) {
+    for (const ClassId cls : resumed) backpressure_(cls, false);
+  }
+  for (core::SendHandle& send : granted) sink(std::move(send));
+}
+
+bool QosArbiter::backlog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ClassState& cs : states_) {
+    if (!cs.queue.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t QosArbiter::depth(ClassId cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  return states_[cls].queue.size();
+}
+
+std::size_t QosArbiter::deficit(ClassId cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  return states_[cls].deficit;
+}
+
+bool QosArbiter::paused(ClassId cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  return states_[cls].paused;
+}
+
+void QosArbiter::set_backpressure(BackpressureFn fn) {
+  backpressure_ = std::move(fn);
+}
+
+void QosArbiter::note_completion(ClassId cls, bool had_deadline, bool deadline_hit,
+                                 SimDuration latency) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  ClassState& cs = states_[cls];
+  if (had_deadline) {
+    if (deadline_hit) {
+      ++cs.counters.deadline_hits;
+      if (cs.m_deadline_hits != nullptr) cs.m_deadline_hits->inc();
+    } else {
+      ++cs.counters.deadline_misses;
+      if (cs.m_deadline_misses != nullptr) cs.m_deadline_misses->inc();
+    }
+  }
+  if (cs.m_latency != nullptr && latency >= 0) {
+    cs.m_latency->observe(static_cast<std::uint64_t>(latency));
+  }
+}
+
+void QosArbiter::note_admission_reject(ClassId cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  ++states_[cls].counters.admission_rejects;
+  if (states_[cls].m_admission_rejects != nullptr) {
+    states_[cls].m_admission_rejects->inc();
+  }
+}
+
+void QosArbiter::note_admission_downgrade(ClassId cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  ++states_[cls].counters.admission_downgrades;
+  if (states_[cls].m_admission_downgrades != nullptr) {
+    states_[cls].m_admission_downgrades->inc();
+  }
+}
+
+ClassCounters QosArbiter::counters(ClassId cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_CHECK(cls < states_.size());
+  return states_[cls].counters;
+}
+
+void QosArbiter::attach_metrics(telemetry::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ClassId cls = 0; cls < states_.size(); ++cls) {
+    ClassState& cs = states_[cls];
+    if (registry == nullptr) {
+      cs.m_depth = nullptr;
+      cs.m_granted = nullptr;
+      cs.m_granted_bytes = nullptr;
+      cs.m_rejected_full = nullptr;
+      cs.m_aged = nullptr;
+      cs.m_deadline_hits = nullptr;
+      cs.m_deadline_misses = nullptr;
+      cs.m_admission_rejects = nullptr;
+      cs.m_admission_downgrades = nullptr;
+      cs.m_latency = nullptr;
+      continue;
+    }
+    const std::string prefix = "qos." + specs_[cls].name + ".";
+    cs.m_depth = registry->gauge(prefix + "queue_depth");
+    cs.m_granted = registry->counter(prefix + "granted");
+    cs.m_granted_bytes = registry->counter(prefix + "granted_bytes");
+    cs.m_rejected_full = registry->counter(prefix + "rejected_full");
+    cs.m_aged = registry->counter(prefix + "aged_grants");
+    cs.m_deadline_hits = registry->counter(prefix + "deadline_hits");
+    cs.m_deadline_misses = registry->counter(prefix + "deadline_misses");
+    cs.m_admission_rejects = registry->counter(prefix + "admission_rejects");
+    cs.m_admission_downgrades = registry->counter(prefix + "admission_downgrades");
+    cs.m_latency = registry->histogram(prefix + "latency_ns");
+  }
+}
+
+void QosArbiter::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << '[';
+  for (ClassId cls = 0; cls < states_.size(); ++cls) {
+    const ClassState& cs = states_[cls];
+    const ClassCounters& c = cs.counters;
+    if (cls != 0) os << ',';
+    os << "{\"class\":\"" << specs_[cls].name << "\",\"weight\":" << specs_[cls].weight
+       << ",\"strict\":" << (specs_[cls].strict_priority ? "true" : "false")
+       << ",\"depth\":" << cs.queue.size() << ",\"depth_hwm\":" << c.depth_hwm
+       << ",\"deficit\":" << cs.deficit << ",\"paused\":" << (cs.paused ? "true" : "false")
+       << ",\"enqueued\":" << c.enqueued << ",\"granted\":" << c.granted
+       << ",\"granted_bytes\":" << c.granted_bytes
+       << ",\"rejected_full\":" << c.rejected_full
+       << ",\"aged_grants\":" << c.aged_grants
+       << ",\"deadline_hits\":" << c.deadline_hits
+       << ",\"deadline_misses\":" << c.deadline_misses
+       << ",\"admission_rejects\":" << c.admission_rejects
+       << ",\"admission_downgrades\":" << c.admission_downgrades << '}';
+  }
+  os << ']';
+}
+
+}  // namespace rails::qos

@@ -1,0 +1,151 @@
+// Weighted deficit-round-robin arbiter over per-class submit queues
+// (docs/QOS.md).
+//
+// Sits between the application submit path and the engine's strategy layer:
+// isend() enqueues into the class queue instead of the pack list, and each
+// scheduler activation asks the arbiter for one grant round. A round is
+//
+//   1. strict pass   — strict-priority classes (LATENCY) drain fully, and
+//                      any message older than the aging threshold is
+//                      granted regardless of its class's deficit
+//                      (starvation protection);
+//   2. DRR pass      — every backlogged non-strict class is credited
+//                      weight * quantum bytes of deficit (capped at four
+//                      rounds' worth so an idle period cannot bank an
+//                      unbounded burst), then grants from its queue head
+//                      while the head's cost fits the deficit.
+//
+// Under saturation the rounds are paced by NIC-idle events, so granted
+// bytes converge to the weight ratio; on an idle fabric repeated rounds
+// drain everything immediately — the arbiter is work-conserving.
+//
+// Bounded queues give backpressure: has_capacity()/enqueue() implement
+// try_send, and watermark callbacks fire on the high/low crossings so
+// producers shed load instead of growing memory without bound.
+//
+// Thread safety: every method is serialised on an internal mutex and the
+// watermark/grant callbacks are invoked with the lock released, so real
+// threads (the offload channel, tests under TSan) may produce concurrently
+// with a draining consumer. The DES engine is single-threaded; the lock is
+// uncontended there.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "core/message.hpp"
+#include "qos/traffic_class.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rails::qos {
+
+/// Per-class accounting, snapshot via QosArbiter::counters().
+struct ClassCounters {
+  std::uint64_t enqueued = 0;        ///< sends admitted into the queue
+  std::uint64_t rejected_full = 0;   ///< try_isend refusals (queue at capacity)
+  std::uint64_t granted = 0;         ///< sends handed to the strategy layer
+  std::uint64_t granted_bytes = 0;
+  std::uint64_t aged_grants = 0;     ///< grants escalated by starvation aging
+  std::uint64_t deadline_hits = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t admission_downgrades = 0;
+  std::uint64_t depth_hwm = 0;       ///< queue-depth high-water mark
+};
+
+class QosArbiter {
+ public:
+  /// `paused` = true on the high-watermark crossing, false on the low.
+  using BackpressureFn = std::function<void(ClassId, bool paused)>;
+  using GrantSink = std::function<void(core::SendHandle)>;
+
+  /// `auto_cutoff` backs the default-by-size classification when
+  /// cfg.latency_cutoff is 0 (the engine passes its rendezvous threshold).
+  QosArbiter(const QosConfig& cfg, std::size_t auto_cutoff);
+
+  std::size_t class_count() const { return specs_.size(); }
+  const ClassSpec& spec(ClassId cls) const;
+  std::size_t cutoff() const { return cutoff_; }
+
+  /// Default class by size: len >= cutoff() -> kBulk, else kLatency.
+  ClassId classify(std::size_t len) const { return default_class(len, cutoff_); }
+  /// kAutoClass -> classify(len); explicit ids are range-checked.
+  ClassId resolve(ClassId requested, std::size_t len) const;
+
+  /// try_send capacity probe. note_rejected_full() records the refusal.
+  bool has_capacity(ClassId cls) const;
+  void note_rejected_full(ClassId cls);
+
+  /// Admits one send (never refuses — callers wanting the bound use
+  /// has_capacity first). Fires the high-watermark callback on crossing.
+  void enqueue(ClassId cls, core::SendHandle send, SimTime now);
+
+  /// One arbitration round; invokes `sink` once per granted send, in grant
+  /// order. Fires low-watermark callbacks for queues that drained below.
+  void grant(SimTime now, const GrantSink& sink);
+
+  bool backlog() const;
+  std::size_t depth(ClassId cls) const;
+  /// Current DRR deficit in bytes (diagnostics / railsctl qos).
+  std::size_t deficit(ClassId cls) const;
+  /// True between a high-watermark crossing and the next low crossing.
+  bool paused(ClassId cls) const;
+
+  void set_backpressure(BackpressureFn fn);
+
+  /// Completion/admission bookkeeping fed back by the engine.
+  void note_completion(ClassId cls, bool had_deadline, bool deadline_hit,
+                       SimDuration latency);
+  void note_admission_reject(ClassId cls);
+  void note_admission_downgrade(ClassId cls);
+
+  ClassCounters counters(ClassId cls) const;
+
+  /// Resolves per-class metric handles ("qos.<class>.*"); nullptr detaches.
+  void attach_metrics(telemetry::MetricsRegistry* registry);
+
+  /// Per-class JSON array for `railsctl metrics --json` / `railsctl qos`.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Waiting {
+    core::SendHandle send;
+    SimTime enqueued = 0;
+  };
+  struct ClassState {
+    std::deque<Waiting> queue;
+    std::size_t deficit = 0;
+    bool paused = false;
+    ClassCounters counters;
+    telemetry::Gauge* m_depth = nullptr;
+    telemetry::Counter* m_granted = nullptr;
+    telemetry::Counter* m_granted_bytes = nullptr;
+    telemetry::Counter* m_rejected_full = nullptr;
+    telemetry::Counter* m_aged = nullptr;
+    telemetry::Counter* m_deadline_hits = nullptr;
+    telemetry::Counter* m_deadline_misses = nullptr;
+    telemetry::Counter* m_admission_rejects = nullptr;
+    telemetry::Counter* m_admission_downgrades = nullptr;
+    telemetry::Histogram* m_latency = nullptr;
+  };
+
+  /// Byte cost of one grant (zero-length sends still cost one unit).
+  static std::size_t cost(const core::SendHandle& send);
+  std::size_t high_mark(ClassId cls) const;
+  std::size_t low_mark(ClassId cls) const;
+  /// Pops the queue head into `granted`. Caller holds mu_.
+  void pop_grant(ClassId cls, bool aged, std::vector<core::SendHandle>& granted);
+
+  QosConfig cfg_;
+  std::vector<ClassSpec> specs_;
+  std::size_t cutoff_;
+  mutable std::mutex mu_;
+  std::vector<ClassState> states_;
+  BackpressureFn backpressure_;
+};
+
+}  // namespace rails::qos

@@ -45,6 +45,8 @@ OffloadChannel::OffloadChannel(OffloadChannelConfig config)
       receiver_pool_(1),
       worker_chunks_(config.workers),
       rail_bytes_(config.rails),
+      class_sends_(kClassSlots),
+      class_bytes_(kClassSlots),
       rail_enabled_(config.rails),
       rail_weight_milli_(config.rails) {
   RAILS_CHECK(config_.rails >= 1 && config_.workers >= 1);
@@ -54,6 +56,10 @@ OffloadChannel::OffloadChannel(OffloadChannelConfig config)
     rail_enabled_[r].store(1, std::memory_order_relaxed);
     rail_weight_milli_[r].store(1000, std::memory_order_relaxed);
     rail_bytes_[r].store(0, std::memory_order_relaxed);
+  }
+  for (unsigned c = 0; c < kClassSlots; ++c) {
+    class_sends_[c].store(0, std::memory_order_relaxed);
+    class_bytes_[c].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -82,10 +88,22 @@ void OffloadChannel::stop() {
 
 std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
                                                  std::size_t len) {
+  return send(tag, data, len, 0);
+}
+
+std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
+                                                 std::size_t len, unsigned cls) {
   RAILS_CHECK_MSG(running_.load(std::memory_order_acquire), "channel not started");
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
   if (m_sends_ != nullptr) m_sends_->inc();
+  const unsigned slot = std::min(cls, kClassSlots - 1);
+  class_sends_[slot].fetch_add(1, std::memory_order_relaxed);
+  class_bytes_[slot].fetch_add(len, std::memory_order_relaxed);
+  if (slot < m_class_sends_.size() && m_class_sends_[slot] != nullptr) {
+    m_class_sends_[slot]->inc();
+    m_class_bytes_[slot]->inc(len);
+  }
 
   // Rails currently marked usable; an all-disabled channel still sends on
   // every rail rather than refusing.
@@ -98,36 +116,51 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
     for (unsigned r = 0; r < config_.rails; ++r) usable.push_back(r);
   }
 
-  // The "split ratio computation" of Fig. 7 — homogeneous rails, so equal
-  // chunks by default; a down-weighted (SUSPECT) rail receives a
-  // proportionally smaller share of each send.
-  unsigned chunks = 1;
-  if (len >= config_.min_split) {
-    chunks = std::min(static_cast<unsigned>(usable.size()), config_.workers);
+  std::vector<unsigned> chunk_rail;
+  std::vector<std::size_t> chunk_bytes;
+  if (cls != 0 && config_.class_chunk != 0 && len > config_.class_chunk) {
+    // Classed bulk path: class_chunk-bounded chunks round-robined over the
+    // usable rails, so a concurrent latency-class send only ever waits for
+    // one chunk (not the whole message) on any ring.
+    const std::size_t cap = config_.class_chunk;
+    for (std::size_t offset = 0; offset < len; offset += cap) {
+      chunk_rail.push_back(usable[chunk_rail.size() % usable.size()]);
+      chunk_bytes.push_back(std::min(cap, len - offset));
+    }
+  } else {
+    // The "split ratio computation" of Fig. 7 — homogeneous rails, so equal
+    // chunks by default; a down-weighted (SUSPECT) rail receives a
+    // proportionally smaller share of each send.
+    unsigned chunks = 1;
+    if (len >= config_.min_split) {
+      chunks = std::min(static_cast<unsigned>(usable.size()), config_.workers);
+    }
+    chunk_rail.resize(chunks);
+    chunk_bytes.resize(chunks);
+    std::vector<double> weight(chunks);
+    double weight_sum = 0;
+    for (unsigned c = 0; c < chunks; ++c) {
+      chunk_rail[c] = usable[c % usable.size()];
+      weight[c] =
+          static_cast<double>(
+              rail_weight_milli_[chunk_rail[c]].load(std::memory_order_relaxed)) /
+          1000.0;
+      weight_sum += weight[c];
+    }
+    if (weight_sum <= 0) {
+      // Every targeted rail weighted to zero: equal split beats refusing.
+      weight.assign(chunks, 1.0);
+      weight_sum = chunks;
+    }
+    std::size_t assigned = 0;
+    for (unsigned c = 0; c + 1 < chunks; ++c) {
+      chunk_bytes[c] = static_cast<std::size_t>(static_cast<double>(len) * weight[c] /
+                                                weight_sum);
+      assigned += chunk_bytes[c];
+    }
+    chunk_bytes[chunks - 1] = len - assigned;
   }
-  std::vector<unsigned> chunk_rail(chunks);
-  std::vector<double> weight(chunks);
-  double weight_sum = 0;
-  for (unsigned c = 0; c < chunks; ++c) {
-    chunk_rail[c] = usable[c % usable.size()];
-    weight[c] = static_cast<double>(
-                    rail_weight_milli_[chunk_rail[c]].load(std::memory_order_relaxed)) /
-                1000.0;
-    weight_sum += weight[c];
-  }
-  if (weight_sum <= 0) {
-    // Every targeted rail weighted to zero: equal split beats refusing.
-    weight.assign(chunks, 1.0);
-    weight_sum = chunks;
-  }
-  std::vector<std::size_t> chunk_bytes(chunks);
-  std::size_t assigned = 0;
-  for (unsigned c = 0; c + 1 < chunks; ++c) {
-    chunk_bytes[c] = static_cast<std::size_t>(static_cast<double>(len) * weight[c] /
-                                              weight_sum);
-    assigned += chunk_bytes[c];
-  }
-  chunk_bytes[chunks - 1] = len - assigned;
+  const auto chunks = static_cast<unsigned>(chunk_rail.size());
 
   auto ticket = std::shared_ptr<SendTicket>(new SendTicket(chunks));
   // "Requests registration": one tasklet per chunk, each signalled to its
@@ -227,12 +260,21 @@ void OffloadChannel::set_metrics(telemetry::MetricsRegistry* registry) {
     m_chunks_ = nullptr;
     m_ring_hwm_ = nullptr;
     m_signal_delay_ = nullptr;
+    m_class_sends_.clear();
+    m_class_bytes_.clear();
     return;
   }
   m_sends_ = registry->counter("offload.sends");
   m_chunks_ = registry->counter("offload.chunks");
   m_ring_hwm_ = registry->gauge("offload.ring_hwm");
   m_signal_delay_ = registry->histogram("offload.signal_delay_ns");
+  m_class_sends_.assign(kClassSlots, nullptr);
+  m_class_bytes_.assign(kClassSlots, nullptr);
+  for (unsigned c = 0; c < kClassSlots; ++c) {
+    const std::string prefix = "offload.class" + std::to_string(c);
+    m_class_sends_[c] = registry->counter(prefix + ".sends");
+    m_class_bytes_[c] = registry->counter(prefix + ".bytes");
+  }
 }
 
 void OffloadChannel::set_flight_recorder(trace::FlightRecorder* recorder) {
@@ -296,6 +338,24 @@ std::vector<std::uint64_t> OffloadChannel::bytes_per_rail() const {
   std::vector<std::uint64_t> out;
   out.reserve(rail_bytes_.size());
   for (const auto& counter : rail_bytes_) {
+    out.push_back(counter.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> OffloadChannel::bytes_per_class() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(class_bytes_.size());
+  for (const auto& counter : class_bytes_) {
+    out.push_back(counter.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> OffloadChannel::sends_per_class() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(class_sends_.size());
+  for (const auto& counter : class_sends_) {
     out.push_back(counter.load(std::memory_order_relaxed));
   }
   return out;

@@ -69,7 +69,17 @@ struct OffloadChannelConfig {
   unsigned workers = 2;           ///< remote submission cores
   std::size_t min_split = 4096;   ///< below this a message stays whole
   std::size_t ring_depth = 256;   ///< per-rail SPSC capacity
+  /// Chunk cap for classed bulk sends (docs/QOS.md): a send tagged with a
+  /// nonzero traffic class is cut into chunks of at most this many bytes,
+  /// round-robined over the usable rails, so concurrent latency-class sends
+  /// interleave at chunk granularity instead of waiting out the whole
+  /// message. 0 disables the classed path (classes then only tag counters).
+  std::size_t class_chunk = 0;
 };
+
+/// Per-class accounting slots in the channel (classes >= kClassSlots-1
+/// share the last slot).
+inline constexpr unsigned kClassSlots = 4;
 
 /// One unidirectional multirail channel with real-thread offloaded sends.
 class OffloadChannel {
@@ -92,6 +102,13 @@ class OffloadChannel {
   /// ring submission in parallel (Fig. 7). The data must stay alive until
   /// the ticket completes.
   std::shared_ptr<SendTicket> send(Tag tag, const void* data, std::size_t len);
+
+  /// Classed send (docs/QOS.md). cls 0 behaves exactly like send(); a
+  /// nonzero class additionally splits the message into class_chunk-bounded
+  /// chunks round-robined over the usable rails (when class_chunk is set)
+  /// and lands in that class's counters.
+  std::shared_ptr<SendTicket> send(Tag tag, const void* data, std::size_t len,
+                                   unsigned cls);
 
   unsigned rails() const { return config_.rails; }
 
@@ -117,6 +134,11 @@ class OffloadChannel {
   /// Payload bytes assigned to each rail by the split (tests verify the
   /// weighted spread).
   std::vector<std::uint64_t> bytes_per_rail() const;
+
+  /// Payload bytes per traffic-class slot (kClassSlots entries).
+  std::vector<std::uint64_t> bytes_per_class() const;
+  /// Sends per traffic-class slot (kClassSlots entries).
+  std::vector<std::uint64_t> sends_per_class() const;
 
   /// Attaches a metrics registry (nullptr detaches). Must be called before
   /// start(): "offload.sends" / "offload.chunks" counters, an
@@ -153,6 +175,8 @@ class OffloadChannel {
   std::vector<std::unique_ptr<progress::EventSource>> sources_;
   std::vector<std::atomic<std::uint64_t>> worker_chunks_;
   std::vector<std::atomic<std::uint64_t>> rail_bytes_;
+  std::vector<std::atomic<std::uint64_t>> class_sends_;
+  std::vector<std::atomic<std::uint64_t>> class_bytes_;
   std::vector<std::atomic<std::uint8_t>> rail_enabled_;
   std::vector<std::atomic<std::uint32_t>> rail_weight_milli_;  ///< weight × 1000
 
@@ -164,6 +188,8 @@ class OffloadChannel {
 
   telemetry::Counter* m_sends_ = nullptr;
   telemetry::Counter* m_chunks_ = nullptr;
+  std::vector<telemetry::Counter*> m_class_sends_;
+  std::vector<telemetry::Counter*> m_class_bytes_;
   telemetry::Gauge* m_ring_hwm_ = nullptr;
   telemetry::Histogram* m_signal_delay_ = nullptr;
   trace::FlightRecorder* flight_ = nullptr;

@@ -119,6 +119,7 @@ SpanAnalysis analyze_spans(std::span<const TraceEvent> events) {
         m.submit = e.time;
         m.bytes = e.bytes;
         m.tag = e.tag;
+        m.cls = e.cls;
         break;
       case EventKind::kRtsSent:
         m.rts = e.time;
@@ -140,6 +141,7 @@ SpanAnalysis analyze_spans(std::span<const TraceEvent> events) {
             break;
           }
         }
+        if (m.cls == 0) m.cls = e.cls;  // head-evicted: recover from chunks
         ChunkSpan c;
         c.rail = e.rail;
         c.core = e.core;
@@ -179,13 +181,24 @@ SpanAnalysis analyze_spans(std::span<const TraceEvent> events) {
     }
     if (m.complete && !m.chunks.empty()) {
       attribute(m);
-      out.totals.total += m.path.total;
-      out.totals.queueing += m.path.queueing;
-      out.totals.handshake += m.path.handshake;
-      out.totals.stagger += m.path.stagger;
-      out.totals.offload_sync += m.path.offload_sync;
-      out.totals.wire += m.path.wire;
-      out.totals.completion_sync += m.path.completion_sync;
+      const auto accumulate = [](CriticalPath& t, const CriticalPath& p) {
+        t.total += p.total;
+        t.queueing += p.queueing;
+        t.handshake += p.handshake;
+        t.stagger += p.stagger;
+        t.offload_sync += p.offload_sync;
+        t.wire += p.wire;
+        t.completion_sync += p.completion_sync;
+      };
+      accumulate(out.totals, m.path);
+      auto ct = std::find_if(out.class_totals.begin(), out.class_totals.end(),
+                             [&](const auto& c) { return c.cls == m.cls; });
+      if (ct == out.class_totals.end()) {
+        out.class_totals.push_back({m.cls, 0, {}});
+        ct = std::prev(out.class_totals.end());
+      }
+      ++ct->count;
+      accumulate(ct->totals, m.path);
       if (m.finish_skew) out.skew_samples.push_back(*m.finish_skew);
     }
     if (m.complete) {
@@ -195,6 +208,12 @@ SpanAnalysis analyze_spans(std::span<const TraceEvent> events) {
     }
     out.messages.push_back(std::move(m));
   }
+  // Every message in class 0 means QoS was off: no per-class breakdown.
+  if (out.class_totals.size() == 1 && out.class_totals.front().cls == 0) {
+    out.class_totals.clear();
+  }
+  std::sort(out.class_totals.begin(), out.class_totals.end(),
+            [](const auto& a, const auto& b) { return a.cls < b.cls; });
   return out;
 }
 
@@ -318,6 +337,21 @@ void SpanAnalysis::dump(std::ostream& os) const {
     std::snprintf(line, sizeof(line), "  %-38s %10.2f us  (100.0%%)\n",
                   "total end-to-end latency", to_usec(totals.total));
     os << line;
+  }
+
+  if (!class_totals.empty()) {
+    os << "\nper-traffic-class attribution (complete messages):\n";
+    std::snprintf(line, sizeof(line), "  %-5s %6s %10s %10s %10s %10s\n", "class",
+                  "msgs", "total_us", "queue_us", "wire_us", "mean_us");
+    os << line;
+    for (const ClassTotals& ct : class_totals) {
+      const double mean =
+          ct.count > 0 ? to_usec(ct.totals.total) / static_cast<double>(ct.count) : 0.0;
+      std::snprintf(line, sizeof(line), "  %-5u %6u %10.2f %10.2f %10.2f %10.2f\n",
+                    ct.cls, ct.count, to_usec(ct.totals.total),
+                    to_usec(ct.totals.queueing), to_usec(ct.totals.wire), mean);
+      os << line;
+    }
   }
 
   os << '\n';

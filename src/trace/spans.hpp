@@ -79,6 +79,8 @@ struct MessageSpans {
   Tag tag = 0;
   std::size_t bytes = 0;
   bool rendezvous = false;
+  /// QoS traffic class (docs/QOS.md); 0 when the subsystem is off.
+  std::uint32_t cls = 0;
 
   /// Both the submit and the send-complete records were retained. Only
   /// complete messages carry a critical-path attribution.
@@ -111,6 +113,15 @@ struct SpanAnalysis {
   unsigned complete_count = 0;
   unsigned incomplete_count = 0;
   CriticalPath totals;  ///< per-layer sums over complete messages
+
+  /// Per-traffic-class latency attribution (complete messages). Populated
+  /// only when some message carried a nonzero class id, i.e. QoS was on.
+  struct ClassTotals {
+    std::uint32_t cls = 0;
+    unsigned count = 0;
+    CriticalPath totals;
+  };
+  std::vector<ClassTotals> class_totals;  ///< ordered by class id
   std::vector<SimDuration> skew_samples;  ///< ns, complete multi-chunk messages
   std::vector<SimDuration> to_samples;    ///< ns, every offloaded emission
 

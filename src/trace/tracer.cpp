@@ -144,11 +144,11 @@ std::vector<SimDuration> Tracer::rail_busy_time() const {
 
 void Tracer::dump_csv(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
-  os << "time_ns,node,kind,msg_id,tag,rail,core,bytes,nic_end_ns\n";
+  os << "time_ns,node,kind,msg_id,tag,rail,core,bytes,nic_end_ns,class\n";
   for_each([&](const TraceEvent& e) {
     os << e.time << ',' << e.node << ',' << to_string(e.kind) << ',' << e.msg_id << ','
        << e.tag << ',' << e.rail << ',' << e.core << ',' << e.bytes << ',' << e.nic_end
-       << '\n';
+       << ',' << e.cls << '\n';
   });
 }
 
@@ -201,15 +201,16 @@ void Tracer::dump_chrome_trace_events(ChromeTraceSink& sink) const {
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
                     "\"pid\":%u,\"tid\":%u,\"args\":{\"msg_id\":%llu,\"bytes\":%zu,"
-                    "\"core\":%u}}",
+                    "\"core\":%u,\"class\":%u}}",
                     to_string(e.kind), ts, dur, e.node, e.rail,
-                    static_cast<unsigned long long>(e.msg_id), e.bytes, e.core);
+                    static_cast<unsigned long long>(e.msg_id), e.bytes, e.core, e.cls);
     } else {
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
-                    "\"pid\":%u,\"tid\":%u,\"args\":{\"msg_id\":%llu,\"bytes\":%zu}}",
+                    "\"pid\":%u,\"tid\":%u,\"args\":{\"msg_id\":%llu,\"bytes\":%zu,"
+                    "\"class\":%u}}",
                     to_string(e.kind), ts, e.node, e.rail,
-                    static_cast<unsigned long long>(e.msg_id), e.bytes);
+                    static_cast<unsigned long long>(e.msg_id), e.bytes, e.cls);
     }
     sink.emit(buf);
   });

@@ -57,6 +57,8 @@ struct TraceEvent {
   std::size_t bytes = 0;
   /// For emissions/chunks: when the transfer is predicted to leave the NIC.
   SimTime nic_end = 0;
+  /// QoS traffic class of the owning send (docs/QOS.md); 0 when QoS is off.
+  std::uint32_t cls = 0;
 };
 
 /// Per-message summary reconstructed from a trace.

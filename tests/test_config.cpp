@@ -116,6 +116,75 @@ rail preset qsnet2
   EXPECT_EQ(again.engine.recalibration.resample_interval, usec(750.0));
 }
 
+TEST(ClusterConfig, QosDirectivesRoundTrip) {
+  std::istringstream is(R"(
+nodes 2
+qos 1
+qos_quantum 32768
+qos_bulk_chunk 131072
+qos_aging_us 750
+qos_latency_cutoff 16384
+qos_deadline_downgrade 1
+qos_class name=latency weight=8 strict=1 capacity=512 deadline_us=500
+qos_class name=gold weight=3 capacity=2048 high=1536 low=256
+qos_class name=background weight=0.5 capacity=64
+rail preset myri10g
+rail preset qsnet2
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_TRUE(cfg.engine.qos.enabled);
+  EXPECT_EQ(cfg.engine.qos.quantum, 32768u);
+  EXPECT_EQ(cfg.engine.qos.bulk_chunk, 131072u);
+  EXPECT_EQ(cfg.engine.qos.aging, usec(750.0));
+  EXPECT_EQ(cfg.engine.qos.latency_cutoff, 16384u);
+  EXPECT_TRUE(cfg.engine.qos.deadline_downgrade);
+  ASSERT_EQ(cfg.engine.qos.classes.size(), 3u);  // declared set replaces built-ins
+  EXPECT_EQ(cfg.engine.qos.classes[0].name, "latency");
+  EXPECT_DOUBLE_EQ(cfg.engine.qos.classes[0].weight, 8.0);
+  EXPECT_TRUE(cfg.engine.qos.classes[0].strict_priority);
+  EXPECT_EQ(cfg.engine.qos.classes[0].queue_capacity, 512u);
+  EXPECT_EQ(cfg.engine.qos.classes[0].default_deadline, usec(500.0));
+  EXPECT_EQ(cfg.engine.qos.classes[1].name, "gold");
+  EXPECT_DOUBLE_EQ(cfg.engine.qos.classes[1].weight, 3.0);
+  EXPECT_FALSE(cfg.engine.qos.classes[1].strict_priority);
+  EXPECT_EQ(cfg.engine.qos.classes[1].high_watermark, 1536u);
+  EXPECT_EQ(cfg.engine.qos.classes[1].low_watermark, 256u);
+  EXPECT_DOUBLE_EQ(cfg.engine.qos.classes[2].weight, 0.5);
+
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_TRUE(again.engine.qos.enabled);
+  EXPECT_EQ(again.engine.qos.quantum, 32768u);
+  EXPECT_EQ(again.engine.qos.bulk_chunk, 131072u);
+  EXPECT_EQ(again.engine.qos.aging, usec(750.0));
+  EXPECT_EQ(again.engine.qos.latency_cutoff, 16384u);
+  EXPECT_TRUE(again.engine.qos.deadline_downgrade);
+  ASSERT_EQ(again.engine.qos.classes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(again.engine.qos.classes[i].name, cfg.engine.qos.classes[i].name);
+    EXPECT_DOUBLE_EQ(again.engine.qos.classes[i].weight,
+                     cfg.engine.qos.classes[i].weight);
+    EXPECT_EQ(again.engine.qos.classes[i].strict_priority,
+              cfg.engine.qos.classes[i].strict_priority);
+    EXPECT_EQ(again.engine.qos.classes[i].queue_capacity,
+              cfg.engine.qos.classes[i].queue_capacity);
+    EXPECT_EQ(again.engine.qos.classes[i].high_watermark,
+              cfg.engine.qos.classes[i].high_watermark);
+    EXPECT_EQ(again.engine.qos.classes[i].low_watermark,
+              cfg.engine.qos.classes[i].low_watermark);
+    EXPECT_EQ(again.engine.qos.classes[i].default_deadline,
+              cfg.engine.qos.classes[i].default_deadline);
+  }
+}
+
+TEST(ClusterConfig, QosDefaultsStayInert) {
+  std::istringstream is("nodes 2\nrail preset myri10g\n");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_FALSE(cfg.engine.qos.enabled);
+  EXPECT_TRUE(cfg.engine.qos.classes.empty());  // built-ins apply lazily
+}
+
 TEST(ClusterConfig, ConfigBuildsWorkingWorld) {
   std::istringstream is(R"(
 nodes 2
@@ -156,6 +225,30 @@ TEST(ClusterConfigDeath, RecalAlphaOutOfRange) {
 TEST(ClusterConfigDeath, BadKeyValue) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   std::istringstream is("rail custom name\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, QosQuantumZero) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("qos_quantum 0\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, QosClassMissingName) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("qos_class weight=2\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, QosClassNonPositiveWeight) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("qos_class name=x weight=0\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, QosClassUnknownParameter) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("qos_class name=x color=red\nrail preset myri10g\n");
   EXPECT_DEATH(parse_world_config(is), "malformed");
 }
 

@@ -23,6 +23,7 @@
 #include "bench_support/traffic.hpp"
 #include "core/config.hpp"
 #include "core/world.hpp"
+#include "qos/arbiter.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prediction.hpp"
 #include "trace/flight_recorder.hpp"
@@ -36,7 +37,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: railsctl <describe|sample|pingpong|compare|gantt|metrics|trace|"
-               "spans|postmortem> <cluster-file> [options]\n"
+               "spans|qos|postmortem> <cluster-file> [options]\n"
                "  describe               print the parsed configuration\n"
                "  sample [--out DIR]     sample every rail; write profiles to DIR\n"
                "  pingpong [--min N] [--max N] [--iters N]\n"
@@ -44,7 +45,7 @@ int usage() {
                "  compare --size N [--strategies a,b,c]\n"
                "                         one-way latency per strategy at one size\n"
                "  gantt [--size N]       trace one transfer, render NIC lanes\n"
-               "  metrics [--size N] [--strategies a,b,c] [--json]\n"
+               "  metrics [--size N] [--strategies a,b,c] [--json] [--qos]\n"
                "          [--fail-rail R] [--fail-at-us U]\n"
                "          [--recal] [--degrade-rail R] [--degrade-factor F]\n"
                "          [--force-recal R]\n"
@@ -68,6 +69,11 @@ int usage() {
                "                         histograms; --chrome adds span/flow overlays\n"
                "                         to the trace file; --fail-rail triggers a\n"
                "                         flight-recorder bundle into DIR (default .)\n"
+               "  qos [--size N] [--json]\n"
+               "                         run a bulk-plus-pings workload with the QoS\n"
+               "                         arbiter enabled; print per-class queue depths,\n"
+               "                         DRR deficits, deadline hit/miss and admission\n"
+               "                         counters (--json for machine-readable output)\n"
                "  postmortem <bundle.json>\n"
                "                         render a flight-recorder postmortem bundle\n"
                "                         (takes a bundle file, not a cluster file)\n"
@@ -212,14 +218,38 @@ void run_mixed_workload(core::World& world, std::size_t size) {
   for (auto& s : sends) world.wait(s);
 }
 
+/// Per-class arbiter state table shared by `qos` and `metrics`.
+void print_qos_table(const qos::QosArbiter& arb) {
+  std::printf("%-12s %7s %6s %6s %6s %8s %8s %12s %7s %6s %6s %7s %7s %6s\n",
+              "class", "weight", "strict", "depth", "hwm", "deficit", "granted",
+              "bytes", "aged", "dhit", "dmiss", "admrej", "admdwn", "pause");
+  for (qos::ClassId c = 0; c < arb.class_count(); ++c) {
+    const qos::ClassSpec& spec = arb.spec(c);
+    const qos::ClassCounters n = arb.counters(c);
+    std::printf("%-12s %7.2f %6s %6zu %6llu %8zu %8llu %12llu %7llu %6llu %6llu "
+                "%7llu %7llu %6s\n",
+                spec.name.c_str(), spec.weight, spec.strict_priority ? "yes" : "no",
+                arb.depth(c), static_cast<unsigned long long>(n.depth_hwm),
+                arb.deficit(c), static_cast<unsigned long long>(n.granted),
+                static_cast<unsigned long long>(n.granted_bytes),
+                static_cast<unsigned long long>(n.aged_grants),
+                static_cast<unsigned long long>(n.deadline_hits),
+                static_cast<unsigned long long>(n.deadline_misses),
+                static_cast<unsigned long long>(n.admission_rejects),
+                static_cast<unsigned long long>(n.admission_downgrades),
+                arb.paused(c) ? "yes" : "no");
+  }
+}
+
 int cmd_metrics(const core::WorldConfig& base, std::size_t size,
                 const std::vector<std::string>& strategies, bool json, int fail_rail,
                 double fail_at_us, bool recal, int degrade_rail, double degrade_factor,
-                int force_recal) {
+                int force_recal, bool with_qos) {
   for (const auto& name : strategies) {
     core::WorldConfig cfg = base;
     cfg.strategy = name;
     if (recal) cfg.engine.recalibration.enabled = true;
+    if (with_qos) cfg.engine.qos.enabled = true;
     const std::size_t rail_count = cfg.fabric.rails.size();
     if (fail_rail >= 0 && static_cast<std::size_t>(fail_rail) >= rail_count) {
       std::fprintf(stderr, "railsctl metrics: --fail-rail %d out of range (%zu rails)\n",
@@ -280,11 +310,16 @@ int cmd_metrics(const core::WorldConfig& base, std::size_t size,
     if (json) {
       // One self-contained object per strategy (line-delimited when several
       // strategies are requested): counters/gauges/histograms plus the
-      // per-rail prediction-accuracy summary.
+      // per-rail prediction-accuracy summary and, with QoS on, the
+      // per-class arbiter block.
       std::cout << "{\"strategy\":\"" << name << "\",\"metrics\":";
       registry.dump_json(std::cout);
       std::cout << ",\"predictions\":";
       predictions.dump_json(std::cout);
+      if (world.engine(0).qos() != nullptr) {
+        std::cout << ",\"qos\":";
+        world.engine(0).qos()->write_json(std::cout);
+      }
       std::cout << "}\n";
       continue;
     }
@@ -292,6 +327,10 @@ int cmd_metrics(const core::WorldConfig& base, std::size_t size,
                 rail_count, size);
     registry.dump_text(std::cout);
     predictions.dump(std::cout);
+    if (world.engine(0).qos() != nullptr) {
+      std::printf("per-class QoS arbiter state:\n");
+      print_qos_table(*world.engine(0).qos());
+    }
     if (recal && world.recalibrator() != nullptr) {
       std::printf("per-rail trust:\n");
       for (std::size_t r = 0; r < rail_count; ++r) {
@@ -414,6 +453,67 @@ int cmd_spans(core::WorldConfig cfg, std::size_t size, const char* strategy,
   return 0;
 }
 
+int cmd_qos(core::WorldConfig cfg, std::size_t size, bool json) {
+  // The subcommand exists to inspect the arbiter, so switch it on even when
+  // the cluster file leaves QoS disabled.
+  cfg.engine.qos.enabled = true;
+  core::World world(std::move(cfg));
+  core::Engine& tx = world.engine(0);
+
+  // Bulk flood + latency pings + deadline probes: enough traffic to light
+  // every per-class counter. Two bulk transfers saturate the rails while a
+  // burst of small sends competes through the strict class; one send with an
+  // absurd 1 ns deadline exercises admission rejection.
+  std::vector<std::uint8_t> bulk(size, 0x33);
+  std::vector<std::uint8_t> small(512, 0x11);
+  std::vector<std::uint8_t> rx_bulk0(size), rx_bulk1(size), rx_small(16 * 512);
+
+  std::vector<core::RecvHandle> recvs;
+  recvs.push_back(world.engine(1).irecv(0, 300, rx_bulk0.data(), size));
+  recvs.push_back(world.engine(1).irecv(0, 301, rx_bulk1.data(), size));
+  for (int i = 0; i < 16; ++i) {
+    recvs.push_back(world.engine(1).irecv(0, 100 + i, rx_small.data() + i * 512, 512));
+  }
+
+  std::vector<core::SendHandle> sends;
+  sends.push_back(tx.isend(1, 300, bulk.data(), size));
+  sends.push_back(tx.isend(1, 301, bulk.data(), size));
+  for (int i = 0; i < 16; ++i) {
+    core::Engine::SendOptions opts;
+    if (i % 4 == 0) opts.deadline = world.now() + usec(10'000);  // generous: hits
+    sends.push_back(tx.isend(1, 100 + i, small.data(), small.size(), opts));
+  }
+  // Infeasible deadline: rejected at admission, never enters the fabric
+  // (the matching 16 recvs above are already satisfied by the burst).
+  core::Engine::SendOptions hopeless;
+  hopeless.deadline = world.now() + 1;
+  const auto rejected = tx.isend(1, 999, small.data(), small.size(), hopeless);
+
+  for (auto& r : recvs) world.wait(r);
+  for (auto& s : sends) world.wait(s);
+
+  const qos::QosArbiter* arb = tx.qos();
+  if (json) {
+    arb->write_json(std::cout);
+    std::cout << "\n";
+    return 0;
+  }
+  std::printf("strategy %s, %zu-byte bulk x2 + 16 pings + 1 infeasible deadline "
+              "(rejected: %s)\n",
+              tx.strategy().name().c_str(), size, rejected->rejected() ? "yes" : "no");
+  print_qos_table(*arb);
+  const auto& stats = tx.stats();
+  std::printf("engine: %llu grants, %llu windowed chunks, %llu deadline hits, "
+              "%llu misses, %llu admission rejects, %llu downgrades\n",
+              static_cast<unsigned long long>(stats.qos_grants),
+              static_cast<unsigned long long>(stats.qos_stream_chunks),
+              static_cast<unsigned long long>(stats.qos_deadline_hits),
+              static_cast<unsigned long long>(stats.qos_deadline_misses),
+              static_cast<unsigned long long>(stats.qos_admission_rejects),
+              static_cast<unsigned long long>(stats.qos_admission_downgrades));
+  return 0;
+}
+
 int cmd_postmortem(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -497,7 +597,12 @@ int main(int argc, char** argv) {
                        has_flag(argc, argv, "--recal"),
                        std::stoi(opt(argc, argv, "--degrade-rail", "-1")),
                        std::stod(opt(argc, argv, "--degrade-factor", "3")),
-                       std::stoi(opt(argc, argv, "--force-recal", "-1")));
+                       std::stoi(opt(argc, argv, "--force-recal", "-1")),
+                       has_flag(argc, argv, "--qos"));
+  }
+  if (cmd == "qos") {
+    return cmd_qos(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
+                   has_flag(argc, argv, "--json"));
   }
   if (cmd == "trace") {
     return cmd_trace(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
