@@ -10,12 +10,15 @@
 // switches protocol, so the estimation column keeps the pure eq.-(1) view
 // all the way to 64 KiB like the paper does.
 // With --metrics, a JSON snapshot of the engine's telemetry registry is
-// appended after the tables.
+// appended after the tables. With --json <path>, the latency curves are
+// written as a canonical rails-bench bundle (bench_support/bench_json.hpp).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 
+#include "bench_support/bench_json.hpp"
 #include "bench_support/paper_reference.hpp"
 #include "bench_support/table.hpp"
 #include "core/world.hpp"
@@ -26,8 +29,10 @@ using namespace rails;
 
 int main(int argc, char** argv) {
   bool with_metrics = false;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
   }
 
   core::World world(core::paper_testbed());
@@ -46,6 +51,16 @@ int main(int argc, char** argv) {
 
   std::vector<std::size_t> sizes = {4};
   for (std::size_t s = 4_KiB; s <= 64_KiB; s <<= 1) sizes.push_back(s);
+
+  bench::BenchResult json_result;
+  json_result.name = "fig9_small_latency";
+  const auto record = [&](const char* curve, std::size_t size, double us) {
+    if (std::isnan(us)) return;
+    json_result.metrics.push_back({"one_way_us/" + std::string(curve) + "/" +
+                                       bench::format_size(size),
+                                   us, "us", /*higher_is_better=*/false,
+                                   /*headline=*/true});
+  };
 
   double max_gain = 0.0;
   double gain_at_4k = 0.0;
@@ -69,6 +84,10 @@ int main(int argc, char** argv) {
     }
 
     table.add_row(bench::format_size(size), {myri, qs, est_us, engine_us});
+    record("myri10g", size, myri);
+    record("quadrics", size, qs);
+    record("hetero-split-est", size, est_us);
+    record("hetero-split-engine", size, engine_us);
     const double gain = 1.0 - est_us / std::min(myri, qs);
     max_gain = std::max(max_gain, gain);
     if (size == 4_KiB) gain_at_4k = gain;
@@ -106,6 +125,15 @@ int main(int argc, char** argv) {
     std::printf("\nmetrics snapshot (sender engine):\n");
     registry.dump_json(std::cout);
     std::cout << "\n";
+  }
+
+  if (json_path != nullptr) {
+    bench::BenchBundle bundle;
+    bundle.generator = "fig9_small_latency";
+    bundle.commit = bench::commit_from_env();
+    bundle.generated_unix = static_cast<std::uint64_t>(std::time(nullptr));
+    bundle.benches.push_back(std::move(json_result));
+    if (!bench::write_bundle_file(json_path, bundle)) return 1;
   }
   return bench::shape_failures();
 }

@@ -2,8 +2,18 @@
 // of the scheduling machinery itself. These are host-time costs of the
 // library code (not virtual-clock results): estimator lookups, split solves,
 // wire framing and end-to-end DES message delivery.
+//
+// With --json <path>, the per-iteration timings are also written as a
+// canonical rails-bench bundle. Host timings are never headline metrics —
+// they vary with the runner — so they record the trajectory without gating
+// CI.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "bench_support/bench_json.hpp"
 #include "core/world.hpp"
 #include "core/wire_format.hpp"
 #include "fabric/presets.hpp"
@@ -105,6 +115,67 @@ void BM_EagerSubmission(benchmark::State& state) {
 }
 BENCHMARK(BM_EagerSubmission);
 
+// Console reporter that also captures per-run timings for the --json bundle.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      captured_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                           run.GetAdjustedCPUTime()});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  struct Captured {
+    std::string name;
+    double real_ns;
+    double cpu_ns;
+  };
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json <path> before google-benchmark sees the arguments.
+  const char* json_path = nullptr;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_path != nullptr) {
+    bench::BenchResult result;
+    result.name = "micro_engine";
+    for (const CaptureReporter::Captured& c : reporter.captured()) {
+      result.metrics.push_back({"real_ns_per_iter/" + c.name, c.real_ns, "ns",
+                                /*higher_is_better=*/false,
+                                /*headline=*/false});
+      result.metrics.push_back({"cpu_ns_per_iter/" + c.name, c.cpu_ns, "ns",
+                                /*higher_is_better=*/false,
+                                /*headline=*/false});
+    }
+    bench::BenchBundle bundle;
+    bundle.generator = "micro_engine";
+    bundle.commit = bench::commit_from_env();
+    bundle.generated_unix = static_cast<std::uint64_t>(std::time(nullptr));
+    bundle.benches.push_back(std::move(result));
+    if (!bench::write_bundle_file(json_path, bundle)) return 1;
+  }
+  return 0;
+}

@@ -16,9 +16,14 @@
 //
 // Expected shape: batch-spread tops the table once messages are big enough
 // for the copies to dominate TO; greedy collapses at tiny sizes.
+// With --json <path>, the measured rates are also written as a canonical
+// rails-bench bundle (bench_support/bench_json.hpp) for the perf trajectory.
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <iostream>
 
+#include "bench_support/bench_json.hpp"
 #include "bench_support/table.hpp"
 #include "core/world.hpp"
 
@@ -49,10 +54,24 @@ double message_rate(core::World& world, std::size_t size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
   bench::SeriesTable table(
       "message rate — burst of 64 independent messages (msgs/ms, virtual time)",
       "size", {"single Myri", "aggregate", "greedy", "batch-spread"});
+  bench::BenchResult result;
+  result.name = "msgrate_multiplex";
+  result.config = {{"flows", "64"}};
+  const auto record = [&](const char* strategy, std::size_t size, double rate) {
+    result.metrics.push_back({"msgs_per_ms/" + std::string(strategy) + "/" +
+                                  bench::format_size(size),
+                              rate, "msgs/ms", /*higher_is_better=*/true,
+                              /*headline=*/true});
+  };
 
   bool spread_never_loses = true;
   double spread_gain_2k = 0.0;
@@ -67,11 +86,24 @@ int main() {
     const double g = message_rate(greedy, size);
     const double b = message_rate(spread, size);
     table.add_row(bench::format_size(size), {s, a, g, b});
+    record("single-rail:0", size, s);
+    record("aggregate-fastest", size, a);
+    record("greedy-balance", size, g);
+    record("batch-spread", size, b);
     if (b < a * 0.999) spread_never_loses = false;
     if (size == 2048) spread_gain_2k = b / a;
     if (size == 64) greedy_collapse_64 = g / a;
   }
   table.print(std::cout, 1);
+
+  if (json_path != nullptr) {
+    bench::BenchBundle bundle;
+    bundle.generator = "msgrate_multiplex";
+    bundle.commit = bench::commit_from_env();
+    bundle.generated_unix = static_cast<std::uint64_t>(std::time(nullptr));
+    bundle.benches.push_back(std::move(result));
+    if (!bench::write_bundle_file(json_path, bundle)) return 1;
+  }
 
   std::printf("\nshape checks:\n");
   bench::shape_check(std::cout,

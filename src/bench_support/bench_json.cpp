@@ -1,0 +1,91 @@
+#include "bench_support/bench_json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "common/minijson.hpp"
+
+namespace rails::bench {
+
+namespace {
+
+void write_number(std::ostream& os, double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  os << buf;
+}
+
+}  // namespace
+
+void write_bundle(std::ostream& os, const BenchBundle& bundle) {
+  os << "{\n";
+  os << "  \"schema\": \"rails-bench\",\n";
+  os << "  \"schema_version\": " << kBenchSchemaVersion << ",\n";
+  os << "  \"generator\": \"" << minijson::escape(bundle.generator) << "\",\n";
+  os << "  \"commit\": \"" << minijson::escape(bundle.commit) << "\",\n";
+  os << "  \"quick\": " << (bundle.quick ? "true" : "false") << ",\n";
+  os << "  \"generated_unix\": " << bundle.generated_unix << ",\n";
+  os << "  \"benches\": [";
+  for (std::size_t b = 0; b < bundle.benches.size(); ++b) {
+    const BenchResult& bench = bundle.benches[b];
+    os << (b == 0 ? "\n" : ",\n");
+    os << "    {\n      \"name\": \"" << minijson::escape(bench.name)
+       << "\",\n      \"config\": {";
+    for (std::size_t c = 0; c < bench.config.size(); ++c) {
+      if (c != 0) os << ", ";
+      os << '"' << minijson::escape(bench.config[c].first) << "\": \""
+         << minijson::escape(bench.config[c].second) << '"';
+    }
+    os << "},\n      \"metrics\": [";
+    for (std::size_t m = 0; m < bench.metrics.size(); ++m) {
+      const BenchMetric& metric = bench.metrics[m];
+      os << (m == 0 ? "\n" : ",\n");
+      os << "        {\"name\": \"" << minijson::escape(metric.name)
+         << "\", \"value\": ";
+      write_number(os, metric.value);
+      os << ", \"unit\": \"" << minijson::escape(metric.unit)
+         << "\", \"higher_is_better\": "
+         << (metric.higher_is_better ? "true" : "false")
+         << ", \"headline\": " << (metric.headline ? "true" : "false") << '}';
+    }
+    os << (bench.metrics.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  os << (bundle.benches.empty() ? "]" : "\n  ]");
+  if (!bundle.perf_json.empty()) {
+    os << ",\n  \"perf\": " << bundle.perf_json;
+  }
+  os << "\n}\n";
+}
+
+bool write_bundle_file(const std::string& path, const BenchBundle& bundle) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  write_bundle(out, bundle);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench_json: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string commit_from_env() {
+  if (const char* c = std::getenv("RAILS_COMMIT"); c != nullptr && *c != '\0') {
+    return c;
+  }
+  if (const char* c = std::getenv("GITHUB_SHA"); c != nullptr && *c != '\0') {
+    return c;
+  }
+  return "unknown";
+}
+
+}  // namespace rails::bench

@@ -1,0 +1,75 @@
+// Canonical machine-readable bench output: the BENCH_*.json schema.
+//
+// Every bench that speaks --json and the tools/benchjson harness emit the
+// same schema-versioned bundle through this one emitter, and
+// tools/benchdiff gates CI on it. Schema (rails-bench, version 1):
+//
+//   {
+//     "schema": "rails-bench", "schema_version": 1,
+//     "generator": "benchjson", "commit": "<sha|unknown>",
+//     "quick": true, "generated_unix": 1754600000,
+//     "benches": [
+//       { "name": "msgrate_multiplex",
+//         "config": { "flows": "64" },
+//         "metrics": [
+//           { "name": "msgs_per_ms/batch-spread/2K", "value": 12.5,
+//             "unit": "msgs/ms", "higher_is_better": true,
+//             "headline": true } ] } ],
+//     "perf": { ...profiler breakdown, optional... }
+//   }
+//
+// The `headline` flag is the CI gating contract: only metrics derived from
+// the *virtual* clock (message rates, simulated latencies, event counts —
+// bit-identical across hosts because the DES is deterministic) may be
+// headline. Host wall-clock and cycle measurements ride along as
+// informational metrics so the trajectory records them without making CI
+// depend on runner speed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rails::bench {
+
+constexpr int kBenchSchemaVersion = 1;
+
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  bool higher_is_better = true;
+  /// Only deterministic virtual-time metrics may set this (see above).
+  bool headline = false;
+};
+
+struct BenchResult {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<BenchMetric> metrics;
+};
+
+struct BenchBundle {
+  std::string generator;
+  std::string commit;
+  bool quick = false;
+  std::uint64_t generated_unix = 0;
+  std::vector<BenchResult> benches;
+  /// Raw JSON object with the profiler breakdown (Profiler::write_json),
+  /// embedded verbatim as "perf". Empty = omitted.
+  std::string perf_json;
+};
+
+/// Serializes the bundle (pretty enough to diff, stable key order).
+void write_bundle(std::ostream& os, const BenchBundle& bundle);
+
+/// write_bundle to `path`; false (with a message on stderr) on I/O failure.
+bool write_bundle_file(const std::string& path, const BenchBundle& bundle);
+
+/// Commit hash for the bundle header: $RAILS_COMMIT, else $GITHUB_SHA,
+/// else "unknown" — the emitter never shells out to git.
+std::string commit_from_env();
+
+}  // namespace rails::bench

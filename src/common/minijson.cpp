@@ -1,0 +1,210 @@
+#include "common/minijson.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rails::minijson {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_)) != 0) ++p_;
+  }
+  bool literal(const char* s) {
+    const std::size_t n = std::strlen(s);
+    if (static_cast<std::size_t>(end_ - p_) < n || std::memcmp(p_, s, n) != 0) {
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+  bool value(JsonValue& out) {
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return string(out.str);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++p_;  // '{'
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (p_ != end_) {
+      skip_ws();
+      std::string key;
+      if (p_ == end_ || *p_ != '"' || !string(key)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++p_;  // '['
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (p_ != end_) {
+      JsonValue v;
+      skip_ws();
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+  bool string(std::string& out) {
+    ++p_;  // '"'
+    while (p_ != end_) {
+      const char c = *p_++;
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p_ == end_) return false;
+      const char esc = *p_++;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // The repo's emitters only escape control characters this way;
+          // decode the code point when it fits one byte, else render '?'
+          // rather than expanding surrogate pairs.
+          if (end_ - p_ < 4) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+  bool number(JsonValue& out) {
+    char* parse_end = nullptr;
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(p_, &parse_end);
+    if (parse_end == p_ || parse_end > end_) return false;
+    p_ = parse_end;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool parse(std::string_view text, JsonValue& out) {
+  return Parser(text).parse(out);
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace rails::minijson

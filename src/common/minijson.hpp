@@ -1,0 +1,51 @@
+// Minimal JSON reader shared by the flight recorder's postmortem renderer,
+// the benchdiff comparator, and tests. The repo deliberately carries no JSON
+// dependency; this is a small recursive-descent parser over the subset the
+// repo itself emits (objects, arrays, strings with control-character
+// escapes, doubles, bools, null).
+//
+// Values are held as a tagged tree. Object members preserve insertion order
+// (the emitters write deterministically sorted output, and the postmortem
+// renderer replays fields in the order they were written).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rails::minijson {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// The number, or `fallback` when this is not a number.
+  double num_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+  /// The string, or `fallback` when this is not a string.
+  std::string_view str_or(std::string_view fallback) const {
+    return type == Type::kString ? std::string_view(str) : fallback;
+  }
+  bool bool_or(bool fallback) const {
+    return type == Type::kBool ? boolean : fallback;
+  }
+};
+
+/// Parses `text` as one JSON document (trailing garbage is an error).
+/// Returns false on malformed input; `out` is unspecified on failure.
+bool parse(std::string_view text, JsonValue& out);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX.
+std::string escape(std::string_view s);
+
+}  // namespace rails::minijson

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "perf/profiler.hpp"
 
 namespace rails::core {
 
@@ -307,6 +308,7 @@ SendHandle Engine::try_isend(NodeId dst, Tag tag, const void* data, std::size_t 
 
 SendHandle Engine::submit_send(NodeId dst, Tag tag, const void* data, std::size_t len,
                                const SendOptions& opts, bool bounded) {
+  RAILS_PERF_SCOPE(perf::Layer::kSubmit);
   RAILS_CHECK_MSG(dst != self_, "self-sends are not routed through the fabric");
   auto send = std::make_shared<SendRequest>();
   send->id = next_msg_id_++;
@@ -317,6 +319,7 @@ SendHandle Engine::submit_send(NodeId dst, Tag tag, const void* data, std::size_
   send->submit_time = fabric_->now();
 
   if (qos_ != nullptr) {
+    RAILS_PERF_SCOPE(perf::Layer::kClassify);
     send->qos_class = qos_->resolve(opts.traffic_class, len);
     // Deadline admission (docs/QOS.md): compare the estimator's earliest
     // feasible completion against the requested (or class-default) deadline
@@ -473,6 +476,10 @@ RecvHandle Engine::irecv(NodeId src, Tag tag, void* data, std::size_t capacity) 
 // ---------------------------------------------------------------------------
 
 void Engine::progress() {
+  // Strategy layer: everything here except the arbiter drain and the
+  // emission posts (which open their own scopes) is pack-list management
+  // and strategy interrogation.
+  RAILS_PERF_SCOPE(perf::Layer::kStrategy);
   // With QoS on, the pack list is fed by the arbiter: strict classes and
   // aged messages first, then one weighted-DRR round. Rounds are paced by
   // the NIC-idle re-arms below, which is what enforces the weight shares
@@ -515,6 +522,7 @@ void Engine::progress() {
 }
 
 void Engine::drain_qos() {
+  RAILS_PERF_SCOPE(perf::Layer::kArbiter);
   qos_->grant(fabric_->now(), [this](SendHandle send) {
     ++stats_.qos_grants;
     pending_eager_.push_back(std::move(send));
@@ -620,6 +628,7 @@ fabric::SimNic::PostTimes Engine::post_segment(RailId rail, fabric::Segment seg,
 }
 
 void Engine::post_emission(const EagerEmission& emission) {
+  RAILS_PERF_SCOPE(perf::Layer::kEmit);
   RAILS_CHECK(!emission.pieces.empty());
   RAILS_CHECK(emission.rail < nics_.size());
 
@@ -708,6 +717,7 @@ void Engine::post_emission(const EagerEmission& emission) {
 }
 
 void Engine::start_rendezvous(const SendHandle& send) {
+  RAILS_PERF_SCOPE(perf::Layer::kEmit);
   const StrategyContext ctx = make_context();
   const RailId rail = strategy_ != nullptr ? strategy_->control_rail(ctx) : 0;
   fabric::Segment rts;
@@ -810,6 +820,7 @@ void Engine::arm_qos_pump() {
 
 void Engine::post_stream_chunk(SendRequest& send, RailId rail, std::uint64_t offset,
                                std::size_t bytes) {
+  RAILS_PERF_SCOPE(perf::Layer::kEmit);
   const SimTime now = fabric_->now();
   const sampling::RailState state{rail, nics_[rail]->busy_until()};
   const SimDuration predicted = estimator_->chunk_completion(state, now, bytes) - now;
@@ -839,11 +850,16 @@ void Engine::post_stream_chunk(SendRequest& send, RailId rail, std::uint64_t off
 }
 
 void Engine::stream_chunks(SendRequest& send) {
+  RAILS_PERF_SCOPE(perf::Layer::kEmit);
   // "when a rendezvous request has just been received" — the strategy is
   // interrogated with the live NIC states to lay out the DMA chunks.
   const StrategyContext ctx = make_context();
   metrics_.on_plan_rendezvous();
-  const strategy::SplitResult split = strategy_->plan_rendezvous(ctx, send.len);
+  strategy::SplitResult split;
+  {
+    RAILS_PERF_SCOPE(perf::Layer::kStrategy);
+    split = strategy_->plan_rendezvous(ctx, send.len);
+  }
   RAILS_CHECK(!split.chunks.empty());
 
   std::size_t covered = 0;
@@ -897,6 +913,7 @@ void Engine::stream_chunks(SendRequest& send) {
 }
 
 void Engine::handle_fin(const fabric::Segment& seg) {
+  RAILS_PERF_SCOPE(perf::Layer::kCompletion);
   auto it = rdv_sends_.find(seg.msg_id);
   RAILS_CHECK_MSG(it != rdv_sends_.end(), "FIN for an unknown rendezvous send");
   SendRequest& send = *it->second;
@@ -953,6 +970,7 @@ RecvHandle Engine::match_posted(NodeId src, Tag tag) {
 }
 
 void Engine::handle_eager(const fabric::Segment& seg) {
+  RAILS_PERF_SCOPE(perf::Layer::kEmit);  // unpack mirrors pack
   for (const SubPacket& sp : parse_subpackets(seg.payload)) deliver_fragment(sp, seg.src);
 }
 
@@ -1052,6 +1070,7 @@ std::size_t add_interval(std::map<std::uint64_t, std::uint64_t>& set, std::uint6
 }  // namespace
 
 void Engine::handle_data(const fabric::Segment& seg) {
+  RAILS_PERF_SCOPE(perf::Layer::kEmit);  // chunk reassembly mirrors packing
   auto it = inbound_rdv_.find({seg.src, seg.msg_id});
   if (it == inbound_rdv_.end()) {
     // Duplicate after completion: a spurious-timeout retransmit finished the
@@ -1090,6 +1109,7 @@ void Engine::handle_data(const fabric::Segment& seg) {
 }
 
 void Engine::complete_recv(const RecvHandle& recv) {
+  RAILS_PERF_SCOPE(perf::Layer::kCompletion);
   recv->state = RecvState::kDone;
   recv->complete_time = fabric_->now();
   trace_event(trace::EventKind::kRecvComplete, recv->id, recv->tag, 0, 0,

@@ -34,6 +34,11 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
+  /// Total events executed since construction. Deterministic for a given
+  /// workload (same property as the clock), so benchmark harnesses can report
+  /// simulated-events counts that are stable across hosts.
+  std::uint64_t processed() const { return processed_; }
+
   /// Runs the earliest event. Returns false when the queue is empty.
   bool step() {
     if (heap_.empty()) return false;
@@ -44,6 +49,7 @@ class EventQueue {
     heap_.pop();
     RAILS_CHECK(ev.time >= now_);
     now_ = ev.time;
+    ++processed_;
     ev.fn();
     return true;
   }
@@ -85,6 +91,7 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
 };
 
 }  // namespace rails::fabric

@@ -1,0 +1,53 @@
+// Opt-in global operator-new hook feeding the perf profiler's per-layer
+// allocation counts. Linked explicitly (not through rails_perf) by the
+// binaries that want allocation attribution — railsctl, benchjson, and
+// tests/test_perf — so that:
+//
+//  * test binaries replacing operator new themselves do not double-define
+//    the symbol, and
+//  * sanitizer builds keep their own allocator interposition: under
+//    ASan/TSan/MSan this file compiles to an empty translation unit.
+//
+// The hook only bumps a trivially-constructed thread_local counter; the
+// profiler's ScopedTimer attributes deltas to the active layer.
+#include "perf/profiler.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RAILS_PERF_NO_ALLOC_HOOK 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define RAILS_PERF_NO_ALLOC_HOOK 1
+#endif
+#endif
+
+#if !defined(RAILS_PERF_NO_ALLOC_HOOK)
+
+#include <cstdlib>
+#include <new>
+
+void* operator new(std::size_t size) {
+  ++rails::perf::t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++rails::perf::t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#else
+
+// Keep the archive member non-empty so ranlib has a symbol to index.
+namespace rails::perf {
+int alloc_hook_disabled_under_sanitizers = 1;
+}
+
+#endif

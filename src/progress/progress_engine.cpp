@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "perf/profiler.hpp"
 
 namespace rails::progress {
 
@@ -40,6 +41,7 @@ std::size_t ProgressEngine::source_count() const {
 }
 
 unsigned ProgressEngine::tick(const Context& ctx) {
+  RAILS_PERF_SCOPE(perf::Layer::kProgress);
   std::vector<EventSource*> snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);

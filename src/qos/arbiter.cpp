@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "perf/profiler.hpp"
 
 namespace rails::qos {
 
@@ -61,13 +62,13 @@ std::size_t QosArbiter::low_mark(ClassId cls) const {
 }
 
 bool QosArbiter::has_capacity(ClassId cls) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   return states_[cls].queue.size() < specs_[cls].queue_capacity;
 }
 
 void QosArbiter::note_rejected_full(ClassId cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   ClassState& cs = states_[cls];
   ++cs.counters.rejected_full;
@@ -77,7 +78,7 @@ void QosArbiter::note_rejected_full(ClassId cls) {
 void QosArbiter::enqueue(ClassId cls, core::SendHandle send, SimTime now) {
   bool pause = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
     RAILS_CHECK(cls < states_.size());
     ClassState& cs = states_[cls];
     cs.queue.push_back(Waiting{std::move(send), now});
@@ -117,7 +118,7 @@ void QosArbiter::grant(SimTime now, const GrantSink& sink) {
   std::vector<core::SendHandle> granted;
   std::vector<ClassId> resumed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
     // Strict pass: strict-priority classes drain fully; elsewhere only
     // messages past the aging threshold jump their class's deficit. Queues
     // are FIFO, so checking the head suffices.
@@ -167,7 +168,7 @@ void QosArbiter::grant(SimTime now, const GrantSink& sink) {
 }
 
 bool QosArbiter::backlog() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   for (const ClassState& cs : states_) {
     if (!cs.queue.empty()) return true;
   }
@@ -175,19 +176,19 @@ bool QosArbiter::backlog() const {
 }
 
 std::size_t QosArbiter::depth(ClassId cls) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   return states_[cls].queue.size();
 }
 
 std::size_t QosArbiter::deficit(ClassId cls) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   return states_[cls].deficit;
 }
 
 bool QosArbiter::paused(ClassId cls) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   return states_[cls].paused;
 }
@@ -198,7 +199,7 @@ void QosArbiter::set_backpressure(BackpressureFn fn) {
 
 void QosArbiter::note_completion(ClassId cls, bool had_deadline, bool deadline_hit,
                                  SimDuration latency) {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   ClassState& cs = states_[cls];
   if (had_deadline) {
@@ -216,7 +217,7 @@ void QosArbiter::note_completion(ClassId cls, bool had_deadline, bool deadline_h
 }
 
 void QosArbiter::note_admission_reject(ClassId cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   ++states_[cls].counters.admission_rejects;
   if (states_[cls].m_admission_rejects != nullptr) {
@@ -225,7 +226,7 @@ void QosArbiter::note_admission_reject(ClassId cls) {
 }
 
 void QosArbiter::note_admission_downgrade(ClassId cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   ++states_[cls].counters.admission_downgrades;
   if (states_[cls].m_admission_downgrades != nullptr) {
@@ -234,13 +235,13 @@ void QosArbiter::note_admission_downgrade(ClassId cls) {
 }
 
 ClassCounters QosArbiter::counters(ClassId cls) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   RAILS_CHECK(cls < states_.size());
   return states_[cls].counters;
 }
 
 void QosArbiter::attach_metrics(telemetry::MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   for (ClassId cls = 0; cls < states_.size(); ++cls) {
     ClassState& cs = states_[cls];
     if (registry == nullptr) {
@@ -271,7 +272,7 @@ void QosArbiter::attach_metrics(telemetry::MetricsRegistry* registry) {
 }
 
 void QosArbiter::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
   os << '[';
   for (ClassId cls = 0; cls < states_.size(); ++cls) {
     const ClassState& cs = states_[cls];

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "perf/profiler.hpp"
 
 namespace rails::strategy {
 
@@ -97,6 +98,7 @@ std::size_t best_single_rail(std::span<const SolverRail> rails, std::size_t tota
 
 SplitResult dichotomy_split(const SolverRail& a, const SolverRail& b, std::size_t total,
                             const DichotomyConfig& config) {
+  RAILS_PERF_SCOPE(perf::Layer::kStrategy);
   RAILS_CHECK(total > 0);
   const SolverRail rails_arr[2] = {a, b};
   const std::span<const SolverRail> rails(rails_arr, 2);
@@ -129,6 +131,7 @@ SplitResult dichotomy_split(const SolverRail& a, const SolverRail& b, std::size_
 }
 
 SplitResult solve_equal_finish(std::span<const SolverRail> rails, std::size_t total) {
+  RAILS_PERF_SCOPE(perf::Layer::kStrategy);
   RAILS_CHECK(!rails.empty());
   RAILS_CHECK(total > 0);
 

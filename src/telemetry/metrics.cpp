@@ -57,14 +57,28 @@ std::uint64_t Histogram::percentile(double p) const {
   const std::uint64_t n = count();
   if (n == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
-  const auto target = static_cast<std::uint64_t>(
-      static_cast<double>(n) * p / 100.0 + 0.5);
+  const double target = static_cast<double>(n) * p / 100.0 + 0.5;
   std::uint64_t cumulative = 0;
   for (unsigned i = 0; i < kBucketCount; ++i) {
-    cumulative += bucket(i);
-    if (cumulative >= target && cumulative > 0) {
-      return std::min(bucket_upper(i), max());
+    const std::uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate linearly within the bucket instead of reporting its
+      // upper bound: a log2 bucket spans up to a factor of two, and the
+      // upper bound alone overstates the percentile by up to 2x. The
+      // bucket's range is clipped to the observed [min, max] so exact
+      // power-of-two populations (a bucket-boundary value repeated) report
+      // the exact value rather than the bucket's width.
+      const std::uint64_t lo = std::max(bucket_lower(i), min());
+      const std::uint64_t hi = std::min(bucket_upper(i), max());
+      if (hi <= lo) return lo;
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      const double value = static_cast<double>(lo) +
+                           std::clamp(frac, 0.0, 1.0) * static_cast<double>(hi - lo);
+      return static_cast<std::uint64_t>(value + 0.5);
     }
+    cumulative += in_bucket;
   }
   return max();
 }

@@ -77,8 +77,11 @@ class Histogram {
   std::uint64_t min() const;
   std::uint64_t max() const;
 
-  /// Approximate percentile: the inclusive upper bound of the bucket where
-  /// the cumulative count first reaches p% (clamped by the exact max).
+  /// Approximate percentile: linear interpolation within the bucket where
+  /// the cumulative count first reaches p%, the bucket's range clipped to
+  /// the observed [min, max]. A population concentrated on one value (e.g.
+  /// an exact power of two sitting on a bucket boundary) therefore reports
+  /// that value exactly instead of the bucket's upper bound.
   std::uint64_t percentile(double p) const;
 
   /// Parallel-reduction merge, mirroring RunningStats::merge.

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "perf/profiler.hpp"
 
 namespace rails::threaded {
 
@@ -183,6 +184,7 @@ std::shared_ptr<SendTicket> OffloadChannel::send(Tag tag, const void* data,
         worker, rt::Tasklet(
                     [this, ticket, bytes, msg_id, tag, len, offset, n, rail, worker,
                      signalled] {
+                      RAILS_PERF_SCOPE(perf::Layer::kOffload);
                       if (m_signal_delay_ != nullptr) {
                         const auto delay =
                             std::chrono::steady_clock::now() - signalled;

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/minijson.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace rails::trace {
@@ -62,26 +63,6 @@ std::size_t round_up_pow2(std::size_t n) {
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
-}
-
-void json_escape(std::ostream& os, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
 }
 
 // The recorder armed for CHECK-failure dumps. A single global (not a
@@ -211,11 +192,9 @@ std::string FlightRecorder::trigger(const char* reason, const std::string& detai
 
 void FlightRecorder::write_bundle(std::ostream& os, const char* reason,
                                   const std::string& detail, SimTime now) const {
-  os << "{\"postmortem\":{\"format\":1,\"reason\":\"";
-  json_escape(os, reason);
-  os << "\",\"detail\":\"";
-  json_escape(os, detail);
-  os << "\",\"time_ns\":" << now;
+  os << "{\"postmortem\":{\"format\":1,\"reason\":\""
+     << minijson::escape(reason) << "\",\"detail\":\""
+     << minijson::escape(detail) << "\",\"time_ns\":" << now;
 
   const std::vector<FlightRecord> events = snapshot();
   os << ",\"ring\":{\"capacity\":" << capacity()
@@ -275,182 +254,12 @@ void FlightRecorder::uninstall_check_hook() {
 }
 
 // ---------------------------------------------------------------------------
-// Postmortem rendering: a minimal recursive-descent JSON reader (the repo
-// deliberately has no JSON dependency) plus a human-oriented formatter.
+// Postmortem rendering: reads the bundle back through the shared minijson
+// reader (common/minijson.hpp) and formats it for humans.
 
 namespace {
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(std::string_view key) const {
-    if (type != Type::kObject) return nullptr;
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  double num_or(double fallback) const {
-    return type == Type::kNumber ? number : fallback;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
-
-  bool parse(JsonValue& out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return p_ == end_;
-  }
-
- private:
-  void skip_ws() {
-    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_)) != 0) ++p_;
-  }
-  bool literal(const char* s) {
-    const std::size_t n = std::strlen(s);
-    if (static_cast<std::size_t>(end_ - p_) < n || std::memcmp(p_, s, n) != 0) {
-      return false;
-    }
-    p_ += n;
-    return true;
-  }
-  bool value(JsonValue& out) {
-    if (p_ == end_) return false;
-    switch (*p_) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"':
-        out.type = JsonValue::Type::kString;
-        return string(out.str);
-      case 't':
-        out.type = JsonValue::Type::kBool;
-        out.boolean = true;
-        return literal("true");
-      case 'f':
-        out.type = JsonValue::Type::kBool;
-        out.boolean = false;
-        return literal("false");
-      case 'n':
-        out.type = JsonValue::Type::kNull;
-        return literal("null");
-      default: return number(out);
-    }
-  }
-  bool object(JsonValue& out) {
-    out.type = JsonValue::Type::kObject;
-    ++p_;  // '{'
-    skip_ws();
-    if (p_ != end_ && *p_ == '}') {
-      ++p_;
-      return true;
-    }
-    while (p_ != end_) {
-      skip_ws();
-      std::string key;
-      if (p_ == end_ || *p_ != '"' || !string(key)) return false;
-      skip_ws();
-      if (p_ == end_ || *p_ != ':') return false;
-      ++p_;
-      skip_ws();
-      JsonValue v;
-      if (!value(v)) return false;
-      out.object.emplace_back(std::move(key), std::move(v));
-      skip_ws();
-      if (p_ == end_) return false;
-      if (*p_ == ',') {
-        ++p_;
-        continue;
-      }
-      if (*p_ == '}') {
-        ++p_;
-        return true;
-      }
-      return false;
-    }
-    return false;
-  }
-  bool array(JsonValue& out) {
-    out.type = JsonValue::Type::kArray;
-    ++p_;  // '['
-    skip_ws();
-    if (p_ != end_ && *p_ == ']') {
-      ++p_;
-      return true;
-    }
-    while (p_ != end_) {
-      JsonValue v;
-      skip_ws();
-      if (!value(v)) return false;
-      out.array.push_back(std::move(v));
-      skip_ws();
-      if (p_ == end_) return false;
-      if (*p_ == ',') {
-        ++p_;
-        continue;
-      }
-      if (*p_ == ']') {
-        ++p_;
-        return true;
-      }
-      return false;
-    }
-    return false;
-  }
-  bool string(std::string& out) {
-    ++p_;  // '"'
-    while (p_ != end_) {
-      const char c = *p_++;
-      if (c == '"') return true;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (p_ == end_) return false;
-      const char esc = *p_++;
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          // Bundles only escape control characters; render \uXXXX as '?'
-          // rather than decoding surrogate pairs.
-          if (end_ - p_ < 4) return false;
-          p_ += 4;
-          out.push_back('?');
-          break;
-        }
-        default: return false;
-      }
-    }
-    return false;
-  }
-  bool number(JsonValue& out) {
-    char* parse_end = nullptr;
-    out.type = JsonValue::Type::kNumber;
-    out.number = std::strtod(p_, &parse_end);
-    if (parse_end == p_ || parse_end > end_) return false;
-    p_ = parse_end;
-    return true;
-  }
-
-  const char* p_;
-  const char* end_;
-};
+using minijson::JsonValue;
 
 void pretty_print(const JsonValue& v, std::ostream& os, int indent) {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
@@ -492,7 +301,7 @@ bool FlightRecorder::render_postmortem(std::istream& is, std::ostream& os) {
   std::string text((std::istreambuf_iterator<char>(is)),
                    std::istreambuf_iterator<char>());
   JsonValue root;
-  if (!JsonParser(text).parse(root)) {
+  if (!minijson::parse(text, root)) {
     os << "postmortem: input is not valid JSON\n";
     return false;
   }

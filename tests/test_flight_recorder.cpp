@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/minijson.hpp"
 #include "core/world.hpp"
 #include "fabric/fault.hpp"
 #include "rt/worker_pool.hpp"
@@ -272,6 +273,80 @@ TEST(FlightRecorderDeathTest, CheckFailureDumpsOneFinalBundle) {
   }
   EXPECT_TRUE(found);
   trace::FlightRecorder::uninstall_check_hook();
+}
+
+// -- minijson (the parser behind the postmortem renderer and benchdiff) ------
+
+TEST(MiniJson, EscapedStringsRoundTrip) {
+  // escape() -> parse() must reproduce the original bytes, including
+  // quotes, backslashes, newlines, and control characters.
+  const std::string original = "line1\nline2\t\"quoted\\path\"\x01\x1f end";
+  std::string doc = "\"";
+  doc += minijson::escape(original);
+  doc += '"';
+  minijson::JsonValue v;
+  ASSERT_TRUE(minijson::parse(doc, v));
+  ASSERT_EQ(v.type, minijson::JsonValue::Type::kString);
+  EXPECT_EQ(v.str, original);
+}
+
+TEST(MiniJson, NestedObjectsAndArrays) {
+  minijson::JsonValue root;
+  ASSERT_TRUE(minijson::parse(
+      R"({"a": {"b": [1, 2.5, -3e2], "c": {"deep": true}}, "d": [[], [null]]})",
+      root));
+  const minijson::JsonValue* b = root.find("a")->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(b->array[1].num_or(0), 2.5);
+  EXPECT_DOUBLE_EQ(b->array[2].num_or(0), -300.0);
+  EXPECT_TRUE(root.find("a")->find("c")->find("deep")->bool_or(false));
+  ASSERT_EQ(root.find("d")->array.size(), 2u);
+  EXPECT_EQ(root.find("d")->array[0].array.size(), 0u);
+  EXPECT_EQ(root.find("d")->array[1].array[0].type,
+            minijson::JsonValue::Type::kNull);
+}
+
+TEST(MiniJson, UnicodeEscapesDecodeAscii) {
+  // The emitters only use \uXXXX for control characters; code points that
+  // fit one byte decode exactly, anything larger renders as '?'.
+  minijson::JsonValue v;
+  ASSERT_TRUE(minijson::parse("\"\\u0041\\u000a\\u00e9\"", v));
+  EXPECT_EQ(v.str, "A\n?");
+  EXPECT_FALSE(minijson::parse(R"("\uZZZZ")", v));
+  EXPECT_FALSE(minijson::parse(R"("\u00)", v));
+  EXPECT_FALSE(minijson::parse(R"("\q")", v));
+}
+
+TEST(MiniJson, RejectsMalformedInput) {
+  minijson::JsonValue v;
+  EXPECT_FALSE(minijson::parse("", v));
+  EXPECT_FALSE(minijson::parse("{", v));
+  EXPECT_FALSE(minijson::parse("{\"a\": }", v));
+  EXPECT_FALSE(minijson::parse("[1, 2", v));
+  EXPECT_FALSE(minijson::parse("\"unterminated", v));
+  EXPECT_FALSE(minijson::parse("truthy", v));
+  EXPECT_FALSE(minijson::parse("{} trailing", v));
+  EXPECT_FALSE(minijson::parse("{\"a\" 1}", v));
+}
+
+TEST(MiniJson, ParsesABenchBundleSchema) {
+  // The shape benchdiff consumes (bench_support/bench_json.hpp).
+  const char* doc = R"({
+    "schema": "rails-bench", "schema_version": 1, "generator": "t",
+    "commit": "deadbeef", "quick": true, "generated_unix": 1700000000,
+    "benches": [{"name": "msgrate", "config": {"flows": "64"},
+                 "metrics": [{"name": "msgs_per_ms/a", "value": 512.25,
+                              "unit": "msgs/ms", "higher_is_better": true,
+                              "headline": true}]}]
+  })";
+  minijson::JsonValue root;
+  ASSERT_TRUE(minijson::parse(doc, root));
+  EXPECT_EQ(root.find("schema")->str_or(""), "rails-bench");
+  const minijson::JsonValue& m =
+      root.find("benches")->array.at(0).find("metrics")->array.at(0);
+  EXPECT_DOUBLE_EQ(m.find("value")->num_or(0), 512.25);
+  EXPECT_TRUE(m.find("headline")->bool_or(false));
 }
 
 }  // namespace

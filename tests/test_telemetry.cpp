@@ -95,15 +95,43 @@ TEST(Histogram, ObserveTracksStats) {
   EXPECT_EQ(h.bucket(Histogram::bucket_index(100)), 1u); // [64,128)
 }
 
-TEST(Histogram, PercentileWalksCumulativeBuckets) {
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
   Histogram h;
   for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
-  // Uniform 1..100: cumulative count reaches 50 inside [32,64), whose
-  // inclusive upper bound is 63.
-  EXPECT_EQ(h.percentile(50.0), 63u);
-  // p95 lands in [64,128), clamped by the exact max.
-  EXPECT_EQ(h.percentile(95.0), 100u);
+  // Uniform 1..100: the 50th percentile lands inside [32,64) and linear
+  // interpolation puts it at ~51 (true value 50.5) instead of the bucket's
+  // upper bound 63.
+  EXPECT_EQ(h.percentile(50.0), 51u);
+  // p95 lands in [64,128); the bucket is clipped to the observed max (100),
+  // interpolating to ~96 (true value 95) instead of reporting 100.
+  EXPECT_EQ(h.percentile(95.0), 96u);
   EXPECT_EQ(h.percentile(100.0), 100u);
+}
+
+TEST(Histogram, PercentilePinnedAtPowerOfTwoBoundaries) {
+  // A population concentrated on an exact power of two sits on a log2
+  // bucket boundary — the worst case for bucket-upper-bound reporting,
+  // which would have said 2047 for 1024. Clipping the bucket to the
+  // observed [min, max] pins the exact value at every percentile.
+  for (const std::uint64_t v : {1024ull, 4096ull, 1ull << 20}) {
+    Histogram h;
+    for (int i = 0; i < 1000; ++i) h.observe(v);
+    EXPECT_EQ(h.percentile(50.0), v) << "p50 of constant " << v;
+    EXPECT_EQ(h.percentile(99.0), v) << "p99 of constant " << v;
+    EXPECT_EQ(h.percentile(100.0), v) << "p100 of constant " << v;
+  }
+  // Two adjacent powers of two in distinct buckets: every percentile must
+  // stay within the observed [min, max] (the old upper-bound reporting
+  // said 4095 for p99 here), and the top tail is pinned exactly because
+  // the upper bucket clips to the max.
+  Histogram two;
+  for (int i = 0; i < 500; ++i) two.observe(1024);
+  for (int i = 0; i < 500; ++i) two.observe(2048);
+  EXPECT_EQ(two.percentile(99.0), 2048u);
+  for (const double p : {10.0, 50.0, 75.0, 90.0}) {
+    EXPECT_GE(two.percentile(p), 1024u) << "p" << p;
+    EXPECT_LE(two.percentile(p), 2048u) << "p" << p;
+  }
 }
 
 TEST(Histogram, MergeCombines) {

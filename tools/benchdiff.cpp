@@ -1,0 +1,193 @@
+// benchdiff — the CI regression gate over rails-bench bundles.
+//
+//   benchdiff <baseline.json> <candidate.json> [--threshold <pct>] [--all]
+//
+// Compares two bundles written by benchjson / the --json bench binaries
+// (schema in bench_support/bench_json.hpp). Metrics are matched by
+// "<bench>/<metric>" name. Only *headline* metrics gate: each one's
+// relative change is computed in its own improvement direction
+// (higher_is_better), and any regression beyond the threshold (default
+// 10%) fails the run with exit code 1.
+//
+// Non-headline metrics (host wall-clock figures) are informational; --all
+// prints them too. Headline metrics present on only one side are warned
+// about but do not fail the gate — adding a bench must not break CI, and
+// a *removed* headline metric is visible in the warning.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/minijson.hpp"
+
+using rails::minijson::JsonValue;
+
+namespace {
+
+struct Metric {
+  std::string name;  // "<bench>/<metric>"
+  double value = 0.0;
+  std::string unit;
+  bool higher_is_better = true;
+  bool headline = false;
+};
+
+struct Bundle {
+  std::string path;
+  std::string commit;
+  std::vector<Metric> metrics;
+};
+
+bool load_bundle(const std::string& path, Bundle& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "benchdiff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue root;
+  if (!rails::minijson::parse(buf.str(), root) ||
+      root.type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "benchdiff: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->str_or("") != "rails-bench") {
+    std::fprintf(stderr, "benchdiff: %s is not a rails-bench bundle\n",
+                 path.c_str());
+    return false;
+  }
+  out.path = path;
+  if (const JsonValue* c = root.find("commit")) out.commit = c->str_or("");
+  const JsonValue* benches = root.find("benches");
+  if (benches == nullptr || benches->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "benchdiff: %s has no benches array\n", path.c_str());
+    return false;
+  }
+  for (const JsonValue& bench : benches->array) {
+    const JsonValue* bname = bench.find("name");
+    const JsonValue* metrics = bench.find("metrics");
+    if (bname == nullptr || metrics == nullptr ||
+        metrics->type != JsonValue::Type::kArray) {
+      continue;
+    }
+    for (const JsonValue& m : metrics->array) {
+      const JsonValue* mname = m.find("name");
+      const JsonValue* value = m.find("value");
+      if (mname == nullptr || value == nullptr) continue;
+      Metric metric;
+      metric.name = std::string(bname->str_or("")) + "/" +
+                    std::string(mname->str_or(""));
+      metric.value = value->num_or(0.0);
+      if (const JsonValue* u = m.find("unit")) metric.unit = u->str_or("");
+      if (const JsonValue* h = m.find("higher_is_better")) {
+        metric.higher_is_better = h->bool_or(true);
+      }
+      if (const JsonValue* h = m.find("headline")) {
+        metric.headline = h->bool_or(false);
+      }
+      out.metrics.push_back(std::move(metric));
+    }
+  }
+  return true;
+}
+
+const Metric* find_metric(const Bundle& bundle, const std::string& name) {
+  for (const Metric& m : bundle.metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* base_path = nullptr;
+  const char* cand_path = nullptr;
+  double threshold_pct = 10.0;
+  bool show_all = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      show_all = true;
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (cand_path == nullptr) {
+      cand_path = argv[i];
+    } else {
+      base_path = nullptr;
+      break;
+    }
+  }
+  if (base_path == nullptr || cand_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: benchdiff <baseline.json> <candidate.json> "
+                 "[--threshold <pct>] [--all]\n");
+    return 2;
+  }
+
+  Bundle base, cand;
+  if (!load_bundle(base_path, base) || !load_bundle(cand_path, cand)) return 2;
+
+  std::printf("benchdiff: %s (%s) -> %s (%s), threshold %.1f%%\n",
+              base.path.c_str(), base.commit.c_str(), cand.path.c_str(),
+              cand.commit.c_str(), threshold_pct);
+  std::printf("%-52s %14s %14s %9s  %s\n", "metric", "baseline", "candidate",
+              "change", "verdict");
+
+  int regressions = 0;
+  int warnings = 0;
+  int compared = 0;
+  for (const Metric& b : base.metrics) {
+    if (!b.headline && !show_all) continue;
+    const Metric* c = find_metric(cand, b.name);
+    if (c == nullptr) {
+      std::printf("%-52s %14.4g %14s %9s  %s\n", b.name.c_str(), b.value, "-",
+                  "-", b.headline ? "WARN missing from candidate" : "gone");
+      warnings += b.headline ? 1 : 0;
+      continue;
+    }
+    double change_pct = 0.0;
+    if (b.value != 0.0) {
+      change_pct = (c->value - b.value) / std::fabs(b.value) * 100.0;
+    } else if (c->value != 0.0) {
+      change_pct = std::numeric_limits<double>::infinity();
+    }
+    // A regression moves against the metric's improvement direction by
+    // more than the threshold.
+    const double against = b.higher_is_better ? -change_pct : change_pct;
+    const bool gated = b.headline;
+    const bool regressed = gated && against > threshold_pct;
+    const char* verdict = !gated        ? "info"
+                          : regressed   ? "REGRESSED"
+                          : against < -threshold_pct ? "improved"
+                                        : "ok";
+    std::printf("%-52s %14.4g %14.4g %+8.1f%%  %s\n", b.name.c_str(), b.value,
+                c->value, change_pct, verdict);
+    compared += gated ? 1 : 0;
+    regressions += regressed ? 1 : 0;
+  }
+  for (const Metric& c : cand.metrics) {
+    if (!c.headline) continue;
+    if (find_metric(base, c.name) == nullptr) {
+      std::printf("%-52s %14s %14.4g %9s  new headline metric\n",
+                  c.name.c_str(), "-", c.value, "-");
+    }
+  }
+
+  std::printf("%d headline metric(s) compared, %d regression(s), %d warning(s)\n",
+              compared, regressions, warnings);
+  if (compared == 0) {
+    std::fprintf(stderr, "benchdiff: no comparable headline metrics — "
+                         "refusing to pass an empty gate\n");
+    return 2;
+  }
+  return regressions > 0 ? 1 : 0;
+}

@@ -8,6 +8,7 @@
 //   railsctl metrics  <cluster-file> [--size <bytes>] [--strategies a,b,c]
 //   railsctl trace    <cluster-file> --chrome <out.json> [--size <bytes>]
 //   railsctl spans    <cluster-file> [--size <bytes>] [--fail-rail R]
+//   railsctl perf     <cluster-file> [--size <bytes>] [--rounds N] [--json]
 //   railsctl postmortem <bundle.json>
 //
 // The cluster file format is documented in src/core/config.hpp; presets:
@@ -23,6 +24,7 @@
 #include "bench_support/traffic.hpp"
 #include "core/config.hpp"
 #include "core/world.hpp"
+#include "perf/profiler.hpp"
 #include "qos/arbiter.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prediction.hpp"
@@ -37,7 +39,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: railsctl <describe|sample|pingpong|compare|gantt|metrics|trace|"
-               "spans|qos|postmortem> <cluster-file> [options]\n"
+               "spans|qos|perf|postmortem> <cluster-file> [options]\n"
                "  describe               print the parsed configuration\n"
                "  sample [--out DIR]     sample every rail; write profiles to DIR\n"
                "  pingpong [--min N] [--max N] [--iters N]\n"
@@ -74,6 +76,12 @@ int usage() {
                "                         arbiter enabled; print per-class queue depths,\n"
                "                         DRR deficits, deadline hit/miss and admission\n"
                "                         counters (--json for machine-readable output)\n"
+               "  perf [--size N] [--rounds N] [--json]\n"
+               "                         run a mixed workload with the hot-path cycle\n"
+               "                         profiler enabled; print the per-layer\n"
+               "                         cycles/message breakdown (docs/PERF.md);\n"
+               "                         layer self-times sum to the engine's total\n"
+               "                         instrumented CPU per message\n"
                "  postmortem <bundle.json>\n"
                "                         render a flight-recorder postmortem bundle\n"
                "                         (takes a bundle file, not a cluster file)\n"
@@ -514,6 +522,44 @@ int cmd_qos(core::WorldConfig cfg, std::size_t size, bool json) {
   return 0;
 }
 
+int cmd_perf(core::WorldConfig cfg, std::size_t size, unsigned rounds, bool json) {
+  // QoS on so the classify and arbiter layers see traffic; otherwise the
+  // breakdown would report them as permanently idle on default configs.
+  cfg.engine.qos.enabled = true;
+  core::World world(std::move(cfg));
+  world.engine(0).reset_stats();
+
+  // A deliberate profiling session: record every root scope (no sampling)
+  // so the per-message attribution is exact, not an estimate.
+  perf::Profiler::set_enabled(true);
+  perf::Profiler::set_sample_every(1);
+  perf::Profiler::reset();
+  for (unsigned r = 0; r < rounds; ++r) run_mixed_workload(world, size);
+  const perf::Snapshot snap = perf::Profiler::snapshot();
+  perf::Profiler::set_enabled(false);
+
+  const double messages = static_cast<double>(world.engine(0).stats().sends);
+  // The breakdown also lands in the metrics registry as perf.* gauges so
+  // dumps and postmortem bundles carry it.
+  telemetry::MetricsRegistry registry;
+  perf::Profiler::publish(registry, snap);
+
+  if (json) {
+    perf::Profiler::write_json(std::cout, snap, messages);
+    std::cout << "\n";
+    return 0;
+  }
+  std::printf("strategy %s, %u round(s) of the mixed workload, %zu-byte rendezvous, "
+              "%.0f messages\n",
+              world.engine(0).strategy().name().c_str(), rounds, size, messages);
+  if (snap.root_cycles == 0 && snap.total_self_cycles() == 0) {
+    std::printf("no cycles recorded — profiler compiled out "
+                "(RAILS_PERF_PROFILER=OFF)?\n");
+  }
+  perf::Profiler::write_table(std::cout, snap, messages);
+  return 0;
+}
+
 int cmd_postmortem(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -615,6 +661,11 @@ int main(int argc, char** argv) {
                      std::stod(opt(argc, argv, "--fail-at-us", "5")),
                      opt(argc, argv, "--chrome", nullptr),
                      opt(argc, argv, "--postmortem-dir", nullptr));
+  }
+  if (cmd == "perf") {
+    return cmd_perf(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
+                    static_cast<unsigned>(std::stoul(opt(argc, argv, "--rounds", "4"))),
+                    has_flag(argc, argv, "--json"));
   }
   if (cmd == "loadsweep") {
     return cmd_loadsweep(
