@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "fabric/buffer_pool.hpp"
 #include "perf/profiler.hpp"
 
 namespace rails::core {
@@ -60,6 +61,7 @@ void Engine::set_strategy(std::unique_ptr<Strategy> strategy) {
   RAILS_CHECK(strategy != nullptr);
   strategy_ = std::move(strategy);
   metrics_.set_strategy_name(strategy_->name());
+  invalidate_decisions();  // cached plans belong to the old strategy
 }
 
 void Engine::set_metrics(telemetry::MetricsRegistry* registry) {
@@ -141,6 +143,10 @@ void Engine::observe_completion(RailId rail, SimDuration plan, SimDuration model
   if (predictions_ != nullptr) predictions_->record(rail, plan, actual);
   if (recal_ == nullptr) return;
   const auto out = recal_->observe(rail, model, actual, fabric_->now());
+  // A scale correction or trust transition changes estimator outputs (and
+  // thus what the planner would decide) without touching the cache key —
+  // orphan every memoized decision.
+  if (out.scale_corrected || out.state_changed) invalidate_decisions();
   if (out.scale_corrected) {
     ++stats_.recal_corrections;
     metrics_.on_recal_correction(rail, recal_->scale(rail));
@@ -192,6 +198,7 @@ void Engine::run_resample(RailId rail) {
   sampling::RailProfile fresh = sampling::resample_rail_via_preview(
       *nics_[rail], now, config_.recalibration.resample_sampler);
   recal_->complete_resample(rail, std::move(fresh), now);
+  invalidate_decisions();  // the rail's cost profile just changed
   ++stats_.recal_resamples;
   metrics_.on_resample(rail, recal_->scale(rail));
   metrics_.on_trust_gauge(rail, static_cast<int>(recal_->trust(rail)));
@@ -310,7 +317,7 @@ SendHandle Engine::submit_send(NodeId dst, Tag tag, const void* data, std::size_
                                const SendOptions& opts, bool bounded) {
   RAILS_PERF_SCOPE(perf::Layer::kSubmit);
   RAILS_CHECK_MSG(dst != self_, "self-sends are not routed through the fabric");
-  auto send = std::make_shared<SendRequest>();
+  SendHandle send = make_send_request();
   send->id = next_msg_id_++;
   send->dst = dst;
   send->tag = tag;
@@ -332,10 +339,18 @@ SendHandle Engine::submit_send(NodeId dst, Tag tag, const void* data, std::size_
     }
     if (deadline != 0 && earliest_feasible_completion(len) > deadline) {
       if (config_.qos.deadline_downgrade) {
+        const auto downgraded = std::min<std::uint32_t>(
+            qos::kBackground, static_cast<std::uint32_t>(qos_->class_count() - 1));
+        // A bounded send that the capacity check below would shed must leave
+        // no admission accounting behind: check the class it would actually
+        // occupy BEFORE mutating the downgrade counters.
+        if (bounded && len <= rdv_threshold_ && !qos_->has_capacity(downgraded)) {
+          qos_->note_rejected_full(downgraded);
+          return nullptr;
+        }
         qos_->note_admission_downgrade(send->qos_class);
         ++stats_.qos_admission_downgrades;
-        send->qos_class = std::min<std::uint32_t>(
-            qos::kBackground, static_cast<std::uint32_t>(qos_->class_count() - 1));
+        send->qos_class = downgraded;
         deadline = 0;  // downgraded sends run best-effort
       } else {
         qos_->note_admission_reject(send->qos_class);
@@ -411,7 +426,7 @@ SendHandle Engine::isendv(NodeId dst, Tag tag, std::span<const IoSlice> slices) 
 }
 
 RecvHandle Engine::irecv(NodeId src, Tag tag, void* data, std::size_t capacity) {
-  auto recv = std::make_shared<RecvRequest>();
+  RecvHandle recv = make_recv_request();
   recv->id = next_msg_id_++;
   recv->src = src;
   recv->tag = tag;
@@ -443,7 +458,7 @@ RecvHandle Engine::irecv(NodeId src, Tag tag, void* data, std::size_t capacity) 
     } else {
       // Key by the *actual* source (recv->src is bound above) — `src` may
       // be the kAnySource wildcard.
-      bound_recvs_[{recv->src, recv->matched_msg}] = recv;
+      bound_recvs_.emplace_back(MsgKey{recv->src, recv->matched_msg}, recv);
       unexpected_.erase(it);
     }
     return recv;
@@ -493,22 +508,36 @@ void Engine::progress() {
   metrics_.on_progress();
 
   // Interrogate the strategy once per destination group, preserving the
-  // submission order within each group.
-  std::vector<NodeId> dsts;
-  for (const auto& s : pending_eager_) {
-    if (std::find(dsts.begin(), dsts.end(), s->dst) == dsts.end()) dsts.push_back(s->dst);
+  // first-appearance order of destinations and the submission order within
+  // each group. Single pass over the pack list: each destination's group
+  // index is memoized in dst_group_, stamped with group_epoch_ so resetting
+  // the table between activations is O(1) (no per-node clearing), and the
+  // group vectors themselves are recycled (clear keeps capacity).
+  if (dst_epoch_.size() < fabric_->node_count()) {
+    dst_epoch_.resize(fabric_->node_count(), 0);
+    dst_group_.resize(fabric_->node_count(), 0);
   }
-
-  for (NodeId dst : dsts) {
-    std::vector<const SendRequest*> group;
-    for (const auto& s : pending_eager_) {
-      if (s->dst == dst) group.push_back(s.get());
+  if (++group_epoch_ == 0) {
+    // Wrap: stamps from 2^32 activations ago could alias the fresh epoch.
+    std::fill(dst_epoch_.begin(), dst_epoch_.end(), 0);
+    group_epoch_ = 1;
+  }
+  groups_used_ = 0;
+  for (const auto& s : pending_eager_) {
+    std::uint32_t g;
+    if (dst_epoch_[s->dst] == group_epoch_) {
+      g = dst_group_[s->dst];
+    } else {
+      g = static_cast<std::uint32_t>(groups_used_++);
+      if (groups_used_ > group_sends_.size()) group_sends_.emplace_back();
+      group_sends_[g].clear();
+      dst_epoch_[s->dst] = group_epoch_;
+      dst_group_[s->dst] = g;
     }
-    const StrategyContext ctx = make_context();
-    metrics_.on_plan_eager();
-    EagerSchedule schedule =
-        strategy_->plan_eager(ctx, std::span<const SendRequest* const>(group));
-    for (const EagerEmission& emission : schedule.emissions) post_emission(emission);
+    group_sends_[g].push_back(s.get());
+  }
+  for (std::size_t g = 0; g < groups_used_; ++g) {
+    plan_group(std::span<const SendRequest* const>(group_sends_[g]));
   }
 
   // Drop fully posted sends from the pack list.
@@ -519,6 +548,135 @@ void Engine::progress() {
   });
 
   if (!pending_eager_.empty() || (qos_ != nullptr && qos_->backlog())) schedule_retry();
+}
+
+void Engine::plan_group(std::span<const SendRequest* const> group) {
+  const StrategyContext ctx = make_context();
+  metrics_.on_plan_eager();
+
+  // Decision cache (docs/PERF.md): when the strategy declares this
+  // interrogation pure — a function of the usable/idle rail sets, the idle
+  // core set, and the exact (size, class) run — replay the stored emission
+  // plan instead of re-running the planner. Keys hold the exact inputs, so
+  // a hit reproduces the uncached decision bit-for-bit; every event that
+  // could change a decision bumps decision_epoch_ and orphans all entries.
+  bool cacheable = config_.strategy_cache && nics_.size() <= 64 &&
+                   fabric_->cores(self_).count() <= 64 && !ctx.trust_compromised;
+  if (cacheable && recal_ != nullptr) {
+    // Trust penalties scale solver costs continuously; cache only the
+    // clean-trust steady state (penalty transitions bump the epoch anyway —
+    // this guards the window where a penalty is active).
+    for (RailId r = 0; r < nics_.size(); ++r) {
+      cacheable = cacheable && trust_penalty_[r] == 1.0;
+    }
+  }
+  cacheable = cacheable && strategy_->eager_plan_cacheable(ctx, group);
+  if (!cacheable) {
+    EagerSchedule schedule = strategy_->plan_eager(ctx, group);
+    for (const EagerEmission& emission : schedule.emissions) post_emission(emission);
+    return;
+  }
+
+  std::uint64_t usable_mask = 0;
+  std::uint64_t idle_rail_mask = 0;
+  for (RailId r = 0; r < nics_.size(); ++r) {
+    if (ctx.rail_usable(r)) usable_mask |= 1ull << r;
+    if (ctx.nics[r]->idle(ctx.now)) idle_rail_mask |= 1ull << r;
+  }
+  const fabric::SimCores& cores = fabric_->cores(self_);
+  std::uint64_t idle_core_mask = 0;
+  for (CoreId c = 0; c < cores.count(); ++c) {
+    if (cores.idle(c, ctx.now)) idle_core_mask |= 1ull << c;
+  }
+
+  // FNV-1a over the masks and the (len, class) run.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(usable_mask);
+  mix(idle_rail_mask);
+  mix(idle_core_mask);
+  for (const SendRequest* s : group) {
+    mix(s->len);
+    mix(s->qos_class);
+  }
+  if (decision_cache_.empty()) decision_cache_.resize(kDecisionSlots);
+  DecisionEntry& entry = decision_cache_[h & (kDecisionSlots - 1)];
+
+  const bool hit = entry.epoch == decision_epoch_ && entry.usable_mask == usable_mask &&
+                   entry.idle_rail_mask == idle_rail_mask &&
+                   entry.idle_core_mask == idle_core_mask &&
+                   entry.key.size() == group.size() &&
+                   [&] {
+                     for (std::size_t i = 0; i < group.size(); ++i) {
+                       if (entry.key[i].first != group[i]->len ||
+                           entry.key[i].second != group[i]->qos_class) {
+                         return false;
+                       }
+                     }
+                     return true;
+                   }();
+  if (hit) {
+    ++stats_.strategy_cache_hits;
+    for (const CachedEmission& ce : entry.emissions) {
+      emission_scratch_.rail = ce.rail;
+      if (ce.offloaded) {
+        emission_scratch_.offload_core = ce.offload_core;
+      } else {
+        emission_scratch_.offload_core.reset();
+      }
+      emission_scratch_.pieces.clear();
+      for (const CachedPiece& p : ce.pieces) {
+        emission_scratch_.pieces.push_back(
+            {group[p.send_idx], static_cast<std::size_t>(p.offset),
+             static_cast<std::size_t>(p.len)});
+      }
+      post_emission(emission_scratch_);
+    }
+    return;
+  }
+
+  ++stats_.strategy_cache_misses;
+  EagerSchedule schedule = strategy_->plan_eager(ctx, group);
+
+  // Store the plan as group-relative indices before posting (posting
+  // mutates bytes_posted, not the keyed fields; request pointers recycle,
+  // so indices are the only stable reference).
+  entry.epoch = decision_epoch_;
+  entry.usable_mask = usable_mask;
+  entry.idle_rail_mask = idle_rail_mask;
+  entry.idle_core_mask = idle_core_mask;
+  entry.key.clear();
+  for (const SendRequest* s : group) entry.key.emplace_back(s->len, s->qos_class);
+  entry.emissions.clear();
+  bool storable = true;
+  for (const EagerEmission& emission : schedule.emissions) {
+    CachedEmission ce;
+    ce.rail = emission.rail;
+    ce.offloaded = emission.offload_core.has_value();
+    ce.offload_core = emission.offload_core.value_or(0);
+    for (const EagerPiece& piece : emission.pieces) {
+      std::size_t idx = group.size();
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        if (group[i] == piece.send) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == group.size()) {
+        storable = false;
+        break;
+      }
+      ce.pieces.push_back({static_cast<std::uint32_t>(idx), piece.offset, piece.len});
+    }
+    if (!storable) break;
+    entry.emissions.push_back(std::move(ce));
+  }
+  if (!storable) entry.epoch = 0;  // plan referenced a request outside the group
+
+  for (const EagerEmission& emission : schedule.emissions) post_emission(emission);
 }
 
 void Engine::drain_qos() {
@@ -548,17 +706,20 @@ SimTime Engine::earliest_feasible_completion(std::size_t len) const {
   // Rendezvous: RTS/CTS round trip on the best rail plus the equal-finish
   // makespan of the payload across the usable rails, busy offsets included
   // (the same solver the failover path uses).
-  std::vector<RailId> usable;
+  std::vector<RailId>& usable = rail_scratch_;  // persistent submit-path scratch
+  usable.clear();
   for (RailId r = 0; r < nics_.size(); ++r) {
     if (rail_usable(r)) usable.push_back(r);
   }
   if (usable.empty()) {
     for (RailId r = 0; r < nics_.size(); ++r) usable.push_back(r);
   }
-  std::vector<strategy::ProfileCost> costs;
+  std::vector<strategy::ProfileCost>& costs = cost_scratch_;
+  costs.clear();
   costs.reserve(usable.size());
   for (RailId r : usable) costs.emplace_back(&estimator_->profile(r).rdv_chunk);
-  std::vector<strategy::SolverRail> rails;
+  std::vector<strategy::SolverRail>& rails = solver_scratch_;
+  rails.clear();
   rails.reserve(usable.size());
   for (std::size_t i = 0; i < usable.size(); ++i) {
     const SimTime busy = nics_[usable[i]]->busy_until();
@@ -633,6 +794,7 @@ void Engine::post_emission(const EagerEmission& emission) {
   RAILS_CHECK(emission.rail < nics_.size());
 
   fabric::Segment seg;
+  seg.payload = fabric::acquire_payload();  // recycled on the receive side
   seg.kind = fabric::SegKind::kEager;
   seg.dst = emission.pieces.front().send->dst;
   seg.msg_id = emission.pieces.front().send->id;
@@ -832,6 +994,7 @@ void Engine::post_stream_chunk(SendRequest& send, RailId rail, std::uint64_t off
   data.tag = send.tag;
   data.offset = offset;
   data.total_len = send.len;
+  data.payload = fabric::acquire_payload();
   data.payload.assign(send.data + offset, send.data + offset + bytes);
   const auto times = post_segment(rail, std::move(data), config_.scheduler_core);
   trace_event(trace::EventKind::kChunkPosted, send.id, send.tag, rail,
@@ -893,6 +1056,7 @@ void Engine::stream_chunks(SendRequest& send) {
     data.tag = send.tag;
     data.offset = chunk.offset;
     data.total_len = send.len;
+    data.payload = fabric::acquire_payload();
     data.payload.assign(send.data + chunk.offset, send.data + chunk.offset + chunk.bytes);
     const auto times = post_segment(chunk.rail, std::move(data), config_.scheduler_core);
     trace_event(trace::EventKind::kChunkPosted, send.id, send.tag, chunk.rail,
@@ -942,6 +1106,9 @@ void Engine::on_segment(fabric::Segment&& seg) {
     case fabric::SegKind::kData: handle_data(seg); break;
     case fabric::SegKind::kFin: handle_fin(seg); break;
   }
+  // The segment dies here; its payload buffer goes back to the pool the
+  // sender-side post paths draw from (handlers only read the payload).
+  fabric::recycle_payload(std::move(seg.payload));
 }
 
 namespace {
@@ -971,20 +1138,27 @@ RecvHandle Engine::match_posted(NodeId src, Tag tag) {
 
 void Engine::handle_eager(const fabric::Segment& seg) {
   RAILS_PERF_SCOPE(perf::Layer::kEmit);  // unpack mirrors pack
-  for (const SubPacket& sp : parse_subpackets(seg.payload)) deliver_fragment(sp, seg.src);
+  // Scratch parse: segments are delivered one at a time off the event queue
+  // and deliver_fragment never re-enters the unpack path, so one buffer is
+  // enough and the steady receive path stays allocation-free.
+  parse_subpackets(seg.payload, subpacket_scratch_);
+  for (const SubPacket& sp : subpacket_scratch_) deliver_fragment(sp, seg.src);
 }
 
 void Engine::deliver_fragment(const SubPacket& sp, NodeId src) {
   const MsgKey key{src, sp.msg_id};
 
   // Fragment of an already-bound receive?
-  if (auto it = bound_recvs_.find(key); it != bound_recvs_.end()) {
+  const auto it = std::find_if(bound_recvs_.begin(), bound_recvs_.end(),
+                               [&key](const auto& e) { return e.first == key; });
+  if (it != bound_recvs_.end()) {
     RecvHandle recv = it->second;
     RAILS_CHECK(sp.offset + sp.len <= recv->expected);
     if (sp.len > 0) std::memcpy(recv->data + sp.offset, sp.bytes, sp.len);
     recv->bytes_received += sp.len;
     if (recv->bytes_received == recv->expected) {
-      bound_recvs_.erase(it);
+      if (&*it != &bound_recvs_.back()) *it = std::move(bound_recvs_.back());
+      bound_recvs_.pop_back();
       complete_recv(recv);
     }
     return;
@@ -1001,7 +1175,7 @@ void Engine::deliver_fragment(const SubPacket& sp, NodeId src) {
     if (recv->bytes_received == recv->expected) {
       complete_recv(recv);
     } else {
-      bound_recvs_[key] = recv;
+      bound_recvs_.emplace_back(key, recv);
     }
     return;
   }
@@ -1237,6 +1411,7 @@ void Engine::failover_chunk(SendRequest& send, std::uint64_t offset, std::size_t
 
   ++stats_.failovers;
   metrics_.on_failover();
+  invalidate_decisions();  // failover re-splits perturb the steady state
   trace_event(trace::EventKind::kFailover, send.id, send.tag, failed_rail,
               config_.scheduler_core, bytes, fabric_->now());
   {
@@ -1261,7 +1436,8 @@ void Engine::failover_chunk(SendRequest& send, std::uint64_t offset, std::size_t
   // Surviving rails. All-quarantined is not a reason to give up — retrying
   // somewhere is strictly better than dropping the message, and the retry
   // doubles as a probe.
-  std::vector<RailId> survivors;
+  std::vector<RailId>& survivors = rail_scratch_;  // shared with the submit path
+  survivors.clear();
   for (RailId r = 0; r < nics_.size(); ++r) {
     if (r != failed_rail && rail_usable(r)) survivors.push_back(r);
   }
@@ -1275,10 +1451,12 @@ void Engine::failover_chunk(SendRequest& send, std::uint64_t offset, std::size_t
   // Re-split the lost byte range across the survivors with the equal-finish
   // solver, live busy offsets included (one survivor -> one chunk).
   const SimTime now = fabric_->now();
-  std::vector<strategy::ProfileCost> costs;
+  std::vector<strategy::ProfileCost>& costs = cost_scratch_;
+  costs.clear();
   costs.reserve(survivors.size());
   for (RailId r : survivors) costs.emplace_back(&estimator_->profile(r).rdv_chunk);
-  std::vector<strategy::SolverRail> rails;
+  std::vector<strategy::SolverRail>& rails = solver_scratch_;
+  rails.clear();
   rails.reserve(survivors.size());
   for (std::size_t i = 0; i < survivors.size(); ++i) {
     const SimTime busy = nics_[survivors[i]]->busy_until();
@@ -1305,6 +1483,7 @@ void Engine::post_data_chunk(SendRequest& send, RailId rail, std::uint64_t offse
   data.offset = offset;
   data.total_len = send.len;
   data.attempt = static_cast<std::uint8_t>(attempt);
+  data.payload = fabric::acquire_payload();
   data.payload.assign(send.data + offset, send.data + offset + bytes);
   const auto times = post_segment(rail, std::move(data), config_.scheduler_core);
   trace_event(trace::EventKind::kChunkPosted, send.id, send.tag, rail,
@@ -1331,6 +1510,7 @@ void Engine::quarantine_rail(RailId rail) {
   }
   h.quarantined = true;
   h.until = now + h.window;
+  invalidate_decisions();  // the usable-rail set just shrank
   ++stats_.quarantines;
   metrics_.on_quarantine(rail);
   flight(trace::FlightKind::kQuarantine, rail, 0,
@@ -1366,6 +1546,7 @@ void Engine::reprobe_rail(RailId rail) {
     ++stats_.reprobe_successes;
     h.quarantined = false;
     h.window = 0;  // healthy again: reset the backoff
+    invalidate_decisions();  // the usable-rail set just grew
     if (!pending_eager_.empty() || (qos_ != nullptr && qos_->backlog())) {
       arm_progress(now);
     }

@@ -67,6 +67,10 @@ struct EngineStats {
   std::uint64_t qos_admission_downgrades = 0; ///< ... downgraded to BACKGROUND
   std::uint64_t qos_deadline_hits = 0;        ///< deadline-tagged sends in time
   std::uint64_t qos_deadline_misses = 0;      ///< ... that completed late
+
+  // -- hot-path memoization (docs/PERF.md) -----------------------------
+  std::uint64_t strategy_cache_hits = 0;    ///< eager plans replayed from cache
+  std::uint64_t strategy_cache_misses = 0;  ///< cacheable plans computed fresh
 };
 
 class Engine {
@@ -230,6 +234,9 @@ class Engine {
   /// returned emissions. Re-armed at the next NIC-idle time when the
   /// strategy defers.
   void progress();
+  /// Interrogates the strategy for one destination group, consulting the
+  /// decision cache first (docs/PERF.md). Posts the resulting emissions.
+  void plan_group(std::span<const SendRequest* const> group);
   void schedule_retry();
   void arm_progress(SimTime when);
   void post_emission(const EagerEmission& emission);
@@ -347,7 +354,10 @@ class Engine {
   std::map<std::uint64_t, QosStream> qos_streams_;  ///< keyed by msg id
   bool qos_pump_armed_ = false;
   std::vector<RecvHandle> posted_recvs_;           ///< unmatched, FIFO
-  std::map<MsgKey, RecvHandle> bound_recvs_;       ///< matched eager receives
+  /// Matched multi-fragment eager receives. Flat + swap-erase: lookups are
+  /// linear but the live set is small, and binding never allocates once the
+  /// vector is warm (a std::map node did, every message).
+  std::vector<std::pair<MsgKey, RecvHandle>> bound_recvs_;
   std::map<MsgKey, InboundRdv> inbound_rdv_;       ///< CTS sent, data flowing
   std::map<MsgKey, UnexpectedEager> unexpected_;   ///< early eager fragments
   std::vector<UnexpectedRts> unexpected_rts_;      ///< early RTS, FIFO
@@ -360,6 +370,60 @@ class Engine {
   sampling::Recalibrator* recal_ = nullptr;
   std::vector<double> trust_penalty_;      ///< per-rail penalties for contexts
   std::vector<std::uint8_t> resample_armed_;  ///< dedups sweep events per rail
+
+  // -- hot-path scratch & memoization (docs/PERF.md) ---------------------
+  // Persistent buffers recycled across activations so the steady-state
+  // submit -> schedule -> emit path touches no allocator.
+
+  /// Single-pass destination grouping: dst -> group index, stamped with
+  /// group_epoch_ so clearing between activations is O(1).
+  std::vector<std::vector<const SendRequest*>> group_sends_;
+  std::size_t groups_used_ = 0;
+  std::vector<std::uint32_t> dst_group_;
+  std::vector<std::uint32_t> dst_epoch_;
+  std::uint32_t group_epoch_ = 0;
+
+  /// earliest_feasible_completion / failover re-split scratch (the former
+  /// is const, hence mutable).
+  mutable std::vector<RailId> rail_scratch_;
+  mutable std::vector<strategy::ProfileCost> cost_scratch_;
+  mutable std::vector<strategy::SolverRail> solver_scratch_;
+
+  std::vector<SubPacket> subpacket_scratch_;  ///< eager unpack scratch
+  EagerEmission emission_scratch_;            ///< cached-plan materialization
+
+  /// Memoized eager strategy decisions. An entry replays its emission plan
+  /// (as group-relative indices) when the exact (sizes, qos classes) run
+  /// recurs under the same usable/idle rail and idle core sets within the
+  /// same decision epoch. The epoch advances on every event that could
+  /// change what a strategy would decide — quarantine, re-probe, failover,
+  /// trust transition, profile correction/resample, strategy swap — so a
+  /// stale plan can never be replayed. Keys store the exact size run (no
+  /// bucketing), so a hit reproduces the uncached decision bit-for-bit.
+  struct CachedPiece {
+    std::uint32_t send_idx = 0;  ///< index into the destination group
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+  };
+  struct CachedEmission {
+    RailId rail = 0;
+    bool offloaded = false;
+    CoreId offload_core = 0;
+    std::vector<CachedPiece> pieces;
+  };
+  struct DecisionEntry {
+    std::uint64_t epoch = 0;  ///< 0 = empty slot
+    std::uint64_t usable_mask = 0;
+    std::uint64_t idle_rail_mask = 0;
+    std::uint64_t idle_core_mask = 0;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> key;  ///< (len, class)
+    std::vector<CachedEmission> emissions;
+  };
+  static constexpr std::size_t kDecisionSlots = 64;
+  std::vector<DecisionEntry> decision_cache_;
+  std::uint64_t decision_epoch_ = 1;
+  /// Drops every cached decision (O(1): entries with a stale epoch are dead).
+  void invalidate_decisions() { ++decision_epoch_; }
 };
 
 }  // namespace rails::core

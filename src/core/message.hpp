@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <limits>
-#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/request_pool.hpp"
 
 namespace rails::core {
 
@@ -86,7 +86,51 @@ struct RecvRequest {
   bool done() const { return state == RecvState::kDone; }
 };
 
-using SendHandle = std::shared_ptr<SendRequest>;
-using RecvHandle = std::shared_ptr<RecvRequest>;
+/// Resets a recycled send request for reuse. `staging` keeps its capacity
+/// so a flow that staged once never re-allocates on later messages.
+inline void pool_recycle(SendRequest& r) {
+  r.id = 0;
+  r.dst = 0;
+  r.tag = 0;
+  r.data = nullptr;
+  r.len = 0;
+  r.staging.clear();
+  r.state = SendState::kQueued;
+  r.rendezvous = false;
+  r.bytes_posted = 0;
+  r.submit_time = 0;
+  r.complete_time = 0;
+  r.chunk_count = 0;
+  r.offloaded_chunks = 0;
+  r.qos_class = 0;
+  r.deadline = 0;
+}
+
+inline void pool_recycle(RecvRequest& r) {
+  r.id = 0;
+  r.src = 0;
+  r.tag = 0;
+  r.data = nullptr;
+  r.capacity = 0;
+  r.state = RecvState::kPosted;
+  r.matched_msg = 0;
+  r.expected = std::numeric_limits<std::size_t>::max();
+  r.bytes_received = 0;
+  r.post_time = 0;
+  r.complete_time = 0;
+}
+
+/// Requests are handed out as generation-tagged pooled handles: the engine
+/// recycles them through process-wide slab pools instead of allocating per
+/// message (docs/PERF.md).
+using SendHandle = PoolHandle<SendRequest>;
+using RecvHandle = PoolHandle<RecvRequest>;
+
+inline SendHandle make_send_request() {
+  return RequestPool<SendRequest>::instance().acquire();
+}
+inline RecvHandle make_recv_request() {
+  return RequestPool<RecvRequest>::instance().acquire();
+}
 
 }  // namespace rails::core

@@ -365,6 +365,17 @@ EagerSchedule MulticoreHeteroSplit::plan_eager(const StrategyContext& ctx,
   return schedule;
 }
 
+bool MulticoreHeteroSplit::eager_plan_cacheable(
+    const StrategyContext& ctx, std::span<const SendRequest* const> pending) const {
+  // The delegation cases reduce to AggregateFastest (cacheable); the split
+  // case feeds busy offsets into the solver, so it is pure only when every
+  // usable rail is idle (offsets all zero). Core choice depends only on the
+  // idle-core set, which is part of the engine's cache key.
+  if (pending.size() != 1 || ctx.rail_count() < 2) return true;
+  if (pending.front()->len < ctx.config->offload.min_split_size) return true;
+  return ctx.all_usable_idle();
+}
+
 // ---------------------------------------------------------------------------
 // BatchSpread
 // ---------------------------------------------------------------------------
@@ -460,6 +471,14 @@ EagerSchedule BatchSpread::plan_eager(const StrategyContext& ctx,
     }
   }
   return schedule;
+}
+
+bool BatchSpread::eager_plan_cacheable(
+    const StrategyContext& ctx, std::span<const SendRequest* const> pending) const {
+  // A batch decides via idle rails, idle cores, and estimator durations —
+  // all in the cache key. A single message takes the multicore-split path.
+  if (pending.size() >= 2) return true;
+  return MulticoreHeteroSplit::eager_plan_cacheable(ctx, pending);
 }
 
 // ---------------------------------------------------------------------------

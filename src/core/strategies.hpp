@@ -36,6 +36,11 @@ class SingleRail final : public Strategy {
   strategy::SplitResult plan_rendezvous(const StrategyContext& ctx,
                                         std::size_t len) override;
   RailId control_rail(const StrategyContext&) const override { return rail_; }
+  // Emits iff rail_ is idle, then packs by size alone.
+  bool eager_plan_cacheable(const StrategyContext&,
+                            std::span<const SendRequest* const>) const override {
+    return true;
+  }
 
  private:
   RailId rail_;
@@ -48,6 +53,11 @@ class GreedyBalance final : public Strategy {
                            std::span<const SendRequest* const> pending) override;
   strategy::SplitResult plan_rendezvous(const StrategyContext& ctx,
                                         std::size_t len) override;
+  // Round-robin over the idle set; the cursor is local to each call.
+  bool eager_plan_cacheable(const StrategyContext&,
+                            std::span<const SendRequest* const>) const override {
+    return true;
+  }
 };
 
 class AggregateFastest : public Strategy {
@@ -57,6 +67,12 @@ class AggregateFastest : public Strategy {
                            std::span<const SendRequest* const> pending) override;
   strategy::SplitResult plan_rendezvous(const StrategyContext& ctx,
                                         std::size_t len) override;
+  // Compares completions across idle rails only: `now` cancels, so the
+  // winner is a function of the idle set, the sizes, and the profiles.
+  bool eager_plan_cacheable(const StrategyContext&,
+                            std::span<const SendRequest* const>) const override {
+    return true;
+  }
 };
 
 class IsoSplit final : public AggregateFastest {
@@ -83,6 +99,12 @@ class PatientAggregate : public AggregateFastest {
   std::string name() const override { return "patient-aggregate"; }
   EagerSchedule plan_eager(const StrategyContext& ctx,
                            std::span<const SendRequest* const> pending) override;
+  // Busy-time magnitudes pick the winner, so only the all-idle case is a
+  // pure function of the masks.
+  bool eager_plan_cacheable(const StrategyContext& ctx,
+                            std::span<const SendRequest* const>) const override {
+    return ctx.all_usable_idle();
+  }
 };
 
 class HeteroSplit : public AggregateFastest {
@@ -97,6 +119,8 @@ class MulticoreHeteroSplit : public HeteroSplit {
   std::string name() const override { return "multicore-hetero-split"; }
   EagerSchedule plan_eager(const StrategyContext& ctx,
                            std::span<const SendRequest* const> pending) override;
+  bool eager_plan_cacheable(const StrategyContext& ctx,
+                            std::span<const SendRequest* const> pending) const override;
 };
 
 /// Batch spreading (§II: "data packets can be spread across the available
@@ -110,6 +134,8 @@ class BatchSpread final : public MulticoreHeteroSplit {
   std::string name() const override { return "batch-spread"; }
   EagerSchedule plan_eager(const StrategyContext& ctx,
                            std::span<const SendRequest* const> pending) override;
+  bool eager_plan_cacheable(const StrategyContext& ctx,
+                            std::span<const SendRequest* const> pending) const override;
 };
 
 /// Factory by name ("single-rail:0", "greedy-balance", "iso-split", ...).

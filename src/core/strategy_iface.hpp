@@ -72,6 +72,11 @@ struct EngineConfig {
   /// (docs/QOS.md). Default-off: a disabled engine is byte-for-byte the
   /// pre-QoS engine.
   qos::QosConfig qos;
+  /// Memoize eager strategy decisions keyed on (sizes, qos classes,
+  /// usable/idle rail sets, idle cores, decision epoch); invalidated on
+  /// failover/quarantine/trust/profile transitions (docs/PERF.md). Only
+  /// consulted when the strategy declares the decision cacheable.
+  bool strategy_cache = true;
 };
 
 /// Everything a strategy may inspect when interrogated.
@@ -107,6 +112,14 @@ struct StrategyContext {
   bool rail_usable(RailId rail) const { return usable.empty() || usable[rail] != 0; }
   double rail_trust_penalty(RailId rail) const {
     return trust_penalty.empty() ? 1.0 : trust_penalty[rail];
+  }
+  /// True when no usable rail has work in flight — busy offsets are all
+  /// zero, so busy-aware plans collapse to functions of the idle sets.
+  bool all_usable_idle() const {
+    for (RailId r = 0; r < rail_count(); ++r) {
+      if (rail_usable(r) && rail_busy_until(r) > now) return false;
+    }
+    return true;
   }
 };
 
@@ -156,6 +169,16 @@ class Strategy {
   /// Rail used for control segments (RTS/CTS/FIN). Default: the rail with
   /// the lowest predicted completion for a zero-byte eager message.
   virtual RailId control_rail(const StrategyContext& ctx) const;
+
+  /// Declares that plan_eager's decision for this context is a pure
+  /// function of (pending sizes, usable mask, idle-rail mask, idle-core
+  /// mask, sampled profiles) — i.e. it consults no busy-time magnitudes and
+  /// no internal mutable state — so the engine may replay a memoized
+  /// emission plan instead of re-interrogating. Conservative default: no.
+  virtual bool eager_plan_cacheable(const StrategyContext&,
+                                    std::span<const SendRequest* const>) const {
+    return false;
+  }
 };
 
 }  // namespace rails::core

@@ -45,6 +45,13 @@ void append_subpacket(std::vector<std::uint8_t>& out, const SubPacket& sp) {
 
 std::vector<SubPacket> parse_subpackets(const std::vector<std::uint8_t>& payload) {
   std::vector<SubPacket> out;
+  parse_subpackets(payload, out);
+  return out;
+}
+
+void parse_subpackets(const std::vector<std::uint8_t>& payload,
+                      std::vector<SubPacket>& out) {
+  out.clear();
   std::size_t pos = 0;
   while (pos < payload.size()) {
     RAILS_CHECK_MSG(pos + SubPacket::kHeaderBytes <= payload.size(),
@@ -61,7 +68,6 @@ std::vector<SubPacket> parse_subpackets(const std::vector<std::uint8_t>& payload
     pos += sp.len;
     out.push_back(sp);
   }
-  return out;
 }
 
 }  // namespace rails::core

@@ -35,6 +35,11 @@ void append_subpacket(std::vector<std::uint8_t>& out, const SubPacket& sp);
 /// `payload`; consume them before the segment is destroyed.
 std::vector<SubPacket> parse_subpackets(const std::vector<std::uint8_t>& payload);
 
+/// Scratch-reusing overload: clears `out` and fills it in place, so a
+/// caller on the hot receive path pays no allocation once warmed.
+void parse_subpackets(const std::vector<std::uint8_t>& payload,
+                      std::vector<SubPacket>& out);
+
 /// Wire size one fragment of `len` bytes will occupy inside a segment.
 constexpr std::size_t framed_size(std::size_t len) {
   return SubPacket::kHeaderBytes + len;

@@ -1,0 +1,65 @@
+// Recycling pool for segment payload buffers.
+//
+// Every eager segment and DMA chunk carries its payload in a
+// std::vector<uint8_t>; without pooling that is one heap allocation per
+// segment on the hot path. The pool is process-wide (segments migrate
+// between sender and receiver engines inside one process) and bounded, and
+// it is an immortal leaked singleton for the same reason as RequestPool:
+// segments may outlive any engine. See docs/PERF.md.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rails::fabric {
+
+class BufferPool {
+ public:
+  static BufferPool& instance() {
+    static BufferPool* pool = new BufferPool();
+    return *pool;
+  }
+
+  /// An empty buffer, with whatever capacity its previous life grew.
+  std::vector<std::uint8_t> acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pool_.empty()) return {};
+    std::vector<std::uint8_t> buf = std::move(pool_.back());
+    pool_.pop_back();
+    return buf;
+  }
+
+  /// Returns a buffer to the pool (cleared, capacity kept). Buffers past
+  /// the bound are simply freed — the pool caps retained memory, it does
+  /// not guarantee recycling.
+  void release(std::vector<std::uint8_t>&& buf) {
+    if (buf.capacity() == 0) return;
+    buf.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pool_.size() < kMaxPooled) pool_.push_back(std::move(buf));
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pool_.size();
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 1024;
+
+  BufferPool() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint8_t>> pool_;
+};
+
+inline std::vector<std::uint8_t> acquire_payload() {
+  return BufferPool::instance().acquire();
+}
+inline void recycle_payload(std::vector<std::uint8_t>&& buf) {
+  BufferPool::instance().release(std::move(buf));
+}
+
+}  // namespace rails::fabric

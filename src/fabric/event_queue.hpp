@@ -4,11 +4,22 @@
 // delivery, DMA completion, core release) is an event on this queue. The
 // queue is strictly deterministic: ties on the timestamp are broken by
 // insertion sequence, so a given workload always replays identically.
+//
+// Scheduling an event is allocation-free in steady state: handlers live in
+// a recycled slot arena with 120 bytes of inline storage (sized for the
+// largest hot-path closure, SimNic's delivery lambda), and the heap itself
+// holds only trivially-copyable {time, seq, slot} entries. Oversized
+// handlers spill to a heap allocation, counted by handler_spills() so a
+// regression test can pin the hot path at zero.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -16,20 +27,110 @@
 
 namespace rails::fabric {
 
+/// Move-only callable with small-buffer storage. Unlike std::function it
+/// accepts move-only closures and inlines anything up to kInlineBytes
+/// (std::function on libstdc++ spills non-trivial captures beyond 16 B).
+class InlineHandler {
+ public:
+  static constexpr std::size_t kInlineBytes = 120;
+
+  InlineHandler() = default;
+  InlineHandler(const InlineHandler&) = delete;
+  InlineHandler& operator=(const InlineHandler&) = delete;
+
+  InlineHandler(InlineHandler&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+    o.ops_ = nullptr;
+  }
+  InlineHandler& operator=(InlineHandler&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+  ~InlineHandler() { reset(); }
+
+  /// Installs `fn`. Returns true if it fit inline, false if it spilled to
+  /// the heap (the caller counts spills).
+  template <typename F>
+  bool emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    reset();
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+      return true;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kBoxedOps<D>;
+      return false;
+    }
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* dst, void* src) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kBoxedOps = {
+      [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
-
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute virtual time `t` (>= now).
-  void at(SimTime t, Handler fn) {
+  template <typename F>
+  void at(SimTime t, F&& fn) {
     RAILS_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
-    heap_.push(Event{t, next_seq_++, std::move(fn)});
+    const std::uint32_t slot = acquire_slot();
+    if (!slots_[slot].emplace(std::forward<F>(fn))) ++handler_spills_;
+    heap_.push(Entry{t, next_seq_++, slot});
   }
 
   /// Schedules `fn` after `d` nanoseconds of virtual time.
-  void after(SimDuration d, Handler fn) { at(now_ + d, std::move(fn)); }
+  template <typename F>
+  void after(SimDuration d, F&& fn) {
+    at(now_ + d, std::forward<F>(fn));
+  }
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
@@ -39,18 +140,23 @@ class EventQueue {
   /// simulated-events counts that are stable across hosts.
   std::uint64_t processed() const { return processed_; }
 
+  /// Handlers that exceeded InlineHandler::kInlineBytes and heap-allocated.
+  /// Zero in steady state on the hot path; pinned by test.
+  std::uint64_t handler_spills() const { return handler_spills_; }
+
   /// Runs the earliest event. Returns false when the queue is empty.
   bool step() {
     if (heap_.empty()) return false;
-    // Moving out of a priority_queue requires const_cast; the element is
-    // popped immediately after, so the heap invariant is never observed
-    // broken.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    const Entry ev = heap_.top();
     heap_.pop();
     RAILS_CHECK(ev.time >= now_);
     now_ = ev.time;
     ++processed_;
-    ev.fn();
+    // Move the handler out and retire the slot BEFORE invoking: the handler
+    // may re-enter at(), growing the slot arena and invalidating references.
+    InlineHandler fn = std::move(slots_[ev.slot]);
+    free_slots_.push_back(ev.slot);
+    fn();
     return true;
   }
 
@@ -79,19 +185,33 @@ class EventQueue {
   }
 
  private:
-  struct Event {
+  struct Entry {
     SimTime time;
     std::uint64_t seq;
-    Handler fn;
-    bool operator>(const Event& o) const {
+    std::uint32_t slot;
+    bool operator>(const Entry& o) const {
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    slots_.emplace_back();
+    free_slots_.reserve(slots_.capacity());
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<InlineHandler> slots_;
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t handler_spills_ = 0;
 };
 
 }  // namespace rails::fabric

@@ -24,15 +24,22 @@ Method choose_method(const Context& ctx) {
 
 ProgressEngine::~ProgressEngine() { stop(); }
 
+std::uint64_t ProgressEngine::next_instance_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ProgressEngine::add_source(EventSource* source) {
   RAILS_CHECK(source != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
   sources_.push_back(source);
+  sources_version_.fetch_add(1, std::memory_order_release);
 }
 
 void ProgressEngine::remove_source(EventSource* source) {
   std::lock_guard<std::mutex> lock(mutex_);
   sources_.erase(std::remove(sources_.begin(), sources_.end(), source), sources_.end());
+  sources_version_.fetch_add(1, std::memory_order_release);
 }
 
 std::size_t ProgressEngine::source_count() const {
@@ -42,17 +49,29 @@ std::size_t ProgressEngine::source_count() const {
 
 unsigned ProgressEngine::tick(const Context& ctx) {
   RAILS_PERF_SCOPE(perf::Layer::kProgress);
-  std::vector<EventSource*> snapshot;
-  {
+  // Epoch-guarded snapshot: the source list is copied only when it changed
+  // since this thread's last tick (or the thread last ticked a different
+  // engine), so a steady tick loop allocates nothing. The copy itself still
+  // happens under mutex_, preserving the add/remove race semantics.
+  struct TickScratch {
+    std::uint64_t instance = 0;
+    std::uint64_t version = 0;
+    std::vector<EventSource*> snapshot;
+  };
+  thread_local TickScratch scratch;
+  if (scratch.instance != instance_id_ ||
+      scratch.version != sources_version_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(mutex_);
-    snapshot = sources_;
+    scratch.snapshot = sources_;
+    scratch.instance = instance_id_;
+    scratch.version = sources_version_.load(std::memory_order_relaxed);
   }
   ticks_.fetch_add(1, std::memory_order_relaxed);
   if (m_ticks_ != nullptr) m_ticks_->inc();
 
   const Method method = choose_method(ctx);
   unsigned total = 0;
-  for (EventSource* src : snapshot) {
+  for (EventSource* src : scratch.snapshot) {
     unsigned n = 0;
     if (method == Method::kBlocking && src->supports_blocking()) {
       blocking_waits_.fetch_add(1, std::memory_order_relaxed);

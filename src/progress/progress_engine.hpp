@@ -59,6 +59,7 @@ class ProgressEngine {
   ProgressEngine& operator=(const ProgressEngine&) = delete;
 
   /// Registers a source. Sources must outlive the engine or be removed.
+  /// Bumps the registry version so ticking threads refresh their snapshot.
   void add_source(EventSource* source);
   void remove_source(EventSource* source);
   std::size_t source_count() const;
@@ -84,9 +85,16 @@ class ProgressEngine {
 
  private:
   void pump(rt::WorkerPool* pool, unsigned worker, Context ctx);
+  /// Process-unique id for the thread-local tick snapshot: a snapshot keyed
+  /// by id (not address) can never alias a new engine reusing this memory.
+  static std::uint64_t next_instance_id();
 
+  const std::uint64_t instance_id_ = next_instance_id();
   mutable std::mutex mutex_;
   std::vector<EventSource*> sources_;
+  /// Bumped (under mutex_) whenever sources_ changes; ticks re-copy their
+  /// snapshot only when the version they cached goes stale.
+  std::atomic<std::uint64_t> sources_version_{1};
   rt::WorkerPool* pool_ = nullptr;  ///< set by start()
   std::atomic<bool> running_{false};
   std::atomic<int> inflight_{0};     ///< pump tasklets queued or executing

@@ -115,8 +115,13 @@ void QosArbiter::pop_grant(ClassId cls, bool aged,
 }
 
 void QosArbiter::grant(SimTime now, const GrantSink& sink) {
-  std::vector<core::SendHandle> granted;
-  std::vector<ClassId> resumed;
+  // Round-local staging, recycled across rounds so a steady grant cadence
+  // never allocates. Moved out (not referenced) so a re-entrant grant from
+  // a callback sees empty scratch and degrades to allocating, not aliasing.
+  std::vector<core::SendHandle> granted = std::move(granted_scratch_);
+  granted.clear();
+  std::vector<ClassId> resumed = std::move(resumed_scratch_);
+  resumed.clear();
   {
     RAILS_PERF_LOCK(mu_, perf::Layer::kArbiter);
     // Strict pass: strict-priority classes drain fully; elsewhere only
@@ -165,6 +170,9 @@ void QosArbiter::grant(SimTime now, const GrantSink& sink) {
     for (const ClassId cls : resumed) backpressure_(cls, false);
   }
   for (core::SendHandle& send : granted) sink(std::move(send));
+  granted.clear();
+  granted_scratch_ = std::move(granted);
+  resumed_scratch_ = std::move(resumed);
 }
 
 bool QosArbiter::backlog() const {

@@ -146,6 +146,9 @@ class QosArbiter {
   mutable std::mutex mu_;
   std::vector<ClassState> states_;
   BackpressureFn backpressure_;
+  /// grant()-round staging, recycled between rounds (capacity kept).
+  std::vector<core::SendHandle> granted_scratch_;
+  std::vector<ClassId> resumed_scratch_;
 };
 
 }  // namespace rails::qos

@@ -1,0 +1,368 @@
+// Hot-path memory discipline (docs/PERF.md): the steady-state eager
+// submit -> schedule -> emit -> deliver path must not touch the allocator,
+// requests must recycle through the slab pool with advancing generations,
+// events must stay in the queue's inline storage, the destination grouping
+// must preserve pack-list order, and the memoized strategy-decision cache
+// must be bit-for-bit equivalent to planning fresh.
+//
+// This binary links src/perf/alloc_hook.cpp (see tests/CMakeLists.txt), so
+// rails::perf::t_alloc_count counts every operator-new on this thread —
+// the same counter the rails-bench allocs_per_msg metric and the benchdiff
+// allocation gate are built on.
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/request_pool.hpp"
+#include "core/world.hpp"
+#include "fabric/event_queue.hpp"
+#include "fabric/fault.hpp"
+#include "perf/profiler.hpp"
+#include "qos/arbiter.hpp"
+#include "trace/tracer.hpp"
+
+namespace rails::core {
+namespace {
+
+// --- allocation budgets ------------------------------------------------------
+
+TEST(HotPathAlloc, SteadyEagerPathIsAllocationFree) {
+  perf::Profiler::set_enabled(false);
+  World world(paper_testbed("aggregate-fastest"));
+
+  constexpr unsigned kFlows = 8;
+  constexpr std::size_t kSize = 2048;
+  std::vector<std::uint8_t> tx(kSize, 0x5a);
+  std::vector<std::vector<std::uint8_t>> rx(kFlows,
+                                            std::vector<std::uint8_t>(kSize));
+  std::vector<RecvHandle> recvs;
+  recvs.reserve(kFlows);
+
+  const auto burst = [&] {
+    recvs.clear();
+    for (unsigned f = 0; f < kFlows; ++f) {
+      recvs.push_back(world.engine(1).irecv(0, static_cast<Tag>(f),
+                                            rx[f].data(), kSize));
+    }
+    for (unsigned f = 0; f < kFlows; ++f) {
+      (void)world.engine(0).isend(1, static_cast<Tag>(f), tx.data(), kSize);
+    }
+    for (const auto& r : recvs) world.wait(r);
+  };
+
+  // Warm every recycling structure: request pool slabs, event-queue slot
+  // arena, payload buffer pool, scratch vectors, the decision cache.
+  for (int i = 0; i < 4; ++i) burst();
+
+  const std::uint64_t before = perf::t_alloc_count;
+  constexpr int kMeasured = 16;
+  for (int i = 0; i < kMeasured; ++i) burst();
+  const std::uint64_t delta = perf::t_alloc_count - before;
+
+  EXPECT_EQ(delta, 0u) << delta << " allocations across " << kMeasured
+                       << " bursts of " << kFlows
+                       << " messages on the steady eager path";
+}
+
+TEST(HotPathAlloc, RendezvousSteadyStateStaysWithinBudget) {
+  perf::Profiler::set_enabled(false);
+  World world(paper_testbed("hetero-split"));
+
+  constexpr std::size_t kSize = 1_MiB;
+  std::vector<std::uint8_t> tx(kSize, 0x66);
+  std::vector<std::uint8_t> rx(kSize, 0);
+
+  const auto transfer = [&](Tag tag) {
+    auto recv = world.engine(1).irecv(0, tag, rx.data(), kSize);
+    auto send = world.engine(0).isend(1, tag, tx.data(), kSize);
+    world.wait(recv);
+    world.wait(send);
+  };
+  for (Tag t = 0; t < 3; ++t) transfer(t);  // warm-up
+
+  const std::uint64_t before = perf::t_alloc_count;
+  constexpr std::uint64_t kMsgs = 8;
+  for (Tag t = 3; t < 3 + kMsgs; ++t) transfer(t);
+  const std::uint64_t per_msg = (perf::t_alloc_count - before) / kMsgs;
+
+  // Rendezvous still pays for its bookkeeping maps (rdv_sends_,
+  // inbound_rdv_ with its coverage intervals, live_chunks_) and the solver's
+  // plan — but the payload buffers, requests, and event closures all
+  // recycle. This pins the budget so a new per-chunk or per-message
+  // allocation cannot land unnoticed.
+  EXPECT_LE(per_msg, 24u) << per_msg << " allocations per rendezvous message";
+}
+
+// --- request pool ------------------------------------------------------------
+
+TEST(RequestPool, RecyclesSlotsAndBumpsGeneration) {
+  auto& pool = RequestPool<SendRequest>::instance();
+
+  SendHandle a = make_send_request();
+  a->id = 77;
+  a->len = 123;
+  a->staging.reserve(64);
+  SendRequest* slot = a.get();
+  const std::uint32_t gen = a.generation();
+  const std::uint64_t recycled_before = pool.recycled();
+
+  a.reset();
+  EXPECT_EQ(pool.recycled(), recycled_before + 1);
+
+  // LIFO freelist: the very next acquire reuses the slot, with the
+  // generation advanced and the fields reset — but owned capacity kept.
+  SendHandle b = make_send_request();
+  ASSERT_EQ(b.get(), slot);
+  EXPECT_EQ(b.generation(), gen + 1);
+  EXPECT_EQ(b->id, 0u);
+  EXPECT_EQ(b->len, 0u);
+  EXPECT_EQ(b->state, SendState::kQueued);
+  EXPECT_TRUE(b->staging.empty());
+  EXPECT_GE(b->staging.capacity(), 64u);
+}
+
+TEST(RequestPool, CopiedHandlesShareOneSlotUntilTheLastRelease) {
+  auto& pool = RequestPool<RecvRequest>::instance();
+  const std::uint64_t recycled_before = pool.recycled();
+
+  RecvHandle a = make_recv_request();
+  a->id = 5;
+  RecvHandle b = a;  // refcount 2
+  a.reset();
+  EXPECT_EQ(pool.recycled(), recycled_before);  // b still owns the slot
+  EXPECT_EQ(b->id, 5u);
+  b.reset();
+  EXPECT_EQ(pool.recycled(), recycled_before + 1);
+}
+
+TEST(RequestPool, FailoverReSplitReleasesEveryRequest) {
+  // A rendezvous send whose chunks fail over mid-flight exercises the
+  // retry/re-split ownership paths; afterwards every handle must have come
+  // back to the pools (no leak through rdv_sends_/live_chunks_).
+  auto& sends = RequestPool<SendRequest>::instance();
+  auto& recvs = RequestPool<RecvRequest>::instance();
+  const std::size_t send_live = sends.live();
+  const std::size_t recv_live = recvs.live();
+  const std::uint64_t send_recycled = sends.recycled();
+  {
+    World world(paper_testbed("hetero-split"));
+    const std::size_t size = 4_MiB;
+    std::vector<std::uint8_t> tx(size, 0x42);
+    std::vector<std::uint8_t> rx(size, 0);
+    fabric::FaultSpec fault;
+    fault.kind = fabric::FaultKind::kFailStop;
+    fault.at = usec(20);  // rail 0 dies while chunks are in flight
+    world.fabric().nic(0, 0).inject_fault(fault);
+
+    auto recv = world.engine(1).irecv(0, 1, rx.data(), size);
+    auto send = world.engine(0).isend(1, 1, tx.data(), size);
+    world.wait(recv);
+    world.wait(send);
+    EXPECT_EQ(rx, tx);
+    EXPECT_GE(world.engine(0).stats().failovers, 1u);
+  }
+  EXPECT_EQ(sends.live(), send_live);
+  EXPECT_EQ(recvs.live(), recv_live);
+  EXPECT_GT(sends.recycled(), send_recycled);
+}
+
+// --- event queue inline storage ----------------------------------------------
+
+TEST(EventQueueInline, SmallHandlersStayInline) {
+  fabric::EventQueue q;
+  int hits = 0;
+  q.after(1, [&hits] { ++hits; });
+  q.run_all();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(q.handler_spills(), 0u);
+}
+
+TEST(EventQueueInline, OversizeHandlerSpillsToHeapAndStillRuns) {
+  fabric::EventQueue q;
+  std::array<std::uint8_t, 160> big{};  // past the inline-storage bound
+  big[0] = 7;
+  int result = 0;
+  q.after(1, [big, &result] { result = big[0]; });
+  q.run_all();
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(q.handler_spills(), 1u);
+}
+
+// --- submit-path accounting (the try_isend ordering fix) ---------------------
+
+TEST(QosAccounting, DowngradeThatWouldBeShedLeavesNoResidue) {
+  WorldConfig cfg = paper_testbed("hetero-split");
+  cfg.engine.qos.enabled = true;
+  cfg.engine.qos.deadline_downgrade = true;
+  auto classes = qos::builtin_classes();
+  classes[qos::kBackground].queue_capacity = 2;
+  cfg.engine.qos.classes = std::move(classes);
+  World world(cfg);
+  auto& sender = world.engine(0);
+
+  std::vector<std::uint8_t> tx(512, 0x77);
+  Engine::SendOptions opts;
+  opts.deadline = world.now() + 1;  // infeasible: every submission downgrades
+
+  // Fill the BACKGROUND queue to capacity with downgraded sends (same
+  // virtual instant, so no grant round drains it in between).
+  for (unsigned i = 0; i < 2; ++i) {
+    auto s = sender.try_isend(1, static_cast<Tag>(i), tx.data(), tx.size(), opts);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->qos_class, qos::kBackground);
+  }
+  EXPECT_EQ(sender.stats().qos_admission_downgrades, 2u);
+
+  // The third would downgrade into a full queue, so try_isend sheds it. The
+  // shed must leave no admission accounting behind — this pins the ordering
+  // bug where the downgrade counters were mutated before the capacity check.
+  EXPECT_EQ(sender.try_isend(1, 9, tx.data(), tx.size(), opts), nullptr);
+  EXPECT_EQ(sender.stats().qos_admission_downgrades, 2u);
+  EXPECT_EQ(sender.qos()->counters(qos::kLatency).admission_downgrades, 2u);
+  EXPECT_EQ(sender.qos()->counters(qos::kBackground).rejected_full, 1u);
+}
+
+// --- destination grouping ----------------------------------------------------
+
+TEST(EagerGrouping, BurstPreservesPackListOrderAcrossDestinations) {
+  // Interleaved submissions to 8 destinations, all at one virtual instant:
+  // the (single-pass) grouping must emit destination groups in first-
+  // appearance order and keep the submission order within each group —
+  // identical to the pack-list semantics the O(n^2) scan produced.
+  WorldConfig cfg = paper_testbed("single-rail:0");
+  cfg.fabric.node_count = 9;
+  World world(cfg);
+  trace::Tracer tracer;
+  world.engine(0).set_tracer(&tracer);
+
+  constexpr unsigned kDsts = 8;
+  constexpr unsigned kRounds = 32;
+  std::vector<std::uint8_t> tx(64, 0x11);
+  std::vector<std::vector<std::uint64_t>> per_dst(kDsts);
+  for (unsigned r = 0; r < kRounds; ++r) {
+    for (unsigned d = 0; d < kDsts; ++d) {
+      auto s = world.engine(0).isend(d + 1, static_cast<Tag>(r), tx.data(),
+                                     tx.size());
+      per_dst[d].push_back(s->id);
+    }
+  }
+  world.fabric().events().run_all();
+
+  std::vector<std::uint64_t> expected;
+  for (const auto& ids : per_dst) {
+    expected.insert(expected.end(), ids.begin(), ids.end());
+  }
+  std::vector<std::uint64_t> emitted;
+  for (const auto& e : tracer.of_kind(trace::EventKind::kEagerEmit)) {
+    emitted.push_back(e.msg_id);
+  }
+  EXPECT_EQ(emitted, expected);
+}
+
+TEST(EagerGrouping, LargeManyDestinationBurstCompletes) {
+  // Stress the epoch-stamped grouping across many re-activations: 8192
+  // pending sends to 64 destinations in one instant. The single-pass
+  // grouping keeps each activation linear in the pack-list length (and the
+  // steady-state allocation test above pins that it allocates nothing).
+  WorldConfig cfg = paper_testbed("aggregate-fastest");
+  cfg.fabric.node_count = 65;
+  World world(cfg);
+
+  constexpr unsigned kDsts = 64;
+  constexpr unsigned kRounds = 128;
+  std::vector<std::uint8_t> tx(64, 0x22);
+  std::vector<SendHandle> sends;
+  sends.reserve(kDsts * kRounds);
+  for (unsigned r = 0; r < kRounds; ++r) {
+    for (unsigned d = 0; d < kDsts; ++d) {
+      sends.push_back(world.engine(0).isend(d + 1, static_cast<Tag>(r),
+                                            tx.data(), tx.size()));
+    }
+  }
+  world.fabric().events().run_all();
+
+  for (const auto& s : sends) EXPECT_TRUE(s->done());
+  EXPECT_EQ(world.engine(0).stats().sends, kDsts * kRounds);
+}
+
+// --- strategy-decision cache -------------------------------------------------
+
+std::vector<SimTime> run_traffic(const std::string& strategy, bool cache,
+                                 EngineStats* stats_out = nullptr) {
+  WorldConfig cfg = paper_testbed(strategy);
+  cfg.engine.strategy_cache = cache;
+  World world(cfg);
+
+  // Repeating bursts of mixed sizes: aggregation-sized runs, a lone medium
+  // message (the multicore-split shape), and repeats that a warm cache
+  // replays from its memoized plans.
+  const std::size_t sizes[] = {64, 512, 2048, 8192};
+  std::vector<std::uint8_t> tx(8192, 0x33);
+  std::vector<std::vector<std::uint8_t>> rx;
+  std::vector<SimTime> completions;
+  Tag tag = 0;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<RecvHandle> recvs;
+    for (const std::size_t size : sizes) {
+      rx.emplace_back(size, 0);
+      recvs.push_back(
+          world.engine(1).irecv(0, tag, rx.back().data(), size));
+      (void)world.engine(0).isend(1, tag, tx.data(), size);
+      ++tag;
+    }
+    for (const auto& r : recvs) {
+      completions.push_back(world.wait(r));
+    }
+  }
+  if (stats_out != nullptr) *stats_out = world.engine(0).stats();
+  return completions;
+}
+
+TEST(StrategyCache, CachedWorldsMatchUncachedWorldsExactly) {
+  for (const char* strategy :
+       {"aggregate-fastest", "greedy-balance", "multicore-hetero-split",
+        "batch-spread"}) {
+    EngineStats cached_stats;
+    const auto cached = run_traffic(strategy, /*cache=*/true, &cached_stats);
+    const auto fresh = run_traffic(strategy, /*cache=*/false);
+    EXPECT_EQ(cached, fresh) << "strategy " << strategy
+                             << ": cached plans diverged from fresh plans";
+    EXPECT_GT(cached_stats.strategy_cache_hits, 0u)
+        << "strategy " << strategy << " never hit its decision cache";
+  }
+}
+
+TEST(StrategyCache, DisabledCacheNeverCounts) {
+  EngineStats stats;
+  run_traffic("aggregate-fastest", /*cache=*/false, &stats);
+  EXPECT_EQ(stats.strategy_cache_hits, 0u);
+  EXPECT_EQ(stats.strategy_cache_misses, 0u);
+}
+
+TEST(StrategyCache, StrategySwapInvalidatesMemoizedPlans) {
+  WorldConfig cfg = paper_testbed("aggregate-fastest");
+  World world(cfg);
+  std::vector<std::uint8_t> tx(1024, 0x44);
+  std::vector<std::uint8_t> rx(1024, 0);
+
+  const auto transfer = [&](Tag tag) {
+    auto recv = world.engine(1).irecv(0, tag, rx.data(), rx.size());
+    (void)world.engine(0).isend(1, tag, tx.data(), tx.size());
+    world.wait(recv);
+  };
+  for (Tag t = 0; t < 4; ++t) transfer(t);
+  const auto& stats = world.engine(0).stats();
+  EXPECT_GT(stats.strategy_cache_hits, 0u);
+  const std::uint64_t misses_before = stats.strategy_cache_misses;
+
+  // Installing a strategy — even the same kind — bumps the decision epoch:
+  // the next identical burst must plan fresh, not replay the old plans.
+  world.set_strategy("aggregate-fastest");
+  transfer(100);
+  EXPECT_GT(stats.strategy_cache_misses, misses_before);
+}
+
+}  // namespace
+}  // namespace rails::core

@@ -18,7 +18,7 @@ namespace rails {
 namespace {
 
 core::SendHandle make_send(std::size_t len, std::uint64_t id = 0) {
-  auto send = std::make_shared<core::SendRequest>();
+  core::SendHandle send = core::make_send_request();
   send->id = id;
   send->len = len;
   return send;

@@ -13,6 +13,13 @@
 // prints them too. Headline metrics present on only one side are warned
 // about but do not fail the gate — adding a bench must not break CI, and
 // a *removed* headline metric is visible in the warning.
+//
+// Allocation counts are the exception to headline-only gating: any metric
+// whose unit is "allocs/msg" gates regardless of its headline flag, with
+// an absolute rule — the candidate regresses if it allocates more per
+// message than the baseline beyond the same relative threshold, or if it
+// allocates at all where the baseline was allocation-free. Host timing
+// jitter never touches an allocation count, so there is no noise excuse.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -145,13 +152,16 @@ int main(int argc, char** argv) {
   int regressions = 0;
   int warnings = 0;
   int compared = 0;
+  int alloc_gated = 0;
   for (const Metric& b : base.metrics) {
-    if (!b.headline && !show_all) continue;
+    const bool alloc_metric = b.unit == "allocs/msg";
+    if (!b.headline && !alloc_metric && !show_all) continue;
     const Metric* c = find_metric(cand, b.name);
     if (c == nullptr) {
+      const bool warn = b.headline || alloc_metric;
       std::printf("%-52s %14.4g %14s %9s  %s\n", b.name.c_str(), b.value, "-",
-                  "-", b.headline ? "WARN missing from candidate" : "gone");
-      warnings += b.headline ? 1 : 0;
+                  "-", warn ? "WARN missing from candidate" : "gone");
+      warnings += warn ? 1 : 0;
       continue;
     }
     double change_pct = 0.0;
@@ -161,9 +171,11 @@ int main(int argc, char** argv) {
       change_pct = std::numeric_limits<double>::infinity();
     }
     // A regression moves against the metric's improvement direction by
-    // more than the threshold.
+    // more than the threshold. Allocation counts gate even when
+    // non-headline, and a 0 -> nonzero move always regresses (the relative
+    // change is infinite, which clears any threshold).
     const double against = b.higher_is_better ? -change_pct : change_pct;
-    const bool gated = b.headline;
+    const bool gated = b.headline || alloc_metric;
     const bool regressed = gated && against > threshold_pct;
     const char* verdict = !gated        ? "info"
                           : regressed   ? "REGRESSED"
@@ -172,6 +184,7 @@ int main(int argc, char** argv) {
     std::printf("%-52s %14.4g %14.4g %+8.1f%%  %s\n", b.name.c_str(), b.value,
                 c->value, change_pct, verdict);
     compared += gated ? 1 : 0;
+    alloc_gated += alloc_metric ? 1 : 0;
     regressions += regressed ? 1 : 0;
   }
   for (const Metric& c : cand.metrics) {
@@ -182,8 +195,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%d headline metric(s) compared, %d regression(s), %d warning(s)\n",
-              compared, regressions, warnings);
+  std::printf(
+      "%d gated metric(s) compared (%d allocation), %d regression(s), "
+      "%d warning(s)\n",
+      compared, alloc_gated, regressions, warnings);
   if (compared == 0) {
     std::fprintf(stderr, "benchdiff: no comparable headline metrics — "
                          "refusing to pass an empty gate\n");

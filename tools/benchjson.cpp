@@ -11,11 +11,13 @@
 // overhead) ride along as non-headline context.
 //
 // Benches emitted:
-//   msgrate        burst of 64 small messages per strategy     (headline)
-//   ping_tail      loaded ping p50/p99, exact percentiles      (headline)
-//   qos_isolation  ping tails + goodput with the arbiter on    (headline)
-//   des_engine     simulated events (headline) + host events/s
-//                  and DES wall-clock seconds                  (non-headline)
+//   msgrate           burst of 64 small messages per strategy  (headline)
+//   msgrate_multiplex steady-state host message rate and
+//                     allocations per message (alloc-gated)    (non-headline)
+//   ping_tail         loaded ping p50/p99, exact percentiles   (headline)
+//   qos_isolation     ping tails + goodput with the arbiter on (headline)
+//   des_engine        simulated events (headline) + host events/s
+//                     and DES wall-clock seconds               (non-headline)
 //
 // The hot-path profiler (src/perf) is enabled around the msgrate workload
 // and its per-layer breakdown is embedded as the bundle's "perf" object;
@@ -86,6 +88,61 @@ bench::BenchResult run_msgrate(const Options& opt) {
                                 /*headline=*/true});
     }
   }
+  return result;
+}
+
+// ---------------------------------------------------- msgrate_multiplex
+
+/// Host-clock steady-state message rate plus allocations per message for
+/// the 64-flow multiplex burst, repeated on ONE warmed World so pools and
+/// scratch buffers reach steady state. Host wall-clock describes the
+/// runner, so the rate stays non-headline; allocs/msg is deterministic for
+/// a given build (the opt-in operator-new hook counts every allocation on
+/// this thread) and is gated by benchdiff's alloc gate.
+bench::BenchResult run_msgrate_multiplex(const Options& opt) {
+  constexpr std::size_t kSize = 2048;
+  constexpr unsigned kWarmup = 8;
+  const unsigned rounds = opt.quick ? 64 : 512;
+  bench::BenchResult result;
+  result.name = "msgrate_multiplex";
+  result.config = {{"flows", std::to_string(kFlows)},
+                   {"size", std::to_string(kSize)},
+                   {"rounds", std::to_string(rounds)}};
+
+  perf::Profiler::set_enabled(false);
+  core::World world(core::paper_testbed("aggregate-fastest"));
+  static std::vector<std::uint8_t> tx(64_KiB, 0x33);
+  static std::vector<std::uint8_t> rx(kFlows * 8_KiB);
+  std::vector<core::RecvHandle> recvs;
+  recvs.reserve(kFlows);
+  const auto burst = [&] {
+    recvs.clear();
+    for (unsigned i = 0; i < kFlows; ++i) {
+      recvs.push_back(
+          world.engine(1).irecv(0, 1000 + i, rx.data() + i * kSize, kSize));
+    }
+    for (unsigned i = 0; i < kFlows; ++i) {
+      world.engine(0).isend(1, 1000 + i, tx.data(), kSize);
+    }
+    for (auto& r : recvs) world.wait(r);
+  };
+  for (unsigned i = 0; i < kWarmup; ++i) burst();
+
+  const std::uint64_t alloc0 = perf::t_alloc_count;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned r = 0; r < rounds; ++r) burst();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs = perf::t_alloc_count - alloc0;
+
+  const double sec = std::chrono::duration<double>(t1 - t0).count();
+  const double messages = static_cast<double>(kFlows) * rounds;
+  result.metrics.push_back({"host_msgs_per_sec",
+                            sec > 0.0 ? messages / sec : 0.0, "msgs/s",
+                            /*higher_is_better=*/true, /*headline=*/false});
+  result.metrics.push_back({"allocs_per_msg",
+                            static_cast<double>(allocs) / messages,
+                            "allocs/msg", /*higher_is_better=*/false,
+                            /*headline=*/false});
   return result;
 }
 
@@ -286,6 +343,8 @@ int main(int argc, char** argv) {
 
   std::printf("benchjson: msgrate...\n");
   bundle.benches.push_back(run_msgrate(opt));
+  std::printf("benchjson: msgrate_multiplex...\n");
+  bundle.benches.push_back(run_msgrate_multiplex(opt));
   std::printf("benchjson: ping_tail...\n");
   bundle.benches.push_back(run_ping_tail(opt));
   std::printf("benchjson: qos_isolation...\n");
