@@ -1,0 +1,75 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace rails {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (std::size_t slice = 1; slice < 8; ++slice) {
+        t[slice][i] = (t[slice - 1][i] >> 8) ^ t[0][t[slice - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data, std::size_t len) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+
+  // Byte-at-a-time until the cursor is 8-aligned, then slice-by-8.
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+    --len;
+  }
+  while (len >= 8) {
+    // Little-endian load expressed byte-wise so the routine is
+    // endian-agnostic; the compiler folds it into one load on LE targets.
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+    --len;
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len) {
+  return crc32c_extend(0, data, len);
+}
+
+}  // namespace rails

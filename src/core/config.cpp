@@ -136,6 +136,83 @@ WorldConfig parse_world_config(std::istream& is) {
       double us = 0;
       ls >> us;
       cfg.engine.failover.max_quarantine = usec(us);
+    } else if (directive == "reliability") {
+      int on = 0;
+      ls >> on;
+      cfg.engine.reliability.enabled = on != 0;
+    } else if (directive == "reliability_checksum") {
+      int on = 1;
+      ls >> on;
+      cfg.engine.reliability.checksum = on != 0;
+    } else if (directive == "reliability_max_retransmits") {
+      if (!(ls >> cfg.engine.reliability.max_retransmits) ||
+          cfg.engine.reliability.max_retransmits < 1) {
+        fail(lineno, "reliability_max_retransmits needs a positive integer");
+      }
+    } else if (directive == "reliability_ack_slack") {
+      ls >> cfg.engine.reliability.ack_timeout_slack;
+      if (cfg.engine.reliability.ack_timeout_slack < 1.0) {
+        fail(lineno, "reliability_ack_slack must be >= 1");
+      }
+    } else if (directive == "reliability_min_timeout_us") {
+      double us = 0;
+      ls >> us;
+      if (us <= 0) fail(lineno, "reliability_min_timeout_us must be positive");
+      cfg.engine.reliability.min_ack_timeout = usec(us);
+    } else if (directive == "reliability_backoff") {
+      ls >> cfg.engine.reliability.backoff;
+      if (cfg.engine.reliability.backoff < 1.0) {
+        fail(lineno, "reliability_backoff must be >= 1");
+      }
+    } else if (directive == "reliability_ack_delay_us") {
+      double us = 0;
+      ls >> us;
+      if (us < 0) fail(lineno, "reliability_ack_delay_us must be >= 0");
+      cfg.engine.reliability.ack_delay = usec(us);
+    } else if (directive == "reliability_loss_streak") {
+      ls >> cfg.engine.reliability.loss_streak_quarantine;
+    } else if (directive == "fault_seed") {
+      ls >> cfg.fabric.fault_seed;
+    } else if (directive == "fault") {
+      // One line arms up to four data-plane faults (one per kind named) on
+      // the rail's NICs: fault rail=1 drop=0.02 corrupt=0.001 dup=0.01
+      // reorder=4 [reorder_rate=1] [node=0] [at_us=..] [duration_us=..]
+      fabric::FabricConfig::RailFault base;
+      bool have_rail = false;
+      double drop = 0, corrupt = 0, dup = 0, reorder_rate = 1.0;
+      unsigned reorder = 0;
+      for (const auto& [key, value] : parse_kv(ls, lineno)) {
+        if (key == "rail") { base.rail = std::stoul(value); have_rail = true; }
+        else if (key == "node") base.node = std::stoi(value);
+        else if (key == "at_us") base.spec.at = usec(std::stod(value));
+        else if (key == "duration_us") base.spec.duration = usec(std::stod(value));
+        else if (key == "drop") drop = std::stod(value);
+        else if (key == "corrupt") corrupt = std::stod(value);
+        else if (key == "dup") dup = std::stod(value);
+        else if (key == "reorder") reorder = std::stoul(value);
+        else if (key == "reorder_rate") reorder_rate = std::stod(value);
+        else fail(lineno, "unknown fault parameter '" + key + "'");
+      }
+      if (!have_rail) fail(lineno, "fault needs rail=");
+      if (drop < 0 || drop > 1 || corrupt < 0 || corrupt > 1 || dup < 0 ||
+          dup > 1 || reorder_rate < 0 || reorder_rate > 1) {
+        fail(lineno, "fault rates must be in [0, 1]");
+      }
+      if (drop <= 0 && corrupt <= 0 && dup <= 0 && reorder == 0) {
+        fail(lineno, "fault needs at least one of drop=/corrupt=/dup=/reorder=");
+      }
+      const auto push = [&cfg, &base](fabric::FaultKind kind, double rate,
+                                      unsigned window) {
+        fabric::FabricConfig::RailFault f = base;
+        f.spec.kind = kind;
+        f.spec.rate = rate;
+        f.spec.reorder_window = window;
+        cfg.fabric.faults.push_back(f);
+      };
+      if (drop > 0) push(fabric::FaultKind::kDrop, drop, 0);
+      if (corrupt > 0) push(fabric::FaultKind::kCorrupt, corrupt, 0);
+      if (dup > 0) push(fabric::FaultKind::kDup, dup, 0);
+      if (reorder > 0) push(fabric::FaultKind::kReorder, reorder_rate, reorder);
     } else if (directive == "recalibration") {
       int on = 0;
       ls >> on;
@@ -268,6 +345,35 @@ void save_world_config(const WorldConfig& cfg, std::ostream& os) {
   os << "quarantine_us " << to_usec(cfg.engine.failover.quarantine) << "\n";
   os << "quarantine_backoff " << cfg.engine.failover.quarantine_backoff << "\n";
   os << "quarantine_max_us " << to_usec(cfg.engine.failover.max_quarantine) << "\n";
+  os << "reliability " << (cfg.engine.reliability.enabled ? 1 : 0) << "\n";
+  os << "reliability_checksum " << (cfg.engine.reliability.checksum ? 1 : 0) << "\n";
+  os << "reliability_max_retransmits " << cfg.engine.reliability.max_retransmits << "\n";
+  os << "reliability_ack_slack " << cfg.engine.reliability.ack_timeout_slack << "\n";
+  os << "reliability_min_timeout_us " << to_usec(cfg.engine.reliability.min_ack_timeout)
+     << "\n";
+  os << "reliability_backoff " << cfg.engine.reliability.backoff << "\n";
+  os << "reliability_ack_delay_us " << to_usec(cfg.engine.reliability.ack_delay) << "\n";
+  os << "reliability_loss_streak " << cfg.engine.reliability.loss_streak_quarantine
+     << "\n";
+  if (cfg.fabric.fault_seed != 0) os << "fault_seed " << cfg.fabric.fault_seed << "\n";
+  for (const auto& f : cfg.fabric.faults) {
+    if (!fabric::is_data_plane(f.spec.kind)) continue;  // not expressible here
+    os << "fault rail=" << f.rail;
+    if (f.node >= 0) os << " node=" << f.node;
+    if (f.spec.at != 0) os << " at_us=" << to_usec(f.spec.at);
+    if (f.spec.duration != 0) os << " duration_us=" << to_usec(f.spec.duration);
+    switch (f.spec.kind) {
+      case fabric::FaultKind::kDrop: os << " drop=" << f.spec.rate; break;
+      case fabric::FaultKind::kCorrupt: os << " corrupt=" << f.spec.rate; break;
+      case fabric::FaultKind::kDup: os << " dup=" << f.spec.rate; break;
+      case fabric::FaultKind::kReorder:
+        os << " reorder=" << f.spec.reorder_window
+           << " reorder_rate=" << f.spec.rate;
+        break;
+      default: break;
+    }
+    os << "\n";
+  }
   os << "recalibration " << (cfg.engine.recalibration.enabled ? 1 : 0) << "\n";
   os << "recal_alpha " << cfg.engine.recalibration.ewma_alpha << "\n";
   os << "recal_window " << cfg.engine.recalibration.window << "\n";

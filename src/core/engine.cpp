@@ -2,15 +2,48 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ostream>
 
 #include "common/check.hpp"
+#include "common/crc32c.hpp"
 #include "common/log.hpp"
 #include "fabric/buffer_pool.hpp"
 #include "perf/profiler.hpp"
 
 namespace rails::core {
+
+namespace {
+
+/// CRC32C over the protocol-stable segment fields plus the payload. `rail`
+/// and `attempt` are deliberately excluded: both legitimately change when a
+/// segment is retransmitted on another rail, and a retransmission must
+/// checksum identically to the original so the receiver's verify works on
+/// whichever copy arrives first.
+std::uint32_t reliable_crc(const fabric::Segment& seg) {
+  std::uint8_t hdr[49];
+  std::size_t n = 0;
+  hdr[n++] = static_cast<std::uint8_t>(seg.kind);
+  const auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) hdr[n++] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  const auto put64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) hdr[n++] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  put32(seg.src);
+  put32(seg.dst);
+  put64(seg.msg_id);
+  put64(seg.tag);
+  put64(seg.offset);
+  put64(seg.total_len);
+  put64(seg.seq);
+  const std::uint32_t head = crc32c(hdr, n);
+  if (seg.payload.empty()) return head;
+  return crc32c_extend(head, seg.payload.data(), seg.payload.size());
+}
+
+}  // namespace
 
 RailId Strategy::control_rail(const StrategyContext& ctx) const {
   // Default policy: the usable rail whose zero-byte eager message completes
@@ -44,6 +77,10 @@ Engine::Engine(fabric::Fabric* fabric, NodeId self, const sampling::Estimator* e
     qos_ = std::make_unique<qos::QosArbiter>(config_.qos, rdv_threshold_);
   }
   stats_.payload_bytes_per_rail.assign(fabric_->rail_count(), 0);
+  if (config_.reliability.enabled) {
+    rel_links_.resize(fabric_->node_count());
+    rel_loss_streak_.assign(fabric_->rail_count(), 0);
+  }
   rail_health_.assign(fabric_->rail_count(), RailHealth{});
   rail_usable_.assign(fabric_->rail_count(), 1);
   trust_penalty_.assign(fabric_->rail_count(), 1.0);
@@ -108,6 +145,10 @@ void Engine::write_state_json(std::ostream& os) const {
      << ",\"timeout_slack\":" << config_.failover.timeout_slack
      << ",\"max_attempts\":" << config_.failover.max_attempts
      << ",\"quarantine_us\":" << to_usec(config_.failover.quarantine)
+     << ",\"reliability_enabled\":" << (config_.reliability.enabled ? "true" : "false")
+     << ",\"reliability_checksum\":" << (config_.reliability.checksum ? "true" : "false")
+     << ",\"max_retransmits\":" << config_.reliability.max_retransmits
+     << ",\"reliable_in_flight\":" << rel_live_entries_
      << ",\"recal_attached\":" << (recal_ != nullptr ? "true" : "false") << "}}";
 }
 
@@ -777,14 +818,37 @@ void Engine::arm_progress(SimTime when) {
 fabric::SimNic::PostTimes Engine::post_segment(RailId rail, fabric::Segment seg, CoreId core,
                                                SimDuration extra_delay) {
   fabric::SimCores& cores = fabric_->cores(self_);
+  // ACK/NACK generation is a reliability offload: the NIC emits them from
+  // firmware, so they neither wait for nor occupy a host core. Everything
+  // else contends for the submitting core as usual.
+  const bool control_lane = seg.kind == fabric::SegKind::kAck ||
+                            seg.kind == fabric::SegKind::kNack;
   const SimTime earliest =
-      std::max(fabric_->now() + extra_delay, cores.busy_until(core));
+      control_lane ? fabric_->now() + extra_delay
+                   : std::max(fabric_->now() + extra_delay, cores.busy_until(core));
   seg.src = self_;
   seg.rail = rail;
   const std::size_t payload = seg.payload.size();
+  // Reliability choke point: every first-transmission segment (seq still 0)
+  // except the ACK/NACK control plane gets sequenced, checksummed, and a
+  // retransmit copy parked before it touches the NIC. Retransmissions carry
+  // their original seq and skip straight through.
+  const bool sequenced = config_.reliability.enabled && seg.seq == 0 &&
+                         seg.kind != fabric::SegKind::kAck &&
+                         seg.kind != fabric::SegKind::kNack;
+  NodeId rel_dst = 0;
+  std::uint64_t rel_seq = 0;
+  if (sequenced) {
+    rel_stash(seg, rail);
+    rel_dst = seg.dst;
+    rel_seq = seg.seq;
+  }
   const auto times = nics_[rail]->post(std::move(seg), earliest);
-  cores.occupy(core, times.host_start, times.host_end - times.host_start);
+  if (!control_lane) {
+    cores.occupy(core, times.host_start, times.host_end - times.host_start);
+  }
   stats_.payload_bytes_per_rail[rail] += payload;
+  if (sequenced) rel_arm(rel_dst, rel_seq, times.deliver_at - fabric_->now());
   return times;
 }
 
@@ -897,9 +961,18 @@ void Engine::start_rendezvous(const SendHandle& send) {
 
 void Engine::handle_cts(const fabric::Segment& seg) {
   auto it = rdv_sends_.find(seg.msg_id);
-  RAILS_CHECK_MSG(it != rdv_sends_.end(), "CTS for an unknown rendezvous send");
+  if (it == rdv_sends_.end()) {
+    // A duplicated or straggling CTS for a send that already completed or
+    // failed (wire dup with reliability off, failover re-accept). Receives
+    // are idempotent; the control plane must be too.
+    ++stats_.stale_control;
+    return;
+  }
   SendRequest& send = *it->second;
-  RAILS_CHECK(send.state == SendState::kRtsSent);
+  if (send.state != SendState::kRtsSent) {
+    ++stats_.stale_control;  // second CTS after streaming already began
+    return;
+  }
   send.state = SendState::kStreaming;
   if (qos_ != nullptr && send.len > config_.qos.bulk_chunk) {
     // Windowed streaming (docs/QOS.md): instead of laying out the whole
@@ -1079,9 +1152,18 @@ void Engine::stream_chunks(SendRequest& send) {
 void Engine::handle_fin(const fabric::Segment& seg) {
   RAILS_PERF_SCOPE(perf::Layer::kCompletion);
   auto it = rdv_sends_.find(seg.msg_id);
-  RAILS_CHECK_MSG(it != rdv_sends_.end(), "FIN for an unknown rendezvous send");
+  if (it == rdv_sends_.end()) {
+    // A duplicated FIN: the first copy completed the send and erased it.
+    // Before the reliability PR this crashed the node (PR 2's dedup audit
+    // only covered DATA); now it is counted and ignored.
+    ++stats_.stale_control;
+    return;
+  }
   SendRequest& send = *it->second;
-  RAILS_CHECK(send.state == SendState::kStreaming);
+  if (send.state != SendState::kStreaming) {
+    ++stats_.stale_control;
+    return;
+  }
   live_chunks_.erase(seg.msg_id);  // any armed timeouts are stale now
   qos_streams_.erase(seg.msg_id);  // a failover retransmit may finish early
   send.state = SendState::kDone;
@@ -1099,12 +1181,23 @@ void Engine::handle_fin(const fabric::Segment& seg) {
 // ---------------------------------------------------------------------------
 
 void Engine::on_segment(fabric::Segment&& seg) {
+  // Reliability gate: verify the checksum, suppress duplicates, record the
+  // sequence, and schedule the coalesced ACK — before any handler sees the
+  // segment. A rejected segment (corrupt or duplicate) dies here.
+  if (config_.reliability.enabled && seg.seq != 0 &&
+      seg.kind != fabric::SegKind::kAck && seg.kind != fabric::SegKind::kNack &&
+      !rel_rx_accept(seg)) {
+    fabric::recycle_payload(std::move(seg.payload));
+    return;
+  }
   switch (seg.kind) {
     case fabric::SegKind::kEager: handle_eager(seg); break;
     case fabric::SegKind::kRts: handle_rts(seg); break;
     case fabric::SegKind::kCts: handle_cts(seg); break;
     case fabric::SegKind::kData: handle_data(seg); break;
     case fabric::SegKind::kFin: handle_fin(seg); break;
+    case fabric::SegKind::kAck: rel_handle_ack(seg); break;
+    case fabric::SegKind::kNack: rel_handle_nack(seg); break;
   }
   // The segment dies here; its payload buffer goes back to the pool the
   // sender-side post paths draw from (handlers only read the payload).
@@ -1140,8 +1233,15 @@ void Engine::handle_eager(const fabric::Segment& seg) {
   RAILS_PERF_SCOPE(perf::Layer::kEmit);  // unpack mirrors pack
   // Scratch parse: segments are delivered one at a time off the event queue
   // and deliver_fragment never re-enters the unpack path, so one buffer is
-  // enough and the steady receive path stays allocation-free.
-  parse_subpackets(seg.payload, subpacket_scratch_);
+  // enough and the steady receive path stays allocation-free. The parse is
+  // the non-aborting variant: with the wire checksum off, a corrupted
+  // payload bit can land inside a sub-packet header, and a single wire
+  // fault must not take down the node.
+  if (!try_parse_subpackets(seg.payload, subpacket_scratch_)) {
+    ++stats_.rel_parse_rejects;
+    flight(trace::FlightKind::kCorruptDetected, seg.rail, seg.msg_id, -1);
+    return;
+  }
   for (const SubPacket& sp : subpacket_scratch_) deliver_fragment(sp, seg.src);
 }
 
@@ -1153,7 +1253,13 @@ void Engine::deliver_fragment(const SubPacket& sp, NodeId src) {
                                [&key](const auto& e) { return e.first == key; });
   if (it != bound_recvs_.end()) {
     RecvHandle recv = it->second;
-    RAILS_CHECK(sp.offset + sp.len <= recv->expected);
+    if (sp.offset + sp.len > recv->expected) {
+      // Only reachable via payload corruption with the checksum off: a
+      // flipped bit inside the sub-packet header moved the fragment out of
+      // bounds. Dropping beats scribbling past the receive buffer.
+      ++stats_.rel_parse_rejects;
+      return;
+    }
     if (sp.len > 0) std::memcpy(recv->data + sp.offset, sp.bytes, sp.len);
     recv->bytes_received += sp.len;
     if (recv->bytes_received == recv->expected) {
@@ -1187,12 +1293,28 @@ void Engine::deliver_fragment(const SubPacket& sp, NodeId src) {
     u.total = sp.msg_total;
     u.buffer.assign(sp.msg_total, 0);
   }
-  RAILS_CHECK(sp.offset + sp.len <= u.total);
+  if (sp.offset + sp.len > u.total) {
+    ++stats_.rel_parse_rejects;  // corrupted header, checksum off (see above)
+    return;
+  }
   if (sp.len > 0) std::memcpy(u.buffer.data() + sp.offset, sp.bytes, sp.len);
   u.received += sp.len;
 }
 
 void Engine::handle_rts(const fabric::Segment& seg) {
+  // Duplicate RTS (wire dup, or sender retry racing the original): the
+  // handshake is already in flight or already queued — matching it again
+  // would bind a second receive to the same message.
+  if (inbound_rdv_.count({seg.src, seg.msg_id}) != 0) {
+    ++stats_.stale_control;
+    return;
+  }
+  for (const UnexpectedRts& u : unexpected_rts_) {
+    if (u.src == seg.src && u.msg_id == seg.msg_id) {
+      ++stats_.stale_control;
+      return;
+    }
+  }
   if (RecvHandle recv = match_posted(seg.src, seg.tag)) {
     RAILS_CHECK_MSG(seg.total_len <= recv->capacity, "posted receive buffer too small");
     recv->state = RecvState::kMatched;
@@ -1309,6 +1431,17 @@ void Engine::on_tx_error(fabric::Segment&& seg) {
   metrics_.on_tx_error();
   flight(trace::FlightKind::kTxError, seg.rail, seg.msg_id,
          static_cast<std::int64_t>(seg.payload.size()), seg.attempt);
+  if (config_.reliability.enabled && seg.seq != 0) {
+    // The reliability layer owns recovery for sequenced segments: the parked
+    // copy is retransmitted immediately (budget-checked) instead of routing
+    // through PR 2's failover re-split, which would race the retransmit to
+    // the same bytes. A hard CQ error is still a sick rail — quarantine it.
+    quarantine_rail(seg.rail);
+    if (RelTxEntry* entry = rel_find(seg.dst, seg.seq)) {
+      rel_presume_lost(*entry, /*count_streak=*/false);
+    }
+    return;
+  }
   if (!config_.failover.enabled) return;
   quarantine_rail(seg.rail);
 
@@ -1373,6 +1506,10 @@ void Engine::track_chunk(std::uint64_t msg_id, std::uint64_t offset, std::size_t
                          SimDuration predicted) {
   live_chunks_[msg_id][offset] = attempt;
   if (!config_.failover.enabled) return;
+  // With end-to-end reliability on, the ACK timeout owns loss detection for
+  // every sequenced segment — arming the chunk timer too would race two
+  // recovery paths to the same byte range.
+  if (config_.reliability.enabled) return;
   // Timeout = predicted completion times the slack factor, floored so tiny
   // chunks are not declared lost by rounding. On a healthy fabric the chunk
   // retires (tx-complete) long before this event fires, making it a no-op.
@@ -1567,6 +1704,314 @@ void Engine::reprobe_rail(RailId rail) {
   if (h.window <= 0) h.window = config_.failover.quarantine;
   h.until = now + h.window;
   schedule_reprobe(rail);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end reliability: CRC32C, seq windows, ACK/NACK, retransmit
+// (docs/FAULTS.md, "Data-plane faults & reliable delivery")
+// ---------------------------------------------------------------------------
+
+Engine::RelTxEntry& Engine::rel_slot(RelLink& link, std::uint64_t seq) {
+  if (link.ring.empty()) link.ring.resize(64);
+  // Sequence numbers are consecutive, so a collision means ring.size()
+  // segments are simultaneously unacked — double until the window fits.
+  // This only happens during warmup or a loss storm; the ring never shrinks.
+  while (link.ring[seq & (link.ring.size() - 1)].in_use) rel_grow_ring(link);
+  return link.ring[seq & (link.ring.size() - 1)];
+}
+
+void Engine::rel_grow_ring(RelLink& link) {
+  std::vector<RelTxEntry> bigger(link.ring.size() * 2);
+  for (RelTxEntry& e : link.ring) {
+    if (!e.in_use) continue;
+    bigger[e.seq & (bigger.size() - 1)] = std::move(e);
+  }
+  link.ring = std::move(bigger);
+}
+
+Engine::RelTxEntry* Engine::rel_find(NodeId dst, std::uint64_t seq) {
+  RelLink& link = rel_links_[dst];
+  if (link.ring.empty()) return nullptr;
+  RelTxEntry& e = link.ring[seq & (link.ring.size() - 1)];
+  return (e.in_use && e.seq == seq) ? &e : nullptr;
+}
+
+void Engine::rel_release(RelTxEntry& entry) {
+  entry.in_use = false;
+  entry.payload.clear();  // capacity stays with the slot for reuse
+  --rel_live_entries_;
+}
+
+void Engine::rel_stash(fabric::Segment& seg, RailId rail) {
+  RelLink& link = rel_links_[seg.dst];
+  seg.seq = link.next_seq++;
+  if (config_.reliability.checksum) seg.crc = reliable_crc(seg);
+  RelTxEntry& e = rel_slot(link, seg.seq);
+  e.in_use = true;
+  e.kind = seg.kind;
+  e.attempt = seg.attempt;
+  e.retransmits = 0;
+  e.rail = rail;
+  e.dst = seg.dst;
+  e.seq = seg.seq;
+  e.msg_id = seg.msg_id;
+  e.tag = seg.tag;
+  e.offset = seg.offset;
+  e.total_len = seg.total_len;
+  e.crc = seg.crc;
+  e.base_timeout = 0;
+  e.payload.assign(seg.payload.begin(), seg.payload.end());
+  ++rel_live_entries_;
+  ++stats_.rel_segments;
+}
+
+void Engine::rel_arm(NodeId dst, std::uint64_t seq, SimDuration predicted_flight) {
+  RelTxEntry* e = rel_find(dst, seq);
+  if (e == nullptr) return;
+  if (e->base_timeout == 0) {
+    // The PR 2 idiom applied end-to-end: the wait scales with the predicted
+    // delivery (plus the receiver's ACK coalescing window), floored so a
+    // zero-byte control segment is not declared lost by rounding.
+    const auto scaled = static_cast<SimDuration>(
+        config_.reliability.ack_timeout_slack *
+        static_cast<double>(predicted_flight + config_.reliability.ack_delay));
+    e->base_timeout = std::max(config_.reliability.min_ack_timeout, scaled);
+  }
+  SimDuration wait = e->base_timeout;
+  for (unsigned i = 0; i < e->retransmits; ++i) {
+    wait = static_cast<SimDuration>(static_cast<double>(wait) *
+                                    config_.reliability.backoff);
+  }
+  // The event is stale if the entry was retired OR re-armed since (a
+  // retransmit bumps `retransmits`, so the captured count identifies this
+  // particular arming — no generation counter needed).
+  const unsigned expected = e->retransmits;
+  fabric_->events().at(fabric_->now() + wait, [this, dst, seq, expected] {
+    rel_on_timeout(dst, seq, expected);
+  });
+}
+
+void Engine::rel_on_timeout(NodeId dst, std::uint64_t seq, unsigned expected_retransmits) {
+  RelTxEntry* e = rel_find(dst, seq);
+  if (e == nullptr || e->retransmits != expected_retransmits) return;  // stale
+  rel_presume_lost(*e, /*count_streak=*/true);
+}
+
+void Engine::rel_presume_lost(RelTxEntry& entry, bool count_streak) {
+  if (count_streak) {
+    ++stats_.rel_drops_inferred;
+    metrics_.on_rel_drop_inferred();
+    // Repeated inferred losses concentrated on one rail are a sick link, not
+    // independent wire noise: hand it to the PR 2 quarantine/re-probe path.
+    if (config_.reliability.loss_streak_quarantine > 0 &&
+        ++rel_loss_streak_[entry.rail] >= config_.reliability.loss_streak_quarantine) {
+      rel_loss_streak_[entry.rail] = 0;
+      quarantine_rail(entry.rail);
+    }
+  }
+  if (entry.retransmits >= config_.reliability.max_retransmits) {
+    rel_exhaust(entry);
+    return;
+  }
+  ++entry.retransmits;
+  rel_retransmit(entry);
+}
+
+void Engine::rel_retransmit(RelTxEntry& entry) {
+  ++stats_.rel_retransmits;
+  metrics_.on_rel_retransmit();
+  flight(trace::FlightKind::kRetransmit, entry.rail, entry.msg_id,
+         static_cast<std::int64_t>(entry.seq), entry.retransmits);
+  // Rebuild the segment from the parked copy — byte-identical to the
+  // original (same seq, same CRC), so whichever copy lands first passes
+  // verification and the other dies in the receiver's dedup window.
+  fabric::Segment seg;
+  seg.kind = entry.kind;
+  seg.dst = entry.dst;
+  seg.msg_id = entry.msg_id;
+  seg.tag = entry.tag;
+  seg.offset = entry.offset;
+  seg.total_len = entry.total_len;
+  seg.attempt = entry.attempt;
+  seg.crc = entry.crc;
+  seg.seq = entry.seq;
+  if (!entry.payload.empty()) {
+    seg.payload = fabric::acquire_payload();
+    seg.payload.assign(entry.payload.begin(), entry.payload.end());
+  }
+  const RailId rail = repost_rail(seg);
+  entry.rail = rail;
+  const NodeId dst = entry.dst;
+  const std::uint64_t seq = entry.seq;
+  post_segment(rail, std::move(seg), config_.scheduler_core);
+  rel_arm(dst, seq, /*predicted_flight=*/0);  // base_timeout is already set
+}
+
+void Engine::rel_exhaust(RelTxEntry& entry) {
+  ++stats_.rel_retry_exhausted;
+  metrics_.on_rel_exhausted();
+  flight(trace::FlightKind::kRetryExhausted, entry.rail, entry.msg_id,
+         static_cast<std::int64_t>(entry.seq), entry.retransmits);
+  {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "msg %llu seq %llu (%s) lost %u times: retry budget exhausted "
+                  "on rail %u",
+                  static_cast<unsigned long long>(entry.msg_id),
+                  static_cast<unsigned long long>(entry.seq),
+                  fabric::to_string(entry.kind), entry.retransmits + 1, entry.rail);
+    flight_trigger("retry-exhausted", detail);
+  }
+  quarantine_rail(entry.rail);
+  // A rendezvous send that can no longer deliver its handshake or data fails
+  // outright rather than hanging its waiter forever.
+  if (entry.kind == fabric::SegKind::kData || entry.kind == fabric::SegKind::kRts) {
+    if (auto it = rdv_sends_.find(entry.msg_id); it != rdv_sends_.end()) {
+      it->second->state = SendState::kFailed;
+      live_chunks_.erase(entry.msg_id);
+      qos_streams_.erase(entry.msg_id);
+      rdv_sends_.erase(it);
+    }
+  }
+  rel_release(entry);
+}
+
+void Engine::rel_retire(NodeId dst, std::uint64_t seq) {
+  RelTxEntry* e = rel_find(dst, seq);
+  if (e == nullptr) return;  // already retired (stale/duplicate ACK)
+  rel_loss_streak_[e->rail] = 0;  // the rail is demonstrably delivering
+  if (e->kind == fabric::SegKind::kData) {
+    // End-to-end acknowledged: any chunk-tracking entry is moot.
+    if (auto it = live_chunks_.find(e->msg_id); it != live_chunks_.end()) {
+      it->second.erase(e->offset);
+    }
+  }
+  rel_release(*e);
+}
+
+bool Engine::rel_rx_accept(const fabric::Segment& seg) {
+  // (1) Integrity: recompute the CRC over what actually arrived.
+  if (config_.reliability.checksum && reliable_crc(seg) != seg.crc) {
+    ++stats_.rel_corruptions;
+    metrics_.on_rel_corruption();
+    flight(trace::FlightKind::kCorruptDetected, seg.rail, seg.msg_id,
+           static_cast<std::int64_t>(seg.seq));
+    // Corruption is detectable loss: tell the sender now instead of letting
+    // it burn the full ACK timeout.
+    rel_send_nack(seg.src, seg.seq);
+    return false;
+  }
+  RelLink& link = rel_links_[seg.src];
+  const std::uint64_t seq = seg.seq;
+  // (2) Window overflow: a seq too far ahead cannot be recorded, so it
+  // cannot be safely accepted (its retransmit would be an undetectable
+  // duplicate). Dropping is safe — the sender retries after the window
+  // advances. Unreachable in practice: the rx window (1024) is far wider
+  // than any TX ring the ACK clock lets build up.
+  if (seq > link.rx_cumulative + kRelRxWindow) return false;
+  // (3) Exactly-once: cumulative counter + bitmap ring suppress wire
+  // duplicates and retransmits whose original landed. Re-arm the ACK — a
+  // duplicate means the sender has not retired this seq yet.
+  const auto seen = [&link](std::uint64_t s) {
+    const std::uint64_t b = s - 1;
+    return ((link.rx_bits[(b >> 6) & (link.rx_bits.size() - 1)] >> (b & 63)) & 1) != 0;
+  };
+  if (seq <= link.rx_cumulative || seen(seq)) {
+    ++stats_.rel_dup_suppressed;
+    metrics_.on_rel_dup_suppressed();
+    flight(trace::FlightKind::kDupSuppressed, seg.rail, seg.msg_id,
+           static_cast<std::int64_t>(seq));
+    rel_arm_ack(seg.src);
+    return false;
+  }
+  // (4) Accept: record the seq, advance the cumulative edge over any run of
+  // now-contiguous bits, and schedule the coalesced ACK.
+  {
+    const std::uint64_t b = seq - 1;
+    link.rx_bits[(b >> 6) & (link.rx_bits.size() - 1)] |= 1ull << (b & 63);
+  }
+  while (true) {
+    const std::uint64_t nb = link.rx_cumulative;  // bit index of cumulative+1
+    auto& word = link.rx_bits[(nb >> 6) & (link.rx_bits.size() - 1)];
+    if (((word >> (nb & 63)) & 1) == 0) break;
+    word &= ~(1ull << (nb & 63));
+    ++link.rx_cumulative;
+  }
+  rel_arm_ack(seg.src);
+  return true;
+}
+
+void Engine::rel_arm_ack(NodeId src) {
+  RelLink& link = rel_links_[src];
+  if (link.ack_armed) return;
+  link.ack_armed = true;
+  fabric_->events().at(fabric_->now() + config_.reliability.ack_delay,
+                       [this, src] { rel_flush_ack(src); });
+}
+
+void Engine::rel_flush_ack(NodeId src) {
+  RelLink& link = rel_links_[src];
+  link.ack_armed = false;
+  // The whole acknowledgement travels in header fields — no payload, no
+  // allocation: `seq` carries the cumulative edge, `offset` a selective
+  // bitmap for the 64 seqs above it (out-of-order arrivals under reorder).
+  fabric::Segment ack;
+  ack.kind = fabric::SegKind::kAck;
+  ack.dst = src;
+  ack.seq = link.rx_cumulative;
+  std::uint64_t bits = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    const std::uint64_t b = link.rx_cumulative + i;  // bit of cumulative+1+i
+    if ((link.rx_bits[(b >> 6) & (link.rx_bits.size() - 1)] >> (b & 63)) & 1) {
+      bits |= 1ull << i;
+    }
+  }
+  ack.offset = bits;
+  const StrategyContext ctx = make_context();
+  const RailId rail = strategy_ != nullptr ? strategy_->control_rail(ctx) : 0;
+  post_segment(rail, std::move(ack), config_.scheduler_core);
+  ++stats_.rel_acks;
+  metrics_.on_rel_ack();
+}
+
+void Engine::rel_send_nack(NodeId src, std::uint64_t seq) {
+  fabric::Segment nack;
+  nack.kind = fabric::SegKind::kNack;
+  nack.dst = src;
+  nack.seq = seq;
+  const StrategyContext ctx = make_context();
+  const RailId rail = strategy_ != nullptr ? strategy_->control_rail(ctx) : 0;
+  post_segment(rail, std::move(nack), config_.scheduler_core);
+  ++stats_.rel_nacks;
+  metrics_.on_rel_nack();
+}
+
+void Engine::rel_handle_ack(const fabric::Segment& seg) {
+  if (!config_.reliability.enabled) return;
+  RelLink& link = rel_links_[seg.src];
+  // ACKs state monotone facts ("everything <= cumulative arrived; these 64
+  // above it arrived too"), so a reordered stale ACK is harmless: its
+  // cumulative edge is behind ours (loop runs zero times) and its selective
+  // bits name seqs that genuinely landed.
+  const std::uint64_t cumulative = seg.seq;
+  while (link.oldest_unacked <= cumulative) {
+    rel_retire(seg.src, link.oldest_unacked);
+    ++link.oldest_unacked;
+  }
+  const std::uint64_t bits = seg.offset;
+  for (unsigned i = 0; i < 64; ++i) {
+    if ((bits >> i) & 1) rel_retire(seg.src, cumulative + 1 + i);
+  }
+}
+
+void Engine::rel_handle_nack(const fabric::Segment& seg) {
+  if (!config_.reliability.enabled) return;
+  // The receiver saw this seq arrive corrupted — skip the timeout and
+  // retransmit now (still budget-checked; a rail that keeps corrupting
+  // exhausts the budget and gets quarantined like one that keeps dropping).
+  if (RelTxEntry* entry = rel_find(seg.src, seg.seq)) {
+    rel_presume_lost(*entry, /*count_streak=*/false);
+  }
 }
 
 }  // namespace rails::core

@@ -15,6 +15,7 @@
 // fabric events until the request completes (see World).
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <vector>
@@ -53,6 +54,18 @@ struct EngineStats {
   std::uint64_t reprobes = 0;           ///< quarantine re-probe attempts
   std::uint64_t reprobe_successes = 0;  ///< re-probes that lifted a quarantine
   std::uint64_t duplicate_chunks = 0;   ///< receiver-side duplicate DATA chunks
+  std::uint64_t stale_control = 0;      ///< duplicate/unknown control segs ignored
+
+  // -- end-to-end reliability (docs/FAULTS.md) -------------------------
+  std::uint64_t rel_segments = 0;        ///< sequenced segments posted
+  std::uint64_t rel_corruptions = 0;     ///< wire-checksum mismatches detected
+  std::uint64_t rel_drops_inferred = 0;  ///< ACK timeouts presuming silent loss
+  std::uint64_t rel_retransmits = 0;     ///< segments retransmitted end-to-end
+  std::uint64_t rel_dup_suppressed = 0;  ///< sequence-window duplicate drops
+  std::uint64_t rel_retry_exhausted = 0; ///< seqs that ran out of retry budget
+  std::uint64_t rel_acks = 0;            ///< ACK control segments sent
+  std::uint64_t rel_nacks = 0;           ///< NACK control segments sent
+  std::uint64_t rel_parse_rejects = 0;   ///< malformed eager frames dropped
 
   // -- recalibration (docs/CALIBRATION.md) -----------------------------
   std::uint64_t recal_corrections = 0;  ///< profile scale corrections applied
@@ -185,6 +198,11 @@ class Engine {
   /// decisions until a re-probe finds the link up again).
   bool rail_quarantined(RailId rail) const { return rail_health_[rail].quarantined; }
 
+  /// Sequenced segments posted but not yet acknowledged end-to-end (0 when
+  /// the reliability layer is off or fully drained). Tests use this to
+  /// assert that a soak leaves no retransmit state behind.
+  std::uint64_t reliable_in_flight() const { return rel_live_entries_; }
+
  private:
   using MsgKey = std::pair<NodeId, std::uint64_t>;  // (source node, msg id)
 
@@ -293,6 +311,71 @@ class Engine {
   void schedule_reprobe(RailId rail);
   void reprobe_rail(RailId rail);
 
+  // -- end-to-end reliability (docs/FAULTS.md) ---------------------------
+  // Sender side: every non-ACK segment gets a per-(src,dst)-link sequence
+  // number and a CRC32C, and a copy of its payload parks in a power-of-two
+  // ring slab until a cumulative/selective ACK retires it. Loss is inferred
+  // by prediction-scaled ACK timeout (silent drops), NACK (checksum
+  // failures), or NIC tx-error; recovery retransmits from the parked copy —
+  // never touching PR 2's failover re-split, which would race it.
+
+  /// One unacknowledged sequenced segment (slot in a RelLink ring).
+  struct RelTxEntry {
+    bool in_use = false;
+    fabric::SegKind kind = fabric::SegKind::kEager;
+    unsigned attempt = 0;
+    unsigned retransmits = 0;       ///< end-to-end retransmissions so far
+    RailId rail = 0;                ///< rail of the latest transmission
+    NodeId dst = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t msg_id = 0;
+    Tag tag = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t total_len = 0;
+    std::uint32_t crc = 0;
+    SimDuration base_timeout = 0;   ///< first-transmission ACK wait (pre-backoff)
+    std::vector<std::uint8_t> payload;  ///< parked copy for retransmission
+  };
+
+  /// Per-peer link state, indexed by node id. TX: seq allocation + the
+  /// unacked ring. RX: cumulative counter + a kRelRxWindow-seq bitmap ring
+  /// making receives exactly-once, plus the coalesced-ACK arm flag.
+  struct RelLink {
+    std::uint64_t next_seq = 1;        ///< 0 is "unsequenced" on the wire
+    std::uint64_t oldest_unacked = 1;
+    std::vector<RelTxEntry> ring;      ///< power-of-two, slot = seq & (size-1)
+    std::uint64_t rx_cumulative = 0;   ///< every seq <= this was accepted
+    std::array<std::uint64_t, 16> rx_bits{};  ///< seqs (cumulative, +window]
+    bool ack_armed = false;
+  };
+  static constexpr std::uint64_t kRelRxWindow = 16 * 64;  ///< rx_bits span
+
+  /// Assigns seq + CRC to an outbound segment and parks a retransmit copy.
+  void rel_stash(fabric::Segment& seg, RailId rail);
+  /// Arms (or re-arms, with backoff) the ACK timeout for (dst, seq).
+  void rel_arm(NodeId dst, std::uint64_t seq, SimDuration predicted_flight);
+  void rel_on_timeout(NodeId dst, std::uint64_t seq, unsigned expected_retransmits);
+  /// Shared loss reaction: budget check, then retransmit or give up.
+  /// `count_streak` = an inferred silent loss (timeout), which feeds the
+  /// per-rail loss streak; NACK/tx-error losses already name their cause.
+  void rel_presume_lost(RelTxEntry& entry, bool count_streak);
+  void rel_retransmit(RelTxEntry& entry);
+  void rel_exhaust(RelTxEntry& entry);
+  void rel_retire(NodeId dst, std::uint64_t seq);
+  void rel_release(RelTxEntry& entry);
+  RelTxEntry* rel_find(NodeId dst, std::uint64_t seq);
+  RelTxEntry& rel_slot(RelLink& link, std::uint64_t seq);
+  void rel_grow_ring(RelLink& link);
+
+  /// Receiver gate: verify CRC, suppress duplicates, record the seq, arm
+  /// the coalesced ACK. False = segment consumed (drop/dup/corrupt).
+  bool rel_rx_accept(const fabric::Segment& seg);
+  void rel_arm_ack(NodeId src);
+  void rel_flush_ack(NodeId src);
+  void rel_send_nack(NodeId src, std::uint64_t seq);
+  void rel_handle_ack(const fabric::Segment& seg);
+  void rel_handle_nack(const fabric::Segment& seg);
+
   // -- recalibration -----------------------------------------------------
   /// Feeds one completed transfer into the tracker and the drift detector,
   /// turning the detector's verdict into stats/metrics/sweeps. `plan` is
@@ -343,6 +426,11 @@ class Engine {
 
   std::vector<SendHandle> pending_eager_;          ///< the pack list
   std::map<std::uint64_t, SendHandle> rdv_sends_;  ///< RTS sent, keyed by msg id
+
+  // -- end-to-end reliability (docs/FAULTS.md) ---------------------------
+  std::vector<RelLink> rel_links_;        ///< per-peer, indexed by node id
+  std::vector<unsigned> rel_loss_streak_; ///< consecutive inferred losses/rail
+  std::uint64_t rel_live_entries_ = 0;    ///< unacked sequenced segments
 
   // -- traffic-class QoS (docs/QOS.md) -----------------------------------
   std::unique_ptr<qos::QosArbiter> qos_;  ///< null when disabled

@@ -54,6 +54,37 @@ struct FailoverConfig {
   SimDuration max_quarantine = 50'000'000;  // 50 ms
 };
 
+/// End-to-end reliable-delivery knobs (docs/FAULTS.md, "Data-plane faults &
+/// reliable delivery"). Default-off: a disabled engine takes no reliability
+/// branch at all, keeping headline metrics bit-identical to pre-reliability
+/// builds. Enabled at zero fault rate, the layer costs one coalesced ACK
+/// per link per `ack_delay` plus a per-segment CRC — inside the bench gate.
+struct ReliabilityConfig {
+  bool enabled = false;
+  /// Compute/verify the CRC32C wire checksum (header + payload). Off, a
+  /// corrupted payload is delivered undetected — useful only for measuring
+  /// the checksum's own cost.
+  bool checksum = true;
+  /// Retransmissions per sequence number before giving up, quarantining the
+  /// last rail used, and triggering a postmortem.
+  unsigned max_retransmits = 6;
+  /// A segment is presumed lost when no ACK covers it within
+  /// `ack_timeout_slack` x (predicted delivery + ack_delay), floored at
+  /// `min_ack_timeout`; each retransmit multiplies the wait by `backoff`
+  /// (the PR 2 prediction-scaled-timeout idiom, applied end-to-end).
+  double ack_timeout_slack = 4.0;
+  SimDuration min_ack_timeout = 100'000;  // 100 µs
+  double backoff = 2.0;
+  /// Receiver-side ACK coalescing window: acknowledgements piggyback state
+  /// for every segment accepted within it, so a flood costs one control
+  /// segment per link per window rather than one per message.
+  SimDuration ack_delay = 25'000;  // 25 µs
+  /// Consecutive inferred losses on one rail before the reliability layer
+  /// escalates to the PR 2 quarantine path (0 disables the streak trigger;
+  /// retry-budget exhaustion still quarantines).
+  unsigned loss_streak_quarantine = 3;
+};
+
 struct EngineConfig {
   /// Core the packet scheduler (strategy) runs on.
   CoreId scheduler_core = 0;
@@ -66,6 +97,8 @@ struct EngineConfig {
   double host_copy_mbps = 2500.0;
   /// Timeout/retry/quarantine behaviour on rail faults.
   FailoverConfig failover;
+  /// End-to-end ACK/retransmit + wire-checksum layer (docs/FAULTS.md).
+  ReliabilityConfig reliability;
   /// Online drift detection / adaptive recalibration (docs/CALIBRATION.md).
   sampling::RecalibrationConfig recalibration;
   /// Traffic-class scheduling, deadline admission, backpressure

@@ -70,4 +70,33 @@ void parse_subpackets(const std::vector<std::uint8_t>& payload,
   }
 }
 
+bool try_parse_subpackets(const std::vector<std::uint8_t>& payload,
+                          std::vector<SubPacket>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    if (pos + SubPacket::kHeaderBytes > payload.size()) {
+      out.clear();
+      return false;  // truncated header
+    }
+    SubPacket sp;
+    sp.msg_id = get_u64(&payload[pos]);
+    sp.tag = get_u64(&payload[pos + 8]);
+    sp.msg_total = get_u64(&payload[pos + 16]);
+    sp.offset = get_u64(&payload[pos + 24]);
+    sp.len = get_u32(&payload[pos + 32]);
+    pos += SubPacket::kHeaderBytes;
+    if (pos + sp.len > payload.size() ||           // truncated body
+        sp.offset + sp.len < sp.offset ||          // offset wraparound
+        sp.offset + sp.len > sp.msg_total) {       // fragment overruns message
+      out.clear();
+      return false;
+    }
+    sp.bytes = sp.len > 0 ? &payload[pos] : nullptr;
+    pos += sp.len;
+    out.push_back(sp);
+  }
+  return true;
+}
+
 }  // namespace rails::core

@@ -40,6 +40,16 @@ std::vector<SubPacket> parse_subpackets(const std::vector<std::uint8_t>& payload
 void parse_subpackets(const std::vector<std::uint8_t>& payload,
                       std::vector<SubPacket>& out);
 
+/// Corruption-tolerant parse: returns false (leaving `out` cleared) instead
+/// of aborting when the framing is inconsistent — a truncated header, a
+/// fragment length pointing past the payload, or a fragment whose
+/// offset+len overruns its declared msg_total. Receivers facing a hostile
+/// data plane (see fabric/fault.hpp kCorrupt) must use this variant: with
+/// the wire checksum off, a flipped bit inside a sub-packet header is
+/// otherwise indistinguishable from a malformed frame.
+bool try_parse_subpackets(const std::vector<std::uint8_t>& payload,
+                          std::vector<SubPacket>& out);
+
 /// Wire size one fragment of `len` bytes will occupy inside a segment.
 constexpr std::size_t framed_size(std::size_t len) {
   return SubPacket::kHeaderBytes + len;

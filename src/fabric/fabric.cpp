@@ -20,6 +20,12 @@ Fabric::Fabric(FabricConfig config) : config_(std::move(config)) {
     for (RailId r = 0; r < config_.rails.size(); ++r) {
       auto nic = std::make_unique<SimNic>(&events_, NetworkModel(config_.rails[r]), n, r);
       nic->set_deliver([this](Segment&& seg) { route(std::move(seg)); });
+      nic->set_fault_seed(config_.fault_seed);
+      for (const FabricConfig::RailFault& f : config_.faults) {
+        if (f.rail != r) continue;
+        if (f.node >= 0 && static_cast<NodeId>(f.node) != n) continue;
+        nic->inject_fault(f.spec);
+      }
       nics_[n].push_back(std::move(nic));
     }
   }
@@ -56,7 +62,15 @@ void Fabric::route(Segment&& seg) {
 
   // Receive-port admission: converging flows serialise at the destination
   // NIC. A segment admitted immediately is handed over inline; a delayed
-  // one is re-scheduled for its admission time.
+  // one is re-scheduled for its admission time. Reliability ACK/NACKs ride
+  // the control lane end-to-end (see SimNic::compute_times): header-only,
+  // so they skip the drain queue instead of stalling behind bulk arrivals —
+  // an acknowledgement stuck behind megabytes of received data would defeat
+  // its purpose as a timely loss signal.
+  if (seg.kind == SegKind::kAck || seg.kind == SegKind::kNack) {
+    deliver(std::move(seg));
+    return;
+  }
   const SimTime deliver_at = nic(seg.dst, seg.rail).admit_rx(events_.now(),
                                                              seg.payload.size());
   if (deliver_at > events_.now()) {

@@ -23,6 +23,19 @@ struct FabricConfig {
   std::uint32_t node_count = 2;
   std::vector<NetworkModelParams> rails;
   MachineTopology topology = MachineTopology::opteron_2x2();
+
+  /// A fault armed on every NIC of `rail` (or only `node`'s, when >= 0) at
+  /// fabric construction — the config-file path into SimNic::inject_fault.
+  struct RailFault {
+    RailId rail = 0;
+    int node = -1;  ///< -1 = every node's NIC on the rail
+    FaultSpec spec;
+  };
+  std::vector<RailFault> faults;
+
+  /// Seed for the per-NIC data-plane fault RNGs (each NIC mixes in its own
+  /// node/rail identity, so one knob reseeds the whole fabric).
+  std::uint64_t fault_seed = 0;
 };
 
 class Fabric {

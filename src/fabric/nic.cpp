@@ -13,6 +13,8 @@ const char* to_string(SegKind kind) {
     case SegKind::kCts: return "CTS";
     case SegKind::kData: return "DATA";
     case SegKind::kFin: return "FIN";
+    case SegKind::kAck: return "ACK";
+    case SegKind::kNack: return "NACK";
   }
   return "?";
 }
@@ -23,8 +25,17 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kFlap: return "flap";
     case FaultKind::kDegrade: return "degrade";
     case FaultKind::kLatency: return "latency";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDup: return "dup";
+    case FaultKind::kReorder: return "reorder";
   }
   return "?";
+}
+
+bool is_data_plane(FaultKind kind) {
+  return kind == FaultKind::kDrop || kind == FaultKind::kCorrupt ||
+         kind == FaultKind::kDup || kind == FaultKind::kReorder;
 }
 
 namespace {
@@ -112,20 +123,34 @@ SimNic::PostTimes SimNic::compute_times(const Segment& seg, SimTime earliest) co
   // Eager and control segments are PIO: the submitting core performs the
   // injection itself, so it queues behind a busy port.
   TransferTiming timing;
+  bool control_lane = false;
   switch (seg.kind) {
     case SegKind::kEager:
       timing = model_.eager(seg.payload.size());
       break;
+    case SegKind::kAck:
+    case SegKind::kNack:
+      // Reliability acknowledgements ride a dedicated control lane (the
+      // analogue of a separate virtual channel): header-only, negligible
+      // bandwidth, and — crucially — never queued behind bulk injection.
+      // Without the bypass, a reverse-path ACK stuck behind megabytes of
+      // queued data looks exactly like a silent drop to the peer's
+      // retransmit timer, and a congested-but-healthy wire would spuriously
+      // retransmit. These kinds exist only when reliability is enabled, so
+      // the bypass cannot perturb baseline timing.
+      timing = model_.eager(0);
+      control_lane = true;
+      break;
     case SegKind::kRts:
     case SegKind::kCts:
     case SegKind::kFin:
-      // Control segments ride the eager path with a header-only payload.
+      // Rendezvous control rides the eager path with a header-only payload.
       timing = model_.eager(0);
       break;
     case SegKind::kData:
       break;  // handled above
   }
-  t.host_start = std::max(earliest, busy_until_);
+  t.host_start = control_lane ? earliest : std::max(earliest, busy_until_);
   timing = scale_timing(timing, perf_scale_ * fault_scale_at(t.host_start));
   t.host_end = t.host_start + timing.host;
   t.nic_end = t.host_start + timing.nic;
@@ -152,28 +177,101 @@ SimTime SimNic::admit_rx(SimTime arrival, std::size_t payload_bytes) {
   return deliver;
 }
 
+SimNic::WireFate SimNic::draw_fate(Segment& seg, SimTime begin, SimTime end) {
+  WireFate fate;
+  for (const FaultSpec& f : faults_) {
+    if (!is_data_plane(f.kind) || f.rate <= 0.0) continue;
+    if (!window_overlaps(f, begin, end)) continue;
+    switch (f.kind) {
+      case FaultKind::kDrop:
+        if (!fate.silent_drop && fault_rng_.uniform() < f.rate) {
+          fate.silent_drop = true;
+          ++segments_silently_dropped_;
+        }
+        break;
+      case FaultKind::kCorrupt:
+        if (fault_rng_.uniform() < f.rate) {
+          // Flip one random payload bit; header-only segments have their
+          // stored checksum damaged instead (the simulation stand-in for a
+          // header bit flip — struct fields must stay parseable).
+          if (!seg.payload.empty()) {
+            const std::uint64_t bit = fault_rng_.below(seg.payload.size() * 8);
+            seg.payload[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+          } else {
+            seg.crc ^= 1u << fault_rng_.below(32);
+          }
+          ++segments_corrupted_;
+        }
+        break;
+      case FaultKind::kDup:
+        if (!fate.duplicate && fault_rng_.uniform() < f.rate) {
+          fate.duplicate = true;
+          ++segments_duplicated_;
+        }
+        break;
+      case FaultKind::kReorder: {
+        const double rate = f.rate > 1.0 ? 1.0 : f.rate;
+        if (f.reorder_window > 0 && fault_rng_.uniform() < rate) {
+          const std::uint64_t slip = fault_rng_.below(f.reorder_window + 1);
+          if (slip > 0) {
+            fate.reorder_slip += static_cast<SimDuration>(slip) *
+                                 usec(model_.params().wire_latency_us);
+            ++segments_reordered_;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return fate;
+}
+
 SimNic::PostTimes SimNic::post(Segment seg, SimTime earliest) {
   RAILS_CHECK_MSG(deliver_ != nullptr, "SimNic has no delivery route installed");
   RAILS_CHECK_MSG(seg.rail == rail_, "segment posted on the wrong rail");
   const PostTimes t = compute_times(seg, earliest);
-  busy_until_ = t.nic_end;
+  // max, not assignment: a control-lane ACK finishes "in the past" relative
+  // to a queued bulk backlog and must not hand its slot to later bulk posts.
+  busy_until_ = std::max(busy_until_, t.nic_end);
 
   ++segments_sent_;
   bytes_sent_ += seg.wire_size();
   payload_bytes_sent_ += seg.payload.size();
 
+  // Data-plane fate is drawn here, after timing: preview() must stay
+  // RNG-pure so strategy predictions never perturb fault outcomes.
+  const WireFate fate = draw_fate(seg, t.host_start, t.deliver_at);
+  const SimTime deliver_at = t.deliver_at + fate.reorder_slip;
+
+  if (fate.duplicate) {
+    // The duplicate trails the original by one wire latency, like a
+    // link-layer retransmit whose first copy was not actually lost. It is
+    // delivery-only: no second completion, no extra port occupancy.
+    Segment copy = seg;
+    events_->at(deliver_at + usec(model_.params().wire_latency_us),
+                [this, begin = t.host_start, end = t.deliver_at, s = std::move(copy)]() mutable {
+                  if (down_overlaps(begin, end)) return;
+                  deliver_(std::move(s));
+                });
+  }
+
   // Delivery-time fate: a segment whose flight interval crosses a down
   // window is lost. The sender learns about it through the tx-error hook at
   // the instant delivery would have happened — the same place a reliable
-  // transport surfaces a completion-queue error.
-  events_->at(t.deliver_at,
-              [this, begin = t.host_start, end = t.deliver_at, s = std::move(seg)]() mutable {
+  // transport surfaces a completion-queue error. A silent (data-plane) drop
+  // is the opposite: the completion fires and the wire eats the bytes.
+  events_->at(deliver_at,
+              [this, begin = t.host_start, end = t.deliver_at, drop = fate.silent_drop,
+               s = std::move(seg)]() mutable {
                 if (down_overlaps(begin, end)) {
                   ++segments_dropped_;
                   if (tx_error_ != nullptr) tx_error_(std::move(s));
                   return;
                 }
                 if (tx_complete_ != nullptr) tx_complete_(s);
+                if (drop) return;
                 deliver_(std::move(s));
               });
   return t;

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "fabric/event_queue.hpp"
 #include "fabric/fault.hpp"
 #include "fabric/network_model.hpp"
@@ -28,7 +29,9 @@ class SimNic {
   using TxCompleteFn = std::function<void(const Segment&)>;
 
   SimNic(EventQueue* events, NetworkModel model, NodeId node, RailId rail)
-      : events_(events), model_(std::move(model)), node_(node), rail_(rail) {}
+      : events_(events), model_(std::move(model)), node_(node), rail_(rail) {
+    set_fault_seed(0);
+  }
 
   const NetworkModel& model() const { return model_; }
   NodeId node() const { return node_; }
@@ -72,6 +75,22 @@ class SimNic {
   /// Segments dropped by down windows since the last reset_stats().
   std::uint64_t segments_dropped() const { return segments_dropped_; }
 
+  /// Reseeds the data-plane fault RNG. Fates stay deterministic for a given
+  /// seed; the node/rail identity is mixed in so sibling NICs sharing one
+  /// seed still draw independent streams.
+  void set_fault_seed(std::uint64_t seed) {
+    fault_rng_ = Xoshiro256(seed ^ (0x9e3779b97f4a7c15ULL + (std::uint64_t{node_} << 20) +
+                                    (std::uint64_t{rail_} << 4)));
+  }
+
+  // Data-plane fault effects applied since the last reset_stats(). Silent
+  // drops are *not* in segments_dropped(): the sender saw a successful
+  // completion, which is the whole point.
+  std::uint64_t segments_silently_dropped() const { return segments_silently_dropped_; }
+  std::uint64_t segments_corrupted() const { return segments_corrupted_; }
+  std::uint64_t segments_duplicated() const { return segments_duplicated_; }
+  std::uint64_t segments_reordered() const { return segments_reordered_; }
+
   /// Runtime performance degradation: every transfer on this NIC takes
   /// `scale` times longer than the model predicts (contention, cable
   /// renegotiation, ...). Models §II-A's "misknowledge of networks'
@@ -108,10 +127,23 @@ class SimNic {
     bytes_sent_ = 0;
     payload_bytes_sent_ = 0;
     segments_dropped_ = 0;
+    segments_silently_dropped_ = 0;
+    segments_corrupted_ = 0;
+    segments_duplicated_ = 0;
+    segments_reordered_ = 0;
   }
 
  private:
   PostTimes compute_times(const Segment& seg, SimTime earliest) const;
+
+  /// Per-segment data-plane fate, drawn from fault_rng_ inside post() only
+  /// (preview() must stay RNG-pure or predictions would perturb outcomes).
+  struct WireFate {
+    bool silent_drop = false;
+    bool duplicate = false;
+    SimDuration reorder_slip = 0;
+  };
+  WireFate draw_fate(Segment& seg, SimTime begin, SimTime end);
 
   /// Combined slowdown of active kDegrade faults for a transfer starting at `t`.
   double fault_scale_at(SimTime t) const;
@@ -134,6 +166,12 @@ class SimNic {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t payload_bytes_sent_ = 0;
   std::uint64_t segments_dropped_ = 0;
+  std::uint64_t segments_silently_dropped_ = 0;
+  std::uint64_t segments_corrupted_ = 0;
+  std::uint64_t segments_duplicated_ = 0;
+  std::uint64_t segments_reordered_ = 0;
+
+  Xoshiro256 fault_rng_{0x9e3779b97f4a7c15ULL};
 };
 
 }  // namespace rails::fabric

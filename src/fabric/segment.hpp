@@ -20,6 +20,8 @@ enum class SegKind : std::uint8_t {
   kCts,        ///< rendezvous clear-to-send (control)
   kData,       ///< rendezvous DMA chunk
   kFin,        ///< rendezvous completion notification (control)
+  kAck,        ///< reliability: cumulative + selective acknowledgement (control)
+  kNack,       ///< reliability: checksum-failure report, names the bad `seq`
 };
 
 const char* to_string(SegKind kind);
@@ -45,12 +47,25 @@ struct Segment {
   /// chunk timeout. Lets stale timeout events recognise superseded chunks.
   std::uint8_t attempt = 0;
 
+  /// End-to-end wire checksum (CRC32C over the protocol-stable header
+  /// fields + payload; see Engine's reliability layer). 0 when reliability
+  /// is off. Excluded from its own coverage, as on any real wire.
+  std::uint32_t crc = 0;
+
+  /// Reliability sequence number, per (src, dst) link, assigned when the
+  /// sending engine has `reliability` enabled. 0 = unsequenced (reliability
+  /// off, or a kAck/kNack control segment — for kAck this field instead
+  /// carries the cumulative acknowledgement).
+  std::uint64_t seq = 0;
+
   /// Real payload bytes (kEager, kData). Control segments carry none.
   std::vector<std::uint8_t> payload;
 
   std::size_t wire_size() const { return payload.size() + kHeaderBytes; }
 
-  /// Modeled size of the segment header on the wire.
+  /// Modeled size of the segment header on the wire. The reliability fields
+  /// (seq, crc) occupy reserved bytes of the original 40-byte header, so
+  /// enabling reliability does not change modeled wire occupancy.
   static constexpr std::size_t kHeaderBytes = 40;
 };
 

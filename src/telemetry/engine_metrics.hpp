@@ -51,6 +51,13 @@ class EngineMetrics {
     reprobes_ = registry_->counter("engine.reprobes");
     reprobe_successes_ = registry_->counter("engine.reprobe_successes");
     duplicate_chunks_ = registry_->counter("engine.duplicate_chunks");
+    rel_corruptions_ = registry_->counter("engine.reliability.corruptions");
+    rel_drops_inferred_ = registry_->counter("engine.reliability.drops_inferred");
+    rel_retransmits_ = registry_->counter("engine.reliability.retransmits");
+    rel_dup_suppressed_ = registry_->counter("engine.reliability.dup_suppressed");
+    rel_exhausted_ = registry_->counter("engine.reliability.retry_exhausted");
+    rel_acks_ = registry_->counter("engine.reliability.acks");
+    rel_nacks_ = registry_->counter("engine.reliability.nacks");
     recal_corrections_ = registry_->counter("engine.recal.corrections");
     recal_resamples_ = registry_->counter("engine.recal.resamples");
     trust_demotions_ = registry_->counter("engine.recal.demotions");
@@ -201,6 +208,43 @@ class EngineMetrics {
     duplicate_chunks_->inc();
   }
 
+  // -- end-to-end reliability hooks (docs/FAULTS.md) -------------------------
+
+  /// Wire-checksum mismatch detected on receive (the segment was NACKed).
+  void on_rel_corruption() {
+    if (registry_ == nullptr) return;
+    rel_corruptions_->inc();
+  }
+  /// ACK timeout expired — a silent drop was inferred.
+  void on_rel_drop_inferred() {
+    if (registry_ == nullptr) return;
+    rel_drops_inferred_->inc();
+  }
+  /// A sequenced segment was retransmitted from its parked copy.
+  void on_rel_retransmit() {
+    if (registry_ == nullptr) return;
+    rel_retransmits_->inc();
+  }
+  /// The receive sequence window swallowed a duplicate.
+  void on_rel_dup_suppressed() {
+    if (registry_ == nullptr) return;
+    rel_dup_suppressed_->inc();
+  }
+  /// A sequence ran out of retransmit budget (rail quarantined, postmortem
+  /// triggered).
+  void on_rel_exhausted() {
+    if (registry_ == nullptr) return;
+    rel_exhausted_->inc();
+  }
+  void on_rel_ack() {
+    if (registry_ == nullptr) return;
+    rel_acks_->inc();
+  }
+  void on_rel_nack() {
+    if (registry_ == nullptr) return;
+    rel_nacks_->inc();
+  }
+
   // -- recalibration hooks (docs/CALIBRATION.md) -----------------------------
 
   /// A multiplicative scale correction was written into the rail's profile.
@@ -278,6 +322,13 @@ class EngineMetrics {
   Counter* reprobes_ = nullptr;
   Counter* reprobe_successes_ = nullptr;
   Counter* duplicate_chunks_ = nullptr;
+  Counter* rel_corruptions_ = nullptr;
+  Counter* rel_drops_inferred_ = nullptr;
+  Counter* rel_retransmits_ = nullptr;
+  Counter* rel_dup_suppressed_ = nullptr;
+  Counter* rel_exhausted_ = nullptr;
+  Counter* rel_acks_ = nullptr;
+  Counter* rel_nacks_ = nullptr;
   Counter* recal_corrections_ = nullptr;
   Counter* recal_resamples_ = nullptr;
   Counter* trust_demotions_ = nullptr;

@@ -37,6 +37,10 @@ const char* to_string(FlightKind kind) {
     case FlightKind::kScaleCorrection: return "scale-correction";
     case FlightKind::kResample: return "resample";
     case FlightKind::kTrigger: return "trigger";
+    case FlightKind::kCorruptDetected: return "corrupt-detected";
+    case FlightKind::kRetransmit: return "retransmit";
+    case FlightKind::kRetryExhausted: return "retry-exhausted";
+    case FlightKind::kDupSuppressed: return "dup-suppressed";
   }
   return "?";
 }

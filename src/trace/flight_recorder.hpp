@@ -56,6 +56,10 @@ enum class FlightKind : std::uint8_t {
   kScaleCorrection,  ///< profile scale correction (a: scale x1000)
   kResample,         ///< background re-sample installed a profile (a: scale x1000)
   kTrigger,          ///< a postmortem bundle was written
+  kCorruptDetected,  ///< wire checksum mismatch on receive (a: seq)
+  kRetransmit,       ///< sequenced segment retransmitted (a: seq, b: count)
+  kRetryExhausted,   ///< seq ran out of retransmit budget (a: seq, b: count)
+  kDupSuppressed,    ///< sequence window swallowed a duplicate (a: seq)
 };
 
 const char* to_string(FlightKind kind);

@@ -178,6 +178,102 @@ rail preset qsnet2
   }
 }
 
+TEST(ClusterConfig, ReliabilityDirectivesRoundTrip) {
+  std::istringstream is(R"(
+nodes 2
+reliability 1
+reliability_checksum 0
+reliability_max_retransmits 4
+reliability_ack_slack 3.5
+reliability_min_timeout_us 80
+reliability_backoff 1.5
+reliability_ack_delay_us 10
+reliability_loss_streak 5
+rail preset myri10g
+rail preset qsnet2
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_TRUE(cfg.engine.reliability.enabled);
+  EXPECT_FALSE(cfg.engine.reliability.checksum);
+  EXPECT_EQ(cfg.engine.reliability.max_retransmits, 4u);
+  EXPECT_DOUBLE_EQ(cfg.engine.reliability.ack_timeout_slack, 3.5);
+  EXPECT_EQ(cfg.engine.reliability.min_ack_timeout, usec(80.0));
+  EXPECT_DOUBLE_EQ(cfg.engine.reliability.backoff, 1.5);
+  EXPECT_EQ(cfg.engine.reliability.ack_delay, usec(10.0));
+  EXPECT_EQ(cfg.engine.reliability.loss_streak_quarantine, 5u);
+
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_TRUE(again.engine.reliability.enabled);
+  EXPECT_FALSE(again.engine.reliability.checksum);
+  EXPECT_EQ(again.engine.reliability.max_retransmits, 4u);
+  EXPECT_DOUBLE_EQ(again.engine.reliability.ack_timeout_slack, 3.5);
+  EXPECT_EQ(again.engine.reliability.min_ack_timeout, usec(80.0));
+  EXPECT_DOUBLE_EQ(again.engine.reliability.backoff, 1.5);
+  EXPECT_EQ(again.engine.reliability.ack_delay, usec(10.0));
+  EXPECT_EQ(again.engine.reliability.loss_streak_quarantine, 5u);
+}
+
+TEST(ClusterConfig, FaultDirectivesRoundTrip) {
+  std::istringstream is(R"(
+nodes 2
+fault_seed 42
+fault rail=1 drop=0.02 corrupt=0.001 dup=0.01 reorder=4
+fault rail=0 node=1 at_us=50 duration_us=200 drop=0.5
+rail preset myri10g
+rail preset qsnet2
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_EQ(cfg.fabric.fault_seed, 42u);
+  // The first line fans out into one RailFault per kind present.
+  ASSERT_EQ(cfg.fabric.faults.size(), 5u);
+  EXPECT_EQ(cfg.fabric.faults[0].rail, 1);
+  EXPECT_EQ(cfg.fabric.faults[0].node, -1);  // every node
+  EXPECT_EQ(cfg.fabric.faults[0].spec.kind, fabric::FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(cfg.fabric.faults[0].spec.rate, 0.02);
+  EXPECT_EQ(cfg.fabric.faults[1].spec.kind, fabric::FaultKind::kCorrupt);
+  EXPECT_DOUBLE_EQ(cfg.fabric.faults[1].spec.rate, 0.001);
+  EXPECT_EQ(cfg.fabric.faults[2].spec.kind, fabric::FaultKind::kDup);
+  EXPECT_DOUBLE_EQ(cfg.fabric.faults[2].spec.rate, 0.01);
+  EXPECT_EQ(cfg.fabric.faults[3].spec.kind, fabric::FaultKind::kReorder);
+  EXPECT_EQ(cfg.fabric.faults[3].spec.reorder_window, 4u);
+  EXPECT_EQ(cfg.fabric.faults[4].rail, 0);
+  EXPECT_EQ(cfg.fabric.faults[4].node, 1);
+  EXPECT_EQ(cfg.fabric.faults[4].spec.at, usec(50.0));
+  EXPECT_EQ(cfg.fabric.faults[4].spec.duration, usec(200.0));
+  EXPECT_DOUBLE_EQ(cfg.fabric.faults[4].spec.rate, 0.5);
+
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_EQ(again.fabric.fault_seed, 42u);
+  ASSERT_EQ(again.fabric.faults.size(), cfg.fabric.faults.size());
+  for (std::size_t i = 0; i < again.fabric.faults.size(); ++i) {
+    EXPECT_EQ(again.fabric.faults[i].rail, cfg.fabric.faults[i].rail) << i;
+    EXPECT_EQ(again.fabric.faults[i].node, cfg.fabric.faults[i].node) << i;
+    EXPECT_EQ(again.fabric.faults[i].spec.kind, cfg.fabric.faults[i].spec.kind) << i;
+    EXPECT_DOUBLE_EQ(again.fabric.faults[i].spec.rate,
+                     cfg.fabric.faults[i].spec.rate)
+        << i;
+    EXPECT_EQ(again.fabric.faults[i].spec.reorder_window,
+              cfg.fabric.faults[i].spec.reorder_window)
+        << i;
+    EXPECT_EQ(again.fabric.faults[i].spec.at, cfg.fabric.faults[i].spec.at) << i;
+    EXPECT_EQ(again.fabric.faults[i].spec.duration,
+              cfg.fabric.faults[i].spec.duration)
+        << i;
+  }
+}
+
+TEST(ClusterConfig, ReliabilityDefaultsStayInert) {
+  std::istringstream is("nodes 2\nrail preset myri10g\n");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_FALSE(cfg.engine.reliability.enabled);
+  EXPECT_TRUE(cfg.fabric.faults.empty());
+  EXPECT_EQ(cfg.fabric.fault_seed, 0u);
+}
+
 TEST(ClusterConfig, QosDefaultsStayInert) {
   std::istringstream is("nodes 2\nrail preset myri10g\n");
   const WorldConfig cfg = parse_world_config(is);
@@ -249,6 +345,30 @@ TEST(ClusterConfigDeath, QosClassNonPositiveWeight) {
 TEST(ClusterConfigDeath, QosClassUnknownParameter) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   std::istringstream is("qos_class name=x color=red\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, FaultRateOutOfRange) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("fault rail=0 drop=1.5\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, FaultWithoutRail) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("fault drop=0.1\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, FaultWithoutAnyKind) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("fault rail=0 at_us=10\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, ReliabilityZeroRetransmits) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("reliability_max_retransmits 0\nrail preset myri10g\n");
   EXPECT_DEATH(parse_world_config(is), "malformed");
 }
 

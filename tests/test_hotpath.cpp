@@ -66,6 +66,51 @@ TEST(HotPathAlloc, SteadyEagerPathIsAllocationFree) {
                        << " messages on the steady eager path";
 }
 
+TEST(HotPathAlloc, ReliableEagerPathIsAllocationFreeAtZeroFaultRate) {
+  // Reliability on, fault rate zero: the CRC + seq + parked-copy machinery
+  // must ride the same recycled structures as the bare path. The warm-up is
+  // longer than the eager test above because the retransmit ring's parked
+  // payload buffers warm per slot — only a full cycle of the 64-slot ring
+  // touches them all.
+  perf::Profiler::set_enabled(false);
+  WorldConfig cfg = paper_testbed("aggregate-fastest");
+  cfg.engine.reliability.enabled = true;
+  World world(std::move(cfg));
+
+  constexpr unsigned kFlows = 8;
+  constexpr std::size_t kSize = 2048;
+  std::vector<std::uint8_t> tx(kSize, 0x5a);
+  std::vector<std::vector<std::uint8_t>> rx(kFlows,
+                                            std::vector<std::uint8_t>(kSize));
+  std::vector<RecvHandle> recvs;
+  recvs.reserve(kFlows);
+
+  const auto burst = [&] {
+    recvs.clear();
+    for (unsigned f = 0; f < kFlows; ++f) {
+      recvs.push_back(world.engine(1).irecv(0, static_cast<Tag>(f),
+                                            rx[f].data(), kSize));
+    }
+    for (unsigned f = 0; f < kFlows; ++f) {
+      (void)world.engine(0).isend(1, static_cast<Tag>(f), tx.data(), kSize);
+    }
+    for (const auto& r : recvs) world.wait(r);
+    world.fabric().events().run_all();  // drain delayed ACKs + stale timeouts
+  };
+  for (int i = 0; i < 80; ++i) burst();
+
+  const std::uint64_t before = perf::t_alloc_count;
+  constexpr int kMeasured = 16;
+  for (int i = 0; i < kMeasured; ++i) burst();
+  const std::uint64_t delta = perf::t_alloc_count - before;
+
+  EXPECT_EQ(delta, 0u) << delta << " allocations across " << kMeasured
+                       << " bursts with reliability enabled";
+  EXPECT_GT(world.engine(0).stats().rel_segments, 0u);
+  EXPECT_EQ(world.engine(0).stats().rel_retransmits, 0u);
+  EXPECT_EQ(world.engine(0).reliable_in_flight(), 0u);
+}
+
 TEST(HotPathAlloc, RendezvousSteadyStateStaysWithinBudget) {
   perf::Profiler::set_enabled(false);
   World world(paper_testbed("hetero-split"));

@@ -1,7 +1,10 @@
 #include "core/wire_format.hpp"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
+#include "common/crc32c.hpp"
 #include "test_util.hpp"
 
 namespace rails::core {
@@ -75,6 +78,103 @@ TEST(WireFormat, LargeFieldValuesSurvive) {
   EXPECT_EQ(parsed[0].tag, big - 1);
   EXPECT_EQ(parsed[0].msg_total, big - 2);
   EXPECT_EQ(parsed[0].offset, big - 3);
+}
+
+// -- corruption-tolerant parsing (reliability PR) ----------------------------
+
+TEST(WireFormatTolerant, AcceptsWhatTheAbortingParserAccepts) {
+  std::vector<std::uint8_t> payload;
+  std::vector<std::vector<std::uint8_t>> bodies;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    bodies.push_back(test::make_pattern(32 + i * 11, i));
+    append_subpacket(payload, {i, i, bodies[i].size(), 0, bodies[i].data(),
+                               static_cast<std::uint32_t>(bodies[i].size())});
+  }
+  std::vector<SubPacket> out;
+  ASSERT_TRUE(try_parse_subpackets(payload, out));
+  const auto reference = parse_subpackets(payload);
+  ASSERT_EQ(out.size(), reference.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].msg_id, reference[i].msg_id);
+    EXPECT_EQ(out[i].len, reference[i].len);
+    EXPECT_EQ(out[i].bytes, reference[i].bytes);
+  }
+}
+
+TEST(WireFormatTolerant, RejectsTruncatedHeader) {
+  std::vector<std::uint8_t> payload(SubPacket::kHeaderBytes - 1, 0);
+  std::vector<SubPacket> out;
+  EXPECT_FALSE(try_parse_subpackets(payload, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireFormatTolerant, RejectsTruncatedBody) {
+  std::vector<std::uint8_t> payload;
+  const auto body = test::make_pattern(16, 1);
+  append_subpacket(payload, {1, 1, 16, 0, body.data(), 16});
+  payload.pop_back();
+  std::vector<SubPacket> out;
+  EXPECT_FALSE(try_parse_subpackets(payload, out));
+}
+
+TEST(WireFormatTolerant, RejectsFragmentOverrunningItsMessage) {
+  // offset + len > msg_total: the shape a flipped header bit produces, and
+  // exactly what a receiver must not scribble into its buffer.
+  std::vector<std::uint8_t> payload;
+  const auto body = test::make_pattern(64, 2);
+  append_subpacket(payload, {1, 1, /*msg_total=*/32, /*offset=*/0, body.data(), 64});
+  std::vector<SubPacket> out;
+  EXPECT_FALSE(try_parse_subpackets(payload, out));
+}
+
+TEST(WireFormatTolerant, RejectsOffsetWraparound) {
+  std::vector<std::uint8_t> payload;
+  const auto body = test::make_pattern(8, 3);
+  append_subpacket(payload,
+                   {1, 1, 64, /*offset=*/~std::uint64_t{0} - 3, body.data(), 8});
+  std::vector<SubPacket> out;
+  EXPECT_FALSE(try_parse_subpackets(payload, out));
+}
+
+TEST(WireFormatTolerant, EmptyPayloadIsValid) {
+  std::vector<SubPacket> out{SubPacket{}};
+  EXPECT_TRUE(try_parse_subpackets({}, out));
+  EXPECT_TRUE(out.empty());
+}
+
+// -- CRC32C ------------------------------------------------------------------
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // RFC 3720 appendix B.4 test vectors (Castagnoli polynomial).
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(crc32c("", 0), 0u);
+  const std::uint8_t zeros[32] = {};
+  EXPECT_EQ(crc32c(zeros, 32), 0x8A9136AAu);
+  std::uint8_t ones[32];
+  std::memset(ones, 0xFF, 32);
+  EXPECT_EQ(crc32c(ones, 32), 0x62A8AB43u);
+}
+
+TEST(Crc32c, IncrementalEqualsOneShotAtEverySplit) {
+  const auto data = test::make_pattern(253, 9);  // odd length: exercises the
+                                                 // slice-by-8 tail loop
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t head = crc32c_extend(0, data.data(), split);
+    const std::uint32_t full =
+        crc32c_extend(head, data.data() + split, data.size() - split);
+    ASSERT_EQ(full, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsEverySingleBitFlip) {
+  auto data = test::make_pattern(64, 10);
+  const std::uint32_t clean = crc32c(data.data(), data.size());
+  for (std::size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ASSERT_NE(crc32c(data.data(), data.size()), clean) << "bit " << bit;
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
 }
 
 TEST(WireFormatDeath, TruncatedHeaderAborts) {

@@ -43,8 +43,19 @@ namespace {
 struct Options {
   bool quick = false;
   bool with_perf = true;
+  bool reliability = false;
   std::string out_path;
 };
+
+/// The standard four-rail testbed, with the reliability layer (CRC +
+/// ACK/retransmit at zero fault rate) switched on when requested — the
+/// benchdiff gate runs the same metric names both ways, so the reliable
+/// path is held to the same headline numbers as the baseline.
+core::WorldConfig testbed(const Options& opt, const char* strategy) {
+  core::WorldConfig cfg = core::paper_testbed(strategy);
+  cfg.engine.reliability.enabled = opt.reliability;
+  return cfg;
+}
 
 // ---------------------------------------------------------------- msgrate
 
@@ -80,7 +91,7 @@ bench::BenchResult run_msgrate(const Options& opt) {
                 : std::vector<std::size_t>{64, 512, 2048, 8192};
   for (const char* strategy : {"aggregate-fastest", "batch-spread"}) {
     for (std::size_t size : sizes) {
-      core::World world(core::paper_testbed(strategy));
+      core::World world(testbed(opt, strategy));
       const double rate = message_rate(world, size);
       result.metrics.push_back({"msgs_per_ms/" + std::string(strategy) + "/" +
                                     bench::format_size(size),
@@ -110,7 +121,7 @@ bench::BenchResult run_msgrate_multiplex(const Options& opt) {
                    {"rounds", std::to_string(rounds)}};
 
   perf::Profiler::set_enabled(false);
-  core::World world(core::paper_testbed("aggregate-fastest"));
+  core::World world(testbed(opt, "aggregate-fastest"));
   static std::vector<std::uint8_t> tx(64_KiB, 0x33);
   static std::vector<std::uint8_t> rx(kFlows * 8_KiB);
   std::vector<core::RecvHandle> recvs;
@@ -157,8 +168,9 @@ struct TailStats {
 /// Pings a 512 B message node 0 -> node 1 while two large rendezvous
 /// transfers occupy the rails. One-way latencies are exact virtual times,
 /// so the percentiles here are exact (no histogram approximation).
-TailStats loaded_ping_tail(bool with_qos, unsigned pings, std::size_t bulk_size) {
-  core::WorldConfig cfg = core::paper_testbed("multicore-hetero-split");
+TailStats loaded_ping_tail(const Options& opt, bool with_qos, unsigned pings,
+                           std::size_t bulk_size) {
+  core::WorldConfig cfg = testbed(opt, "multicore-hetero-split");
   cfg.engine.qos.enabled = with_qos;
   core::World world(std::move(cfg));
 
@@ -207,7 +219,7 @@ bench::BenchResult run_ping_tail(const Options& opt) {
   result.name = "ping_tail";
   result.config = {{"pings", std::to_string(pings)},
                    {"bulk_bytes", std::to_string(bulk)}};
-  const TailStats t = loaded_ping_tail(/*with_qos=*/false, pings, bulk);
+  const TailStats t = loaded_ping_tail(opt, /*with_qos=*/false, pings, bulk);
   result.metrics.push_back(
       {"p50_us", t.p50_us, "us", /*higher_is_better=*/false, /*headline=*/true});
   result.metrics.push_back(
@@ -224,7 +236,7 @@ bench::BenchResult run_qos_isolation(const Options& opt) {
   result.name = "qos_isolation";
   result.config = {{"pings", std::to_string(pings)},
                    {"bulk_bytes", std::to_string(bulk)}};
-  const TailStats t = loaded_ping_tail(/*with_qos=*/true, pings, bulk);
+  const TailStats t = loaded_ping_tail(opt, /*with_qos=*/true, pings, bulk);
   result.metrics.push_back(
       {"p50_us", t.p50_us, "us", /*higher_is_better=*/false, /*headline=*/true});
   result.metrics.push_back(
@@ -255,7 +267,7 @@ bench::BenchResult run_des_engine(const Options& opt, std::string* perf_json) {
     perf::Profiler::set_enabled(profiled);
     perf::Profiler::set_sample_every(sample_every);
     perf::Profiler::reset();
-    core::World world(core::paper_testbed("greedy-balance"));
+    core::World world(testbed(opt, "greedy-balance"));
     world.engine(0).reset_stats();
     const std::uint64_t ev0 = world.fabric().events().processed();
     const auto t0 = std::chrono::steady_clock::now();
@@ -308,10 +320,12 @@ bench::BenchResult run_des_engine(const Options& opt, std::string* perf_json) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: benchjson [--quick] [--out <path>] [--no-perf]\n"
-               "  --quick    smaller workloads (CI mode)\n"
-               "  --out      bundle path (default BENCH_<unixtime>.json)\n"
-               "  --no-perf  skip the embedded profiler breakdown\n");
+               "usage: benchjson [--quick] [--out <path>] [--no-perf] [--reliability]\n"
+               "  --quick        smaller workloads (CI mode)\n"
+               "  --out          bundle path (default BENCH_<unixtime>.json)\n"
+               "  --no-perf      skip the embedded profiler breakdown\n"
+               "  --reliability  run with CRC + ACK/retransmit enabled (zero\n"
+               "                 fault rate) so benchdiff can gate its overhead\n");
   return 2;
 }
 
@@ -324,6 +338,8 @@ int main(int argc, char** argv) {
       opt.quick = true;
     } else if (std::strcmp(argv[i], "--no-perf") == 0) {
       opt.with_perf = false;
+    } else if (std::strcmp(argv[i], "--reliability") == 0) {
+      opt.reliability = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       opt.out_path = argv[++i];
     } else {

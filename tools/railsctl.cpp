@@ -50,7 +50,8 @@ int usage() {
                "  metrics [--size N] [--strategies a,b,c] [--json] [--qos]\n"
                "          [--fail-rail R] [--fail-at-us U]\n"
                "          [--recal] [--degrade-rail R] [--degrade-factor F]\n"
-               "          [--force-recal R]\n"
+               "          [--force-recal R] [--reliability]\n"
+               "          [--fault-rail R:drop=P,corrupt=P,dup=P,reorder=W]\n"
                "                         run a mixed workload per strategy; print\n"
                "                         counters, latency histograms, prediction error;\n"
                "                         --fail-rail injects a fail-stop on node 0's\n"
@@ -59,7 +60,11 @@ int usage() {
                "                         repeats the workload, printing per-rail trust;\n"
                "                         --degrade-rail slows node 0's rail R by F\n"
                "                         (default 3x) so drift detection has a target;\n"
-               "                         --force-recal queues a re-sampling sweep on R\n"
+               "                         --force-recal queues a re-sampling sweep on R;\n"
+               "                         --reliability turns on CRC + ACK/retransmit;\n"
+               "                         --fault-rail injects probabilistic data-plane\n"
+               "                         faults (drop/corrupt/dup rates, reorder window)\n"
+               "                         on every node's NIC for rail R\n"
                "  trace --chrome FILE [--size N]\n"
                "                         trace a mixed workload, write Chrome-trace\n"
                "                         JSON loadable in Perfetto / about:tracing\n"
@@ -119,6 +124,53 @@ std::vector<std::string> split_csv(const std::string& csv) {
     pos = comma + 1;
   }
   return out;
+}
+
+/// Parses `R:drop=0.02,corrupt=0.001,dup=0.01,reorder=4` into per-kind
+/// data-plane FaultSpecs for rail R. Rates are probabilities in [0,1];
+/// `reorder` takes a window in segments, not a rate.
+bool parse_fault_rail(const char* arg, int* rail, std::vector<fabric::FaultSpec>* out) {
+  const std::string s(arg);
+  const auto colon = s.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  try {
+    *rail = std::stoi(s.substr(0, colon));
+  } catch (...) {
+    return false;
+  }
+  for (const auto& kv : split_csv(s.substr(colon + 1))) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = kv.substr(0, eq);
+    double val = 0;
+    try {
+      val = std::stod(kv.substr(eq + 1));
+    } catch (...) {
+      return false;
+    }
+    fabric::FaultSpec spec;
+    if (key == "drop") {
+      spec.kind = fabric::FaultKind::kDrop;
+      spec.rate = val;
+    } else if (key == "corrupt") {
+      spec.kind = fabric::FaultKind::kCorrupt;
+      spec.rate = val;
+    } else if (key == "dup") {
+      spec.kind = fabric::FaultKind::kDup;
+      spec.rate = val;
+    } else if (key == "reorder") {
+      spec.kind = fabric::FaultKind::kReorder;
+      spec.reorder_window = static_cast<unsigned>(val);
+      spec.rate = 1.0;
+    } else {
+      return false;
+    }
+    if (spec.kind != fabric::FaultKind::kReorder && (val < 0.0 || val > 1.0)) {
+      return false;
+    }
+    out->push_back(spec);
+  }
+  return !out->empty();
 }
 
 int cmd_describe(const core::WorldConfig& cfg) {
@@ -252,13 +304,33 @@ void print_qos_table(const qos::QosArbiter& arb) {
 int cmd_metrics(const core::WorldConfig& base, std::size_t size,
                 const std::vector<std::string>& strategies, bool json, int fail_rail,
                 double fail_at_us, bool recal, int degrade_rail, double degrade_factor,
-                int force_recal, bool with_qos) {
+                int force_recal, bool with_qos, bool reliability,
+                const char* fault_rail_spec) {
+  int fault_rail = -1;
+  std::vector<fabric::FaultSpec> fault_specs;
+  if (fault_rail_spec != nullptr &&
+      !parse_fault_rail(fault_rail_spec, &fault_rail, &fault_specs)) {
+    std::fprintf(stderr,
+                 "railsctl metrics: bad --fault-rail spec '%s' "
+                 "(want R:drop=P,corrupt=P,dup=P,reorder=W)\n",
+                 fault_rail_spec);
+    return 2;
+  }
   for (const auto& name : strategies) {
     core::WorldConfig cfg = base;
     cfg.strategy = name;
     if (recal) cfg.engine.recalibration.enabled = true;
     if (with_qos) cfg.engine.qos.enabled = true;
+    // Probabilistic faults without retransmit would just lose data, so
+    // --fault-rail implies --reliability.
+    if (reliability || fault_rail >= 0) cfg.engine.reliability.enabled = true;
     const std::size_t rail_count = cfg.fabric.rails.size();
+    if (fault_rail >= 0 && static_cast<std::size_t>(fault_rail) >= rail_count) {
+      std::fprintf(stderr,
+                   "railsctl metrics: --fault-rail %d out of range (%zu rails)\n",
+                   fault_rail, rail_count);
+      return 2;
+    }
     if (fail_rail >= 0 && static_cast<std::size_t>(fail_rail) >= rail_count) {
       std::fprintf(stderr, "railsctl metrics: --fail-rail %d out of range (%zu rails)\n",
                    fail_rail, rail_count);
@@ -299,6 +371,15 @@ int cmd_metrics(const core::WorldConfig& base, std::size_t size,
       fault.duration = 0;  // forever
       fault.factor = degrade_factor;
       world.fabric().nic(0, static_cast<RailId>(degrade_rail)).inject_fault(fault);
+    }
+    if (fault_rail >= 0) {
+      // Data-plane faults go on every node's NIC for that rail: drops and
+      // corruption hit traffic in both directions, so ACKs suffer too.
+      for (NodeId n = 0; n < static_cast<NodeId>(world.fabric().node_count()); ++n) {
+        for (const auto& spec : fault_specs) {
+          world.fabric().nic(n, static_cast<RailId>(fault_rail)).inject_fault(spec);
+        }
+      }
     }
 
     // With recalibration on, one workload rarely produces enough residuals
@@ -644,7 +725,9 @@ int main(int argc, char** argv) {
                        std::stoi(opt(argc, argv, "--degrade-rail", "-1")),
                        std::stod(opt(argc, argv, "--degrade-factor", "3")),
                        std::stoi(opt(argc, argv, "--force-recal", "-1")),
-                       has_flag(argc, argv, "--qos"));
+                       has_flag(argc, argv, "--qos"),
+                       has_flag(argc, argv, "--reliability"),
+                       opt(argc, argv, "--fault-rail", nullptr));
   }
   if (cmd == "qos") {
     return cmd_qos(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
