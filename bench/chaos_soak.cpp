@@ -30,6 +30,7 @@
 #include "common/rng.hpp"
 #include "core/world.hpp"
 #include "fabric/fault.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace rails;
 
@@ -70,6 +71,7 @@ struct RowResult {
   double dup_suppressed = 0;
   bool all_intact = true;        ///< every payload byte-exact, exactly once
   bool drained = true;           ///< no unacked reliability state left behind
+  bool metrics_reconcile = true; ///< engine.reliability.* == EngineStats totals
   std::uint64_t exhausted = 0;   ///< sends that ran out of retry budget
   std::uint64_t fingerprint = 0; ///< order-sensitive digest for determinism
 };
@@ -84,6 +86,14 @@ RowResult run_row(double drop_rate, unsigned sends, std::uint64_t seed) {
   cfg.engine.reliability.enabled = true;
   cfg.fabric.fault_seed = seed;
   core::World world(std::move(cfg));
+
+  // Both engines publish into ONE registry, so each engine.reliability.*
+  // counter accumulates the two sides' contributions — the same totals the
+  // EngineStats sums below report. The reconciliation shape check pins the
+  // observability plane to the ground truth.
+  telemetry::MetricsRegistry registry;
+  world.engine(0).set_metrics(&registry);
+  world.engine(1).set_metrics(&registry);
 
   const auto nodes = static_cast<NodeId>(world.fabric().node_count());
   const auto rails = static_cast<RailId>(world.fabric().rail_count());
@@ -155,6 +165,24 @@ RowResult run_row(double drop_rate, unsigned sends, std::uint64_t seed) {
   res.exhausted = s0.rel_retry_exhausted + s1.rel_retry_exhausted;
   res.drained = world.engine(0).reliable_in_flight() == 0 &&
                 world.engine(1).reliable_in_flight() == 0;
+  const auto counter_is = [&registry](const char* name, std::uint64_t expect) {
+    const telemetry::Counter* c = registry.find_counter(name);
+    return (c == nullptr ? 0 : c->value()) == expect;
+  };
+  res.metrics_reconcile =
+      counter_is("engine.reliability.retransmits",
+                 s0.rel_retransmits + s1.rel_retransmits) &&
+      counter_is("engine.reliability.drops_inferred",
+                 s0.rel_drops_inferred + s1.rel_drops_inferred) &&
+      counter_is("engine.reliability.corruptions",
+                 s0.rel_corruptions + s1.rel_corruptions) &&
+      counter_is("engine.reliability.dup_suppressed",
+                 s0.rel_dup_suppressed + s1.rel_dup_suppressed) &&
+      counter_is("engine.reliability.retry_exhausted",
+                 s0.rel_retry_exhausted + s1.rel_retry_exhausted) &&
+      counter_is("engine.reliability.acks", s0.rel_acks + s1.rel_acks);
+  world.engine(0).set_metrics(nullptr);
+  world.engine(1).set_metrics(nullptr);
   for (NodeId n = 0; n < nodes; ++n) {
     for (RailId r = 0; r < rails; ++r) {
       const auto& nic = world.fabric().nic(n, r);
@@ -206,6 +234,7 @@ int main(int argc, char** argv) {
                                         : std::vector<double>{0.0, 0.005, 0.02, 0.05};
   bool all_intact = true;
   bool all_drained = true;
+  bool all_reconciled = true;
   std::uint64_t exhausted = 0;
   bool storms_faulted = true;
   bool storms_repaired = true;
@@ -216,6 +245,7 @@ int main(int argc, char** argv) {
     const RowResult r = run_row(rate, sends, g_seed);
     all_intact = all_intact && r.all_intact;
     all_drained = all_drained && r.drained;
+    all_reconciled = all_reconciled && r.metrics_reconcile;
     exhausted += r.exhausted;
     if (rate == 0.0) clean_retransmits = r.retransmits;
     if (rate > 0) {
@@ -255,5 +285,8 @@ int main(int argc, char** argv) {
   bench::shape_check(std::cout,
                      "storm re-run under the same seed is bit-identical",
                      deterministic);
+  bench::shape_check(std::cout,
+                     "engine.reliability.* counters reconcile with EngineStats",
+                     all_reconciled && replay.metrics_reconcile);
   return bench::shape_failures() == 0 ? 0 : 1;
 }

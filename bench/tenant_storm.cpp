@@ -1,0 +1,603 @@
+// Tenant storm: multi-tenant SLO scorecard under an open-loop storm.
+//
+// Hundreds of tenants hash onto three user QoS classes — gold (strict
+// priority, deadline-tagged), silver (weighted), bronze (weight 1, a small
+// bounded queue submitted through try_isend) — and drive an open-loop,
+// heavy-tailed storm (exponential gaps, log-uniform sizes) while a bulk
+// flood of 4 MiB rendezvous transfers saturates the rails underneath. The
+// health plane runs the whole time: the sampler tracks per-class series,
+// a `gold` hit-rate SLO is evaluated on every tick, and the bench keeps
+// its own per-tenant ledger of what it submitted, what was shed, what was
+// admission-rejected, and which deadline-tagged sends hit.
+//
+// Phase 1 (healthy) asserts the storm stays inside the SLO: zero alerts,
+// gold's hit rate >= 99% under the flood, bronze absorbing the overload as
+// try_isend sheds — and, the headline check, the per-tenant ledger summed
+// per class reconciles EXACTLY (integer equality) with the qos.<class>.*
+// registry counters the Scorecard reads. The scorecard is not a parallel
+// bookkeeping system that can drift; it is the counters.
+//
+// Phase 2 (collapse) re-runs gold pings with tight deadlines on a fabric
+// whose sending NICs were silently degraded 6x — admission still believes
+// the nominal profiles, so sends are admitted and then land late. The
+// burn-rate alert must fire and escalate into the flight recorder, and the
+// postmortem bundle must carry the offending per-class time series
+// (verified by parsing the bundle and finding qos.gold.hit_rate).
+//
+// `--quick` shrinks the storm for CI; `--scorecard-out` / `--timeseries-out`
+// write the per-tenant scorecard and the healthy-phase time series as JSON
+// artifacts.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support/table.hpp"
+#include "common/minijson.hpp"
+#include "common/rng.hpp"
+#include "core/world.hpp"
+#include "fabric/fault.hpp"
+#include "qos/traffic_class.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
+#include "trace/flight_recorder.hpp"
+
+using namespace rails;
+
+namespace {
+
+unsigned g_tenants = 240;       // 120 under --quick
+unsigned g_messages = 12000;    // 4000 under --quick
+unsigned g_bulk_transfers = 6;  // 3 under --quick
+std::uint64_t g_seed = 0x7E4A7;
+
+constexpr std::size_t kBulkSize = 4_MiB;
+constexpr std::size_t kMinSize = 256;
+constexpr std::size_t kMaxSize = 8_KiB;
+constexpr double kOfferedMbps = 1200.0;
+constexpr double kGoldMarginUs = 10'000.0;  ///< healthy-phase deadline slack
+
+// User classes appended after the three builtins.
+constexpr qos::ClassId kGold = 3, kSilver = 4, kBronze = 5;
+constexpr std::size_t kBronzeQueueCap = 64;  ///< small: the shed point
+
+/// tenant -> class: 20% gold, 30% silver, 50% bronze.
+qos::ClassId tenant_class(unsigned tenant) {
+  const unsigned r = tenant % 10;
+  if (r < 2) return kGold;
+  if (r < 5) return kSilver;
+  return kBronze;
+}
+
+const char* class_name(qos::ClassId cls) {
+  return cls == kGold ? "gold" : cls == kSilver ? "silver" : "bronze";
+}
+
+std::vector<qos::ClassSpec> storm_classes() {
+  auto classes = qos::builtin_classes();
+  qos::ClassSpec gold;
+  gold.name = "gold";
+  gold.weight = 6.0;
+  gold.strict_priority = true;
+  gold.queue_capacity = 8192;
+  qos::ClassSpec silver;
+  silver.name = "silver";
+  silver.weight = 3.0;
+  silver.queue_capacity = 8192;
+  qos::ClassSpec bronze;
+  bronze.name = "bronze";
+  bronze.weight = 1.0;
+  bronze.queue_capacity = kBronzeQueueCap;
+  classes.push_back(std::move(gold));
+  classes.push_back(std::move(silver));
+  classes.push_back(std::move(bronze));
+  return classes;
+}
+
+telemetry::SloSpec gold_slo() {
+  telemetry::SloSpec spec;
+  spec.cls = "gold";
+  spec.hit_rate = 0.99;
+  spec.window = usec(6'000);
+  spec.fast_window = usec(1'500);
+  return spec;
+}
+
+core::WorldConfig storm_config() {
+  core::WorldConfig cfg = core::paper_testbed("aggregate-fastest");
+  cfg.engine.qos.enabled = true;
+  cfg.engine.qos.classes = storm_classes();
+  cfg.engine.timeseries.enabled = true;
+  cfg.engine.slos.push_back(gold_slo());
+  return cfg;
+}
+
+/// What one tenant did, bench-side. Summed per class, these must equal the
+/// qos.<class>.* registry counters exactly.
+struct TenantLedger {
+  qos::ClassId cls = kBronze;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;     ///< try_isend refusals (bronze)
+  std::uint64_t rejects = 0;  ///< deadline admission rejects (gold)
+  std::uint64_t hits = 0;     ///< deadline-tagged, complete_time <= deadline
+  std::uint64_t misses = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes admitted
+  std::vector<double> latencies_us;
+
+  double p99_us() {
+    if (latencies_us.empty()) return 0;
+    std::sort(latencies_us.begin(), latencies_us.end());
+    return latencies_us[static_cast<std::size_t>(0.99 *
+                                                 static_cast<double>(latencies_us.size() - 1))];
+  }
+};
+
+/// Per-class sums of the tenant ledgers, keyed like the scorecard rows.
+struct ClassSums {
+  std::uint64_t shed = 0, rejects = 0, hits = 0, misses = 0;
+  std::uint64_t submitted = 0, admitted = 0, bytes = 0;
+  unsigned tenants = 0;
+};
+
+struct StormResult {
+  std::vector<TenantLedger> tenants;
+  std::vector<telemetry::ScorecardRow> rows;
+  std::vector<std::string> class_names;
+  std::uint64_t alerts_fired = 0;
+  bool any_firing = false;
+  std::uint64_t health_ticks = 0;
+  std::size_t health_series = 0;
+  bool all_intact = true;
+  bool all_done = true;
+  std::string scorecard_json;   ///< per-class + per-tenant artifact
+  std::string timeseries_json;  ///< HealthSampler::write_json
+};
+
+void write_tenant_scorecard_json(std::ostream& os, const StormResult& res) {
+  os << "{\"classes\":";
+  telemetry::Scorecard::write_json(os, res.rows);
+  os << ",\"tenants\":[";
+  for (unsigned t = 0; t < res.tenants.size(); ++t) {
+    const TenantLedger& led = res.tenants[t];
+    const std::uint64_t tagged = led.hits + led.misses;
+    if (t != 0) os << ',';
+    os << "{\"tenant\":" << t << ",\"class\":\"" << class_name(led.cls)
+       << "\",\"submitted\":" << led.submitted << ",\"admitted\":" << led.admitted
+       << ",\"shed\":" << led.shed << ",\"rejects\":" << led.rejects
+       << ",\"deadline_hits\":" << led.hits << ",\"deadline_misses\":" << led.misses;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"hit_rate\":%.6f,\"p99_us\":%.3f}",
+                  tagged == 0 ? 1.0
+                              : static_cast<double>(led.hits) / static_cast<double>(tagged),
+                  const_cast<TenantLedger&>(led).p99_us());
+    os << buf;
+  }
+  os << "]}";
+}
+
+StormResult run_storm() {
+  core::World world(storm_config());
+  core::Engine& tx = world.engine(0);
+  core::Engine& rx_eng = world.engine(1);
+  telemetry::MetricsRegistry registry;
+  tx.set_metrics(&registry);
+
+  StormResult res;
+  res.tenants.resize(g_tenants);
+  for (unsigned t = 0; t < g_tenants; ++t) res.tenants[t].cls = tenant_class(t);
+
+  // Bulk flood underneath the storm: auto-classified rendezvous transfers
+  // (builtin BULK), receives pre-posted, all submitted up front.
+  std::vector<std::uint8_t> bulk_tx(kBulkSize, 0xB5);
+  std::vector<std::vector<std::uint8_t>> bulk_rx(g_bulk_transfers,
+                                                 std::vector<std::uint8_t>(kBulkSize));
+  std::vector<core::RecvHandle> bulk_recvs;
+  std::vector<core::SendHandle> bulk_sends;
+  for (unsigned i = 0; i < g_bulk_transfers; ++i) {
+    bulk_recvs.push_back(
+        rx_eng.irecv(0, static_cast<Tag>(1000 + i), bulk_rx[i].data(), kBulkSize));
+  }
+  for (unsigned i = 0; i < g_bulk_transfers; ++i) {
+    bulk_sends.push_back(
+        tx.isend(1, static_cast<Tag>(1000 + i), bulk_tx.data(), kBulkSize));
+  }
+
+  // Open-loop storm schedule: exponential gaps at the offered load,
+  // log-uniform (heavy-tailed) sizes, tenants drawn uniformly.
+  Xoshiro256 rng(g_seed);
+  struct Msg {
+    SimTime arrival = 0;
+    std::size_t size = 0;
+    unsigned tenant = 0;
+  };
+  std::vector<Msg> schedule(g_messages);
+  const double log_lo = std::log(static_cast<double>(kMinSize));
+  const double log_hi = std::log(static_cast<double>(kMaxSize));
+  const double mean_size = (static_cast<double>(kMaxSize) - static_cast<double>(kMinSize)) /
+                           (log_hi - log_lo);
+  const double mean_gap_ns = mean_size / kOfferedMbps * 1e3;
+  SimTime at = world.now() + usec(20);
+  for (Msg& m : schedule) {
+    at += static_cast<SimDuration>(-std::log(std::max(1e-12, rng.uniform())) * mean_gap_ns);
+    const double ls = log_lo + rng.uniform() * (log_hi - log_lo);
+    m.arrival = at;
+    m.size = std::clamp(static_cast<std::size_t>(std::exp(ls)), kMinSize, kMaxSize);
+    m.tenant = static_cast<unsigned>(rng.below(g_tenants));
+  }
+
+  static std::vector<std::uint8_t> payload;
+  if (payload.size() < kMaxSize) {
+    payload.resize(kMaxSize);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>(i * 131 + (i >> 7));
+    }
+  }
+
+  // Admitted-message state, filled in from the submit callbacks. Receives
+  // are posted only for sends admission actually accepted — a recv matched
+  // to a shed or rejected send would never complete. std::deque keeps
+  // buffer addresses stable while the storm grows it.
+  struct Inflight {
+    core::SendHandle send;
+    core::RecvHandle recv;
+    unsigned msg = 0;
+    SimTime deadline = 0;
+  };
+  std::deque<Inflight> inflight;
+  std::deque<std::vector<std::uint8_t>> rx_store;
+
+  for (unsigned i = 0; i < g_messages; ++i) {
+    world.fabric().events().at(schedule[i].arrival, [&, i] {
+      const Msg& m = schedule[i];
+      TenantLedger& led = res.tenants[m.tenant];
+      ++led.submitted;
+      core::Engine::SendOptions opts;
+      opts.traffic_class = led.cls;
+      if (led.cls == kGold) opts.deadline = world.now() + usec(kGoldMarginUs);
+      const Tag tag = static_cast<Tag>(10'000 + i);
+      // Bronze is the best-effort tier: bounded submit, shed at capacity.
+      core::SendHandle send =
+          led.cls == kBronze ? tx.try_isend(1, tag, payload.data(), m.size, opts)
+                             : tx.isend(1, tag, payload.data(), m.size, opts);
+      if (send == nullptr) {
+        ++led.shed;
+        return;
+      }
+      if (send->rejected()) {
+        ++led.rejects;
+        return;
+      }
+      ++led.admitted;
+      led.bytes += m.size;
+      rx_store.emplace_back(m.size);
+      Inflight fl;
+      fl.msg = i;
+      fl.deadline = opts.deadline;
+      fl.recv = rx_eng.irecv(0, tag, rx_store.back().data(), m.size);
+      fl.send = std::move(send);
+      inflight.push_back(std::move(fl));
+    });
+  }
+
+  world.fabric().events().run_all();
+
+  for (unsigned i = 0; i < g_bulk_transfers; ++i) {
+    world.wait(bulk_recvs[i]);
+    world.wait(bulk_sends[i]);
+    if (bulk_rx[i] != bulk_tx) res.all_intact = false;
+  }
+  std::size_t fl_idx = 0;
+  for (Inflight& fl : inflight) {
+    if (!fl.send->done() || !fl.recv->done()) res.all_done = false;
+    world.wait(fl.recv);
+    world.wait(fl.send);
+    const Msg& m = schedule[fl.msg];
+    TenantLedger& led = res.tenants[m.tenant];
+    if (std::memcmp(rx_store[fl_idx].data(), payload.data(), m.size) != 0) {
+      res.all_intact = false;
+    }
+    // Mirror of Engine::note_qos_completion: hit iff the deadline-tagged
+    // send completed at or before its deadline.
+    if (fl.deadline != 0) {
+      if (fl.send->complete_time <= fl.deadline) {
+        ++led.hits;
+      } else {
+        ++led.misses;
+      }
+    }
+    led.latencies_us.push_back(to_usec(fl.send->complete_time - m.arrival));
+    ++fl_idx;
+  }
+
+  res.class_names = tx.qos_class_names();
+  res.rows = telemetry::Scorecard::collect(registry, res.class_names);
+  if (const telemetry::SloMonitor* mon = tx.slo_monitor()) {
+    res.alerts_fired = mon->alerts_fired();
+    res.any_firing = mon->any_firing();
+  }
+  if (const telemetry::HealthSampler* health = tx.health()) {
+    res.health_ticks = health->ticks();
+    res.health_series = health->series_count();
+    std::ostringstream ts;
+    health->write_json(ts);
+    res.timeseries_json = ts.str();
+  }
+  std::ostringstream sc;
+  write_tenant_scorecard_json(sc, res);
+  res.scorecard_json = sc.str();
+  tx.set_metrics(nullptr);
+  return res;
+}
+
+struct CollapseResult {
+  std::uint64_t alerts_fired = 0;
+  bool any_firing = false;
+  unsigned bundles = 0;
+  bool bundle_found = false;        ///< a slo-burn postmortem bundle exists
+  bool bundle_has_series = false;   ///< ...and it embeds the time series
+  bool bundle_has_gold = false;     ///< ...including qos.gold.hit_rate
+  std::uint64_t ledger_misses = 0;  ///< bench-side, must equal the registry
+  std::uint64_t registry_misses = 0;
+};
+
+/// The induced collapse: every rail on the sending node silently degraded
+/// 6x (admission keeps the nominal profiles), gold pings with 40 us
+/// deadlines — early-in-round sends are admitted on stale predictions and
+/// land late. Same recipe `railsctl slo --collapse` uses.
+CollapseResult run_collapse() {
+  core::World world(storm_config());
+  core::Engine& tx = world.engine(0);
+  core::Engine& rx_eng = world.engine(1);
+  telemetry::MetricsRegistry registry;
+  trace::FlightRecorder recorder;
+  recorder.set_output(".");
+  recorder.set_metrics(&registry);
+  tx.set_metrics(&registry);
+  tx.set_flight_recorder(&recorder);
+
+  for (std::size_t r = 0; r < world.fabric().rail_count(); ++r) {
+    fabric::FaultSpec fault;
+    fault.kind = fabric::FaultKind::kDegrade;
+    fault.at = 0;
+    fault.duration = 0;  // forever
+    fault.factor = 6.0;
+    world.fabric().nic(0, static_cast<RailId>(r)).inject_fault(fault);
+  }
+
+  CollapseResult res;
+  std::vector<std::uint8_t> small(512, 0x11);
+  std::vector<std::uint8_t> bulk(64_KiB, 0x22);
+  std::vector<std::uint8_t> rx_small(16 * 512);
+  std::vector<std::uint8_t> rx_bulk(64_KiB);
+  Tag tag = 20'000;
+  for (unsigned round = 0; round < 24; ++round) {
+    std::vector<core::SendHandle> sends;
+    std::vector<core::RecvHandle> recvs;
+    std::vector<SimTime> deadlines;
+    for (int i = 0; i < 16; ++i) {
+      core::Engine::SendOptions opts;
+      opts.traffic_class = kGold;
+      opts.deadline = world.now() + usec(40);
+      auto send = tx.isend(1, tag, small.data(), small.size(), opts);
+      if (!send->rejected()) {
+        recvs.push_back(rx_eng.irecv(0, tag, rx_small.data() + i * 512, 512));
+        deadlines.push_back(opts.deadline);
+        sends.push_back(std::move(send));
+      }
+      ++tag;
+    }
+    recvs.push_back(rx_eng.irecv(0, tag, rx_bulk.data(), rx_bulk.size()));
+    sends.push_back(tx.isend(1, tag, bulk.data(), bulk.size()));
+    deadlines.push_back(0);
+    ++tag;
+    for (auto& r : recvs) world.wait(r);
+    for (std::size_t s = 0; s < sends.size(); ++s) {
+      world.wait(sends[s]);
+      if (deadlines[s] != 0 && sends[s]->complete_time > deadlines[s]) {
+        ++res.ledger_misses;
+      }
+    }
+  }
+
+  if (const telemetry::SloMonitor* mon = tx.slo_monitor()) {
+    res.alerts_fired = mon->alerts_fired();
+    res.any_firing = mon->any_firing();
+  }
+  if (const telemetry::Counter* misses = registry.find_counter("qos.gold.deadline_misses")) {
+    res.registry_misses = misses->value();
+  }
+  res.bundles = recorder.bundles_written();
+
+  // The degraded fabric pages more than once (failover, quarantine); find
+  // the slo-burn bundle and verify it carries the per-class time series.
+  for (unsigned seq = 0; seq < 32 && !res.bundle_found; ++seq) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "postmortem-%u-slo-burn.json", seq);
+    std::ifstream in(name);
+    if (!in) continue;
+    res.bundle_found = true;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    minijson::JsonValue root;
+    if (!minijson::parse(buf.str(), root)) break;
+    const minijson::JsonValue* body = root.find("postmortem");
+    if (body == nullptr) break;
+    const minijson::JsonValue* ts = body->find("timeseries");
+    if (ts == nullptr) break;
+    const minijson::JsonValue* series = ts->find("series");
+    if (series == nullptr || series->type != minijson::JsonValue::Type::kArray ||
+        series->array.empty()) {
+      break;
+    }
+    res.bundle_has_series = true;
+    for (const minijson::JsonValue& s : series->array) {
+      if (const minijson::JsonValue* n = s.find("name")) {
+        if (n->str_or("") == "qos.gold.hit_rate") res.bundle_has_gold = true;
+      }
+    }
+  }
+
+  tx.set_flight_recorder(nullptr);
+  tx.set_metrics(nullptr);
+  return res;
+}
+
+const telemetry::ScorecardRow* find_row(const std::vector<telemetry::ScorecardRow>& rows,
+                                        const std::string& cls) {
+  for (const telemetry::ScorecardRow& r : rows) {
+    if (r.cls == cls) return &r;
+  }
+  return nullptr;
+}
+
+bool write_artifact(const char* path, const std::string& json) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "tenant_storm: cannot write %s\n", path);
+    return false;
+  }
+  out << json << "\n";
+  return bool(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* scorecard_out = nullptr;
+  const char* timeseries_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_tenants = 120;
+      g_messages = 4000;
+      g_bulk_transfers = 3;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      g_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--scorecard-out") == 0 && i + 1 < argc) {
+      scorecard_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeseries-out") == 0 && i + 1 < argc) {
+      timeseries_out = argv[++i];
+    }
+  }
+
+  std::printf("tenant storm — %u tenants on gold/silver/bronze, %u messages at "
+              "%.0f MB/s over %u x 4 MiB bulk flood\n\n",
+              g_tenants, g_messages, kOfferedMbps, g_bulk_transfers);
+
+  StormResult storm = run_storm();
+
+  // Per-class rollup of the tenant ledgers.
+  ClassSums sums[3];
+  for (TenantLedger& led : storm.tenants) {
+    ClassSums& s = sums[led.cls - kGold];
+    ++s.tenants;
+    s.submitted += led.submitted;
+    s.admitted += led.admitted;
+    s.shed += led.shed;
+    s.rejects += led.rejects;
+    s.hits += led.hits;
+    s.misses += led.misses;
+    s.bytes += led.bytes;
+  }
+
+  bench::SeriesTable table("per-class rollup of the per-tenant ledgers", "class",
+                           {"tenants", "submitted", "admitted", "shed", "rejects",
+                            "deadline hit %", "p99 (us)"});
+  for (qos::ClassId cls : {kGold, kSilver, kBronze}) {
+    const ClassSums& s = sums[cls - kGold];
+    std::vector<double> lat;
+    for (TenantLedger& led : storm.tenants) {
+      if (led.cls != cls) continue;
+      lat.insert(lat.end(), led.latencies_us.begin(), led.latencies_us.end());
+    }
+    std::sort(lat.begin(), lat.end());
+    const double p99 =
+        lat.empty() ? 0
+                    : lat[static_cast<std::size_t>(0.99 * static_cast<double>(lat.size() - 1))];
+    const std::uint64_t tagged = s.hits + s.misses;
+    table.add_row(class_name(cls),
+                  {static_cast<double>(s.tenants), static_cast<double>(s.submitted),
+                   static_cast<double>(s.admitted), static_cast<double>(s.shed),
+                   static_cast<double>(s.rejects),
+                   tagged == 0 ? 100.0
+                               : 100.0 * static_cast<double>(s.hits) /
+                                     static_cast<double>(tagged),
+                   p99});
+  }
+  table.print(std::cout, 1);
+
+  std::printf("\nscorecard (qos.<class>.* registry counters):\n");
+  telemetry::Scorecard::render(std::cout, storm.rows);
+  std::printf("health: %llu tick(s), %zu series; alerts fired: %llu\n",
+              static_cast<unsigned long long>(storm.health_ticks), storm.health_series,
+              static_cast<unsigned long long>(storm.alerts_fired));
+
+  CollapseResult collapse = run_collapse();
+  std::printf("\ninduced collapse (6x degrade, 40 us deadlines): alerts fired %llu%s, "
+              "%u postmortem bundle(s)\n",
+              static_cast<unsigned long long>(collapse.alerts_fired),
+              collapse.any_firing ? " (FIRING)" : "", collapse.bundles);
+
+  // The scorecard must BE the counters: ledger sums per class equal the
+  // registry rows, integer-exactly, for every reconcilable column.
+  bool ledger_ok = true;
+  for (qos::ClassId cls : {kGold, kSilver, kBronze}) {
+    const ClassSums& s = sums[cls - kGold];
+    const telemetry::ScorecardRow* row = find_row(storm.rows, class_name(cls));
+    if (row == nullptr) {
+      ledger_ok = false;
+      continue;
+    }
+    ledger_ok = ledger_ok && row->deadline_hits == s.hits &&
+                row->deadline_misses == s.misses && row->shed == s.shed &&
+                row->rejects == s.rejects && row->granted == s.admitted &&
+                row->granted_bytes == s.bytes;
+  }
+  const ClassSums& gold = sums[0];
+  const ClassSums& bronze = sums[2];
+  const std::uint64_t gold_tagged = gold.hits + gold.misses;
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout, "every admitted message delivered intact",
+                     storm.all_intact && storm.all_done);
+  bench::shape_check(std::cout,
+                     "per-tenant ledger reconciles exactly with qos.<class>.* counters",
+                     ledger_ok);
+  bench::shape_check(std::cout, "healthy storm fires zero SLO alerts",
+                     storm.alerts_fired == 0 && !storm.any_firing);
+  bench::shape_check(std::cout, "health sampler ticked and laid out per-class series",
+                     storm.health_ticks > 0 && storm.health_series > 0);
+  bench::shape_check(std::cout, "gold holds >= 99% deadline hit rate under the flood",
+                     gold_tagged > 0 && static_cast<double>(gold.hits) >=
+                                            0.99 * static_cast<double>(gold_tagged));
+  bench::shape_check(std::cout,
+                     "bronze absorbs the overload as try_isend sheds (gold/silver shed 0)",
+                     bronze.shed > 0 && gold.shed == 0 && sums[1].shed == 0);
+  bench::shape_check(std::cout, "induced collapse fires the gold burn-rate alert",
+                     collapse.alerts_fired > 0);
+  bench::shape_check(std::cout,
+                     "collapse ledger misses match qos.gold.deadline_misses",
+                     collapse.ledger_misses > 0 &&
+                         collapse.ledger_misses == collapse.registry_misses);
+  bench::shape_check(std::cout,
+                     "slo-burn postmortem bundle carries the gold time series",
+                     collapse.bundle_found && collapse.bundle_has_series &&
+                         collapse.bundle_has_gold);
+
+  bool artifacts_ok = true;
+  if (scorecard_out != nullptr) {
+    artifacts_ok = write_artifact(scorecard_out, storm.scorecard_json) && artifacts_ok;
+  }
+  if (timeseries_out != nullptr) {
+    artifacts_ok = write_artifact(timeseries_out, storm.timeseries_json) && artifacts_ok;
+  }
+  if (!artifacts_ok) return 1;
+  return bench::shape_failures() == 0 ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "bench_support/bench_json.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +32,18 @@ void write_bundle(std::ostream& os, const BenchBundle& bundle) {
   os << "  \"commit\": \"" << minijson::escape(bundle.commit) << "\",\n";
   os << "  \"quick\": " << (bundle.quick ? "true" : "false") << ",\n";
   os << "  \"generated_unix\": " << bundle.generated_unix << ",\n";
+  if (!bundle.config_hash.empty()) {
+    os << "  \"config_hash\": \"" << minijson::escape(bundle.config_hash) << "\",\n";
+  }
+  if (!bundle.flags.empty()) {
+    os << "  \"flags\": {";
+    for (std::size_t f = 0; f < bundle.flags.size(); ++f) {
+      if (f != 0) os << ", ";
+      os << '"' << minijson::escape(bundle.flags[f].first) << "\": \""
+         << minijson::escape(bundle.flags[f].second) << '"';
+    }
+    os << "},\n";
+  }
   os << "  \"benches\": [";
   for (std::size_t b = 0; b < bundle.benches.size(); ++b) {
     const BenchResult& bench = bundle.benches[b];
@@ -52,7 +65,12 @@ void write_bundle(std::ostream& os, const BenchBundle& bundle) {
       os << ", \"unit\": \"" << minijson::escape(metric.unit)
          << "\", \"higher_is_better\": "
          << (metric.higher_is_better ? "true" : "false")
-         << ", \"headline\": " << (metric.headline ? "true" : "false") << '}';
+         << ", \"headline\": " << (metric.headline ? "true" : "false");
+      if (metric.max_abs > 0.0) {
+        os << ", \"max_abs\": ";
+        write_number(os, metric.max_abs);
+      }
+      os << '}';
     }
     os << (bench.metrics.empty() ? "]" : "\n      ]") << "\n    }";
   }
@@ -86,6 +104,20 @@ std::string commit_from_env() {
     return c;
   }
   return "unknown";
+}
+
+std::string hash_config(const std::string& text) {
+  // FNV-1a, folded to 32 bits: short, stable, and a fingerprint (not a
+  // cryptographic commitment) is all the mismatch warning needs.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "fnv1a:%08x",
+                static_cast<std::uint32_t>(h ^ (h >> 32)));
+  return buf;
 }
 
 }  // namespace rails::bench

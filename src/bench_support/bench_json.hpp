@@ -8,6 +8,7 @@
 //     "schema": "rails-bench", "schema_version": 1,
 //     "generator": "benchjson", "commit": "<sha|unknown>",
 //     "quick": true, "generated_unix": 1754600000,
+//     "config_hash": "fnv1a:9f37c121", "flags": {"reliability": "0"},
 //     "benches": [
 //       { "name": "msgrate_multiplex",
 //         "config": { "flows": "64" },
@@ -17,6 +18,15 @@
 //             "headline": true } ] } ],
 //     "perf": { ...profiler breakdown, optional... }
 //   }
+//
+// Run metadata: `commit` identifies the code, `config_hash` the resolved
+// world configuration (FNV-1a over the save_world_config round-trip text),
+// and `flags` the harness switches that change what was measured
+// (reliability, fault injection). benchdiff refuses to compare silently
+// across differing config hashes — an apples-to-oranges diff warns.
+// A metric may carry "max_abs": an absolute ceiling gated by benchdiff
+// independent of the baseline (used for the health-sampler overhead
+// budget, where the bound itself is the contract).
 //
 // The `headline` flag is the CI gating contract: only metrics derived from
 // the *virtual* clock (message rates, simulated latencies, event counts —
@@ -43,6 +53,9 @@ struct BenchMetric {
   bool higher_is_better = true;
   /// Only deterministic virtual-time metrics may set this (see above).
   bool headline = false;
+  /// Absolute gate: benchdiff fails the run when the candidate value
+  /// exceeds this ceiling, baseline regardless. <= 0 = no ceiling.
+  double max_abs = 0.0;
 };
 
 struct BenchResult {
@@ -56,6 +69,10 @@ struct BenchBundle {
   std::string commit;
   bool quick = false;
   std::uint64_t generated_unix = 0;
+  /// Hash of the resolved world config (hash_config); "" = omitted.
+  std::string config_hash;
+  /// Harness switches that change what was measured, in emit order.
+  std::vector<std::pair<std::string, std::string>> flags;
   std::vector<BenchResult> benches;
   /// Raw JSON object with the profiler breakdown (Profiler::write_json),
   /// embedded verbatim as "perf". Empty = omitted.
@@ -71,5 +88,10 @@ bool write_bundle_file(const std::string& path, const BenchBundle& bundle);
 /// Commit hash for the bundle header: $RAILS_COMMIT, else $GITHUB_SHA,
 /// else "unknown" — the emitter never shells out to git.
 std::string commit_from_env();
+
+/// "fnv1a:<8 hex>" over `text` — stable run-config fingerprint for the
+/// bundle header. Callers feed it save_world_config output so two bundles
+/// with different resolved configs never diff silently.
+std::string hash_config(const std::string& text);
 
 }  // namespace rails::bench

@@ -299,6 +299,48 @@ WorldConfig parse_world_config(std::istream& is) {
       if (spec.weight <= 0.0) fail(lineno, "qos_class weight must be positive");
       if (spec.queue_capacity < 1) fail(lineno, "qos_class capacity must be >= 1");
       cfg.engine.qos.classes.push_back(std::move(spec));
+    } else if (directive == "timeseries") {
+      int on = 0;
+      ls >> on;
+      cfg.engine.timeseries.enabled = on != 0;
+    } else if (directive == "timeseries_interval_us") {
+      double us = 0;
+      ls >> us;
+      if (us <= 0) fail(lineno, "timeseries_interval_us must be positive");
+      cfg.engine.timeseries.interval = usec(us);
+    } else if (directive == "timeseries_capacity") {
+      if (!(ls >> cfg.engine.timeseries.capacity) ||
+          cfg.engine.timeseries.capacity < 4) {
+        fail(lineno, "timeseries_capacity must be >= 4");
+      }
+    } else if (directive == "slo") {
+      // slo <class> p99_us=200 hit_rate=0.99 window_us=10000
+      //     [fast_window_us=..] [fast_burn=..] [slow_burn=..]
+      //     [patience=..] [min_events=..]
+      telemetry::SloSpec spec;
+      if (!(ls >> spec.cls)) fail(lineno, "slo needs a traffic-class name");
+      for (const auto& [key, value] : parse_kv(ls, lineno)) {
+        if (key == "p99_us") spec.p99_us = std::stod(value);
+        else if (key == "hit_rate") spec.hit_rate = std::stod(value);
+        else if (key == "window_us") spec.window = usec(std::stod(value));
+        else if (key == "fast_window_us") spec.fast_window = usec(std::stod(value));
+        else if (key == "fast_burn") spec.fast_burn = std::stod(value);
+        else if (key == "slow_burn") spec.slow_burn = std::stod(value);
+        else if (key == "patience") spec.clear_patience = std::stoul(value);
+        else if (key == "min_events") spec.min_events = std::stoull(value);
+        else fail(lineno, "unknown slo parameter '" + key + "'");
+      }
+      if (spec.p99_us <= 0 && spec.hit_rate <= 0) {
+        fail(lineno, "slo needs p99_us= and/or hit_rate=");
+      }
+      if (spec.hit_rate < 0 || spec.hit_rate >= 1.0) {
+        fail(lineno, "slo hit_rate must be in [0, 1)");
+      }
+      if (spec.window <= 0) fail(lineno, "slo window_us must be positive");
+      if (spec.fast_burn <= 0 || spec.slow_burn <= 0) {
+        fail(lineno, "slo burn thresholds must be positive");
+      }
+      cfg.engine.slos.push_back(std::move(spec));
     } else if (directive == "rail") {
       std::string kind;
       ls >> kind;
@@ -395,6 +437,18 @@ void save_world_config(const WorldConfig& cfg, std::ostream& os) {
        << " strict=" << (c.strict_priority ? 1 : 0) << " capacity=" << c.queue_capacity
        << " high=" << c.high_watermark << " low=" << c.low_watermark
        << " deadline_us=" << to_usec(c.default_deadline) << "\n";
+  }
+  os << "timeseries " << (cfg.engine.timeseries.enabled ? 1 : 0) << "\n";
+  os << "timeseries_interval_us " << to_usec(cfg.engine.timeseries.interval) << "\n";
+  os << "timeseries_capacity " << cfg.engine.timeseries.capacity << "\n";
+  for (const auto& s : cfg.engine.slos) {
+    os << "slo " << s.cls;
+    if (s.p99_us > 0) os << " p99_us=" << s.p99_us;
+    if (s.hit_rate > 0) os << " hit_rate=" << s.hit_rate;
+    os << " window_us=" << to_usec(s.window);
+    if (s.fast_window > 0) os << " fast_window_us=" << to_usec(s.fast_window);
+    os << " fast_burn=" << s.fast_burn << " slow_burn=" << s.slow_burn
+       << " patience=" << s.clear_patience << " min_events=" << s.min_events << "\n";
   }
   for (const auto& r : cfg.fabric.rails) {
     os << "rail custom name=" << r.name << " post_us=" << r.post_us

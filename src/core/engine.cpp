@@ -85,6 +85,13 @@ Engine::Engine(fabric::Fabric* fabric, NodeId self, const sampling::Estimator* e
   rail_usable_.assign(fabric_->rail_count(), 1);
   trust_penalty_.assign(fabric_->rail_count(), 1.0);
   resample_armed_.assign(fabric_->rail_count(), 0);
+  if (config_.timeseries.enabled) {
+    health_ = std::make_unique<telemetry::HealthSampler>(config_.timeseries);
+    if (!config_.slos.empty()) {
+      slo_ = std::make_unique<telemetry::SloMonitor>(config_.slos);
+      slo_->bind(qos_class_names());
+    }
+  }
   fabric_->set_rx_handler(self_, [this](fabric::Segment&& seg) { on_segment(std::move(seg)); });
   // Completion-queue hooks on this node's own NICs: successful deliveries
   // retire live chunks, drops enter the failover path.
@@ -105,6 +112,20 @@ void Engine::set_metrics(telemetry::MetricsRegistry* registry) {
   metrics_.attach(registry, fabric_->rail_count());
   if (strategy_ != nullptr) metrics_.set_strategy_name(strategy_->name());
   if (qos_ != nullptr) qos_->attach_metrics(registry);
+  if (health_ != nullptr) {
+    health_->attach(registry, qos_class_names(), fabric_->rail_count());
+  }
+}
+
+std::vector<std::string> Engine::qos_class_names() const {
+  std::vector<std::string> names;
+  if (qos_ != nullptr) {
+    names.reserve(qos_->class_count());
+    for (qos::ClassId c = 0; c < qos_->class_count(); ++c) {
+      names.push_back(qos_->spec(c).name);
+    }
+  }
+  return names;
 }
 
 void Engine::set_recalibrator(sampling::Recalibrator* recal) {
@@ -119,6 +140,12 @@ void Engine::set_flight_recorder(trace::FlightRecorder* recorder) {
   flight_ = recorder;
   if (flight_ != nullptr) {
     flight_->set_state_writer([this](std::ostream& os) { write_state_json(os); });
+    if (health_ != nullptr) {
+      // SLO postmortems carry the offending time series, not just the
+      // moment of the page (docs/OBSERVABILITY.md).
+      flight_->set_series_writer(
+          [this](std::ostream& os) { health_->write_json(os); });
+    }
   }
 }
 
@@ -150,6 +177,38 @@ void Engine::write_state_json(std::ostream& os) const {
      << ",\"max_retransmits\":" << config_.reliability.max_retransmits
      << ",\"reliable_in_flight\":" << rel_live_entries_
      << ",\"recal_attached\":" << (recal_ != nullptr ? "true" : "false") << "}}";
+}
+
+// -- health plane (docs/OBSERVABILITY.md) ------------------------------------
+
+bool Engine::health_work_pending() const {
+  return !pending_eager_.empty() || !rdv_sends_.empty() || !qos_streams_.empty() ||
+         !inbound_rdv_.empty() || !unexpected_.empty() || rel_live_entries_ > 0 ||
+         (qos_ != nullptr && qos_->backlog());
+}
+
+void Engine::arm_health() {
+  if (health_ == nullptr || health_armed_) return;
+  health_armed_ = true;
+  fabric_->events().after(health_->interval(), [this] { health_tick(); });
+}
+
+void Engine::health_tick() {
+  health_armed_ = false;
+  if (health_ == nullptr) return;
+  const SimTime now = fabric_->now();
+  const auto& ticks = health_->sample(now);
+  if (slo_ != nullptr) {
+    for (const telemetry::AlertEvent& ev : slo_->observe(now, ticks)) {
+      flight(trace::FlightKind::kSloAlert, 0, 0, ev.firing ? 1 : 0,
+             static_cast<std::int64_t>(ev.fast_value * 1000));
+      if (ev.firing) flight_trigger("slo-burn", ev.detail);
+    }
+  }
+  // Re-arm only while work is in flight: one trailing tick captures the
+  // final deltas after the engine drains, then the event chain ends so
+  // run_all()/run_until() can terminate.
+  if (health_work_pending()) arm_health();
 }
 
 void Engine::flight(trace::FlightKind kind, RailId rail, std::uint64_t msg_id,
@@ -414,6 +473,7 @@ SendHandle Engine::submit_send(NodeId dst, Tag tag, const void* data, std::size_
   trace_event(trace::EventKind::kSubmit, send->id, tag, 0, 0, len, send->submit_time,
               0, send->qos_class);
   metrics_.on_submit(len > rdv_threshold_);
+  arm_health();  // (re)start the health tick while traffic is in flight
 
   if (len > rdv_threshold_) {
     send->rendezvous = true;
@@ -1181,6 +1241,7 @@ void Engine::handle_fin(const fabric::Segment& seg) {
 // ---------------------------------------------------------------------------
 
 void Engine::on_segment(fabric::Segment&& seg) {
+  arm_health();  // a pure receiver samples too while traffic flows
   // Reliability gate: verify the checksum, suppress duplicates, record the
   // sequence, and schedule the coalesced ACK — before any handler sees the
   // segment. A rejected segment (corrupt or duplicate) dies here.

@@ -203,6 +203,16 @@ class Engine {
   /// assert that a soak leaves no retransmit state behind.
   std::uint64_t reliable_in_flight() const { return rel_live_entries_; }
 
+  /// Health-plane sampler / SLO monitor (docs/OBSERVABILITY.md); nullptr
+  /// unless config().timeseries.enabled (monitor also needs config().slos).
+  telemetry::HealthSampler* health() { return health_.get(); }
+  const telemetry::HealthSampler* health() const { return health_.get(); }
+  telemetry::SloMonitor* slo_monitor() { return slo_.get(); }
+  const telemetry::SloMonitor* slo_monitor() const { return slo_.get(); }
+  /// QoS class names in ClassId order (empty when QoS is off) — the axis of
+  /// the per-class series and the scorecard.
+  std::vector<std::string> qos_class_names() const;
+
  private:
   using MsgKey = std::pair<NodeId, std::uint64_t>;  // (source node, msg id)
 
@@ -396,6 +406,17 @@ class Engine {
   /// Best usable rail for re-posting a self-contained segment.
   RailId repost_rail(const fabric::Segment& seg) const;
 
+  // -- health plane (docs/OBSERVABILITY.md) ------------------------------
+  /// One sampling tick: snapshot the curated metrics, evaluate the SLOs,
+  /// escalate new-firing alerts into the flight recorder, and re-arm while
+  /// the engine still has work in flight. The tick deliberately does NOT
+  /// re-arm on an idle engine — a perpetual periodic event would keep
+  /// run_all()/run_until() from ever terminating; submit/receive activity
+  /// re-arms it instead.
+  void health_tick();
+  void arm_health();
+  bool health_work_pending() const;
+
   void trace_event(trace::EventKind kind, std::uint64_t msg_id, Tag tag, RailId rail,
                    CoreId core, std::size_t bytes, SimTime time, SimTime nic_end = 0,
                    std::uint32_t cls = 0);
@@ -453,6 +474,11 @@ class Engine {
   EngineStats stats_;
   trace::Tracer* tracer_ = nullptr;
   trace::FlightRecorder* flight_ = nullptr;
+
+  // -- health plane (docs/OBSERVABILITY.md) ------------------------------
+  std::unique_ptr<telemetry::HealthSampler> health_;  ///< null when disabled
+  std::unique_ptr<telemetry::SloMonitor> slo_;        ///< null without slos
+  bool health_armed_ = false;
   telemetry::EngineMetrics metrics_;
   telemetry::PredictionTracker* predictions_ = nullptr;
   sampling::Recalibrator* recal_ = nullptr;

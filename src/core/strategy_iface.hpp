@@ -28,6 +28,8 @@
 #include "sampling/recalibration.hpp"
 #include "strategy/offload_model.hpp"
 #include "strategy/split_solver.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace rails::core {
 
@@ -110,6 +112,14 @@ struct EngineConfig {
   /// failover/quarantine/trust/profile transitions (docs/PERF.md). Only
   /// consulted when the strategy declares the decision cacheable.
   bool strategy_cache = true;
+  /// Health-plane time-series sampler (docs/OBSERVABILITY.md). Default-off:
+  /// a disabled engine arms no health tick and samples nothing.
+  telemetry::TimeseriesConfig timeseries;
+  /// Declarative SLO objectives evaluated on the health tick; a firing
+  /// burn-rate alert escalates into the flight recorder. Requires
+  /// `timeseries.enabled` (the tick drives evaluation) and QoS (the
+  /// per-class sources).
+  std::vector<telemetry::SloSpec> slos;
 };
 
 /// Everything a strategy may inspect when interrogated.

@@ -41,6 +41,7 @@ const char* to_string(FlightKind kind) {
     case FlightKind::kRetransmit: return "retransmit";
     case FlightKind::kRetryExhausted: return "retry-exhausted";
     case FlightKind::kDupSuppressed: return "dup-suppressed";
+    case FlightKind::kSloAlert: return "slo-alert";
   }
   return "?";
 }
@@ -150,6 +151,11 @@ void FlightRecorder::set_state_writer(StateWriter writer) {
   state_writer_ = std::move(writer);
 }
 
+void FlightRecorder::set_series_writer(StateWriter writer) {
+  std::lock_guard<std::mutex> lock(bundle_mu_);
+  series_writer_ = std::move(writer);
+}
+
 void FlightRecorder::set_rate_limit(unsigned max_bundles, SimDuration min_interval) {
   std::lock_guard<std::mutex> lock(bundle_mu_);
   max_bundles_ = max_bundles;
@@ -226,6 +232,11 @@ void FlightRecorder::write_bundle(std::ostream& os, const char* reason,
     state_writer_(os);
   } else {
     os << "null";
+  }
+
+  if (series_writer_) {
+    os << ",\"timeseries\":";
+    series_writer_(os);
   }
   os << "}}\n";
 }
@@ -369,6 +380,34 @@ bool FlightRecorder::render_postmortem(std::istream& is, std::ostream& os) {
     os << "\nengine state at dump:";
     pretty_print(*state, os, 2);
     os << '\n';
+  }
+
+  if (const JsonValue* ts = pm->find("timeseries");
+      ts != nullptr && ts->type == JsonValue::Type::kObject) {
+    const JsonValue* series = ts->find("series");
+    const std::size_t nseries =
+        series != nullptr && series->type == JsonValue::Type::kArray
+            ? series->array.size() : 0;
+    std::snprintf(line, sizeof(line),
+                  "\nhealth time series: %zu series, %.0f tick(s) at %.1f us\n",
+                  nseries,
+                  ts->find("ticks") != nullptr ? ts->find("ticks")->num_or(0) : 0,
+                  ts->find("interval_us") != nullptr
+                      ? ts->find("interval_us")->num_or(0) : 0);
+    os << line;
+    if (nseries != 0) {
+      for (const JsonValue& s : series->array) {
+        const JsonValue* name = s.find("name");
+        const JsonValue* points = s.find("points");
+        std::snprintf(line, sizeof(line),
+                      "  %-28s %4zu point(s), stride %-4.0f last %.3f\n",
+                      name != nullptr ? name->str.c_str() : "?",
+                      points != nullptr ? points->array.size() : 0,
+                      s.find("stride") != nullptr ? s.find("stride")->num_or(1) : 1,
+                      s.find("last") != nullptr ? s.find("last")->num_or(0) : 0);
+        os << line;
+      }
+    }
   }
 
   if (const JsonValue* metrics = pm->find("metrics");

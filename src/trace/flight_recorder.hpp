@@ -60,6 +60,8 @@ enum class FlightKind : std::uint8_t {
   kRetransmit,       ///< sequenced segment retransmitted (a: seq, b: count)
   kRetryExhausted,   ///< seq ran out of retransmit budget (a: seq, b: count)
   kDupSuppressed,    ///< sequence window swallowed a duplicate (a: seq)
+  kSloAlert,         ///< SLO alert transition (a: 1 firing / 0 cleared,
+                     ///  b: fast burn/p99 x1000)
 };
 
 const char* to_string(FlightKind kind);
@@ -116,6 +118,12 @@ class FlightRecorder {
   /// (per-rail trust/scale, failover config, ...).
   using StateWriter = std::function<void(std::ostream&)>;
   void set_state_writer(StateWriter writer);
+  /// Health-plane time series embedded under the bundle's "timeseries" key
+  /// (docs/OBSERVABILITY.md): the writer must emit ONE valid JSON value —
+  /// typically HealthSampler::write_json — so an SLO postmortem carries the
+  /// offending series, not just the moment of the page. Unset = the key is
+  /// omitted, keeping pre-health-plane bundles byte-identical.
+  void set_series_writer(StateWriter writer);
   /// At most `max_bundles` bundles per process, spaced at least
   /// `min_interval` of virtual time apart (a flapping rail must not fill a
   /// disk). Defaults: 8 bundles, 0 spacing.
@@ -156,6 +164,7 @@ class FlightRecorder {
   std::string prefix_ = "postmortem";
   const telemetry::MetricsRegistry* metrics_ = nullptr;
   StateWriter state_writer_;
+  StateWriter series_writer_;
   unsigned max_bundles_ = 8;
   SimDuration min_interval_ = 0;
   unsigned bundles_written_ = 0;

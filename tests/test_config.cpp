@@ -372,5 +372,110 @@ TEST(ClusterConfigDeath, ReliabilityZeroRetransmits) {
   EXPECT_DEATH(parse_world_config(is), "malformed");
 }
 
+TEST(ClusterConfig, HealthPlaneDirectivesRoundTrip) {
+  std::istringstream is(R"(
+nodes 2
+qos 1
+timeseries 1
+timeseries_interval_us 250
+timeseries_capacity 128
+slo latency hit_rate=0.995 window_us=8000 fast_window_us=2000
+slo gold p99_us=1500 hit_rate=0.95 window_us=12000 fast_burn=10 slow_burn=4 patience=5 min_events=16
+rail preset myri10g
+rail preset qsnet2
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_TRUE(cfg.engine.timeseries.enabled);
+  EXPECT_EQ(cfg.engine.timeseries.interval, usec(250.0));
+  EXPECT_EQ(cfg.engine.timeseries.capacity, 128u);
+  ASSERT_EQ(cfg.engine.slos.size(), 2u);
+  EXPECT_EQ(cfg.engine.slos[0].cls, "latency");
+  EXPECT_DOUBLE_EQ(cfg.engine.slos[0].hit_rate, 0.995);
+  EXPECT_DOUBLE_EQ(cfg.engine.slos[0].p99_us, 0.0);
+  EXPECT_EQ(cfg.engine.slos[0].window, usec(8000.0));
+  EXPECT_EQ(cfg.engine.slos[0].fast_window, usec(2000.0));
+  EXPECT_EQ(cfg.engine.slos[1].cls, "gold");
+  EXPECT_DOUBLE_EQ(cfg.engine.slos[1].p99_us, 1500.0);
+  EXPECT_DOUBLE_EQ(cfg.engine.slos[1].fast_burn, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.engine.slos[1].slow_burn, 4.0);
+  EXPECT_EQ(cfg.engine.slos[1].clear_patience, 5u);
+  EXPECT_EQ(cfg.engine.slos[1].min_events, 16u);
+
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_TRUE(again.engine.timeseries.enabled);
+  EXPECT_EQ(again.engine.timeseries.interval, usec(250.0));
+  EXPECT_EQ(again.engine.timeseries.capacity, 128u);
+  ASSERT_EQ(again.engine.slos.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(again.engine.slos[i].cls, cfg.engine.slos[i].cls);
+    EXPECT_DOUBLE_EQ(again.engine.slos[i].p99_us, cfg.engine.slos[i].p99_us);
+    EXPECT_DOUBLE_EQ(again.engine.slos[i].hit_rate, cfg.engine.slos[i].hit_rate);
+    EXPECT_EQ(again.engine.slos[i].window, cfg.engine.slos[i].window);
+    EXPECT_EQ(again.engine.slos[i].fast_window, cfg.engine.slos[i].fast_window);
+    EXPECT_DOUBLE_EQ(again.engine.slos[i].fast_burn, cfg.engine.slos[i].fast_burn);
+    EXPECT_DOUBLE_EQ(again.engine.slos[i].slow_burn, cfg.engine.slos[i].slow_burn);
+    EXPECT_EQ(again.engine.slos[i].clear_patience, cfg.engine.slos[i].clear_patience);
+    EXPECT_EQ(again.engine.slos[i].min_events, cfg.engine.slos[i].min_events);
+  }
+}
+
+TEST(ClusterConfig, HealthPlaneDefaultsStayInert) {
+  std::istringstream is("nodes 2\nrail preset myri10g\n");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_FALSE(cfg.engine.timeseries.enabled);
+  EXPECT_TRUE(cfg.engine.slos.empty());
+}
+
+TEST(ClusterConfig, SloExampleConfigRoundTrips) {
+  // The checked-in example the docs and railsctl smokes use must load,
+  // round-trip through save, and build a working world.
+  const WorldConfig cfg =
+      load_world_config(std::string(RAILS_REPO_CONFIG_DIR) + "/slo.rails");
+  EXPECT_TRUE(cfg.engine.qos.enabled);
+  EXPECT_TRUE(cfg.engine.timeseries.enabled);
+  ASSERT_EQ(cfg.engine.slos.size(), 2u);
+  EXPECT_EQ(cfg.engine.slos[0].cls, "latency");
+  EXPECT_EQ(cfg.engine.slos[1].cls, "gold");
+
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_EQ(again.engine.slos.size(), cfg.engine.slos.size());
+  EXPECT_EQ(again.engine.timeseries.capacity, cfg.engine.timeseries.capacity);
+  EXPECT_EQ(again.engine.qos.classes.size(), cfg.engine.qos.classes.size());
+}
+
+TEST(ClusterConfigDeath, TimeseriesIntervalNonPositive) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("timeseries_interval_us 0\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, TimeseriesCapacityTooSmall) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("timeseries_capacity 2\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, SloWithoutObjective) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("slo gold window_us=5000\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, SloHitRateOutOfRange) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("slo gold hit_rate=1.0\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
+TEST(ClusterConfigDeath, SloUnknownParameter) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("slo gold hit_rate=0.9 color=red\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "malformed");
+}
+
 }  // namespace
 }  // namespace rails::core

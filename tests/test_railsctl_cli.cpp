@@ -1,0 +1,65 @@
+// railsctl's command table (tools/railsctl_cli.hpp) is the single source of
+// truth for dispatch AND the usage text; these tests pin the consistency
+// the binary's static_assert can't: unique names, complete usage, and the
+// lookup used by main().
+#include "../tools/railsctl_cli.hpp"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace railsctl {
+namespace {
+
+TEST(RailsctlCli, CommandNamesAreUnique) {
+  std::set<std::string> names;
+  for (const CommandInfo& cmd : kCommands) {
+    EXPECT_TRUE(names.insert(cmd.name).second) << "duplicate command " << cmd.name;
+  }
+  EXPECT_EQ(names.size(), kCommandCount);
+}
+
+TEST(RailsctlCli, FindCommandResolvesEveryRowAndRejectsUnknown) {
+  for (const CommandInfo& cmd : kCommands) {
+    const CommandInfo* found = find_command(cmd.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &cmd);
+  }
+  EXPECT_EQ(find_command("bogus"), nullptr);
+  EXPECT_EQ(find_command(""), nullptr);
+  EXPECT_EQ(find_command("watchx"), nullptr);
+}
+
+TEST(RailsctlCli, UsageTextIsGeneratedFromTheDispatchTable) {
+  const std::string usage = usage_text();
+  EXPECT_EQ(usage.rfind("usage: railsctl ", 0), 0u);
+  for (const CommandInfo& cmd : kCommands) {
+    // Every command appears in the <a|b|...> summary and as its own line
+    // ("  name " when it has an args synopsis, "  name\n" when it doesn't).
+    EXPECT_NE(usage.find(cmd.name), std::string::npos) << cmd.name;
+    const std::string head = std::string("  ") + cmd.name;
+    EXPECT_TRUE(usage.find(head + " ") != std::string::npos ||
+                usage.find(head + "\n") != std::string::npos)
+        << cmd.name << " has no usage line";
+    // Continuation lines of the help body are re-indented by usage_text(),
+    // so pin the first line only.
+    const std::string first_help =
+        std::string(cmd.help).substr(0, std::string(cmd.help).find('\n'));
+    EXPECT_NE(usage.find(first_help), std::string::npos)
+        << cmd.name << " help text missing";
+  }
+}
+
+TEST(RailsctlCli, HealthPlaneCommandsArePresent) {
+  ASSERT_NE(find_command("watch"), nullptr);
+  ASSERT_NE(find_command("slo"), nullptr);
+  EXPECT_TRUE(find_command("watch")->takes_cluster_file);
+  EXPECT_TRUE(find_command("slo")->takes_cluster_file);
+  // postmortem renders a bundle file, not a cluster config.
+  ASSERT_NE(find_command("postmortem"), nullptr);
+  EXPECT_FALSE(find_command("postmortem")->takes_cluster_file);
+}
+
+}  // namespace
+}  // namespace railsctl

@@ -224,6 +224,46 @@ TEST(MetricsRegistry, ConcurrentObserversOnSharedHistogram) {
   EXPECT_EQ(c->value(), static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
+TEST(MetricsRegistry, SnapshotWhileObserve) {
+  // The health sampler snapshots (dump_json / per-name reads) while engines
+  // keep publishing. Writers hammer shared handles while the main thread
+  // renders snapshots; totals must still be exact after the join. (This is
+  // the TSan-exercised path for the read side.)
+  MetricsRegistry reg;
+  Counter* ops = reg.counter("storm.ops");
+  Histogram* lat = reg.histogram("storm.latency_ns");
+  Gauge* depth = reg.gauge("storm.depth");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([ops, lat, depth, t] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        ops->inc();
+        lat->observe(static_cast<std::uint64_t>(i));
+        depth->set(static_cast<std::int64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  std::uint64_t snapshots = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    std::ostringstream json;
+    reg.dump_json(json);
+    EXPECT_NE(json.str().find("storm.ops"), std::string::npos);
+    std::ostringstream text;
+    reg.dump_text(text);
+    // Mid-flight reads through the lookup API must also be safe.
+    EXPECT_LE(reg.find_counter("storm.ops")->value(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    if (++snapshots >= 64) done.store(true, std::memory_order_relaxed);
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ops->value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(lat->count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(snapshots, 64u);
+}
+
 TEST(MetricsRegistry, DumpFormats) {
   MetricsRegistry reg;
   reg.counter("a.count")->inc(2);

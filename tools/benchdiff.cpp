@@ -42,11 +42,13 @@ struct Metric {
   std::string unit;
   bool higher_is_better = true;
   bool headline = false;
+  double max_abs = 0.0;  ///< absolute ceiling; <= 0 = none
 };
 
 struct Bundle {
   std::string path;
   std::string commit;
+  std::string config_hash;
   std::vector<Metric> metrics;
 };
 
@@ -72,6 +74,7 @@ bool load_bundle(const std::string& path, Bundle& out) {
   }
   out.path = path;
   if (const JsonValue* c = root.find("commit")) out.commit = c->str_or("");
+  if (const JsonValue* c = root.find("config_hash")) out.config_hash = c->str_or("");
   const JsonValue* benches = root.find("benches");
   if (benches == nullptr || benches->type != JsonValue::Type::kArray) {
     std::fprintf(stderr, "benchdiff: %s has no benches array\n", path.c_str());
@@ -99,6 +102,7 @@ bool load_bundle(const std::string& path, Bundle& out) {
       if (const JsonValue* h = m.find("headline")) {
         metric.headline = h->bool_or(false);
       }
+      if (const JsonValue* a = m.find("max_abs")) metric.max_abs = a->num_or(0.0);
       out.metrics.push_back(std::move(metric));
     }
   }
@@ -151,11 +155,20 @@ int main(int argc, char** argv) {
 
   int regressions = 0;
   int warnings = 0;
+  // Different resolved configs measure different things; the diff still
+  // runs (a rebase legitimately changes the config), but never silently.
+  if (!base.config_hash.empty() && !cand.config_hash.empty() &&
+      base.config_hash != cand.config_hash) {
+    std::printf("WARN config hash mismatch: %s vs %s — bundles were measured "
+                "on different resolved configs\n",
+                base.config_hash.c_str(), cand.config_hash.c_str());
+    ++warnings;
+  }
   int compared = 0;
   int alloc_gated = 0;
   for (const Metric& b : base.metrics) {
     const bool alloc_metric = b.unit == "allocs/msg";
-    if (!b.headline && !alloc_metric && !show_all) continue;
+    if (!b.headline && !alloc_metric && b.max_abs <= 0.0 && !show_all) continue;
     const Metric* c = find_metric(cand, b.name);
     if (c == nullptr) {
       const bool warn = b.headline || alloc_metric;
@@ -175,9 +188,15 @@ int main(int argc, char** argv) {
     // non-headline, and a 0 -> nonzero move always regresses (the relative
     // change is infinite, which clears any threshold).
     const double against = b.higher_is_better ? -change_pct : change_pct;
-    const bool gated = b.headline || alloc_metric;
-    const bool regressed = gated && against > threshold_pct;
+    // An absolute ceiling (max_abs) gates the candidate's value on its own,
+    // baseline regardless — the bound is the contract (e.g. the 2% health
+    // sampler overhead budget).
+    const bool over_ceiling = c->max_abs > 0.0 && c->value > c->max_abs;
+    const bool gated = b.headline || alloc_metric || c->max_abs > 0.0;
+    const bool regressed =
+        ((b.headline || alloc_metric) && against > threshold_pct) || over_ceiling;
     const char* verdict = !gated        ? "info"
+                          : over_ceiling ? "REGRESSED (over ceiling)"
                           : regressed   ? "REGRESSED"
                           : against < -threshold_pct ? "improved"
                                         : "ok";
@@ -188,8 +207,17 @@ int main(int argc, char** argv) {
     regressions += regressed ? 1 : 0;
   }
   for (const Metric& c : cand.metrics) {
-    if (!c.headline) continue;
-    if (find_metric(base, c.name) == nullptr) {
+    if (find_metric(base, c.name) != nullptr) continue;
+    // A ceiling-carrying metric gates even on its first appearance —
+    // otherwise adding the bound and breaking it in one commit would pass.
+    if (c.max_abs > 0.0 && c.value > c.max_abs) {
+      std::printf("%-52s %14s %14.4g %9s  REGRESSED (over ceiling %.4g)\n",
+                  c.name.c_str(), "-", c.value, "-", c.max_abs);
+      ++compared;
+      ++regressions;
+      continue;
+    }
+    if (c.headline) {
       std::printf("%-52s %14s %14.4g %9s  new headline metric\n",
                   c.name.c_str(), "-", c.value, "-");
     }

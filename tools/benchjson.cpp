@@ -33,8 +33,10 @@
 
 #include "bench_support/bench_json.hpp"
 #include "bench_support/table.hpp"
+#include "core/config.hpp"
 #include "core/world.hpp"
 #include "perf/profiler.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace rails;
 
@@ -154,6 +156,59 @@ bench::BenchResult run_msgrate_multiplex(const Options& opt) {
                             static_cast<double>(allocs) / messages,
                             "allocs/msg", /*higher_is_better=*/false,
                             /*headline=*/false});
+
+  // -- health-plane overhead -------------------------------------------------
+  // Same burst with the sampler off vs on at the default interval, a
+  // metrics registry attached on both sides so the only delta is the
+  // sampler itself. Min-of-3 interleaved repeats cut runner noise; the
+  // overhead carries a 2% absolute ceiling (max_abs) that benchdiff gates,
+  // and the virtual-clock delta is headline — the sampler must consume
+  // exactly zero virtual time, so the delta is exactly 0 on every host.
+  telemetry::MetricsRegistry reg_off, reg_on;
+  core::World off_world(testbed(opt, "aggregate-fastest"));
+  core::WorldConfig on_cfg = testbed(opt, "aggregate-fastest");
+  on_cfg.engine.timeseries.enabled = true;
+  core::World on_world(std::move(on_cfg));
+  off_world.engine(0).set_metrics(&reg_off);
+  on_world.engine(0).set_metrics(&reg_on);
+  std::vector<core::RecvHandle> hrecvs;
+  hrecvs.reserve(kFlows);
+  const auto hburst = [&](core::World& w) {
+    hrecvs.clear();
+    for (unsigned i = 0; i < kFlows; ++i) {
+      hrecvs.push_back(w.engine(1).irecv(0, 1000 + i, rx.data() + i * kSize, kSize));
+    }
+    for (unsigned i = 0; i < kFlows; ++i) {
+      w.engine(0).isend(1, 1000 + i, tx.data(), kSize);
+    }
+    for (auto& r : hrecvs) w.wait(r);
+  };
+  for (unsigned i = 0; i < kWarmup; ++i) {
+    hburst(off_world);
+    hburst(on_world);
+  }
+  const unsigned hrounds = std::max(rounds / 2, 16u);
+  const auto timed = [&](core::World& w) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned r = 0; r < hrounds; ++r) hburst(w);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const SimTime off_v0 = off_world.now(), on_v0 = on_world.now();
+  double off_sec = 1e300, on_sec = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    off_sec = std::min(off_sec, timed(off_world));
+    on_sec = std::min(on_sec, timed(on_world));
+  }
+  const double virtual_delta_us =
+      to_usec(on_world.now() - on_v0) - to_usec(off_world.now() - off_v0);
+  const double overhead_pct =
+      off_sec > 0.0 ? (on_sec - off_sec) / off_sec * 100.0 : 0.0;
+  result.metrics.push_back({"health_overhead_pct", overhead_pct, "%",
+                            /*higher_is_better=*/false, /*headline=*/false,
+                            /*max_abs=*/2.0});
+  result.metrics.push_back({"health_virtual_us_delta", virtual_delta_us, "us",
+                            /*higher_is_better=*/false, /*headline=*/true});
   return result;
 }
 
@@ -356,6 +411,16 @@ int main(int argc, char** argv) {
   bundle.commit = bench::commit_from_env();
   bundle.quick = opt.quick;
   bundle.generated_unix = now;
+  {
+    // Run metadata: fingerprint the resolved testbed config so benchdiff
+    // can flag apples-to-oranges comparisons, and record the harness
+    // switches that change what was measured.
+    std::ostringstream cfg_text;
+    core::save_world_config(testbed(opt, "aggregate-fastest"), cfg_text);
+    bundle.config_hash = bench::hash_config(cfg_text.str());
+    bundle.flags = {{"reliability", opt.reliability ? "1" : "0"},
+                    {"perf", opt.with_perf ? "1" : "0"}};
+  }
 
   std::printf("benchjson: msgrate...\n");
   bundle.benches.push_back(run_msgrate(opt));

@@ -1,15 +1,10 @@
 // railsctl — command-line front end for the rails engine.
 //
-//   railsctl describe <cluster-file>
-//   railsctl sample   <cluster-file> [--out <dir>]
-//   railsctl pingpong <cluster-file> [--min 4] [--max 8388608] [--iters 2]
-//   railsctl compare  <cluster-file> --size <bytes> [--strategies a,b,c]
-//   railsctl gantt    <cluster-file> [--size <bytes>]
-//   railsctl metrics  <cluster-file> [--size <bytes>] [--strategies a,b,c]
-//   railsctl trace    <cluster-file> --chrome <out.json> [--size <bytes>]
-//   railsctl spans    <cluster-file> [--size <bytes>] [--fail-rail R]
-//   railsctl perf     <cluster-file> [--size <bytes>] [--rounds N] [--json]
-//   railsctl postmortem <bundle.json>
+// The subcommand surface (names, option synopses, help text) lives in ONE
+// table: tools/railsctl_cli.hpp. The usage string is generated from it and
+// the handler array below is pinned to it with a static_assert, so a
+// subcommand cannot exist without appearing in the help (and vice versa) —
+// tests/test_railsctl_cli.cpp checks the invariants.
 //
 // The cluster file format is documented in src/core/config.hpp; presets:
 // myri10g, qsnet2, ib-ddr, gige-tcp.
@@ -26,8 +21,11 @@
 #include "core/world.hpp"
 #include "perf/profiler.hpp"
 #include "qos/arbiter.hpp"
+#include "railsctl_cli.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prediction.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
 #include "trace/flight_recorder.hpp"
 #include "trace/spans.hpp"
 #include "trace/tracer.hpp"
@@ -37,63 +35,7 @@ using namespace rails;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: railsctl <describe|sample|pingpong|compare|gantt|metrics|trace|"
-               "spans|qos|perf|postmortem> <cluster-file> [options]\n"
-               "  describe               print the parsed configuration\n"
-               "  sample [--out DIR]     sample every rail; write profiles to DIR\n"
-               "  pingpong [--min N] [--max N] [--iters N]\n"
-               "                         bandwidth table over a size sweep\n"
-               "  compare --size N [--strategies a,b,c]\n"
-               "                         one-way latency per strategy at one size\n"
-               "  gantt [--size N]       trace one transfer, render NIC lanes\n"
-               "  metrics [--size N] [--strategies a,b,c] [--json] [--qos]\n"
-               "          [--fail-rail R] [--fail-at-us U]\n"
-               "          [--recal] [--degrade-rail R] [--degrade-factor F]\n"
-               "          [--force-recal R] [--reliability]\n"
-               "          [--fault-rail R:drop=P,corrupt=P,dup=P,reorder=W]\n"
-               "                         run a mixed workload per strategy; print\n"
-               "                         counters, latency histograms, prediction error;\n"
-               "                         --fail-rail injects a fail-stop on node 0's\n"
-               "                         rail R (at U us) to exercise engine failover;\n"
-               "                         --recal enables online recalibration and\n"
-               "                         repeats the workload, printing per-rail trust;\n"
-               "                         --degrade-rail slows node 0's rail R by F\n"
-               "                         (default 3x) so drift detection has a target;\n"
-               "                         --force-recal queues a re-sampling sweep on R;\n"
-               "                         --reliability turns on CRC + ACK/retransmit;\n"
-               "                         --fault-rail injects probabilistic data-plane\n"
-               "                         faults (drop/corrupt/dup rates, reorder window)\n"
-               "                         on every node's NIC for rail R\n"
-               "  trace --chrome FILE [--size N]\n"
-               "                         trace a mixed workload, write Chrome-trace\n"
-               "                         JSON loadable in Perfetto / about:tracing\n"
-               "  spans [--size N] [--strategy NAME] [--fail-rail R] [--fail-at-us U]\n"
-               "        [--chrome FILE] [--postmortem-dir DIR]\n"
-               "                         run a mixed workload, reconstruct causal\n"
-               "                         spans, print per-message critical-path\n"
-               "                         attribution + finish-skew and measured-TO\n"
-               "                         histograms; --chrome adds span/flow overlays\n"
-               "                         to the trace file; --fail-rail triggers a\n"
-               "                         flight-recorder bundle into DIR (default .)\n"
-               "  qos [--size N] [--json]\n"
-               "                         run a bulk-plus-pings workload with the QoS\n"
-               "                         arbiter enabled; print per-class queue depths,\n"
-               "                         DRR deficits, deadline hit/miss and admission\n"
-               "                         counters (--json for machine-readable output)\n"
-               "  perf [--size N] [--rounds N] [--json]\n"
-               "                         run a mixed workload with the hot-path cycle\n"
-               "                         profiler enabled; print the per-layer\n"
-               "                         cycles/message breakdown (docs/PERF.md);\n"
-               "                         layer self-times sum to the engine's total\n"
-               "                         instrumented CPU per message\n"
-               "  postmortem <bundle.json>\n"
-               "                         render a flight-recorder postmortem bundle\n"
-               "                         (takes a bundle file, not a cluster file)\n"
-               "  loadsweep [--messages N]\n"
-               "                         open-loop latency vs offered load\n"
-               "  incast [--senders N] [--size N]\n"
-               "                         N senders converge on node 0\n");
+  std::fputs(railsctl::usage_text().c_str(), stderr);
   return 2;
 }
 
@@ -641,6 +583,157 @@ int cmd_perf(core::WorldConfig cfg, std::size_t size, unsigned rounds, bool json
   return 0;
 }
 
+/// One round of the health-plane workload shared by `watch` and `slo`: a
+/// burst of deadline-tagged pings through the latency class racing one bulk
+/// transfer, node 0 -> node 1. `deadline_margin` is the slack granted to
+/// each ping; generous margins produce hits, tight ones (under a degraded
+/// fabric) produce the misses the burn-rate alert feeds on.
+void run_health_round(core::World& world, std::size_t bulk_size,
+                      SimDuration deadline_margin) {
+  std::vector<std::uint8_t> small(512, 0x11);
+  std::vector<std::uint8_t> bulk(bulk_size, 0x22);
+  std::vector<std::uint8_t> rx_small(16 * 512);
+  std::vector<std::uint8_t> rx_bulk(bulk_size);
+
+  // Sends go first, matching recvs only for the ones admission let through —
+  // under an induced collapse tight deadlines get rejected at submit, and a
+  // recv for a rejected send would never complete.
+  std::vector<core::SendHandle> sends;
+  std::vector<core::RecvHandle> recvs;
+  for (int i = 0; i < 16; ++i) {
+    core::Engine::SendOptions opts;
+    opts.deadline = world.now() + deadline_margin;
+    auto send = world.engine(0).isend(1, 100 + i, small.data(), small.size(), opts);
+    if (send->rejected()) continue;
+    recvs.push_back(world.engine(1).irecv(0, 100 + i, rx_small.data() + i * 512, 512));
+    sends.push_back(std::move(send));
+  }
+  recvs.push_back(world.engine(1).irecv(0, 300, rx_bulk.data(), bulk_size));
+  sends.push_back(world.engine(0).isend(1, 300, bulk.data(), bulk.size()));
+  for (auto& r : recvs) world.wait(r);
+  for (auto& s : sends) world.wait(s);
+}
+
+int cmd_watch(core::WorldConfig cfg, unsigned rounds, double interval_us, bool once,
+              bool json) {
+  // The scorecard reads qos.<class>.* metrics and the time series need the
+  // sampler, so both planes go on regardless of the cluster file.
+  cfg.engine.qos.enabled = true;
+  cfg.engine.timeseries.enabled = true;
+  core::World world(std::move(cfg));
+  core::Engine& tx = world.engine(0);
+  telemetry::MetricsRegistry registry;
+  tx.set_metrics(&registry);
+  const std::vector<std::string> classes = tx.qos_class_names();
+
+  SimTime next_render = world.now() + usec(interval_us);
+  for (unsigned r = 0; r < rounds; ++r) {
+    run_health_round(world, 256_KiB, usec(5'000));
+    if (!once && !json && world.now() >= next_render) {
+      std::printf("--- t=%.0f us ---\n", static_cast<double>(world.now()) / 1e3);
+      telemetry::Scorecard::render(std::cout,
+                                   telemetry::Scorecard::collect(registry, classes));
+      while (next_render <= world.now()) next_render += usec(interval_us);
+    }
+  }
+
+  const telemetry::HealthSampler* health = tx.health();
+  if (json) {
+    std::cout << "{\"time_ns\":" << world.now() << ",\"scorecard\":";
+    telemetry::Scorecard::write_json(std::cout,
+                                     telemetry::Scorecard::collect(registry, classes));
+    std::cout << ",\"timeseries\":";
+    if (health != nullptr) {
+      health->write_json(std::cout);
+    } else {
+      std::cout << "null";
+    }
+    if (tx.slo_monitor() != nullptr) {
+      std::cout << ",\"slo\":";
+      tx.slo_monitor()->write_json(std::cout);
+    }
+    std::cout << "}\n";
+  } else {
+    std::printf("=== scorecard at t=%.0f us (%u round(s), strategy %s) ===\n",
+                static_cast<double>(world.now()) / 1e3, rounds,
+                tx.strategy().name().c_str());
+    telemetry::Scorecard::render(std::cout,
+                                 telemetry::Scorecard::collect(registry, classes));
+    if (health != nullptr) {
+      std::printf("health: %llu tick(s), %zu series, interval %.0f us\n",
+                  static_cast<unsigned long long>(health->ticks()),
+                  health->series_count(), to_usec(health->interval()));
+    }
+    if (tx.slo_monitor() != nullptr) tx.slo_monitor()->dump(std::cout);
+  }
+  tx.set_metrics(nullptr);
+  return 0;
+}
+
+int cmd_slo(core::WorldConfig cfg, bool collapse, bool json) {
+  cfg.engine.qos.enabled = true;
+  cfg.engine.timeseries.enabled = true;
+  if (cfg.engine.slos.empty()) {
+    // No `slo` directives in the cluster file: install a demonstration
+    // objective on the builtin latency class so the command always has
+    // something to evaluate.
+    telemetry::SloSpec spec;
+    spec.cls = "latency";
+    spec.hit_rate = 0.99;
+    spec.p99_us = 500;
+    spec.window = usec(6'000);
+    spec.fast_window = usec(1'500);
+    cfg.engine.slos.push_back(spec);
+  }
+  core::World world(std::move(cfg));
+  core::Engine& tx = world.engine(0);
+  telemetry::MetricsRegistry registry;
+  trace::FlightRecorder recorder;
+  recorder.set_output(".");
+  recorder.set_metrics(&registry);
+  tx.set_metrics(&registry);
+  tx.set_flight_recorder(&recorder);
+
+  if (collapse) {
+    // Slow every rail on the sending node without telling the predictor:
+    // admission still believes the nominal profiles, completions land late,
+    // and the hit-rate objective burns its error budget.
+    for (std::size_t r = 0; r < world.fabric().rail_count(); ++r) {
+      fabric::FaultSpec fault;
+      fault.kind = fabric::FaultKind::kDegrade;
+      fault.at = 0;
+      fault.duration = 0;  // forever
+      fault.factor = 6.0;
+      world.fabric().nic(0, static_cast<RailId>(r)).inject_fault(fault);
+    }
+  }
+  const SimDuration margin = collapse ? usec(40) : usec(5'000);
+  for (unsigned r = 0; r < 24; ++r) run_health_round(world, 64_KiB, margin);
+
+  const telemetry::SloMonitor* monitor = tx.slo_monitor();
+  if (json) {
+    monitor->write_json(std::cout);
+    std::cout << "\n";
+  } else {
+    std::printf("%zu objective(s) over %u round(s)%s:\n", monitor->alerts().size(), 24u,
+                collapse ? " (induced collapse: 6x degrade, 40 us deadlines)" : "");
+    monitor->dump(std::cout);
+    std::printf("alerts fired: %llu%s\n",
+                static_cast<unsigned long long>(monitor->alerts_fired()),
+                monitor->any_firing() ? " (FIRING)" : "");
+    if (recorder.bundles_written() > 0) {
+      // A degraded fabric pages more than once (failover, quarantine); the
+      // slo-burn bundle is the one carrying the offending time series.
+      std::printf("%u postmortem bundle(s) written, last %s "
+                  "(render with `railsctl postmortem`)\n",
+                  recorder.bundles_written(), recorder.last_bundle_path().c_str());
+    }
+  }
+  tx.set_flight_recorder(nullptr);
+  tx.set_metrics(nullptr);
+  return 0;
+}
+
 int cmd_postmortem(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -686,78 +779,124 @@ int cmd_incast(const core::WorldConfig& base, unsigned senders, std::size_t size
   return 0;
 }
 
+// -- dispatch -----------------------------------------------------------------
+//
+// One option-parsing adapter per railsctl_cli.hpp table row, in table order.
+// The static_assert below keeps the two in lockstep: add a command to the
+// table and this fails to compile until a handler exists here.
+
+using Handler = int (*)(int argc, char** argv, const core::WorldConfig& cfg);
+
+int run_describe(int, char**, const core::WorldConfig& cfg) { return cmd_describe(cfg); }
+
+int run_sample(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_sample(cfg, opt(argc, argv, "--out", nullptr));
+}
+
+int run_pingpong(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_pingpong(cfg, std::stoul(opt(argc, argv, "--min", "4")),
+                      std::stoul(opt(argc, argv, "--max", "8388608")),
+                      static_cast<unsigned>(std::stoul(opt(argc, argv, "--iters", "2"))));
+}
+
+int run_compare(int argc, char** argv, const core::WorldConfig& cfg) {
+  const std::size_t size = std::stoul(opt(argc, argv, "--size", "4194304"));
+  const auto strategies = split_csv(opt(
+      argc, argv, "--strategies",
+      "single-rail:0,greedy-balance,aggregate-fastest,iso-split,fixed-ratio-split,"
+      "hetero-split,multicore-hetero-split,batch-spread"));
+  return cmd_compare(cfg, size, strategies);
+}
+
+int run_gantt(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_gantt(cfg, std::stoul(opt(argc, argv, "--size", "4194304")));
+}
+
+int run_metrics(int argc, char** argv, const core::WorldConfig& cfg) {
+  const std::size_t size = std::stoul(opt(argc, argv, "--size", "4194304"));
+  const auto strategies =
+      split_csv(opt(argc, argv, "--strategies", "multicore-hetero-split"));
+  return cmd_metrics(cfg, size, strategies, has_flag(argc, argv, "--json"),
+                     std::stoi(opt(argc, argv, "--fail-rail", "-1")),
+                     std::stod(opt(argc, argv, "--fail-at-us", "5")),
+                     has_flag(argc, argv, "--recal"),
+                     std::stoi(opt(argc, argv, "--degrade-rail", "-1")),
+                     std::stod(opt(argc, argv, "--degrade-factor", "3")),
+                     std::stoi(opt(argc, argv, "--force-recal", "-1")),
+                     has_flag(argc, argv, "--qos"), has_flag(argc, argv, "--reliability"),
+                     opt(argc, argv, "--fault-rail", nullptr));
+}
+
+int run_qos(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_qos(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
+                 has_flag(argc, argv, "--json"));
+}
+
+int run_trace(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_trace(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
+                   opt(argc, argv, "--chrome", nullptr));
+}
+
+int run_spans(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_spans(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
+                   opt(argc, argv, "--strategy", nullptr),
+                   std::stoi(opt(argc, argv, "--fail-rail", "-1")),
+                   std::stod(opt(argc, argv, "--fail-at-us", "5")),
+                   opt(argc, argv, "--chrome", nullptr),
+                   opt(argc, argv, "--postmortem-dir", nullptr));
+}
+
+int run_perf(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_perf(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
+                  static_cast<unsigned>(std::stoul(opt(argc, argv, "--rounds", "4"))),
+                  has_flag(argc, argv, "--json"));
+}
+
+int run_watch(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_watch(cfg,
+                   static_cast<unsigned>(std::stoul(opt(argc, argv, "--rounds", "32"))),
+                   std::stod(opt(argc, argv, "--interval-us", "500")),
+                   has_flag(argc, argv, "--once"), has_flag(argc, argv, "--json"));
+}
+
+int run_slo(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_slo(cfg, has_flag(argc, argv, "--collapse"), has_flag(argc, argv, "--json"));
+}
+
+int run_postmortem(int, char** argv, const core::WorldConfig&) {
+  // Unreachable through main (dispatched before the config loads); kept so
+  // the handler array stays exactly parallel to the command table.
+  return cmd_postmortem(argv[2]);
+}
+
+int run_loadsweep(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_loadsweep(
+      cfg, static_cast<unsigned>(std::stoul(opt(argc, argv, "--messages", "120"))));
+}
+
+int run_incast(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_incast(cfg,
+                    static_cast<unsigned>(std::stoul(opt(argc, argv, "--senders", "4"))),
+                    std::stoul(opt(argc, argv, "--size", "2097152")));
+}
+
+constexpr Handler kHandlers[] = {
+    run_describe, run_sample, run_pingpong, run_compare, run_gantt,
+    run_metrics,  run_qos,    run_trace,    run_spans,   run_perf,
+    run_watch,    run_slo,    run_postmortem, run_loadsweep, run_incast,
+};
+static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) == railsctl::kCommandCount,
+              "every command in railsctl_cli.hpp needs a handler (in table order)");
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
-  const std::string cmd = argv[1];
+  const railsctl::CommandInfo* info = railsctl::find_command(argv[1]);
+  if (info == nullptr) return usage();
   // postmortem takes a bundle file, not a cluster file — dispatch it before
   // the config loader gets a chance to choke on JSON.
-  if (cmd == "postmortem") return cmd_postmortem(argv[2]);
+  if (!info->takes_cluster_file) return cmd_postmortem(argv[2]);
   const core::WorldConfig cfg = core::load_world_config(argv[2]);
-
-  if (cmd == "describe") return cmd_describe(cfg);
-  if (cmd == "sample") return cmd_sample(cfg, opt(argc, argv, "--out", nullptr));
-  if (cmd == "pingpong") {
-    return cmd_pingpong(cfg, std::stoul(opt(argc, argv, "--min", "4")),
-                        std::stoul(opt(argc, argv, "--max", "8388608")),
-                        static_cast<unsigned>(std::stoul(opt(argc, argv, "--iters", "2"))));
-  }
-  if (cmd == "compare") {
-    const std::size_t size = std::stoul(opt(argc, argv, "--size", "4194304"));
-    const auto strategies = split_csv(opt(
-        argc, argv, "--strategies",
-        "single-rail:0,greedy-balance,aggregate-fastest,iso-split,fixed-ratio-split,"
-        "hetero-split,multicore-hetero-split,batch-spread"));
-    return cmd_compare(cfg, size, strategies);
-  }
-  if (cmd == "gantt") {
-    return cmd_gantt(cfg, std::stoul(opt(argc, argv, "--size", "4194304")));
-  }
-  if (cmd == "metrics") {
-    const std::size_t size = std::stoul(opt(argc, argv, "--size", "4194304"));
-    const auto strategies =
-        split_csv(opt(argc, argv, "--strategies", "multicore-hetero-split"));
-    return cmd_metrics(cfg, size, strategies, has_flag(argc, argv, "--json"),
-                       std::stoi(opt(argc, argv, "--fail-rail", "-1")),
-                       std::stod(opt(argc, argv, "--fail-at-us", "5")),
-                       has_flag(argc, argv, "--recal"),
-                       std::stoi(opt(argc, argv, "--degrade-rail", "-1")),
-                       std::stod(opt(argc, argv, "--degrade-factor", "3")),
-                       std::stoi(opt(argc, argv, "--force-recal", "-1")),
-                       has_flag(argc, argv, "--qos"),
-                       has_flag(argc, argv, "--reliability"),
-                       opt(argc, argv, "--fault-rail", nullptr));
-  }
-  if (cmd == "qos") {
-    return cmd_qos(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
-                   has_flag(argc, argv, "--json"));
-  }
-  if (cmd == "trace") {
-    return cmd_trace(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
-                     opt(argc, argv, "--chrome", nullptr));
-  }
-  if (cmd == "spans") {
-    return cmd_spans(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
-                     opt(argc, argv, "--strategy", nullptr),
-                     std::stoi(opt(argc, argv, "--fail-rail", "-1")),
-                     std::stod(opt(argc, argv, "--fail-at-us", "5")),
-                     opt(argc, argv, "--chrome", nullptr),
-                     opt(argc, argv, "--postmortem-dir", nullptr));
-  }
-  if (cmd == "perf") {
-    return cmd_perf(cfg, std::stoul(opt(argc, argv, "--size", "4194304")),
-                    static_cast<unsigned>(std::stoul(opt(argc, argv, "--rounds", "4"))),
-                    has_flag(argc, argv, "--json"));
-  }
-  if (cmd == "loadsweep") {
-    return cmd_loadsweep(
-        cfg, static_cast<unsigned>(std::stoul(opt(argc, argv, "--messages", "120"))));
-  }
-  if (cmd == "incast") {
-    return cmd_incast(cfg,
-                      static_cast<unsigned>(std::stoul(opt(argc, argv, "--senders", "4"))),
-                      std::stoul(opt(argc, argv, "--size", "2097152")));
-  }
-  return usage();
+  return kHandlers[info - railsctl::kCommands](argc, argv, cfg);
 }

@@ -1,0 +1,139 @@
+// railsctl command table — the single source of truth for the CLI surface.
+//
+// The usage string used to be a hand-maintained fprintf that drifted from
+// the real subcommand set as the tool grew. Now every subcommand is one row
+// here: `usage_text()` is generated from the table, railsctl.cpp binds one
+// handler per row (with a static_assert pinning the counts together), and
+// tests/test_railsctl_cli.cpp asserts the table and the usage agree in both
+// directions. Adding a command without updating the table no longer
+// compiles; updating the table without updating the usage is impossible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace railsctl {
+
+struct CommandInfo {
+  const char* name;
+  /// Option synopsis appended after the command name ("" when none).
+  const char* args;
+  /// Help body: one or more lines, '\n'-separated, no trailing newline.
+  const char* help;
+  /// False for commands whose positional argument is not a cluster file.
+  bool takes_cluster_file = true;
+};
+
+inline constexpr CommandInfo kCommands[] = {
+    {"describe", "", "print the parsed configuration"},
+    {"sample", "[--out DIR]", "sample every rail; write profiles to DIR"},
+    {"pingpong", "[--min N] [--max N] [--iters N]",
+     "bandwidth table over a size sweep"},
+    {"compare", "--size N [--strategies a,b,c]",
+     "one-way latency per strategy at one size"},
+    {"gantt", "[--size N]", "trace one transfer, render NIC lanes"},
+    {"metrics",
+     "[--size N] [--strategies a,b,c] [--json] [--qos]\n"
+     "[--fail-rail R] [--fail-at-us U]\n"
+     "[--recal] [--degrade-rail R] [--degrade-factor F]\n"
+     "[--force-recal R] [--reliability]\n"
+     "[--fault-rail R:drop=P,corrupt=P,dup=P,reorder=W]",
+     "run a mixed workload per strategy; print\n"
+     "counters, latency histograms, prediction error;\n"
+     "--fail-rail injects a fail-stop on node 0's\n"
+     "rail R (at U us) to exercise engine failover;\n"
+     "--recal enables online recalibration and\n"
+     "repeats the workload, printing per-rail trust;\n"
+     "--degrade-rail slows node 0's rail R by F\n"
+     "(default 3x) so drift detection has a target;\n"
+     "--force-recal queues a re-sampling sweep on R;\n"
+     "--reliability turns on CRC + ACK/retransmit;\n"
+     "--fault-rail injects probabilistic data-plane\n"
+     "faults (drop/corrupt/dup rates, reorder window)\n"
+     "on every node's NIC for rail R"},
+    {"qos", "[--size N] [--json]",
+     "run a bulk-plus-pings workload with the QoS\n"
+     "arbiter enabled; print per-class queue depths,\n"
+     "DRR deficits, deadline hit/miss and admission\n"
+     "counters (--json for machine-readable output)"},
+    {"trace", "--chrome FILE [--size N]",
+     "trace a mixed workload, write Chrome-trace\n"
+     "JSON loadable in Perfetto / about:tracing"},
+    {"spans",
+     "[--size N] [--strategy NAME] [--fail-rail R] [--fail-at-us U]\n"
+     "[--chrome FILE] [--postmortem-dir DIR]",
+     "run a mixed workload, reconstruct causal\n"
+     "spans, print per-message critical-path\n"
+     "attribution + finish-skew and measured-TO\n"
+     "histograms; --chrome adds span/flow overlays\n"
+     "to the trace file; --fail-rail triggers a\n"
+     "flight-recorder bundle into DIR (default .)"},
+    {"perf", "[--size N] [--rounds N] [--json]",
+     "run a mixed workload with the hot-path cycle\n"
+     "profiler enabled; print the per-layer\n"
+     "cycles/message breakdown (docs/PERF.md);\n"
+     "layer self-times sum to the engine's total\n"
+     "instrumented CPU per message"},
+    {"watch", "[--rounds N] [--interval-us U] [--once] [--json]",
+     "run a deadline-tagged workload with the health\n"
+     "plane on and render the live per-class SLO\n"
+     "scorecard (docs/OBSERVABILITY.md); --once prints\n"
+     "a single scorecard at the end, --interval-us\n"
+     "re-renders it every U us of virtual time;\n"
+     "--json emits scorecard + time series + alerts"},
+    {"slo", "[--collapse] [--json]",
+     "evaluate the config's `slo` objectives (or a\n"
+     "default latency-class objective) over a\n"
+     "workload and print burn-rate alert state;\n"
+     "--collapse floods the fabric and tightens\n"
+     "deadlines so the burn-rate alert demonstrably\n"
+     "fires and dumps an SLO postmortem bundle"},
+    {"postmortem", "", "render a flight-recorder postmortem bundle\n"
+                       "(takes a bundle file, not a cluster file)",
+     false},
+    {"loadsweep", "[--messages N]", "open-loop latency vs offered load"},
+    {"incast", "[--senders N] [--size N]", "N senders converge on node 0"},
+};
+
+inline constexpr std::size_t kCommandCount =
+    sizeof(kCommands) / sizeof(kCommands[0]);
+
+inline const CommandInfo* find_command(std::string_view name) {
+  for (const CommandInfo& c : kCommands) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+/// The full usage string, generated from kCommands.
+inline std::string usage_text() {
+  std::string out = "usage: railsctl <";
+  for (std::size_t i = 0; i < kCommandCount; ++i) {
+    if (i != 0) out += '|';
+    out += kCommands[i].name;
+  }
+  out += "> <cluster-file> [options]\n";
+  for (const CommandInfo& c : kCommands) {
+    // "  name args" (args may span lines), then the indented help body.
+    std::string head = std::string("  ") + c.name;
+    if (c.args[0] != '\0') {
+      head += ' ';
+      for (const char* p = c.args; *p != '\0'; ++p) {
+        head += *p;
+        if (*p == '\n') head += "        ";
+      }
+    }
+    out += head;
+    out += '\n';
+    out += "                         ";
+    for (const char* p = c.help; *p != '\0'; ++p) {
+      out += *p;
+      if (*p == '\n') out += "                         ";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace railsctl
