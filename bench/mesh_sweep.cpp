@@ -1,0 +1,189 @@
+// Topology sweep: routed worlds from 2x2 to 16x16 (256 nodes).
+//
+// Every off-diagonal node (x, y) sends 2 KiB to its transpose (y, x) — the
+// classic corner-turn pattern that exercises both mesh dimensions and, on
+// the torus, the wrap links. Per grid size we report virtual completion
+// time, total simulated events, forwarded (multi-hop) segments, and the
+// host-side event rate the sharded queue sustains.
+//
+// Two properties are asserted as shape checks rather than eyeballed:
+//   * sharded-vs-single determinism — the same 8x8 torus exchange replayed
+//     with the single global queue produces bit-identical per-node
+//     completion times (the sharded queue is an exact merge, not an
+//     approximation);
+//   * torus <= mesh — wrap links can only shorten routes, so the same
+//     transpose on a torus never finishes later than on the open mesh.
+//
+// --quick trims the sweep to {4x4, 16x16}; --json <path> writes the
+// canonical rails-bench bundle (bench_support/bench_json.hpp).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/bench_json.hpp"
+#include "bench_support/table.hpp"
+#include "core/world.hpp"
+#include "fabric/presets.hpp"
+#include "topo/topology.hpp"
+
+using namespace rails;
+
+namespace {
+
+constexpr std::size_t kSize = 2048;
+
+core::WorldConfig grid_config(unsigned side, bool torus, bool sharded) {
+  core::WorldConfig cfg;
+  cfg.fabric.node_count = side * side;
+  cfg.fabric.rails = {fabric::seastar_torus(), fabric::seastar_torus()};
+  cfg.fabric.net = torus ? topo::TopologySpec::torus(side, side)
+                         : topo::TopologySpec::mesh(side, side);
+  cfg.fabric.event_sharding = sharded;
+  return cfg;
+}
+
+struct SweepPoint {
+  double completion_us = 0.0;
+  double simulated_events = 0.0;
+  double forwarded = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t spills = 0;
+  /// Receiver-side completion time per transpose pair, in node order —
+  /// the replay fingerprint the determinism check compares bit-for-bit.
+  std::vector<SimTime> completions;
+};
+
+/// One corner-turn on `world` (side x side grid): node (x, y) sends to
+/// (y, x) for every x != y.
+SweepPoint transpose_exchange(core::World& world, unsigned side) {
+  const unsigned nodes = side * side;
+  std::vector<std::uint8_t> tx(kSize, 0x5A);
+  std::vector<std::uint8_t> rx(static_cast<std::size_t>(nodes) * kSize);
+  auto& events = world.fabric().events();
+  events.run_all();
+
+  const auto host_start = std::chrono::steady_clock::now();
+  const SimTime start = world.now();
+  const std::uint64_t events_before = events.processed();
+  const std::uint64_t forwarded_before = world.fabric().forwarded_segments();
+
+  std::vector<std::pair<NodeId, core::RecvHandle>> recvs;
+  for (unsigned n = 0; n < nodes; ++n) {
+    const unsigned x = n % side;
+    const unsigned y = n / side;
+    if (x == y) continue;
+    const NodeId peer = x * side + y;  // (y, x) in row-major
+    recvs.emplace_back(n, world.engine(n).irecv(peer, static_cast<Tag>(5000 + peer),
+                                                rx.data() + n * kSize, kSize));
+  }
+  for (unsigned n = 0; n < nodes; ++n) {
+    const unsigned x = n % side;
+    const unsigned y = n / side;
+    if (x == y) continue;
+    world.engine(n).isend(x * side + y, static_cast<Tag>(5000 + n), tx.data(),
+                          kSize);
+  }
+
+  SweepPoint p;
+  p.completions.reserve(recvs.size());
+  for (auto& [node, recv] : recvs) p.completions.push_back(world.wait(recv));
+  events.run_all();
+  const double host_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start)
+          .count();
+
+  p.completion_us = to_usec(world.now() - start);
+  p.simulated_events = static_cast<double>(events.processed() - events_before);
+  p.forwarded =
+      static_cast<double>(world.fabric().forwarded_segments() - forwarded_before);
+  p.events_per_sec = host_sec > 0.0 ? p.simulated_events / host_sec : 0.0;
+  p.spills = events.handler_spills();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
+  bench::BenchResult result;
+  result.name = "mesh_sweep";
+  result.config = {{"quick", quick ? "1" : "0"}, {"pattern", "transpose"}};
+
+  const std::vector<unsigned> sides =
+      quick ? std::vector<unsigned>{4, 16} : std::vector<unsigned>{2, 4, 8, 16};
+  bench::SeriesTable table(
+      "topology sweep — 2 KiB transpose on a 2D torus, sharded event queue",
+      "grid", {"completion us", "events", "forwarded", "Mevents/s host"});
+  std::uint64_t total_spills = 0;
+  double forwarded_at_16 = 0.0;
+  for (unsigned side : sides) {
+    core::World world(grid_config(side, /*torus=*/true, /*sharded=*/true));
+    const SweepPoint p = transpose_exchange(world, side);
+    table.add_row(std::to_string(side) + "x" + std::to_string(side),
+                  {p.completion_us, p.simulated_events, p.forwarded,
+                   p.events_per_sec / 1e6});
+    total_spills += p.spills;
+    if (side == 16) forwarded_at_16 = p.forwarded;
+    const std::string suffix =
+        "/torus=" + std::to_string(side) + "x" + std::to_string(side);
+    result.metrics.push_back({"transpose_completion_us" + suffix,
+                              p.completion_us, "us", /*higher_is_better=*/false,
+                              /*headline=*/true});
+    result.metrics.push_back({"simulated_events" + suffix, p.simulated_events,
+                              "events", /*higher_is_better=*/false,
+                              /*headline=*/true});
+    result.metrics.push_back({"forwarded_segments" + suffix, p.forwarded,
+                              "segments", /*higher_is_better=*/false,
+                              /*headline=*/true});
+    result.metrics.push_back({"events_per_sec_host" + suffix, p.events_per_sec,
+                              "events/s", /*higher_is_better=*/true,
+                              /*headline=*/false});
+  }
+  table.print(std::cout, 1);
+
+  // Determinism: the sharded queue must replay the single-queue schedule
+  // bit-for-bit on the same seed and traffic.
+  const unsigned check_side = 8;
+  core::World sharded(grid_config(check_side, true, true));
+  core::World single(grid_config(check_side, true, false));
+  const SweepPoint a = transpose_exchange(sharded, check_side);
+  const SweepPoint b = transpose_exchange(single, check_side);
+  const bool bit_identical = a.completions == b.completions;
+
+  // Wrap links only ever shorten routes.
+  core::World mesh(grid_config(check_side, false, true));
+  const SweepPoint m = transpose_exchange(mesh, check_side);
+
+  if (json_path != nullptr) {
+    bench::BenchBundle bundle;
+    bundle.generator = "mesh_sweep";
+    bundle.commit = bench::commit_from_env();
+    bundle.quick = quick;
+    bundle.generated_unix = static_cast<std::uint64_t>(std::time(nullptr));
+    bundle.benches.push_back(std::move(result));
+    if (!bench::write_bundle_file(json_path, bundle)) return 1;
+  }
+
+  std::printf("\nshape checks:\n");
+  bench::shape_check(std::cout,
+                     "sharded queue replays the single-queue schedule "
+                     "bit-identically (8x8 torus)",
+                     bit_identical);
+  bench::shape_check(std::cout, "torus transpose never slower than open mesh",
+                     a.completion_us <= m.completion_us + 1e-9);
+  bench::shape_check(std::cout, "multi-hop forwarding engaged at 16x16",
+                     forwarded_at_16 > 0.0);
+  bench::shape_check(std::cout, "no handler spills across the sweep",
+                     total_spills == 0);
+  return bench::shape_failures();
+}

@@ -1,23 +1,109 @@
-// Extension A4: rail-count scaling — the paper's motivating hardware is the
-// T2K Open Supercomputer with a 4-link InfiniBand network per 16-core node.
-// This bench grows a homogeneous IB-DDR fabric from 1 to 4 rails and
-// reports the 8 MiB aggregate bandwidth and efficiency vs the ideal N-fold
-// speedup, for hetero-split and iso-split (identical rails: both should
-// track the ideal), plus the single-rail baseline.
+// Extension A4: scaling along both axes the paper cares about.
+//
+// Part 1 — rail count. The motivating hardware is the T2K Open
+// Supercomputer with a 4-link InfiniBand network per 16-core node. We grow
+// a homogeneous IB-DDR fabric from 1 to 4 rails and report the 8 MiB
+// aggregate bandwidth and efficiency vs the ideal N-fold speedup, for
+// hetero-split and iso-split (identical rails: both should track the ideal).
+//
+// Part 2 — node count. A flat world grows from 4 to 256 nodes with the
+// per-node sharded event queue enabled; every node participates in one
+// ring exchange (n -> (n+1) % N, all transfers concurrent). Reported per
+// point: virtual completion time (should stay roughly flat — the pairs are
+// independent), total simulated events (should scale ~linearly with N),
+// and the host-side event rate, which is what the sharded queue must not
+// let collapse at scale.
+//
+// --quick trims the node sweep to {4, 64, 256}; --json <path> writes the
+// canonical rails-bench bundle (bench_support/bench_json.hpp).
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_support/bench_json.hpp"
 #include "bench_support/table.hpp"
 #include "core/world.hpp"
 #include "fabric/presets.hpp"
 
 using namespace rails;
 
-int main() {
-  bench::SeriesTable table(
+namespace {
+
+struct RingPoint {
+  double completion_us = 0.0;    // virtual time for the full exchange
+  double simulated_events = 0.0; // DES events processed during it
+  double events_per_sec = 0.0;   // host rate (informational only)
+  std::uint64_t spills = 0;
+  std::uint64_t switches = 0;
+};
+
+/// One concurrent ring exchange (every node sends 2 KiB to its successor)
+/// on a flat `nodes`-wide world with the sharded event queue.
+RingPoint ring_exchange(unsigned nodes, unsigned rounds) {
+  constexpr std::size_t kSize = 2048;
+  core::WorldConfig cfg;
+  cfg.fabric.node_count = nodes;
+  cfg.fabric.rails = {fabric::seastar_torus(), fabric::seastar_torus()};
+  cfg.fabric.event_sharding = true;
+  core::World world(cfg);
+
+  std::vector<std::uint8_t> tx(kSize, 0x5A);
+  std::vector<std::uint8_t> rx(static_cast<std::size_t>(nodes) * kSize);
+  auto& events = world.fabric().events();
+  events.run_all();
+
+  const auto host_start = std::chrono::steady_clock::now();
+  const SimTime start = world.now();
+  const std::uint64_t events_before = events.processed();
+  for (unsigned round = 0; round < rounds; ++round) {
+    const Tag tag = static_cast<Tag>(7000 + round);
+    std::vector<core::RecvHandle> recvs;
+    recvs.reserve(nodes);
+    for (unsigned n = 0; n < nodes; ++n) {
+      recvs.push_back(world.engine(n).irecv((n + nodes - 1) % nodes, tag,
+                                            rx.data() + n * kSize, kSize));
+    }
+    for (unsigned n = 0; n < nodes; ++n) {
+      world.engine(n).isend((n + 1) % nodes, tag, tx.data(), kSize);
+    }
+    for (auto& r : recvs) world.wait(r);
+    events.run_all();
+  }
+  const double host_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start)
+          .count();
+
+  RingPoint p;
+  p.completion_us = to_usec(world.now() - start) / rounds;
+  p.simulated_events = static_cast<double>(events.processed() - events_before);
+  p.events_per_sec = host_sec > 0.0 ? p.simulated_events / host_sec : 0.0;
+  p.spills = events.handler_spills();
+  p.switches = events.shard_switches();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
+  bench::BenchResult result;
+  result.name = "rails_scaling";
+  result.config = {{"quick", quick ? "1" : "0"}};
+
+  // Part 1: rail-count sweep.
+  bench::SeriesTable rail_table(
       "A4 — rail-count scaling (T2K-style 4x IB-DDR): 8 MiB bandwidth",
       "rails", {"hetero-split MB/s", "iso-split MB/s", "efficiency %"});
-
   double one_rail = 0.0;
   double efficiency_at_4 = 0.0;
   for (unsigned rails = 1; rails <= 4; ++rails) {
@@ -35,12 +121,72 @@ int main() {
     if (rails == 1) one_rail = hetero_bw;
     const double efficiency = hetero_bw / (one_rail * rails) * 100.0;
     if (rails == 4) efficiency_at_4 = efficiency;
-    table.add_row(std::to_string(rails), {hetero_bw, iso_bw, efficiency});
+    rail_table.add_row(std::to_string(rails), {hetero_bw, iso_bw, efficiency});
+    result.metrics.push_back({"bandwidth_mbps/rails=" + std::to_string(rails),
+                              hetero_bw, "MB/s", /*higher_is_better=*/true,
+                              /*headline=*/true});
   }
-  table.print(std::cout, 1);
+  rail_table.print(std::cout, 1);
+
+  // Part 2: node-count sweep.
+  const std::vector<unsigned> counts =
+      quick ? std::vector<unsigned>{4, 64, 256}
+            : std::vector<unsigned>{4, 16, 64, 128, 256};
+  const unsigned rounds = quick ? 1 : 2;
+  bench::SeriesTable node_table(
+      "node-count scaling — concurrent 2 KiB ring exchange, sharded queue",
+      "nodes", {"completion us", "events", "Mevents/s host"});
+  double completion_small = 0.0;
+  double completion_large = 0.0;
+  double events_small = 0.0;
+  double events_large = 0.0;
+  std::uint64_t total_spills = 0;
+  for (unsigned nodes : counts) {
+    const RingPoint p = ring_exchange(nodes, rounds);
+    node_table.add_row(std::to_string(nodes),
+                       {p.completion_us, p.simulated_events,
+                        p.events_per_sec / 1e6});
+    if (nodes == counts.front()) {
+      completion_small = p.completion_us;
+      events_small = p.simulated_events;
+    }
+    if (nodes == 256) {
+      completion_large = p.completion_us;
+      events_large = p.simulated_events;
+    }
+    total_spills += p.spills;
+    const std::string suffix = "/nodes=" + std::to_string(nodes);
+    result.metrics.push_back({"ring_completion_us" + suffix, p.completion_us,
+                              "us", /*higher_is_better=*/false,
+                              /*headline=*/true});
+    result.metrics.push_back({"simulated_events" + suffix, p.simulated_events,
+                              "events", /*higher_is_better=*/false,
+                              /*headline=*/true});
+    result.metrics.push_back({"events_per_sec_host" + suffix, p.events_per_sec,
+                              "events/s", /*higher_is_better=*/true,
+                              /*headline=*/false});
+  }
+  node_table.print(std::cout, 1);
+
+  if (json_path != nullptr) {
+    bench::BenchBundle bundle;
+    bundle.generator = "rails_scaling";
+    bundle.commit = bench::commit_from_env();
+    bundle.quick = quick;
+    bundle.generated_unix = static_cast<std::uint64_t>(std::time(nullptr));
+    bundle.benches.push_back(std::move(result));
+    if (!bench::write_bundle_file(json_path, bundle)) return 1;
+  }
 
   std::printf("\nshape checks:\n");
   bench::shape_check(std::cout, "4 rails reach >95%% of the ideal 4x aggregate",
                      efficiency_at_4 > 95.0);
+  bench::shape_check(
+      std::cout, "ring completion stays near-flat from smallest to 256 nodes",
+      completion_large < completion_small * 3.0);
+  bench::shape_check(std::cout, "simulated events scale with node count",
+                     events_large > events_small * 4.0);
+  bench::shape_check(std::cout, "no handler spills across the node sweep",
+                     total_spills == 0);
   return bench::shape_failures();
 }

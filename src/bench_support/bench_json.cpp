@@ -70,6 +70,10 @@ void write_bundle(std::ostream& os, const BenchBundle& bundle) {
         os << ", \"max_abs\": ";
         write_number(os, metric.max_abs);
       }
+      if (metric.min_abs > 0.0) {
+        os << ", \"min_abs\": ";
+        write_number(os, metric.min_abs);
+      }
       os << '}';
     }
     os << (bench.metrics.empty() ? "]" : "\n      ]") << "\n    }";

@@ -56,6 +56,12 @@ struct BenchMetric {
   /// Absolute gate: benchdiff fails the run when the candidate value
   /// exceeds this ceiling, baseline regardless. <= 0 = no ceiling.
   double max_abs = 0.0;
+  /// Absolute floor, the ceiling's mirror: benchdiff fails when the
+  /// candidate value falls below it. Used for host-rate throughput bounds
+  /// (e.g. DES events/sec) where a relative gate would flake on runner
+  /// speed but a generous floor still catches order-of-magnitude
+  /// slowdowns. <= 0 = no floor.
+  double min_abs = 0.0;
 };
 
 struct BenchResult {

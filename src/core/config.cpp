@@ -23,6 +23,7 @@ fabric::NetworkModelParams preset_by_name(const std::string& name, int line) {
   if (name == "ib-ddr") return fabric::ib_ddr();
   if (name == "gige-tcp") return fabric::gige_tcp();
   if (name == "myri2000") return fabric::myri2000();
+  if (name == "seastar-torus") return fabric::seastar_torus();
   fail(line, "unknown rail preset '" + name + "'");
 }
 
@@ -82,13 +83,48 @@ WorldConfig parse_world_config(std::istream& is) {
         fail(lineno, "nodes needs a positive integer");
       }
     } else if (directive == "topology") {
+      // Polymorphic: a kind keyword selects the inter-node network shape
+      // (docs/TOPOLOGY.md); the legacy SOCKETSxCORES form keeps describing
+      // the machine inside each node.
       std::string spec;
       ls >> spec;
-      const auto x = spec.find('x');
-      if (x == std::string::npos) fail(lineno, "topology needs SOCKETSxCORES");
-      cfg.fabric.topology.sockets = std::stoul(spec.substr(0, x));
-      cfg.fabric.topology.cores_per_socket = std::stoul(spec.substr(x + 1));
-      if (cfg.fabric.topology.core_count() == 0) fail(lineno, "empty topology");
+      if (spec == "flat") {
+        cfg.fabric.net = topo::TopologySpec::flat();
+      } else if (spec == "mesh" || spec == "torus") {
+        std::string dims;
+        ls >> dims;
+        const auto x = dims.find('x');
+        if (x == std::string::npos) fail(lineno, "topology mesh|torus needs WxH");
+        const std::uint32_t w = std::stoul(dims.substr(0, x));
+        const std::uint32_t h = std::stoul(dims.substr(x + 1));
+        if (w == 0 || h == 0) fail(lineno, "empty network topology");
+        cfg.fabric.net = spec == "mesh" ? topo::TopologySpec::mesh(w, h)
+                                        : topo::TopologySpec::torus(w, h);
+        // The grid implies the node count; a later `nodes` line that
+        // disagrees is caught when the topology is materialised.
+        cfg.fabric.node_count = w * h;
+      } else if (spec == "fattree") {
+        std::string dims;
+        ls >> dims;
+        const auto x = dims.find('x');
+        if (x == std::string::npos) fail(lineno, "topology fattree needs DOWNxUP");
+        const std::uint32_t down = std::stoul(dims.substr(0, x));
+        const std::uint32_t up = std::stoul(dims.substr(x + 1));
+        if (down == 0 || up == 0) fail(lineno, "empty network topology");
+        cfg.fabric.net = topo::TopologySpec::fat_tree(down, up);
+      } else {
+        const auto x = spec.find('x');
+        if (x == std::string::npos) {
+          fail(lineno, "topology needs mesh|torus|fattree|flat or SOCKETSxCORES");
+        }
+        cfg.fabric.topology.sockets = std::stoul(spec.substr(0, x));
+        cfg.fabric.topology.cores_per_socket = std::stoul(spec.substr(x + 1));
+        if (cfg.fabric.topology.core_count() == 0) fail(lineno, "empty topology");
+      }
+    } else if (directive == "event_sharding") {
+      int v = 0;
+      ls >> v;
+      cfg.fabric.event_sharding = v != 0;
     } else if (directive == "strategy") {
       if (!(ls >> cfg.strategy)) fail(lineno, "strategy needs a name");
     } else if (directive == "rdv_threshold") {
@@ -372,6 +408,20 @@ void save_world_config(const WorldConfig& cfg, std::ostream& os) {
   os << "nodes " << cfg.fabric.node_count << "\n";
   os << "topology " << cfg.fabric.topology.sockets << "x"
      << cfg.fabric.topology.cores_per_socket << "\n";
+  switch (cfg.fabric.net.kind) {
+    case topo::TopoKind::kFlat:
+      break;  // the default shape stays implicit, like fault_seed 0
+    case topo::TopoKind::kMesh2D:
+    case topo::TopoKind::kTorus2D:
+      os << "topology " << topo::to_string(cfg.fabric.net.kind) << " "
+         << cfg.fabric.net.width << "x" << cfg.fabric.net.height << "\n";
+      break;
+    case topo::TopoKind::kFatTree2L:
+      os << "topology fattree " << cfg.fabric.net.down_ports << "x"
+         << cfg.fabric.net.up_ports << "\n";
+      break;
+  }
+  if (cfg.fabric.event_sharding) os << "event_sharding 1\n";
   os << "strategy " << cfg.strategy << "\n";
   if (cfg.engine.rdv_threshold_override != 0) {
     os << "rdv_threshold " << cfg.engine.rdv_threshold_override << "\n";

@@ -908,7 +908,14 @@ fabric::SimNic::PostTimes Engine::post_segment(RailId rail, fabric::Segment seg,
     cores.occupy(core, times.host_start, times.host_end - times.host_start);
   }
   stats_.payload_bytes_per_rail[rail] += payload;
-  if (sequenced) rel_arm(rel_dst, rel_seq, times.deliver_at - fabric_->now());
+  if (sequenced) {
+    // deliver_at is the NIC model's single-hop arrival; on routed fabrics
+    // the segment still has (hops - 1) links to cross before the receiver
+    // can even generate the ACK, so budget that into the predicted flight.
+    rel_arm(rel_dst, rel_seq,
+            times.deliver_at - fabric_->now() +
+                fabric_->extra_path_latency(self_, rel_dst, rail));
+  }
   return times;
 }
 
@@ -1142,7 +1149,7 @@ void Engine::post_stream_chunk(SendRequest& send, RailId rail, std::uint64_t off
   ++send.chunk_count;
   send.bytes_posted += bytes;
   observe_completion(rail, predicted, times.nic_end - now);
-  track_chunk(send.id, offset, bytes, rail, /*attempt=*/0, now, predicted);
+  track_chunk(send.id, send.dst, offset, bytes, rail, /*attempt=*/0, now, predicted);
 }
 
 void Engine::stream_chunks(SendRequest& send) {
@@ -1204,8 +1211,8 @@ void Engine::stream_chunks(SendRequest& send) {
     observe_completion(chunk.rail, predicted, model_predicted,
                        times.nic_end - decision_now);
     send.bytes_posted += chunk.bytes;
-    track_chunk(send.id, chunk.offset, chunk.bytes, chunk.rail, /*attempt=*/0,
-                decision_now, predicted);
+    track_chunk(send.id, send.dst, chunk.offset, chunk.bytes, chunk.rail,
+                /*attempt=*/0, decision_now, predicted);
   }
 }
 
@@ -1562,9 +1569,9 @@ RailId Engine::repost_rail(const fabric::Segment& seg) const {
   return seg.rail;
 }
 
-void Engine::track_chunk(std::uint64_t msg_id, std::uint64_t offset, std::size_t bytes,
-                         RailId rail, unsigned attempt, SimTime decision_now,
-                         SimDuration predicted) {
+void Engine::track_chunk(std::uint64_t msg_id, NodeId dst, std::uint64_t offset,
+                         std::size_t bytes, RailId rail, unsigned attempt,
+                         SimTime decision_now, SimDuration predicted) {
   live_chunks_[msg_id][offset] = attempt;
   if (!config_.failover.enabled) return;
   // With end-to-end reliability on, the ACK timeout owns loss detection for
@@ -1574,8 +1581,13 @@ void Engine::track_chunk(std::uint64_t msg_id, std::uint64_t offset, std::size_t
   // Timeout = predicted completion times the slack factor, floored so tiny
   // chunks are not declared lost by rounding. On a healthy fabric the chunk
   // retires (tx-complete) long before this event fires, making it a no-op.
+  // Routed fabrics add the (hops - 1) link latencies the estimator's
+  // single-hop view cannot see — without the allowance every long route
+  // would read as a loss and trigger spurious failovers.
+  const SimDuration flight =
+      predicted + fabric_->extra_path_latency(self_, dst, rail);
   const auto slack = static_cast<SimDuration>(config_.failover.timeout_slack *
-                                              static_cast<double>(predicted));
+                                              static_cast<double>(flight));
   const SimTime deadline = decision_now + std::max(config_.failover.min_timeout, slack);
   fabric_->events().at(deadline, [this, msg_id, offset, bytes, rail, attempt] {
     on_chunk_timeout(msg_id, offset, bytes, rail, attempt);
@@ -1694,7 +1706,7 @@ void Engine::post_data_chunk(SendRequest& send, RailId rail, std::uint64_t offse
   // Retransmissions do not advance bytes_posted: it tracks distinct message
   // bytes handed to the NICs, and these bytes were already counted.
   observe_completion(rail, predicted, times.nic_end - now);
-  track_chunk(send.id, offset, bytes, rail, attempt, now, predicted);
+  track_chunk(send.id, send.dst, offset, bytes, rail, attempt, now, predicted);
 }
 
 void Engine::quarantine_rail(RailId rail) {

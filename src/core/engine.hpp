@@ -313,10 +313,11 @@ class Engine {
   /// Posts one DATA chunk (failover path) and tracks it for timeout.
   void post_data_chunk(SendRequest& send, RailId rail, std::uint64_t offset,
                        std::size_t bytes, unsigned attempt);
-  /// Registers a live chunk and arms its timeout event.
-  void track_chunk(std::uint64_t msg_id, std::uint64_t offset, std::size_t bytes,
-                   RailId rail, unsigned attempt, SimTime decision_now,
-                   SimDuration predicted);
+  /// Registers a live chunk and arms its timeout event. `dst` feeds the
+  /// multi-hop flight allowance (Fabric::extra_path_latency).
+  void track_chunk(std::uint64_t msg_id, NodeId dst, std::uint64_t offset,
+                   std::size_t bytes, RailId rail, unsigned attempt,
+                   SimTime decision_now, SimDuration predicted);
   void quarantine_rail(RailId rail);
   void schedule_reprobe(RailId rail);
   void reprobe_rail(RailId rail);

@@ -244,17 +244,20 @@ SimNic::PostTimes SimNic::post(Segment seg, SimTime earliest) {
   // RNG-pure so strategy predictions never perturb fault outcomes.
   const WireFate fate = draw_fate(seg, t.host_start, t.deliver_at);
   const SimTime deliver_at = t.deliver_at + fate.reorder_slip;
+  // Arrival work belongs to the destination: with a sharded queue this
+  // keeps each node's event stream on its own partition.
+  const NodeId arrival_node = seg.dst;
 
   if (fate.duplicate) {
     // The duplicate trails the original by one wire latency, like a
     // link-layer retransmit whose first copy was not actually lost. It is
     // delivery-only: no second completion, no extra port occupancy.
     Segment copy = seg;
-    events_->at(deliver_at + usec(model_.params().wire_latency_us),
-                [this, begin = t.host_start, end = t.deliver_at, s = std::move(copy)]() mutable {
-                  if (down_overlaps(begin, end)) return;
-                  deliver_(std::move(s));
-                });
+    events_->at_node(deliver_at + usec(model_.params().wire_latency_us), arrival_node,
+                     [this, begin = t.host_start, end = t.deliver_at, s = std::move(copy)]() mutable {
+                       if (down_overlaps(begin, end)) return;
+                       deliver_(std::move(s));
+                     });
   }
 
   // Delivery-time fate: a segment whose flight interval crosses a down
@@ -262,9 +265,9 @@ SimNic::PostTimes SimNic::post(Segment seg, SimTime earliest) {
   // the instant delivery would have happened — the same place a reliable
   // transport surfaces a completion-queue error. A silent (data-plane) drop
   // is the opposite: the completion fires and the wire eats the bytes.
-  events_->at(deliver_at,
-              [this, begin = t.host_start, end = t.deliver_at, drop = fate.silent_drop,
-               s = std::move(seg)]() mutable {
+  events_->at_node(deliver_at, arrival_node,
+                   [this, begin = t.host_start, end = t.deliver_at, drop = fate.silent_drop,
+                    s = std::move(seg)]() mutable {
                 if (down_overlaps(begin, end)) {
                   ++segments_dropped_;
                   if (tx_error_ != nullptr) tx_error_(std::move(s));

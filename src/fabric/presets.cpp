@@ -107,6 +107,30 @@ NetworkModelParams myri2000() {
   return p;
 }
 
+NetworkModelParams seastar_torus() {
+  NetworkModelParams p;
+  p.name = "seastar-torus";
+  // Cray XT4-class figures: ~4.5 us MPI latency split between software post
+  // and a sub-microsecond per-hop wire, ~2.1 GB/s sustained injection. The
+  // small per-hop latency is the interesting part for routed worlds — a
+  // 16x16 mesh diameter (30 hops) adds ~15 us, which is what mesh_sweep's
+  // diameter shape checks measure.
+  p.post_us = 4.0;
+  p.wire_latency_us = 0.5;
+  p.pio_bw_mbps = 1800.0;
+  p.pio_bw_large_mbps = 1100.0;
+  p.pio_cache_limit = 16u * 1024u;
+  p.mtu = 4u * 1024u;
+  p.per_packet_us = 0.12;
+  p.max_eager = 64u * 1024u;
+  p.rdv_handshake_us = 9.0;
+  p.dma_setup_us = 1.0;
+  p.dma_bw_mbps = 2100.0;
+  p.gather_scatter = true;
+  p.rdma = true;
+  return p;
+}
+
 NetworkModelParams affine(double latency_us, double bandwidth_mbps) {
   NetworkModelParams p;
   p.name = "affine";

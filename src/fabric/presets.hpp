@@ -36,6 +36,11 @@ NetworkModelParams gige_tcp();
 /// heterogeneity studies.
 NetworkModelParams myri2000();
 
+/// SeaStar-style torus link (Cray XT4 era). The canonical NIC for mesh and
+/// torus worlds: every node is its own router, so the per-hop wire latency
+/// here is what the topo layer multiplies along a route.
+NetworkModelParams seastar_torus();
+
 /// A deliberately simple affine network (latency + size/bandwidth, single
 /// regime) for closed-form verification in tests.
 NetworkModelParams affine(double latency_us, double bandwidth_mbps);

@@ -1,0 +1,191 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace rails::topo {
+
+namespace {
+
+// Mesh/torus directed-link directions. Each vertex owns four outgoing link
+// slots (edge vertices in a mesh simply never use the ones that would fall
+// off the grid), so link id = vertex * 4 + dir stays dense and branch-free.
+enum Dir : std::uint32_t { kPlusX = 0, kMinusX = 1, kPlusY = 2, kMinusY = 3 };
+
+}  // namespace
+
+const char* to_string(TopoKind kind) {
+  switch (kind) {
+    case TopoKind::kFlat: return "flat";
+    case TopoKind::kMesh2D: return "mesh";
+    case TopoKind::kTorus2D: return "torus";
+    case TopoKind::kFatTree2L: return "fattree";
+  }
+  return "?";
+}
+
+Topology::Topology(const TopologySpec& spec, std::uint32_t node_count)
+    : spec_(spec), node_count_(node_count) {
+  RAILS_CHECK(node_count_ >= 1);
+  switch (spec_.kind) {
+    case TopoKind::kFlat:
+      break;
+    case TopoKind::kMesh2D:
+    case TopoKind::kTorus2D:
+      RAILS_CHECK(spec_.width >= 1 && spec_.height >= 1);
+      RAILS_CHECK_MSG(spec_.width * spec_.height == node_count_,
+                      "mesh/torus extent does not match the node count");
+      link_count_ = node_count_ * 4;
+      break;
+    case TopoKind::kFatTree2L: {
+      RAILS_CHECK(spec_.down_ports >= 1 && spec_.up_ports >= 1);
+      leaves_ = (node_count_ + spec_.down_ports - 1) / spec_.down_ports;
+      switch_count_ = leaves_ + spec_.up_ports;
+      link_count_ = 2 * node_count_ + 2 * leaves_ * spec_.up_ports;
+      break;
+    }
+  }
+  if (!direct()) {
+    route_cache_.resize(static_cast<std::size_t>(node_count_) * node_count_);
+    route_ready_.assign(route_cache_.size(), 0);
+  }
+}
+
+Coord Topology::coord_of(NodeId n) const {
+  RAILS_CHECK(spec_.kind == TopoKind::kMesh2D || spec_.kind == TopoKind::kTorus2D);
+  RAILS_CHECK(n < node_count_);
+  return {n % spec_.width, n / spec_.width};
+}
+
+NodeId Topology::node_at(Coord c) const {
+  RAILS_CHECK(spec_.kind == TopoKind::kMesh2D || spec_.kind == TopoKind::kTorus2D);
+  RAILS_CHECK(c.x < spec_.width && c.y < spec_.height);
+  return c.y * spec_.width + c.x;
+}
+
+const Path& Topology::route(NodeId src, NodeId dst) const {
+  RAILS_CHECK(!direct());
+  RAILS_CHECK(src < node_count_ && dst < node_count_);
+  const std::size_t idx = static_cast<std::size_t>(src) * node_count_ + dst;
+  if (!route_ready_[idx]) {
+    route_cache_[idx] = compute_route(src, dst);
+    route_ready_[idx] = 1;
+  }
+  return route_cache_[idx];
+}
+
+std::uint32_t Topology::hops(NodeId src, NodeId dst) const {
+  if (direct() || src == dst) return 1;
+  return static_cast<std::uint32_t>(route(src, dst).size());
+}
+
+std::uint32_t Topology::diameter_hops() const {
+  switch (spec_.kind) {
+    case TopoKind::kFlat:
+      return 1;
+    case TopoKind::kMesh2D:
+      return (spec_.width - 1) + (spec_.height - 1);
+    case TopoKind::kTorus2D:
+      return spec_.width / 2 + spec_.height / 2;
+    case TopoKind::kFatTree2L:
+      return leaves_ > 1 ? 4 : 2;
+  }
+  return 1;
+}
+
+Path Topology::compute_route(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  switch (spec_.kind) {
+    case TopoKind::kFlat:
+      return {Hop{dst, kNoLink}};
+    case TopoKind::kMesh2D:
+    case TopoKind::kTorus2D:
+      return route_mesh(src, dst);
+    case TopoKind::kFatTree2L:
+      return route_fat_tree(src, dst);
+  }
+  return {};
+}
+
+Path Topology::route_mesh(NodeId src, NodeId dst) const {
+  // Dimension-order: resolve X fully, then Y. Deterministic and minimal;
+  // on the torus the shorter way around wins, ties broken toward +.
+  const bool wrap = spec_.kind == TopoKind::kTorus2D;
+  const std::uint32_t W = spec_.width;
+  const std::uint32_t H = spec_.height;
+  Path path;
+  Coord cur = coord_of(src);
+  const Coord goal = coord_of(dst);
+
+  auto step = [&](std::uint32_t extent, std::uint32_t from, std::uint32_t to,
+                  Dir plus, Dir minus) {
+    const std::uint32_t fwd = (to + extent - from) % extent;
+    const bool positive = wrap ? fwd <= extent - fwd : to > from;
+    return positive ? plus : minus;
+  };
+
+  while (cur.x != goal.x) {
+    const Dir d = step(W, cur.x, goal.x, kPlusX, kMinusX);
+    const std::uint32_t link = node_at(cur) * 4 + d;
+    cur.x = d == kPlusX ? (cur.x + 1) % W : (cur.x + W - 1) % W;
+    path.push_back(Hop{node_at(cur), link});
+  }
+  while (cur.y != goal.y) {
+    const Dir d = step(H, cur.y, goal.y, kPlusY, kMinusY);
+    const std::uint32_t link = node_at(cur) * 4 + d;
+    cur.y = d == kPlusY ? (cur.y + 1) % H : (cur.y + H - 1) % H;
+    path.push_back(Hop{node_at(cur), link});
+  }
+  return path;
+}
+
+Path Topology::route_fat_tree(NodeId src, NodeId dst) const {
+  // Up-down through the 2-level tree: loop-free by construction (every path
+  // climbs, crosses at most one root, and descends — never up again). The
+  // crossing root is picked per destination (dst mod roots), the RailS
+  // idiom: different destinations exercise different roots, so all-to-all
+  // traffic spreads across the core without adaptive state.
+  const std::uint32_t N = node_count_;
+  const std::uint32_t L = leaves_;
+  const std::uint32_t R = spec_.up_ports;
+  const std::uint32_t src_leaf = src / spec_.down_ports;
+  const std::uint32_t dst_leaf = dst / spec_.down_ports;
+  const auto leaf_vertex = [&](std::uint32_t l) { return N + l; };
+  const auto root_vertex = [&](std::uint32_t r) { return N + L + r; };
+
+  Path path;
+  path.push_back(Hop{leaf_vertex(src_leaf), /*node-up link*/ src});
+  if (src_leaf != dst_leaf) {
+    const std::uint32_t root = dst % R;
+    path.push_back(Hop{root_vertex(root), N + src_leaf * R + root});
+    path.push_back(Hop{leaf_vertex(dst_leaf), N + L * R + root * L + dst_leaf});
+  }
+  path.push_back(Hop{dst, N + 2 * L * R + dst});
+  return path;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  switch (spec_.kind) {
+    case TopoKind::kFlat:
+      os << "flat: " << node_count_ << " node(s), all pairs 1 wire apart";
+      break;
+    case TopoKind::kMesh2D:
+    case TopoKind::kTorus2D:
+      os << to_string(spec_.kind) << " " << spec_.width << "x" << spec_.height
+         << ": " << node_count_ << " node(s), " << link_count_
+         << " directed link slot(s), diameter " << diameter_hops() << " hop(s)";
+      break;
+    case TopoKind::kFatTree2L:
+      os << "fattree " << spec_.down_ports << "x" << spec_.up_ports << ": "
+         << node_count_ << " node(s), " << leaves_ << " leaf + " << spec_.up_ports
+         << " root switch(es), " << link_count_ << " directed link(s), diameter "
+         << diameter_hops() << " hop(s)";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace rails::topo

@@ -294,6 +294,77 @@ rail preset qsnet2
   EXPECT_GT(world.measure_bandwidth(512_KiB, 1), 1000.0);
 }
 
+TEST(ClusterConfig, NetworkTopologyDirectivesRoundTrip) {
+  std::istringstream is(R"(
+topology 2x2
+topology torus 4x4
+event_sharding 1
+strategy hetero-split
+rail preset seastar-torus
+rail preset qsnet2
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_EQ(cfg.fabric.net.kind, topo::TopoKind::kTorus2D);
+  EXPECT_EQ(cfg.fabric.net.width, 4u);
+  EXPECT_EQ(cfg.fabric.net.height, 4u);
+  EXPECT_EQ(cfg.fabric.node_count, 16u);  // the grid implies the node count
+  EXPECT_TRUE(cfg.fabric.event_sharding);
+  EXPECT_EQ(cfg.fabric.topology.sockets, 2u);  // machine form still parses
+
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_EQ(again.fabric.net.kind, topo::TopoKind::kTorus2D);
+  EXPECT_EQ(again.fabric.net.width, 4u);
+  EXPECT_EQ(again.fabric.node_count, 16u);
+  EXPECT_TRUE(again.fabric.event_sharding);
+}
+
+TEST(ClusterConfig, FatTreeDirectiveRoundTrip) {
+  std::istringstream is(R"(
+nodes 64
+topology fattree 16x8
+strategy hetero-split
+rail preset ib-ddr
+)");
+  const WorldConfig cfg = parse_world_config(is);
+  EXPECT_EQ(cfg.fabric.net.kind, topo::TopoKind::kFatTree2L);
+  EXPECT_EQ(cfg.fabric.net.down_ports, 16u);
+  EXPECT_EQ(cfg.fabric.net.up_ports, 8u);
+  EXPECT_EQ(cfg.fabric.node_count, 64u);  // `nodes` stays authoritative
+
+  std::stringstream ss;
+  save_world_config(cfg, ss);
+  const WorldConfig again = parse_world_config(ss);
+  EXPECT_EQ(again.fabric.net.down_ports, 16u);
+  EXPECT_EQ(again.fabric.net.up_ports, 8u);
+  EXPECT_FALSE(again.fabric.event_sharding);  // off stays implicit
+}
+
+TEST(ClusterConfig, MeshExampleConfigBuildsWorkingWorld) {
+  const WorldConfig cfg =
+      load_world_config(std::string(RAILS_REPO_CONFIG_DIR) + "/mesh.rails");
+  EXPECT_EQ(cfg.fabric.net.kind, topo::TopoKind::kMesh2D);
+  EXPECT_EQ(cfg.fabric.node_count, 16u);
+  EXPECT_TRUE(cfg.fabric.event_sharding);
+  core::World world(cfg);
+  EXPECT_EQ(world.fabric().node_count(), 16u);
+  EXPECT_EQ(world.fabric().events().shard_count(), 16u);
+  EXPECT_GT(world.measure_bandwidth(512_KiB, 1), 500.0);
+}
+
+TEST(ClusterConfigDeath, TopologyBadKind) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("topology ring 8\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "topology");
+}
+
+TEST(ClusterConfigDeath, MeshMissingDims) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream is("topology mesh 16\nrail preset myri10g\n");
+  EXPECT_DEATH(parse_world_config(is), "WxH");
+}
+
 TEST(ClusterConfigDeath, UnknownDirective) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   std::istringstream is("bogus 7\nrail preset myri10g\n");

@@ -19,6 +19,8 @@
 #include "core/world.hpp"
 #include "fabric/event_queue.hpp"
 #include "fabric/fault.hpp"
+#include "fabric/presets.hpp"
+#include "topo/topology.hpp"
 #include "perf/profiler.hpp"
 #include "qos/arbiter.hpp"
 #include "trace/tracer.hpp"
@@ -330,6 +332,67 @@ TEST(EagerGrouping, LargeManyDestinationBurstCompletes) {
 
   for (const auto& s : sends) EXPECT_TRUE(s->done());
   EXPECT_EQ(world.engine(0).stats().sends, kDsts * kRounds);
+}
+
+TEST(HotPathAlloc, RoutedBurstAt256NodesStaysAllocationFree) {
+  // The PR 1–9 invariants (0 allocs/msg, 0 handler spills) must survive the
+  // jump from a 2-node flat world to a 256-node routed torus with the
+  // sharded event queue: hop-forwarding closures must stay inside
+  // InlineHandler's inline bytes and the route cache must be warm after the
+  // first pass so steady-state forwarding never allocates.
+  perf::Profiler::set_enabled(false);
+  WorldConfig cfg = paper_testbed("aggregate-fastest");
+  cfg.fabric.node_count = 256;
+  cfg.fabric.net = topo::TopologySpec::torus(16, 16);
+  cfg.fabric.event_sharding = true;
+  cfg.fabric.rails = {fabric::seastar_torus(), fabric::seastar_torus()};
+  World world(cfg);
+  ASSERT_EQ(world.fabric().events().shard_count(), 256u);
+
+  constexpr std::size_t kSize = 2048;
+  // Transpose pairs: (x, y) -> (y, x) is multi-hop for every off-diagonal
+  // node, the classic dimension-order stress pattern.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (std::uint32_t n = 0; n < 32; ++n) {
+    const std::uint32_t x = n % 16;
+    const std::uint32_t y = n / 16;
+    if (x == y) continue;
+    pairs.emplace_back(y * 16 + x, x * 16 + y);
+  }
+  std::vector<std::uint8_t> tx(kSize, 0x77);
+  std::vector<std::vector<std::uint8_t>> rx(pairs.size(),
+                                            std::vector<std::uint8_t>(kSize));
+  std::vector<RecvHandle> recvs;
+  recvs.reserve(pairs.size());
+  Tag tag = 0;
+  const auto burst = [&] {
+    recvs.clear();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      recvs.push_back(world.engine(pairs[i].second)
+                          .irecv(pairs[i].first, tag, rx[i].data(), kSize));
+    }
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      (void)world.engine(pairs[i].first)
+          .isend(pairs[i].second, tag, tx.data(), kSize);
+    }
+    for (const auto& r : recvs) world.wait(r);
+    ++tag;
+  };
+
+  for (int i = 0; i < 4; ++i) burst();  // warm pools, slots, route cache
+
+  const std::uint64_t spills_before = world.fabric().events().handler_spills();
+  const std::uint64_t before = perf::t_alloc_count;
+  constexpr int kMeasured = 16;
+  for (int i = 0; i < kMeasured; ++i) burst();
+  const std::uint64_t delta = perf::t_alloc_count - before;
+
+  EXPECT_EQ(delta, 0u) << delta << " allocations across " << kMeasured
+                       << " routed bursts of " << pairs.size()
+                       << " messages on the 256-node torus";
+  EXPECT_EQ(world.fabric().events().handler_spills(), spills_before);
+  EXPECT_EQ(world.fabric().events().handler_spills(), 0u);
+  EXPECT_GT(world.fabric().forwarded_segments(), 0u);
 }
 
 // --- strategy-decision cache -------------------------------------------------

@@ -43,6 +43,7 @@ struct Metric {
   bool higher_is_better = true;
   bool headline = false;
   double max_abs = 0.0;  ///< absolute ceiling; <= 0 = none
+  double min_abs = 0.0;  ///< absolute floor; <= 0 = none
 };
 
 struct Bundle {
@@ -103,6 +104,7 @@ bool load_bundle(const std::string& path, Bundle& out) {
         metric.headline = h->bool_or(false);
       }
       if (const JsonValue* a = m.find("max_abs")) metric.max_abs = a->num_or(0.0);
+      if (const JsonValue* a = m.find("min_abs")) metric.min_abs = a->num_or(0.0);
       out.metrics.push_back(std::move(metric));
     }
   }
@@ -168,7 +170,10 @@ int main(int argc, char** argv) {
   int alloc_gated = 0;
   for (const Metric& b : base.metrics) {
     const bool alloc_metric = b.unit == "allocs/msg";
-    if (!b.headline && !alloc_metric && b.max_abs <= 0.0 && !show_all) continue;
+    if (!b.headline && !alloc_metric && b.max_abs <= 0.0 && b.min_abs <= 0.0 &&
+        !show_all) {
+      continue;
+    }
     const Metric* c = find_metric(cand, b.name);
     if (c == nullptr) {
       const bool warn = b.headline || alloc_metric;
@@ -192,11 +197,17 @@ int main(int argc, char** argv) {
     // baseline regardless — the bound is the contract (e.g. the 2% health
     // sampler overhead budget).
     const bool over_ceiling = c->max_abs > 0.0 && c->value > c->max_abs;
-    const bool gated = b.headline || alloc_metric || c->max_abs > 0.0;
-    const bool regressed =
-        ((b.headline || alloc_metric) && against > threshold_pct) || over_ceiling;
+    // The floor (min_abs) is the ceiling's mirror: a host-rate throughput
+    // bound generous enough to survive runner variance but tight enough to
+    // catch an order-of-magnitude DES slowdown.
+    const bool under_floor = c->min_abs > 0.0 && c->value < c->min_abs;
+    const bool gated =
+        b.headline || alloc_metric || c->max_abs > 0.0 || c->min_abs > 0.0;
+    const bool regressed = ((b.headline || alloc_metric) && against > threshold_pct) ||
+                           over_ceiling || under_floor;
     const char* verdict = !gated        ? "info"
                           : over_ceiling ? "REGRESSED (over ceiling)"
+                          : under_floor ? "REGRESSED (under floor)"
                           : regressed   ? "REGRESSED"
                           : against < -threshold_pct ? "improved"
                                         : "ok";
@@ -213,6 +224,13 @@ int main(int argc, char** argv) {
     if (c.max_abs > 0.0 && c.value > c.max_abs) {
       std::printf("%-52s %14s %14.4g %9s  REGRESSED (over ceiling %.4g)\n",
                   c.name.c_str(), "-", c.value, "-", c.max_abs);
+      ++compared;
+      ++regressions;
+      continue;
+    }
+    if (c.min_abs > 0.0 && c.value < c.min_abs) {
+      std::printf("%-52s %14s %14.4g %9s  REGRESSED (under floor %.4g)\n",
+                  c.name.c_str(), "-", c.value, "-", c.min_abs);
       ++compared;
       ++regressions;
       continue;

@@ -18,6 +18,10 @@
 //   qos_isolation     ping tails + goodput with the arbiter on (headline)
 //   des_engine        simulated events (headline) + host events/s
 //                     and DES wall-clock seconds               (non-headline)
+//   mesh_sweep        256-node torus transpose: completion, event
+//                     and forwarded-segment counts             (headline)
+//                     + host events/s with an absolute floor
+//                     (min_abs) benchdiff gates                (non-headline)
 //
 // The hot-path profiler (src/perf) is enabled around the msgrate workload
 // and its per-layer breakdown is embedded as the bundle's "perf" object;
@@ -35,8 +39,10 @@
 #include "bench_support/table.hpp"
 #include "core/config.hpp"
 #include "core/world.hpp"
+#include "fabric/presets.hpp"
 #include "perf/profiler.hpp"
 #include "telemetry/metrics.hpp"
+#include "topo/topology.hpp"
 
 using namespace rails;
 
@@ -373,6 +379,84 @@ bench::BenchResult run_des_engine(const Options& opt, std::string* perf_json) {
   return result;
 }
 
+// ------------------------------------------------------------- mesh_sweep
+
+/// 256-node routed world: a 16x16 torus with the per-node sharded event
+/// queue, every off-diagonal node sending 2 KiB to its transpose. Virtual
+/// completion, simulated-event and forwarded-segment counts are
+/// deterministic — headline. The host event rate describes the runner, so
+/// it stays non-headline, but it carries an absolute floor (min_abs): a
+/// generous bound no healthy runner misses, which still fails CI if the
+/// sharded queue ever degrades by an order of magnitude at scale.
+bench::BenchResult run_mesh_sweep(const Options& opt) {
+  constexpr unsigned kSide = 16;
+  constexpr unsigned kNodes = kSide * kSide;
+  constexpr std::size_t kSize = 2048;
+  const unsigned rounds = opt.quick ? 2 : 4;
+  bench::BenchResult result;
+  result.name = "mesh_sweep";
+  result.config = {{"grid", "16x16"},
+                   {"pattern", "transpose"},
+                   {"rounds", std::to_string(rounds)}};
+
+  perf::Profiler::set_enabled(false);
+  core::WorldConfig cfg;
+  cfg.fabric.node_count = kNodes;
+  cfg.fabric.rails = {fabric::seastar_torus(), fabric::seastar_torus()};
+  cfg.fabric.net = topo::TopologySpec::torus(kSide, kSide);
+  cfg.fabric.event_sharding = true;
+  cfg.engine.reliability.enabled = opt.reliability;
+  core::World world(std::move(cfg));
+
+  std::vector<std::uint8_t> tx(kSize, 0x5A);
+  std::vector<std::uint8_t> rx(static_cast<std::size_t>(kNodes) * kSize);
+  auto& events = world.fabric().events();
+  events.run_all();
+
+  const SimTime start = world.now();
+  const std::uint64_t ev0 = events.processed();
+  const std::uint64_t fwd0 = world.fabric().forwarded_segments();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned round = 0; round < rounds; ++round) {
+    std::vector<core::RecvHandle> recvs;
+    recvs.reserve(kNodes);
+    for (unsigned n = 0; n < kNodes; ++n) {
+      const unsigned x = n % kSide, y = n / kSide;
+      if (x == y) continue;
+      const Tag tag = static_cast<Tag>(round * 100000 + 5000 + x * kSide + y);
+      recvs.push_back(world.engine(n).irecv(x * kSide + y, tag,
+                                            rx.data() + n * kSize, kSize));
+    }
+    for (unsigned n = 0; n < kNodes; ++n) {
+      const unsigned x = n % kSide, y = n / kSide;
+      if (x == y) continue;
+      const Tag tag = static_cast<Tag>(round * 100000 + 5000 + n);
+      world.engine(n).isend(x * kSide + y, tag, tx.data(), kSize);
+    }
+    for (auto& r : recvs) world.wait(r);
+    events.run_all();
+  }
+  const double host_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double sim_events = static_cast<double>(events.processed() - ev0);
+  const double forwarded =
+      static_cast<double>(world.fabric().forwarded_segments() - fwd0);
+
+  result.metrics.push_back({"transpose_completion_us",
+                            to_usec(world.now() - start) / rounds, "us",
+                            /*higher_is_better=*/false, /*headline=*/true});
+  result.metrics.push_back({"simulated_events", sim_events, "events",
+                            /*higher_is_better=*/false, /*headline=*/true});
+  result.metrics.push_back({"forwarded_segments", forwarded, "segments",
+                            /*higher_is_better=*/false, /*headline=*/true});
+  result.metrics.push_back({"events_per_sec_host",
+                            host_sec > 0.0 ? sim_events / host_sec : 0.0,
+                            "events/s", /*higher_is_better=*/true,
+                            /*headline=*/false, /*max_abs=*/0.0,
+                            /*min_abs=*/100000.0});
+  return result;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: benchjson [--quick] [--out <path>] [--no-perf] [--reliability]\n"
@@ -432,6 +516,8 @@ int main(int argc, char** argv) {
   bundle.benches.push_back(run_qos_isolation(opt));
   std::printf("benchjson: des_engine...\n");
   bundle.benches.push_back(run_des_engine(opt, &bundle.perf_json));
+  std::printf("benchjson: mesh_sweep...\n");
+  bundle.benches.push_back(run_mesh_sweep(opt));
 
   if (!bench::write_bundle_file(opt.out_path, bundle)) return 1;
   std::size_t metrics = 0, headline = 0;

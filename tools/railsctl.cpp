@@ -23,6 +23,7 @@
 #include "qos/arbiter.hpp"
 #include "railsctl_cli.hpp"
 #include "telemetry/metrics.hpp"
+#include "topo/topology.hpp"
 #include "telemetry/prediction.hpp"
 #include "telemetry/slo.hpp"
 #include "telemetry/timeseries.hpp"
@@ -779,6 +780,45 @@ int cmd_incast(const core::WorldConfig& base, unsigned senders, std::size_t size
   return 0;
 }
 
+int cmd_topo(const core::WorldConfig& cfg, unsigned route_samples) {
+  fabric::Fabric fab(cfg.fabric);
+  const topo::Topology& t = fab.topo();
+  std::printf("%s\n", t.describe().c_str());
+  std::printf("event sharding: %s", cfg.fabric.event_sharding ? "on" : "off");
+  if (cfg.fabric.event_sharding) {
+    std::printf(" — %u shard(s), horizon %.2f us (min link latency)",
+                fab.events().shard_count(), to_usec(fab.events().horizon()));
+  }
+  std::printf("\n");
+  if (t.direct()) {
+    std::printf("routes: every pair is one direct wire hop\n");
+    return 0;
+  }
+
+  // Sample routes along the diagonal — 0 -> far corner first (the diameter
+  // path), then evenly spread pairs, so the output shows the routing
+  // discipline (dimension order / up-down) at a glance.
+  const NodeId n = fab.node_count();
+  std::printf("sample routes (%u of %u pairs):\n", route_samples,
+              static_cast<unsigned>(n) * (n - 1));
+  for (unsigned s = 0; s < route_samples; ++s) {
+    const NodeId src = static_cast<NodeId>((s * n) / route_samples);
+    const NodeId dst = (n - 1 - src == src) ? (src + 1) % n : n - 1 - src;
+    const topo::Path& path = t.route(src, dst);
+    std::printf("  %3u -> %-3u (%zu hop%s):", src, dst, path.size(),
+                path.size() == 1 ? "" : "s");
+    for (const topo::Hop& h : path) {
+      if (h.to < n) {
+        std::printf(" %u", h.to);
+      } else {
+        std::printf(" sw%u", h.to - n);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 // -- dispatch -----------------------------------------------------------------
 //
 // One option-parsing adapter per railsctl_cli.hpp table row, in table order.
@@ -880,10 +920,16 @@ int run_incast(int argc, char** argv, const core::WorldConfig& cfg) {
                     std::stoul(opt(argc, argv, "--size", "2097152")));
 }
 
+int run_topo(int argc, char** argv, const core::WorldConfig& cfg) {
+  return cmd_topo(cfg,
+                  static_cast<unsigned>(std::stoul(opt(argc, argv, "--routes", "6"))));
+}
+
 constexpr Handler kHandlers[] = {
     run_describe, run_sample, run_pingpong, run_compare, run_gantt,
     run_metrics,  run_qos,    run_trace,    run_spans,   run_perf,
     run_watch,    run_slo,    run_postmortem, run_loadsweep, run_incast,
+    run_topo,
 };
 static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) == railsctl::kCommandCount,
               "every command in railsctl_cli.hpp needs a handler (in table order)");

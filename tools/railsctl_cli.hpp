@@ -94,6 +94,10 @@ inline constexpr CommandInfo kCommands[] = {
      false},
     {"loadsweep", "[--messages N]", "open-loop latency vs offered load"},
     {"incast", "[--senders N] [--size N]", "N senders converge on node 0"},
+    {"topo", "[--routes N]",
+     "print the network topology (shape, links,\n"
+     "diameter), the event-queue sharding horizon,\n"
+     "and N sample multi-hop routes (docs/TOPOLOGY.md)"},
 };
 
 inline constexpr std::size_t kCommandCount =
